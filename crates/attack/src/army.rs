@@ -1,0 +1,141 @@
+//! Zombie armies.
+//!
+//! "The attacker typically uses a worm to create an 'army' of zombies,
+//! which she orchestrates to flood the victim's site" (Section I). This
+//! module arms the hosts of a pre-built scenario with flood sources,
+//! optionally staggering their start times so detection and filtering
+//! requests spread out realistically.
+
+use aitf_core::{HostId, World};
+use aitf_netsim::SimDuration;
+use aitf_packet::Addr;
+
+use crate::sources::FloodSource;
+
+/// Parameters of a zombie army's firing pattern.
+#[derive(Debug, Clone)]
+pub struct ZombieArmySpec {
+    /// Flood rate per zombie, packets/second.
+    pub pps: u64,
+    /// Packet size in bytes.
+    pub size: u32,
+    /// Delay between consecutive zombies joining the attack.
+    pub stagger: SimDuration,
+}
+
+impl Default for ZombieArmySpec {
+    fn default() -> Self {
+        ZombieArmySpec {
+            pps: 500,
+            size: 500,
+            stagger: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Handles to the army's hosts (from a scenario builder).
+#[derive(Debug, Clone)]
+pub struct ArmyHandles {
+    /// The zombie hosts.
+    pub zombies: Vec<HostId>,
+}
+
+/// Arms every zombie with a [`FloodSource`] aimed at `target`.
+pub fn arm_floods(world: &mut World, zombies: &[HostId], target: Addr, spec: &ZombieArmySpec) {
+    for (i, &z) in zombies.iter().enumerate() {
+        let flood =
+            FloodSource::new(target, spec.pps, spec.size).starting_after(spec.stagger * i as u64);
+        world.add_app(z, Box::new(flood));
+    }
+}
+
+/// Aggregate offered attack load in bits per second once all zombies fire.
+pub fn offered_bits_per_sec(n_zombies: usize, spec: &ZombieArmySpec) -> f64 {
+    n_zombies as f64 * spec.pps as f64 * spec.size as f64 * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::star;
+    use aitf_core::{AitfConfig, HostPolicy};
+
+    #[test]
+    fn offered_load_formula() {
+        let spec = ZombieArmySpec {
+            pps: 100,
+            size: 1000,
+            stagger: SimDuration::ZERO,
+        };
+        assert_eq!(offered_bits_per_sec(10, &spec), 8_000_000.0);
+    }
+
+    #[test]
+    fn army_floods_congest_then_aitf_rescues() {
+        // 8 nets × 2 zombies × 500 pps × 500 B = 32 Mbit/s against a
+        // 10 Mbit/s victim tail circuit.
+        let mut s = star(
+            AitfConfig::default(),
+            11,
+            8,
+            2,
+            HostPolicy::Malicious,
+            10_000_000,
+        );
+        let target = s.world.host_addr(s.victim);
+        let spec = ZombieArmySpec::default();
+        arm_floods(&mut s.world, &s.zombies, target, &spec);
+        s.world.sim.run_for(SimDuration::from_secs(5));
+        // Every zombie flow must have been detected and requested.
+        let v = s.world.host(s.victim).counters();
+        assert!(
+            v.detections >= 16,
+            "all {} zombie flows should be detected, got {}",
+            s.zombies.len(),
+            v.detections
+        );
+        // The zombie gateways hold long filters (or disconnected clients).
+        let mut filters = 0u64;
+        let mut disconnects = 0u64;
+        for &net in &s.attacker_nets {
+            let c = s.world.router(net).counters();
+            filters += c.filters_installed;
+            disconnects += c.disconnects_client;
+        }
+        assert!(
+            filters >= 16,
+            "attacker gateways must hold the filters: {filters}"
+        );
+        assert_eq!(disconnects, 16, "malicious zombies get disconnected");
+        // The attack is dead: no new attack bytes arrive late in the run.
+        let before = s.world.host(s.victim).counters().rx_attack_bytes;
+        s.world.sim.run_for(SimDuration::from_secs(2));
+        let after = s.world.host(s.victim).counters().rx_attack_bytes;
+        assert_eq!(before, after, "flood must stay quenched");
+    }
+
+    #[test]
+    fn staggered_start_spreads_requests() {
+        let mut s = star(
+            AitfConfig::default(),
+            12,
+            4,
+            1,
+            HostPolicy::Malicious,
+            10_000_000,
+        );
+        let target = s.world.host_addr(s.victim);
+        let spec = ZombieArmySpec {
+            pps: 200,
+            size: 500,
+            stagger: SimDuration::from_millis(500),
+        };
+        arm_floods(&mut s.world, &s.zombies, target, &spec);
+        // After 0.7 s only the first two zombies have fired.
+        s.world.sim.run_for(SimDuration::from_millis(700));
+        let d = s.world.host(s.victim).counters().detections;
+        assert!(d <= 2, "detections too early: {d}");
+        s.world.sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(s.world.host(s.victim).counters().detections, 4);
+    }
+}

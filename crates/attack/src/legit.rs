@@ -1,0 +1,145 @@
+//! Legitimate foreground traffic.
+//!
+//! The damage a DoS attack does — and the damage a *defense* must not do —
+//! is measured on legitimate traffic. [`LegitClient`] generates a steady
+//! (optionally Poisson) stream of `TrafficClass::Legit` packets; the
+//! receiving [`aitf_core::EndHost`] counts the bytes that survive, giving
+//! the goodput series the experiment harness plots.
+
+use aitf_core::{HostApi, TrafficApp};
+use aitf_netsim::SimDuration;
+use aitf_packet::{Addr, Protocol, TrafficClass};
+use rand::Rng;
+
+/// A legitimate constant-bit-rate (or Poisson) client.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_attack::LegitClient;
+/// use aitf_packet::Addr;
+///
+/// // 100 packets/s of 1000 B ≈ 0.8 Mbit/s of legitimate load.
+/// let client = LegitClient::new(Addr::new(10, 1, 0, 1), 100, 1000);
+/// assert!((client.offered_bits_per_sec() - 800_000.0).abs() < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct LegitClient {
+    target: Addr,
+    pps: u64,
+    period: SimDuration,
+    size: u32,
+    poisson: bool,
+    dst_port: u16,
+}
+
+impl LegitClient {
+    /// A CBR client at `pps` packets/second of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pps` is zero.
+    pub fn new(target: Addr, pps: u64, size: u32) -> Self {
+        assert!(pps > 0, "rate must be positive");
+        LegitClient {
+            target,
+            pps,
+            period: SimDuration::from_nanos(1_000_000_000 / pps),
+            size,
+            poisson: false,
+            dst_port: 443,
+        }
+    }
+
+    /// Switches to Poisson inter-arrival times with the same mean rate.
+    pub fn poisson(mut self) -> Self {
+        self.poisson = true;
+        self
+    }
+
+    /// Overrides the destination port.
+    pub fn with_dst_port(mut self, port: u16) -> Self {
+        self.dst_port = port;
+        self
+    }
+
+    /// The offered load in bits per second.
+    pub fn offered_bits_per_sec(&self) -> f64 {
+        self.pps as f64 * self.size as f64 * 8.0
+    }
+
+    fn next_gap(&self, api: &mut HostApi<'_, '_>) -> SimDuration {
+        if self.poisson {
+            // Exponential inter-arrival with mean `period`, via inverse CDF.
+            let u: f64 = api.rng().gen_range(1e-12..1.0);
+            SimDuration::from_secs_f64(-u.ln() * self.period.as_secs_f64())
+        } else {
+            self.period
+        }
+    }
+}
+
+impl TrafficApp for LegitClient {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        let gap = self.next_gap(api);
+        api.set_timer(gap, 0);
+    }
+
+    fn on_timer(&mut self, _token: u32, api: &mut HostApi<'_, '_>) {
+        api.send_from_self(
+            self.target,
+            Protocol::Tcp,
+            self.dst_port,
+            TrafficClass::Legit,
+            self.size,
+        );
+        let gap = self.next_gap(api);
+        api.set_timer(gap, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_core::{AitfConfig, WorldBuilder};
+
+    #[test]
+    fn cbr_client_delivers_expected_goodput() {
+        let mut b = WorldBuilder::new(3, AitfConfig::default());
+        let wan = b.network("wan", "10.100.0.0/16", None);
+        let g = b.network("g", "10.1.0.0/16", Some(wan));
+        let c = b.network("c", "10.2.0.0/16", Some(wan));
+        let server = b.host(g);
+        let client = b.host(c);
+        let mut w = b.build();
+        let target = w.host_addr(server);
+        w.add_app(client, Box::new(LegitClient::new(target, 100, 1000)));
+        w.sim.run_for(SimDuration::from_secs(5));
+        let rx = w.host(server).counters().rx_legit_bytes;
+        // ~5 s × 100 pps × 1000 B, minus in-flight tail.
+        assert!((480_000..=500_000).contains(&rx), "rx = {rx}");
+    }
+
+    #[test]
+    fn poisson_client_matches_mean_rate() {
+        let mut b = WorldBuilder::new(3, AitfConfig::default());
+        let wan = b.network("wan", "10.100.0.0/16", None);
+        let g = b.network("g", "10.1.0.0/16", Some(wan));
+        let c = b.network("c", "10.2.0.0/16", Some(wan));
+        let server = b.host(g);
+        let client = b.host(c);
+        let mut w = b.build();
+        let target = w.host_addr(server);
+        w.add_app(
+            client,
+            Box::new(LegitClient::new(target, 200, 500).poisson()),
+        );
+        w.sim.run_for(SimDuration::from_secs(10));
+        let rx_pkts = w.host(server).counters().rx_legit_pkts as f64;
+        let expected = 2000.0;
+        assert!(
+            (rx_pkts - expected).abs() < expected * 0.15,
+            "rx_pkts = {rx_pkts}, expected ≈ {expected}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Attack workloads, legitimate traffic and canned scenario topologies.
+//!
+//! The paper's threat model (Section I): an attacker compromises a large
+//! number of hosts and orchestrates them to flood the victim's tail
+//! circuit. This crate provides:
+//!
+//! - [`sources`] — traffic applications: constant floods, the "on-off"
+//!   evasion pattern of Section II-B footnote 2, source-address spoofing
+//!   and protocol hopping;
+//! - [`legit`] — legitimate foreground traffic whose goodput measures the
+//!   collateral damage of both the attack and the defense;
+//! - [`army`] — zombie armies: many attacker networks, many hosts each;
+//! - [`scenarios`] — canned topologies: the paper's Figure 1, a star of
+//!   attacker networks around one victim, and deep provider chains for the
+//!   escalation/pushback comparisons.
+
+pub mod army;
+pub mod legit;
+pub mod scenarios;
+pub mod sources;
+
+pub use army::{ArmyHandles, ZombieArmySpec};
+pub use legit::LegitClient;
+pub use scenarios::{fig1, star, Fig1World, StarWorld};
+pub use sources::{FloodSource, OnOffSource, ProtocolHopper, RequestForger, SpoofingFlood};

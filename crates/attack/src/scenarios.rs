@@ -1,0 +1,292 @@
+//! Canned topologies used across tests, examples and the benchmark
+//! harness.
+//!
+//! - [`fig1`] — the paper's Figure 1 path: two three-level provider
+//!   hierarchies (`G_*` and `B_*`) peered at the top, one victim, one
+//!   attacker.
+//! - [`chain_pair`] — the same shape with configurable depth, for the
+//!   escalation and pushback comparisons.
+//! - [`star`] — one victim network plus `M` attacker networks around a
+//!   hub, for capacity and scaling experiments.
+
+use aitf_core::{AitfConfig, HostId, HostPolicy, NetId, World, WorldBuilder};
+use aitf_packet::Prefix;
+
+/// Deterministic allocator of non-overlapping /16 prefixes.
+#[derive(Debug, Default)]
+pub struct PrefixAlloc {
+    next: u32,
+}
+
+impl PrefixAlloc {
+    /// Creates an allocator starting at `10.1.0.0/16`.
+    pub fn new() -> Self {
+        PrefixAlloc { next: 0 }
+    }
+
+    /// Returns the next free /16.
+    ///
+    /// # Panics
+    ///
+    /// Panics after ~12k allocations (the 10/12/172-ish space is spent).
+    pub fn next_slash16(&mut self) -> Prefix {
+        let i = self.next;
+        self.next += 1;
+        let a = 10 + (i / 250) as u8;
+        let b = (i % 250 + 1) as u8;
+        assert!(a < 60, "prefix space exhausted");
+        Prefix::new(aitf_packet::Addr::new(a, b, 0, 0), 16)
+    }
+}
+
+/// The paper's Figure 1 world.
+pub struct Fig1World {
+    /// The built world.
+    pub world: World,
+    /// `G_net` (victim's enterprise network; its router is G_gw1).
+    pub g_net: NetId,
+    /// `G_isp` (router G_gw2).
+    pub g_isp: NetId,
+    /// `G_wan` (router G_gw3).
+    pub g_wan: NetId,
+    /// `B_net` (attacker's network; router B_gw1 is the attacker's gateway).
+    pub b_net: NetId,
+    /// `B_isp` (router B_gw2).
+    pub b_isp: NetId,
+    /// `B_wan` (router B_gw3).
+    pub b_wan: NetId,
+    /// `G_host`, the victim.
+    pub victim: HostId,
+    /// `B_host`, the attacker.
+    pub attacker: HostId,
+}
+
+/// Builds the Figure 1 topology with the given attacker host policy.
+pub fn fig1(cfg: AitfConfig, seed: u64, attacker_policy: HostPolicy) -> Fig1World {
+    let mut b = WorldBuilder::new(seed, cfg);
+    let g_wan = b.network("G_wan", "10.103.0.0/16", None);
+    let g_isp = b.network("G_isp", "10.102.0.0/16", Some(g_wan));
+    let g_net = b.network("G_net", "10.1.0.0/16", Some(g_isp));
+    let b_wan = b.network("B_wan", "10.203.0.0/16", None);
+    let b_isp = b.network("B_isp", "10.202.0.0/16", Some(b_wan));
+    let b_net = b.network("B_net", "10.9.0.0/16", Some(b_isp));
+    b.peer(g_wan, b_wan, WorldBuilder::default_net_link());
+    let victim = b.host(g_net);
+    let attacker = b.host_with(b_net, attacker_policy, WorldBuilder::default_host_link());
+    Fig1World {
+        world: b.build(),
+        g_net,
+        g_isp,
+        g_wan,
+        b_net,
+        b_isp,
+        b_wan,
+        victim,
+        attacker,
+    }
+}
+
+/// A Figure-1-like world with configurable chain depth.
+pub struct ChainWorld {
+    /// The built world.
+    pub world: World,
+    /// Victim-side networks, leaf (victim's gateway) first.
+    pub g_chain: Vec<NetId>,
+    /// Attacker-side networks, leaf (attacker's gateway) first.
+    pub b_chain: Vec<NetId>,
+    /// The victim host.
+    pub victim: HostId,
+    /// The attacker host.
+    pub attacker: HostId,
+}
+
+/// Builds two provider chains of `depth` networks each, peered at the top.
+///
+/// `depth = 3` is exactly [`fig1`]'s shape.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn chain_pair(
+    cfg: AitfConfig,
+    seed: u64,
+    depth: usize,
+    attacker_policy: HostPolicy,
+) -> ChainWorld {
+    assert!(depth > 0, "depth must be at least 1");
+    let mut alloc = PrefixAlloc::new();
+    let mut b = WorldBuilder::new(seed, cfg);
+    // Build top-down so parents exist, then reverse to leaf-first order.
+    let mut g_chain: Vec<NetId> = Vec::with_capacity(depth);
+    let mut b_chain: Vec<NetId> = Vec::with_capacity(depth);
+    for side in 0..2 {
+        let chain = if side == 0 {
+            &mut g_chain
+        } else {
+            &mut b_chain
+        };
+        let mut parent: Option<NetId> = None;
+        for level in (0..depth).rev() {
+            let name = format!("{}_{}", if side == 0 { "G" } else { "B" }, level + 1);
+            let prefix = alloc.next_slash16();
+            let id = b.network(&name, &prefix.to_string(), parent);
+            parent = Some(id);
+            chain.push(id);
+        }
+        chain.reverse();
+    }
+    b.peer(
+        g_chain[depth - 1],
+        b_chain[depth - 1],
+        WorldBuilder::default_net_link(),
+    );
+    let victim = b.host(g_chain[0]);
+    let attacker = b.host_with(
+        b_chain[0],
+        attacker_policy,
+        WorldBuilder::default_host_link(),
+    );
+    ChainWorld {
+        world: b.build(),
+        g_chain,
+        b_chain,
+        victim,
+        attacker,
+    }
+}
+
+/// One victim network and `M` attacker networks around a hub.
+pub struct StarWorld {
+    /// The built world.
+    pub world: World,
+    /// The hub (top-level AD).
+    pub hub: NetId,
+    /// The victim's network.
+    pub victim_net: NetId,
+    /// The victim host.
+    pub victim: HostId,
+    /// Attacker networks.
+    pub attacker_nets: Vec<NetId>,
+    /// Zombie hosts, grouped by network in order.
+    pub zombies: Vec<HostId>,
+}
+
+/// Builds a star: `n_nets` attacker networks with `hosts_per_net` zombies
+/// each, all clients of one hub AD that also serves the victim's network.
+///
+/// The victim's tail circuit is `victim_tail_bps`; zombies get fat links so
+/// the bottleneck is the victim side, as in the paper's introduction.
+pub fn star(
+    cfg: AitfConfig,
+    seed: u64,
+    n_nets: usize,
+    hosts_per_net: usize,
+    zombie_policy: HostPolicy,
+    victim_tail_bps: u64,
+) -> StarWorld {
+    let mut alloc = PrefixAlloc::new();
+    let mut b = WorldBuilder::new(seed, cfg);
+    let hub_prefix = alloc.next_slash16();
+    let hub = b.network("hub", &hub_prefix.to_string(), None);
+    let victim_prefix = alloc.next_slash16();
+    let victim_net = b.network("victim_net", &victim_prefix.to_string(), Some(hub));
+    let victim = b.host_with(
+        victim_net,
+        HostPolicy::Compliant,
+        aitf_netsim::LinkParams::ethernet(
+            victim_tail_bps,
+            aitf_netsim::SimDuration::from_millis(5),
+        ),
+    );
+    let mut attacker_nets = Vec::with_capacity(n_nets);
+    let mut zombies = Vec::with_capacity(n_nets * hosts_per_net);
+    for i in 0..n_nets {
+        let prefix = alloc.next_slash16();
+        let net = b.network(&format!("zombie_net_{i}"), &prefix.to_string(), Some(hub));
+        attacker_nets.push(net);
+        for _ in 0..hosts_per_net {
+            zombies.push(b.host_with(net, zombie_policy, WorldBuilder::default_host_link()));
+        }
+    }
+    StarWorld {
+        world: b.build(),
+        hub,
+        victim_net,
+        victim,
+        attacker_nets,
+        zombies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_netsim::SimDuration;
+
+    #[test]
+    fn prefix_alloc_never_overlaps() {
+        let mut alloc = PrefixAlloc::new();
+        let mut seen = Vec::new();
+        for _ in 0..600 {
+            let p = alloc.next_slash16();
+            for q in &seen {
+                assert!(!p.overlaps(*q), "{p} overlaps {q}");
+            }
+            seen.push(p);
+        }
+    }
+
+    #[test]
+    fn fig1_matches_paper_shape() {
+        let f = fig1(AitfConfig::default(), 1, HostPolicy::Malicious);
+        assert_eq!(f.world.net_count(), 6);
+        assert_eq!(f.world.host_count(), 2);
+        assert_eq!(f.world.net_name(f.g_net), "G_net");
+        assert!(f.world.uplink(f.g_net).is_some());
+        assert!(f.world.uplink(f.g_wan).is_none());
+    }
+
+    #[test]
+    fn chain_pair_depth_one_is_minimal() {
+        let c = chain_pair(AitfConfig::default(), 1, 1, HostPolicy::Compliant);
+        assert_eq!(c.world.net_count(), 2);
+        assert_eq!(c.g_chain.len(), 1);
+    }
+
+    #[test]
+    fn chain_pair_depth_three_equals_fig1_shape() {
+        let c = chain_pair(AitfConfig::default(), 1, 3, HostPolicy::Compliant);
+        assert_eq!(c.world.net_count(), 6);
+        // Leaf-first: the victim's network has an uplink, the top does not.
+        assert!(c.world.uplink(c.g_chain[0]).is_some());
+        assert!(c.world.uplink(c.g_chain[2]).is_none());
+    }
+
+    #[test]
+    fn star_world_counts() {
+        let s = star(
+            AitfConfig::default(),
+            1,
+            8,
+            3,
+            HostPolicy::Malicious,
+            10_000_000,
+        );
+        assert_eq!(s.attacker_nets.len(), 8);
+        assert_eq!(s.zombies.len(), 24);
+        assert_eq!(s.world.net_count(), 10);
+        assert_eq!(s.world.host_count(), 25);
+    }
+
+    #[test]
+    fn deep_chain_routes_end_to_end() {
+        let mut c = chain_pair(AitfConfig::default(), 1, 6, HostPolicy::Compliant);
+        let target = c.world.host_addr(c.victim);
+        c.world.add_app(
+            c.attacker,
+            Box::new(crate::LegitClient::new(target, 50, 500)),
+        );
+        c.world.sim.run_for(SimDuration::from_secs(2));
+        assert!(c.world.host(c.victim).counters().rx_legit_pkts > 80);
+    }
+}

@@ -1,0 +1,28 @@
+//! Pushback baseline: hop-by-hop aggregate blocking (\[MBF+01\]).
+//!
+//! Section V of the AITF paper contrasts AITF with Mahajan et al.'s
+//! *pushback*: *"A pushback request is propagated hop by hop by the victim
+//! towards the attacker. In contrast, the propagation of an AITF filtering
+//! request involves only 4 nodes ... A pushback request does not force the
+//! recipient router to rate-limit the problematic aggregate; it relies on
+//! its good will."*
+//!
+//! This crate re-implements that baseline faithfully enough to compare:
+//!
+//! - the victim's gateway turns a victim filtering request into a local
+//!   block plus a [`aitf_packet::PushbackRequest`] to the adjacent
+//!   *upstream* router the aggregate arrives from;
+//! - each recipient blocks locally and recursively propagates upstream,
+//!   one hop at a time, until the attacker's edge is reached;
+//! - every router on the path therefore holds a filter (the "filtering
+//!   bottleneck" of Section I), and one non-cooperating hop silently
+//!   breaks the chain upstream of it — there is no disconnection lever.
+//!
+//! The rate limit is configured to 0 bps (drop) so effectiveness is
+//! directly comparable with AITF's blocking.
+
+pub mod router;
+pub mod world;
+
+pub use router::{PushbackCounters, PushbackRouter};
+pub use world::build_pushback_world;

@@ -1,0 +1,369 @@
+//! The pushback router node.
+
+use std::collections::HashMap;
+
+use aitf_core::RouterSpec;
+use aitf_filter::FilterTable;
+use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimDuration};
+use aitf_packet::{
+    Addr, AitfMessage, FlowLabel, LpmTable, Packet, PayloadKind, PushbackRequest,
+    RequestDestination,
+};
+
+/// Maximum hops a pushback request travels (loop guard).
+pub const MAX_PUSHBACK_DEPTH: u8 = 32;
+
+/// Counters for one pushback router.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushbackCounters {
+    /// Data packets forwarded.
+    pub data_forwarded: u64,
+    /// Data packets dropped by a local aggregate filter.
+    pub data_filtered_pkts: u64,
+    /// Bytes dropped by a local aggregate filter.
+    pub data_filtered_bytes: u64,
+    /// Victim filtering requests received (edge trigger).
+    pub requests_received: u64,
+    /// Pushback messages received from downstream.
+    pub pushback_received: u64,
+    /// Pushback messages propagated upstream.
+    pub pushback_sent: u64,
+    /// Pushback messages ignored (non-cooperating router).
+    pub pushback_ignored: u64,
+    /// Aggregate filters installed.
+    pub filters_installed: u64,
+    /// Packets dropped for TTL/no-route.
+    pub undeliverable: u64,
+}
+
+/// A router implementing hop-by-hop pushback (\[MBF+01\]-style), built from
+/// the same [`RouterSpec`] wiring as an AITF border router so both can run
+/// on identical topologies.
+pub struct PushbackRouter {
+    addr: Addr,
+    cooperating: bool,
+    fwd: LpmTable<LinkId>,
+    filters: FilterTable,
+    duration: SimDuration,
+    /// Which link packets of a given `(src, dst)` pair arrive on — the
+    /// "contributing upstream neighbour" needed for propagation.
+    flow_arrivals: HashMap<(Addr, Addr), LinkId>,
+    counters: PushbackCounters,
+}
+
+/// Destination address of link-local (hop-by-hop) pushback packets.
+const LINK_LOCAL: Addr = Addr::ZERO;
+
+impl PushbackRouter {
+    /// Builds a pushback router from AITF wiring. The AITF-specific parts
+    /// of the spec (contracts, parent gateway) are ignored — pushback has
+    /// neither policing contracts nor escalation.
+    pub fn new(spec: RouterSpec) -> Self {
+        PushbackRouter {
+            addr: spec.addr,
+            cooperating: spec.policy.cooperating,
+            fwd: spec.fwd,
+            filters: FilterTable::new(spec.config.filter_capacity),
+            duration: spec.config.t_long,
+            flow_arrivals: HashMap::new(),
+            counters: PushbackCounters::default(),
+        }
+    }
+
+    /// This router's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> PushbackCounters {
+        self.counters
+    }
+
+    /// The local aggregate-filter table.
+    pub fn filters(&self) -> &FilterTable {
+        &self.filters
+    }
+
+    /// Flips cooperation (experiments).
+    pub fn set_cooperating(&mut self, cooperating: bool) {
+        self.cooperating = cooperating;
+    }
+
+    fn block_and_propagate(&mut self, flow: FlowLabel, id: u64, depth: u8, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if self.filters.install(flow, now, self.duration).is_ok() {
+            self.counters.filters_installed += 1;
+        }
+        if depth >= MAX_PUSHBACK_DEPTH {
+            return;
+        }
+        // The contributing upstream neighbour is whoever the aggregate has
+        // been arriving from.
+        let key = match (flow.src_host(), flow.dst_host()) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return,
+        };
+        let Some(&uplink) = self.flow_arrivals.get(&key) else {
+            return;
+        };
+        let msg = AitfMessage::Pushback(PushbackRequest {
+            id,
+            flow,
+            limit_bps: 0,
+            duration_ns: self.duration.as_nanos(),
+            depth: depth + 1,
+        });
+        let pkt = Packet::control(ctx.next_packet_id(), self.addr, LINK_LOCAL, msg);
+        self.counters.pushback_sent += 1;
+        ctx.send(uplink, pkt);
+    }
+
+    fn forward_data(&mut self, mut packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if packet.is_data() {
+            if self.filters.matches(&packet.header, now) {
+                self.counters.data_filtered_pkts += 1;
+                self.counters.data_filtered_bytes += packet.size_bytes as u64;
+                // Even while dropping we keep the arrival record fresh so a
+                // later propagation knows where the aggregate comes from.
+                self.note_arrival(&packet, arrival);
+                return;
+            }
+            self.note_arrival(&packet, arrival);
+        }
+        match packet.header.ttl.checked_sub(1) {
+            Some(0) | None => {
+                self.counters.undeliverable += 1;
+                return;
+            }
+            Some(ttl) => packet.header.ttl = ttl,
+        }
+        match self.fwd.lookup(packet.header.dst) {
+            Some(&link) => {
+                self.counters.data_forwarded += 1;
+                ctx.send(link, packet);
+            }
+            None => self.counters.undeliverable += 1,
+        }
+    }
+
+    fn note_arrival(&mut self, packet: &Packet, arrival: LinkId) {
+        // Bounded: beyond 64k distinct pairs, stop learning new ones (old
+        // pairs keep being refreshed in place).
+        let key = (packet.header.src, packet.header.dst);
+        if self.flow_arrivals.len() < 65_536 || self.flow_arrivals.contains_key(&key) {
+            self.flow_arrivals.insert(key, arrival);
+        }
+    }
+}
+
+impl Node for PushbackRouter {
+    fn on_packet(&mut self, packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
+        // Link-local pushback or a control packet addressed to me.
+        if packet.header.dst == LINK_LOCAL || packet.header.dst == self.addr {
+            match &packet.payload {
+                PayloadKind::Aitf(AitfMessage::Pushback(p)) => {
+                    self.counters.pushback_received += 1;
+                    if !self.cooperating {
+                        self.counters.pushback_ignored += 1;
+                        return;
+                    }
+                    let (flow, id, depth) = (p.flow, p.id, p.depth);
+                    self.block_and_propagate(flow, id, depth, ctx);
+                }
+                PayloadKind::Aitf(AitfMessage::FilteringRequest(req))
+                    if req.dest == RequestDestination::VictimGateway =>
+                {
+                    // The victim's edge trigger: same input as AITF's
+                    // victim's gateway, pushback semantics instead.
+                    self.counters.requests_received += 1;
+                    if self.cooperating {
+                        let (flow, id) = (req.flow, req.id);
+                        self.block_and_propagate(flow, id, 0, ctx);
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        self.forward_data(packet, link, ctx);
+    }
+
+    impl_node_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_core::{AitfConfig, HostPolicy, NetId, WorldBuilder};
+    use aitf_netsim::SimDuration;
+    use aitf_packet::{Protocol, TrafficClass};
+
+    use crate::world::build_pushback_world;
+
+    /// Minimal flood app (mirrors aitf-attack's FloodSource without the
+    /// dependency, to keep the crate graph acyclic).
+    struct Flood {
+        target: Addr,
+        period: SimDuration,
+    }
+
+    impl aitf_core::TrafficApp for Flood {
+        fn on_start(&mut self, api: &mut aitf_core::HostApi<'_, '_>) {
+            api.set_timer(self.period, 0);
+        }
+
+        fn on_timer(&mut self, _t: u32, api: &mut aitf_core::HostApi<'_, '_>) {
+            api.send_from_self(self.target, Protocol::Udp, 80, TrafficClass::Attack, 500);
+            api.set_timer(self.period, 0);
+        }
+    }
+
+    fn chain_world(
+        depth: usize,
+        rogue_level: Option<usize>,
+    ) -> (
+        aitf_core::World,
+        Vec<NetId>,
+        Vec<NetId>,
+        aitf_core::HostId,
+        aitf_core::HostId,
+    ) {
+        let mut b = WorldBuilder::new(9, AitfConfig::default());
+        let mut g_chain = Vec::new();
+        let mut b_chain = Vec::new();
+        for side in 0..2usize {
+            let mut parent = None;
+            let chain = if side == 0 {
+                &mut g_chain
+            } else {
+                &mut b_chain
+            };
+            for level in (0..depth).rev() {
+                let name = format!("{side}-{level}");
+                let prefix = format!("10.{}.0.0/16", 1 + side * 100 + level);
+                let id = b.network(&name, &prefix, parent);
+                parent = Some(id);
+                chain.push(id);
+            }
+            chain.reverse();
+        }
+        b.peer(
+            g_chain[depth - 1],
+            b_chain[depth - 1],
+            WorldBuilder::default_net_link(),
+        );
+        if let Some(level) = rogue_level {
+            b.set_router_policy(b_chain[level], aitf_core::RouterPolicy::non_cooperating());
+        }
+        let v = b.host(g_chain[0]);
+        let a = b.host_with(
+            b_chain[0],
+            HostPolicy::Malicious,
+            WorldBuilder::default_host_link(),
+        );
+        (build_pushback_world(b), g_chain, b_chain, v, a)
+    }
+
+    #[test]
+    fn pushback_walks_hop_by_hop_to_the_attacker_edge() {
+        let (mut w, g_chain, b_chain, v, a) = chain_world(3, None);
+        let target = w.host_addr(v);
+        w.add_app(
+            a,
+            Box::new(Flood {
+                target,
+                period: SimDuration::from_millis(1),
+            }),
+        );
+        w.sim.run_for(SimDuration::from_secs(5));
+
+        // EVERY router on the path ends up holding a filter — the paper's
+        // "filtering bottleneck" contrast with AITF's 2 filters.
+        let mut holding = 0;
+        for &net in g_chain.iter().chain(b_chain.iter()) {
+            let r = w
+                .sim
+                .node_ref::<PushbackRouter>(w.router_node(net))
+                .expect("pushback router");
+            if r.counters().filters_installed > 0 {
+                holding += 1;
+            }
+        }
+        assert_eq!(holding, 6, "all six routers hold pushback filters");
+
+        // The flood is dead at the victim.
+        let before = w.host(v).counters().rx_attack_pkts;
+        w.sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(w.host(v).counters().rx_attack_pkts, before);
+    }
+
+    #[test]
+    fn one_rogue_hop_silently_breaks_the_chain() {
+        // The middle attacker-side router ignores pushback.
+        let (mut w, _g, b_chain, v, a) = chain_world(3, Some(1));
+        let target = w.host_addr(v);
+        w.add_app(
+            a,
+            Box::new(Flood {
+                target,
+                period: SimDuration::from_millis(1),
+            }),
+        );
+        w.sim.run_for(SimDuration::from_secs(5));
+
+        // Nothing upstream of the rogue ever installs a filter: pushback
+        // has no disconnection lever (Section V's "relies on good will").
+        let edge = w
+            .sim
+            .node_ref::<PushbackRouter>(w.router_node(b_chain[0]))
+            .unwrap();
+        assert_eq!(
+            edge.counters().filters_installed,
+            0,
+            "the attacker's edge router is never reached"
+        );
+        let rogue = w
+            .sim
+            .node_ref::<PushbackRouter>(w.router_node(b_chain[1]))
+            .unwrap();
+        assert!(rogue.counters().pushback_ignored > 0);
+        assert_eq!(rogue.counters().filters_installed, 0);
+        // The chain stalled at the first cooperating router above the
+        // rogue: the flood keeps burning bandwidth on every hop below it
+        // (attacker edge and the rogue keep forwarding forever), instead of
+        // being cut at the source as AITF would enforce.
+        assert!(
+            rogue.counters().data_forwarded > 2000,
+            "rogue keeps carrying the flood: {}",
+            rogue.counters().data_forwarded
+        );
+        let top = w
+            .sim
+            .node_ref::<PushbackRouter>(w.router_node(b_chain[2]))
+            .unwrap();
+        assert!(
+            top.counters().data_filtered_pkts > 2000,
+            "the first cooperating hop above the rogue absorbs the flood: {}",
+            top.counters().data_filtered_pkts
+        );
+    }
+
+    #[test]
+    fn victim_side_still_blocks_under_pushback() {
+        let (mut w, _g, _b, v, a) = chain_world(2, None);
+        let target = w.host_addr(v);
+        w.add_app(
+            a,
+            Box::new(Flood {
+                target,
+                period: SimDuration::from_millis(1),
+            }),
+        );
+        w.sim.run_for(SimDuration::from_secs(3));
+        let c = w.host(v).counters();
+        assert!(c.rx_attack_pkts < 400, "victim leak {}", c.rx_attack_pkts);
+        assert!(c.requests_sent >= 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Building pushback worlds on AITF topologies.
+
+use aitf_core::{World, WorldBuilder};
+
+use crate::router::PushbackRouter;
+
+/// Builds the world with a [`PushbackRouter`] at every network instead of
+/// an AITF border router. End hosts are unchanged: the victim's filtering
+/// request is the common trigger for both protocols, which keeps the
+/// comparison fair.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_core::{AitfConfig, WorldBuilder};
+/// use aitf_baseline::build_pushback_world;
+///
+/// let mut b = WorldBuilder::new(1, AitfConfig::default());
+/// let wan = b.network("wan", "10.100.0.0/16", None);
+/// let net = b.network("net", "10.1.0.0/16", Some(wan));
+/// let _host = b.host(net);
+/// let world = build_pushback_world(b);
+/// assert_eq!(world.net_count(), 2);
+/// ```
+pub fn build_pushback_world(builder: WorldBuilder) -> World {
+    builder.build_with_routers(|spec| Box::new(PushbackRouter::new(spec)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_core::AitfConfig;
+    use aitf_netsim::SimDuration;
+
+    #[test]
+    fn pushback_world_builds_and_runs() {
+        let mut b = WorldBuilder::new(1, AitfConfig::default());
+        let wan = b.network("wan", "10.100.0.0/16", None);
+        let net = b.network("net", "10.1.0.0/16", Some(wan));
+        let host = b.host(net);
+        let mut w = build_pushback_world(b);
+        w.sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(w.host(host).counters().rx_attack_pkts, 0);
+        // The router slots hold PushbackRouters, not BorderRouters.
+        assert!(w
+            .sim
+            .node_ref::<PushbackRouter>(w.router_node(wan))
+            .is_some());
+    }
+}

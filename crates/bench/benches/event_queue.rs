@@ -1,0 +1,52 @@
+//! Microbenchmark: the simulator core.
+//!
+//! Event scheduling/dispatch bounds how much virtual traffic a wall-clock
+//! second can simulate; this pins the cost of the heap operations.
+
+use aitf_netsim::{EventKind, EventQueue, NodeId, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &backlog in &[0usize, 1024, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::new("schedule_then_pop", backlog),
+            &backlog,
+            |b, &backlog| {
+                let mut q = EventQueue::new();
+                for i in 0..backlog {
+                    q.schedule(
+                        SimTime(1_000_000 + i as u64),
+                        EventKind::Timer {
+                            node: NodeId(0),
+                            token: i as u64,
+                        },
+                    );
+                }
+                b.iter(|| {
+                    q.schedule(
+                        SimTime(0),
+                        EventKind::Timer {
+                            node: NodeId(0),
+                            token: 0,
+                        },
+                    );
+                    black_box(q.pop());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    // Short, stable runs: the suite has many benchmarks and CI time is
+    // better spent on breadth than on sub-nanosecond precision.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config(); targets = bench_schedule_pop);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microbenchmark: the wire-speed filter table.
+//!
+//! Quantifies the paper's premise that per-packet filter lookups must be
+//! cheap even at high occupancy, and that installation/expiry churn at the
+//! contract rate is affordable.
+
+use aitf_filter::{EvictionPolicy, FilterTable};
+use aitf_netsim::{SimDuration, SimTime};
+use aitf_packet::{Addr, FlowLabel, Header};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn filled_table(n: usize) -> FilterTable {
+    let mut t = FilterTable::new(n + 1);
+    for i in 0..n {
+        let label = FlowLabel::src_dst(
+            Addr::new(10, (i / 250) as u8 + 1, (i % 250) as u8, 7),
+            Addr::new(10, 1, 0, 1),
+        );
+        t.install(label, SimTime::ZERO, SimDuration::from_secs(3600))
+            .expect("capacity");
+    }
+    t
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_table_lookup");
+    for &occupancy in &[64usize, 1024, 4096] {
+        let mut table = filled_table(occupancy);
+        // Hit: matches an installed filter (same dst host bucket).
+        let hit = Header::udp(Addr::new(10, 1, 0, 7), Addr::new(10, 1, 0, 1), 1, 2);
+        // Miss: different destination, empty bucket.
+        let miss = Header::udp(Addr::new(10, 9, 0, 7), Addr::new(10, 2, 0, 1), 1, 2);
+        group.bench_with_input(BenchmarkId::new("hit", occupancy), &occupancy, |b, _| {
+            b.iter(|| black_box(table.matches(black_box(&hit), SimTime(1))));
+        });
+        group.bench_with_input(BenchmarkId::new("miss", occupancy), &occupancy, |b, _| {
+            b.iter(|| black_box(table.matches(black_box(&miss), SimTime(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_install_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_table_install");
+    for policy in [EvictionPolicy::Reject, EvictionPolicy::EvictSoonestExpiring] {
+        let name = format!("{policy:?}");
+        group.bench_function(BenchmarkId::new("install_remove", name), |b| {
+            let mut table = FilterTable::with_policy(4096, policy);
+            let label = FlowLabel::src_dst(Addr::new(10, 9, 0, 7), Addr::new(10, 1, 0, 1));
+            b.iter(|| {
+                table
+                    .install(black_box(label), SimTime::ZERO, SimDuration::from_secs(60))
+                    .expect("space available");
+                assert!(table.remove(&label));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_purge(c: &mut Criterion) {
+    c.bench_function("filter_table_purge_4096_live", |b| {
+        let mut table = filled_table(4096);
+        // Nothing is expired: this measures the scan cost alone.
+        b.iter(|| table.purge_expired(black_box(SimTime(1))));
+    });
+}
+
+fn quick_config() -> Criterion {
+    // Short, stable runs: the suite has many benchmarks and CI time is
+    // better spent on breadth than on sub-nanosecond precision.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config(); targets = bench_lookup, bench_install_remove, bench_purge);
+criterion_main!(benches);

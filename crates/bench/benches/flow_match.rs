@@ -1,0 +1,48 @@
+//! Microbenchmark: flow-label matching.
+//!
+//! Label matching is the innermost loop of both the filter table and the
+//! shadow cache; narrow (host-pair) and wide (wildcard) labels must both
+//! be branch-cheap.
+
+use aitf_packet::{Addr, FlowLabel, Header, Protocol};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_match(c: &mut Criterion) {
+    let attacker = Addr::new(10, 9, 0, 7);
+    let victim = Addr::new(10, 1, 0, 1);
+    let host_pair = FlowLabel::src_dst(attacker, victim);
+    let narrow = host_pair.with_proto(Protocol::Udp).with_dst_port(53);
+    let wide = FlowLabel::net_to_host("10.9.0.0/16".parse().unwrap(), victim);
+    let hdr_hit = Header::udp(attacker, victim, 4000, 53);
+    let hdr_miss = Header::udp(Addr::new(10, 8, 0, 7), victim, 4000, 53);
+
+    let mut group = c.benchmark_group("flow_match");
+    group.bench_function("host_pair_hit", |b| {
+        b.iter(|| black_box(host_pair.matches(black_box(&hdr_hit))))
+    });
+    group.bench_function("host_pair_miss", |b| {
+        b.iter(|| black_box(host_pair.matches(black_box(&hdr_miss))))
+    });
+    group.bench_function("narrow_hit", |b| {
+        b.iter(|| black_box(narrow.matches(black_box(&hdr_hit))))
+    });
+    group.bench_function("prefix_hit", |b| {
+        b.iter(|| black_box(wide.matches(black_box(&hdr_hit))))
+    });
+    group.bench_function("covers", |b| {
+        b.iter(|| black_box(wide.covers(black_box(&narrow))))
+    });
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    // Short, stable runs: the suite has many benchmarks and CI time is
+    // better spent on breadth than on sub-nanosecond precision.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config(); targets = bench_match);
+criterion_main!(benches);

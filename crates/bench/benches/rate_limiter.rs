@@ -1,0 +1,48 @@
+//! Microbenchmark: contract policing.
+//!
+//! Every filtering request crosses a token bucket; a border router under a
+//! request storm polices at line rate, so `try_acquire` must be a handful
+//! of integer operations.
+
+use aitf_filter::{RateLimiterBank, TokenBucket};
+use aitf_netsim::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_bucket(c: &mut Criterion) {
+    c.bench_function("token_bucket_try_acquire", |b| {
+        let mut tb = TokenBucket::new(100.0, 100);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000_000;
+            black_box(tb.try_acquire(SimTime(now)))
+        });
+    });
+}
+
+fn bench_bank(c: &mut Criterion) {
+    c.bench_function("rate_limiter_bank_16_keys", |b| {
+        let mut bank = RateLimiterBank::new(100.0, 100);
+        for k in 0..16 {
+            bank.set_contract(k, 100.0, 100);
+        }
+        let mut now = 0u64;
+        let mut key = 0u64;
+        b.iter(|| {
+            now += 1_000_000;
+            key = (key + 1) % 16;
+            black_box(bank.try_acquire(key, SimTime(now)))
+        });
+    });
+}
+
+fn quick_config() -> Criterion {
+    // Short, stable runs: the suite has many benchmarks and CI time is
+    // better spent on breadth than on sub-nanosecond precision.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config(); targets = bench_bucket, bench_bank);
+criterion_main!(benches);

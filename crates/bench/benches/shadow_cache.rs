@@ -1,0 +1,73 @@
+//! Microbenchmark: the DRAM shadow cache.
+//!
+//! The shadow is consulted on the victim-gateway data path for every
+//! non-filtered packet (on-off detection), so both the miss path and the
+//! reactivation hit must be cheap even with thousands of live shadows —
+//! the "DRAM is cheap" half of the paper's economy.
+
+use aitf_filter::ShadowCache;
+use aitf_netsim::{SimDuration, SimTime};
+use aitf_packet::{Addr, FlowLabel, Header};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn filled(n: usize) -> ShadowCache {
+    let mut c = ShadowCache::new(n + 1);
+    for i in 0..n {
+        let label = FlowLabel::src_dst(
+            Addr::new(10, (i / 250) as u8 + 1, (i % 250) as u8, 7),
+            Addr::new(10, 1, 0, 1),
+        );
+        c.insert(
+            label,
+            i as u64,
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+            1,
+        );
+    }
+    c
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_cache_check");
+    for &occupancy in &[1024usize, 6000, 65_536] {
+        let mut cache = filled(occupancy);
+        let hit = Header::udp(Addr::new(10, 1, 0, 7), Addr::new(10, 1, 0, 1), 1, 2);
+        let miss = Header::udp(Addr::new(10, 9, 0, 7), Addr::new(10, 2, 0, 1), 1, 2);
+        group.bench_with_input(BenchmarkId::new("hit", occupancy), &occupancy, |b, _| {
+            b.iter(|| black_box(cache.check_reactivation(black_box(&hit), SimTime(1))));
+        });
+        group.bench_with_input(BenchmarkId::new("miss", occupancy), &occupancy, |b, _| {
+            b.iter(|| black_box(cache.check_reactivation(black_box(&miss), SimTime(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("shadow_cache_insert_refresh", |b| {
+        let mut cache = filled(6000);
+        let label = FlowLabel::src_dst(Addr::new(10, 1, 0, 7), Addr::new(10, 1, 0, 1));
+        b.iter(|| {
+            cache.insert(
+                black_box(label),
+                1,
+                SimTime(1),
+                SimDuration::from_secs(60),
+                1,
+            );
+        });
+    });
+}
+
+fn quick_config() -> Criterion {
+    // Short, stable runs: the suite has many benchmarks and CI time is
+    // better spent on breadth than on sub-nanosecond precision.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config(); targets = bench_check, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs the entire experiment suite (E1–E10) in order, printing every
+//! table the paper's evaluation maps to. Pass `--quick` for the reduced
+//! sweep used in CI.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== AITF paper reproduction: full experiment suite ===\n");
+    let _ = aitf_bench::e1_escalation::run(quick);
+    let _ = aitf_bench::e2_effective_bandwidth::run(quick);
+    let _ = aitf_bench::e3_protection_capacity::run(quick);
+    let _ = aitf_bench::e4_victim_gw_resources::run(quick);
+    let _ = aitf_bench::e5_attacker_gw_resources::run(quick);
+    let _ = aitf_bench::e6_handshake_security::run(quick);
+    let _ = aitf_bench::e7_onoff_attacks::run(quick);
+    let _ = aitf_bench::e8_vs_pushback::run(quick);
+    let _ = aitf_bench::e9_ingress_incentive::run(quick);
+    let _ = aitf_bench::e10_scaling::run(quick);
+    let _ = aitf_bench::e11_detection::run(quick);
+}

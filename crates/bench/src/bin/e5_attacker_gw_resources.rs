@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e5_attacker_gw_resources` experiment; see the library module for
+//! the full description and the paper mapping.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e5_attacker_gw_resources::run(quick);
+}

@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e6_handshake_security` experiment; see the library module for
+//! the full description and the paper mapping.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e6_handshake_security::run(quick);
+}

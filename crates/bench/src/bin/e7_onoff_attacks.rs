@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e7_onoff_attacks` experiment; see the library module for
+//! the full description and the paper mapping.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e7_onoff_attacks::run(quick);
+}

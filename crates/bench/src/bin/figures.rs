@@ -1,0 +1,7 @@
+//! Emits the paper-style time series (goodput collapse and recovery,
+//! attack bandwidth, filter occupancy) as gnuplot-ready columns.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    aitf_bench::figures::run(quick);
+}

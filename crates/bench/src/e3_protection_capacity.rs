@@ -1,0 +1,165 @@
+//! E3 — Section IV-A.2: protection capacity `Nv = R1·T`.
+//!
+//! *"If a client is allowed to send R1 filtering requests per time unit to
+//! the provider, then the client is protected against `Nv = R1·T`
+//! simultaneous undesired flows."* (Paper example: R1 = 100/s, T = 1 min →
+//! Nv = 6000.)
+//!
+//! We throw `F` simultaneous zombie flows at one victim and sweep `F`
+//! across the `Nv` boundary. Below `Nv` every flow gets blocked; above it
+//! the victim's own contract bucket (and the gateway's policing) caps how
+//! many requests exist at once, so the excess flows keep leaking.
+
+use aitf_attack::army::{arm_floods, ZombieArmySpec};
+use aitf_attack::scenarios::star;
+use aitf_core::{AitfConfig, Contract, HostPolicy};
+use aitf_netsim::SimDuration;
+
+use crate::harness::{fmt_f, Table};
+
+/// Result of one sweep point.
+#[derive(Debug)]
+pub struct CapacityPoint {
+    /// Offered simultaneous undesired flows.
+    pub flows: usize,
+    /// The contract capacity `Nv = R1·T`.
+    pub nv: f64,
+    /// Requests the victim actually emitted.
+    pub requests_sent: u64,
+    /// Requests the victim withheld (its own bucket empty).
+    pub self_limited: u64,
+    /// Flows blocked at the attacker side by the end of the run.
+    pub blocked_flows: u64,
+    /// Leak ratio over the run.
+    pub leak: f64,
+}
+
+/// Runs one point: `flows` zombies, contract `r1` req/s, horizon `t`.
+pub fn run_one(flows: usize, r1: f64, t: SimDuration, seed: u64) -> CapacityPoint {
+    let cfg = AitfConfig {
+        t_long: t,
+        client_contract: Contract::new(r1, (r1 as u32).max(1)),
+        // The attacker side must not be the bottleneck being measured:
+        // give the zombies' gateways ample request contracts.
+        peer_contract: Contract::new(1000.0, 1000),
+        // Measure the filter economy, not disconnection.
+        grace: t * 100,
+        detection_delay: SimDuration::from_millis(10),
+        ..AitfConfig::default()
+    };
+    let hosts_per_net = 50;
+    let nets = flows.div_ceil(hosts_per_net);
+    let mut s = star(
+        cfg,
+        seed,
+        nets,
+        hosts_per_net,
+        HostPolicy::Malicious,
+        100_000_000,
+    );
+    // Trim to exactly `flows` zombies.
+    let zombies: Vec<_> = s.zombies.iter().copied().take(flows).collect();
+    let target = s.world.host_addr(s.victim);
+    let spec = ZombieArmySpec {
+        pps: 50,
+        size: 200,
+        stagger: SimDuration::ZERO,
+    };
+    arm_floods(&mut s.world, &zombies, target, &spec);
+    s.world.sim.run_for(t);
+
+    let vc = s.world.host(s.victim).counters();
+    let mut blocked = 0u64;
+    for &net in &s.attacker_nets {
+        blocked += s.world.router(net).counters().filters_installed;
+    }
+    let offered: u64 = zombies
+        .iter()
+        .map(|&z| s.world.host(z).counters().tx_bytes)
+        .sum();
+    let leak = if offered == 0 {
+        0.0
+    } else {
+        vc.rx_attack_bytes as f64 / offered as f64
+    };
+    CapacityPoint {
+        flows,
+        nv: r1 * t.as_secs_f64(),
+        requests_sent: vc.requests_sent,
+        self_limited: vc.requests_self_limited,
+        blocked_flows: blocked,
+        leak,
+    }
+}
+
+/// Runs the sweep and prints the table.
+pub fn run(quick: bool) -> Table {
+    // Scaled-down contract so the capacity boundary is reachable in
+    // simulation time: R1 = 10/s, T = 10 s → Nv = 100 flows.
+    let r1 = 10.0;
+    let t = SimDuration::from_secs(10);
+    let nv = 100usize;
+    let fractions: &[f64] = if quick {
+        &[0.5, 1.5]
+    } else {
+        &[0.25, 0.5, 1.0, 1.5, 2.0]
+    };
+    let mut table = Table::new(
+        "E3 (§IV-A.2): protection capacity Nv = R1*T (R1=10/s, T=10s, Nv=100)",
+        &[
+            "flows F",
+            "F/Nv",
+            "requests",
+            "self-limited",
+            "blocked flows",
+            "leak r",
+        ],
+    );
+    for &frac in fractions {
+        let flows = ((nv as f64) * frac) as usize;
+        let p = run_one(flows, r1, t, 31);
+        table.row_owned(vec![
+            p.flows.to_string(),
+            fmt_f(frac),
+            p.requests_sent.to_string(),
+            p.self_limited.to_string(),
+            p.blocked_flows.to_string(),
+            fmt_f(p.leak),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper expectation: below Nv all flows get blocked; above Nv the \
+         request budget saturates near R1*T = {nv} and excess flows leak.\n\
+         paper example at full scale: R1 = 100/s, T = 60 s -> Nv = 6000 flows.\n"
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_capacity_every_flow_is_blocked() {
+        let p = run_one(40, 10.0, SimDuration::from_secs(10), 5);
+        assert_eq!(p.blocked_flows, 40, "{p:?}");
+        assert!(p.leak < 0.2, "{p:?}");
+    }
+
+    #[test]
+    fn above_capacity_requests_saturate() {
+        let p = run_one(150, 10.0, SimDuration::from_secs(10), 6);
+        // The victim cannot have emitted meaningfully more than R1*T + burst.
+        assert!(
+            p.requests_sent as f64 <= p.nv + 10.0 + 1.0,
+            "requests beyond contract: {p:?}"
+        );
+        assert!(
+            p.self_limited > 0,
+            "the bucket must have withheld some: {p:?}"
+        );
+        // Not all flows can be blocked within T.
+        assert!(p.blocked_flows < 150, "{p:?}");
+    }
+}

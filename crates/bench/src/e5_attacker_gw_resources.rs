@@ -1,0 +1,166 @@
+//! E5 — Sections IV-C/D: filtering close to the attacker.
+//!
+//! *"If a service provider is allowed to send R2 filtering requests per
+//! time unit to a client, then the provider needs `na = R2·T` filters in
+//! order to ensure that the client satisfies all the requests"* — and the
+//! *client* needs the same `na` filters to comply (Section IV-D). Paper
+//! example: R2 = 1/s, T = 1 min → na = 60 filters.
+//!
+//! One attacker network hosts many zombies, each flooding a distinct
+//! victim. Victim requests converge on the zombies' gateway through its
+//! provider link, policed at R2. We record the gateway's peak filter
+//! occupancy and the zombies' aggregate self-filter occupancy against
+//! `na = R2·T`.
+
+use aitf_attack::FloodSource;
+use aitf_core::{AitfConfig, Contract, HostPolicy, WorldBuilder};
+use aitf_netsim::SimDuration;
+
+use crate::harness::{fmt_f, Table};
+
+/// One sweep point's result.
+#[derive(Debug)]
+pub struct AttackerSidePoint {
+    /// Provider→client contract rate R2.
+    pub r2: f64,
+    /// Horizon T.
+    pub t: SimDuration,
+    /// Formula `na = R2·T`.
+    pub na_formula: f64,
+    /// Peak filter occupancy at the attacker's gateway.
+    pub na_gateway: usize,
+    /// Peak self-filter occupancy across the (compliant) zombies.
+    pub na_clients: usize,
+    /// Requests dropped by R2 policing at the gateway.
+    pub policed: u64,
+}
+
+/// Runs one `(R2, T)` point with `zombies` concurrent undesired flows.
+pub fn run_one(r2: f64, t: SimDuration, zombies: usize, seed: u64) -> AttackerSidePoint {
+    let cfg = AitfConfig {
+        t_long: t,
+        peer_contract: Contract::new(r2, (r2.ceil() as u32).max(1)),
+        client_contract: Contract::new(1000.0, 1000),
+        detection_delay: SimDuration::from_millis(10),
+        grace: t * 100,
+        ..AitfConfig::default()
+    };
+    let mut b = WorldBuilder::new(seed, cfg);
+    let wan = b.network("wan", "10.100.0.0/16", None);
+    let v_net = b.network("v_net", "10.1.0.0/16", Some(wan));
+    let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
+    let victims: Vec<_> = (0..zombies).map(|_| b.host(v_net)).collect();
+    // Compliant zombies: they stop when asked, exercising §IV-D's client-
+    // side na bound as well.
+    let zs: Vec<_> = (0..zombies)
+        .map(|_| {
+            b.host_with(
+                b_net,
+                HostPolicy::Compliant,
+                WorldBuilder::default_host_link(),
+            )
+        })
+        .collect();
+    let mut w = b.build();
+    for (i, &z) in zs.iter().enumerate() {
+        let target = w.host_addr(victims[i]);
+        w.add_app(z, Box::new(FloodSource::new(target, 50, 200)));
+    }
+    w.sim.run_for(t * 2);
+
+    let gw = w.router(b_net);
+    let na_gateway = gw.filters().stats().peak_occupancy;
+    let policed = gw.counters().requests_policed;
+    let na_clients = zs
+        .iter()
+        .map(|&z| w.host(z).self_filters().stats().peak_occupancy)
+        .sum();
+    AttackerSidePoint {
+        r2,
+        t,
+        na_formula: r2 * t.as_secs_f64(),
+        na_gateway,
+        na_clients,
+        policed,
+    }
+}
+
+/// Runs the sweep and prints the table.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E5 (§IV-C/D): attacker-side filters na = R2*T",
+        &[
+            "R2 /s",
+            "T s",
+            "na formula",
+            "gw peak",
+            "clients peak",
+            "policed",
+        ],
+    );
+    let points: &[(f64, u64, usize)] = if quick {
+        &[(1.0, 10, 30), (2.0, 10, 50)]
+    } else {
+        &[
+            (0.5, 20, 30),
+            (1.0, 10, 30),
+            (1.0, 30, 60),
+            (2.0, 10, 50),
+            (2.0, 30, 120),
+        ]
+    };
+    for &(r2, t, zombies) in points {
+        let p = run_one(r2, SimDuration::from_secs(t), zombies, 23);
+        table.row_owned(vec![
+            fmt_f(p.r2),
+            t.to_string(),
+            fmt_f(p.na_formula),
+            p.na_gateway.to_string(),
+            p.na_clients.to_string(),
+            p.policed.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper expectation: the gateway never holds more than ~R2*T filters \
+         no matter how many flows are offered (the excess is policed); the \
+         compliant clients collectively hold the same bound. Paper example: \
+         R2 = 1/s, T = 60 s -> na = 60.\n"
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_filters_bounded_by_r2_t() {
+        // 30 offered flows, but R2·T = 10: the gateway must stay near 10.
+        let p = run_one(1.0, SimDuration::from_secs(10), 30, 2);
+        assert!(
+            (p.na_gateway as f64) <= p.na_formula + p.r2.ceil() + 2.0,
+            "gateway exceeded na: {p:?}"
+        );
+        assert!(p.policed > 0, "excess requests must be policed: {p:?}");
+    }
+
+    #[test]
+    fn clients_hold_at_most_the_same_bound() {
+        let p = run_one(1.0, SimDuration::from_secs(10), 30, 3);
+        assert!(
+            (p.na_clients as f64) <= p.na_formula + p.r2.ceil() + 2.0,
+            "clients exceeded na: {p:?}"
+        );
+    }
+
+    #[test]
+    fn higher_r2_admits_more_filters() {
+        let lo = run_one(1.0, SimDuration::from_secs(10), 50, 4);
+        let hi = run_one(4.0, SimDuration::from_secs(10), 50, 4);
+        assert!(
+            hi.na_gateway > lo.na_gateway,
+            "R2 should scale filter admission: {lo:?} vs {hi:?}"
+        );
+    }
+}

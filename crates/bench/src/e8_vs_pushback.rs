@@ -1,0 +1,323 @@
+//! E8 — Section V: AITF vs hop-by-hop pushback (\[MBF+01\]).
+//!
+//! The paper's two contrasts:
+//!
+//! 1. *Involvement*: "the propagation of an AITF filtering request
+//!    involves only 4 nodes ... a pushback request is propagated hop by
+//!    hop" — we count the routers that end up processing requests and
+//!    holding filters as the path deepens.
+//! 2. *Teeth*: "a pushback request ... relies on good will. In contrast,
+//!    AITF forces the attacker ... or else risk disconnection" — we insert
+//!    one rogue hop and watch pushback stall while AITF escalates around
+//!    it and disconnects.
+
+use aitf_baseline::{build_pushback_world, PushbackRouter};
+use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy, WorldBuilder};
+use aitf_netsim::SimDuration;
+
+use crate::harness::{fmt_f, Table};
+
+/// Result of one (protocol, depth) run.
+#[derive(Debug)]
+pub struct ComparisonPoint {
+    /// Chain depth per side.
+    pub depth: usize,
+    /// Routers that processed a request or pushback message.
+    pub nodes_involved: usize,
+    /// Routers holding at least one filter at the end.
+    pub routers_with_filters: usize,
+    /// Victim leak ratio.
+    pub leak: f64,
+}
+
+fn build_chains(
+    depth: usize,
+    rogue_b_level: Option<usize>,
+    seed: u64,
+) -> (
+    WorldBuilder,
+    Vec<NetId>,
+    Vec<NetId>,
+    aitf_core::HostId,
+    aitf_core::HostId,
+) {
+    let cfg = AitfConfig {
+        t_long: SimDuration::from_secs(30),
+        ..AitfConfig::default()
+    };
+    let mut b = WorldBuilder::new(seed, cfg);
+    let mut g_chain = Vec::new();
+    let mut b_chain = Vec::new();
+    for side in 0..2usize {
+        let mut parent = None;
+        let chain = if side == 0 {
+            &mut g_chain
+        } else {
+            &mut b_chain
+        };
+        for level in (0..depth).rev() {
+            let prefix = format!("10.{}.0.0/16", 1 + side * 100 + level);
+            let id = b.network(&format!("{side}-{level}"), &prefix, parent);
+            parent = Some(id);
+            chain.push(id);
+        }
+        chain.reverse();
+    }
+    b.peer(
+        g_chain[depth - 1],
+        b_chain[depth - 1],
+        WorldBuilder::default_net_link(),
+    );
+    if let Some(level) = rogue_b_level {
+        b.set_router_policy(b_chain[level], RouterPolicy::non_cooperating());
+    }
+    let v = b.host(g_chain[0]);
+    let a = b.host_with(
+        b_chain[0],
+        HostPolicy::Malicious,
+        WorldBuilder::default_host_link(),
+    );
+    (b, g_chain, b_chain, v, a)
+}
+
+/// Runs AITF on a depth-`depth` chain (all routers cooperative).
+pub fn run_aitf(depth: usize, seed: u64) -> ComparisonPoint {
+    let (b, g_chain, b_chain, v, a) = build_chains(depth, None, seed);
+    let mut w = b.build();
+    let target = w.host_addr(v);
+    w.add_app(
+        a,
+        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
+    );
+    w.sim.run_for(SimDuration::from_secs(10));
+    let mut nodes_involved = 0;
+    let mut with_filters = 0;
+    for &net in g_chain.iter().chain(b_chain.iter()) {
+        let c = w.router(net).counters();
+        if c.requests_received > 0 {
+            nodes_involved += 1;
+        }
+        if w.router(net).filters().stats().installs > 0 {
+            with_filters += 1;
+        }
+    }
+    let offered = w.host(a).counters().tx_bytes;
+    let leak = if offered == 0 {
+        0.0
+    } else {
+        w.host(v).counters().rx_attack_bytes as f64 / offered as f64
+    };
+    ComparisonPoint {
+        depth,
+        nodes_involved,
+        routers_with_filters: with_filters,
+        leak,
+    }
+}
+
+/// Runs pushback on the same chain.
+pub fn run_pushback(depth: usize, seed: u64) -> ComparisonPoint {
+    let (b, g_chain, b_chain, v, a) = build_chains(depth, None, seed);
+    let mut w = build_pushback_world(b);
+    let target = w.host_addr(v);
+    w.add_app(
+        a,
+        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
+    );
+    w.sim.run_for(SimDuration::from_secs(10));
+    let mut nodes_involved = 0;
+    let mut with_filters = 0;
+    for &net in g_chain.iter().chain(b_chain.iter()) {
+        let r = w
+            .sim
+            .node_ref::<PushbackRouter>(w.router_node(net))
+            .expect("pushback router");
+        let c = r.counters();
+        if c.requests_received > 0 || c.pushback_received > 0 {
+            nodes_involved += 1;
+        }
+        if r.filters().stats().installs > 0 {
+            with_filters += 1;
+        }
+    }
+    let offered = w.host(a).counters().tx_bytes;
+    let leak = if offered == 0 {
+        0.0
+    } else {
+        w.host(v).counters().rx_attack_bytes as f64 / offered as f64
+    };
+    ComparisonPoint {
+        depth,
+        nodes_involved,
+        routers_with_filters: with_filters,
+        leak,
+    }
+}
+
+/// The rogue-hop outcome for both protocols.
+#[derive(Debug)]
+pub struct RogueOutcome {
+    /// True if the protocol found a lever against the rogue's side: AITF
+    /// disconnects the rogue client; pushback would need the rogue's own
+    /// edge filter (which never appears).
+    pub source_cut: bool,
+    /// Packets that still crossed the rogue's uplink wire during the last
+    /// 5 seconds of the run — the bandwidth the rogue's side keeps burning.
+    pub uplink_carried_late: u64,
+}
+
+fn uplink_sent(w: &aitf_core::World, net: NetId) -> u64 {
+    let link = w.uplink(net).expect("edge network has an uplink");
+    let (a, b) = w.sim.link_endpoints(link);
+    let parent = if a == w.router_node(net) { b } else { a };
+    w.sim.link_stats_towards(link, parent).sent_pkts
+}
+
+/// AITF with the *attacker's gateway itself* rogue: round 2 reaches its
+/// provider, which filters AND disconnects the rogue client after the
+/// grace period — nothing crosses the rogue's uplink any more.
+pub fn rogue_aitf(seed: u64) -> RogueOutcome {
+    let (b, _g, b_chain, v, a) = build_chains(3, Some(0), seed);
+    let mut w = b.build();
+    let target = w.host_addr(v);
+    w.add_app(
+        a,
+        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
+    );
+    w.sim.run_for(SimDuration::from_secs(10));
+    let before = uplink_sent(&w, b_chain[0]);
+    w.sim.run_for(SimDuration::from_secs(5));
+    let after = uplink_sent(&w, b_chain[0]);
+    let disconnected = w
+        .sim
+        .node_ref::<aitf_core::BorderRouter>(w.router_node(b_chain[1]))
+        .expect("router")
+        .counters()
+        .disconnects_client
+        > 0;
+    RogueOutcome {
+        source_cut: disconnected,
+        uplink_carried_late: after - before,
+    }
+}
+
+/// Pushback with the same rogue: the chain stalls one hop above; the
+/// rogue's uplink keeps carrying the full flood forever.
+pub fn rogue_pushback(seed: u64) -> RogueOutcome {
+    let (b, _g, b_chain, v, a) = build_chains(3, Some(0), seed);
+    let mut w = build_pushback_world(b);
+    let target = w.host_addr(v);
+    w.add_app(
+        a,
+        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
+    );
+    w.sim.run_for(SimDuration::from_secs(10));
+    let edge_filtered = w
+        .sim
+        .node_ref::<PushbackRouter>(w.router_node(b_chain[0]))
+        .expect("router")
+        .counters()
+        .filters_installed
+        > 0;
+    let before = uplink_sent(&w, b_chain[0]);
+    w.sim.run_for(SimDuration::from_secs(5));
+    let after = uplink_sent(&w, b_chain[0]);
+    RogueOutcome {
+        source_cut: edge_filtered,
+        uplink_carried_late: after - before,
+    }
+}
+
+/// Runs the comparison and prints both tables.
+pub fn run(quick: bool) -> Table {
+    let depths: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5, 6] };
+    let mut table = Table::new(
+        "E8 (§V): AITF vs pushback — involvement grows with path depth only for pushback",
+        &[
+            "depth/side",
+            "AITF nodes",
+            "AITF filters",
+            "PB nodes",
+            "PB filters",
+            "AITF leak",
+            "PB leak",
+        ],
+    );
+    for &d in depths {
+        let aitf = run_aitf(d, 51);
+        let pb = run_pushback(d, 51);
+        table.row_owned(vec![
+            d.to_string(),
+            aitf.nodes_involved.to_string(),
+            aitf.routers_with_filters.to_string(),
+            pb.nodes_involved.to_string(),
+            pb.routers_with_filters.to_string(),
+            fmt_f(aitf.leak),
+            fmt_f(pb.leak),
+        ]);
+    }
+    table.print();
+
+    let ra = rogue_aitf(52);
+    let rp = rogue_pushback(52);
+    let mut rogue = Table::new(
+        "E8b (§V): one rogue hop — disconnection vs good will",
+        &["protocol", "source cut?", "rogue uplink pkts (last 5 s)"],
+    );
+    rogue.row_owned(vec![
+        "AITF".to_string(),
+        ra.source_cut.to_string(),
+        ra.uplink_carried_late.to_string(),
+    ]);
+    rogue.row_owned(vec![
+        "pushback".to_string(),
+        rp.source_cut.to_string(),
+        rp.uplink_carried_late.to_string(),
+    ]);
+    rogue.print();
+    println!(
+        "paper expectation: AITF involves a constant number of nodes (the \
+         round's 2 gateways) regardless of depth; pushback involves every \
+         router on the path. With a rogue hop, AITF's disconnection still \
+         cuts the source; pushback silently stalls and the flood keeps \
+         burning upstream bandwidth.\n"
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aitf_involvement_is_constant_pushback_grows() {
+        let a3 = run_aitf(3, 1);
+        let a5 = run_aitf(5, 1);
+        let p3 = run_pushback(3, 1);
+        let p5 = run_pushback(5, 1);
+        assert_eq!(a3.nodes_involved, a5.nodes_involved, "{a3:?} vs {a5:?}");
+        assert!(p5.nodes_involved > p3.nodes_involved, "{p3:?} vs {p5:?}");
+        assert!(
+            p5.routers_with_filters >= 2 * a5.routers_with_filters,
+            "{p5:?} vs {a5:?}"
+        );
+    }
+
+    #[test]
+    fn both_protect_the_victim_in_the_cooperative_case() {
+        let a = run_aitf(3, 2);
+        let p = run_pushback(3, 2);
+        assert!(a.leak < 0.1, "{a:?}");
+        assert!(p.leak < 0.1, "{p:?}");
+    }
+
+    #[test]
+    fn rogue_hop_distinguishes_the_protocols() {
+        let ra = rogue_aitf(3);
+        let rp = rogue_pushback(3);
+        assert!(ra.source_cut, "{ra:?}");
+        assert_eq!(ra.uplink_carried_late, 0, "{ra:?}");
+        assert!(!rp.source_cut, "{rp:?}");
+        assert!(rp.uplink_carried_late > 2000, "{rp:?}");
+    }
+}

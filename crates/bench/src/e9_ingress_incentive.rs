@@ -1,0 +1,150 @@
+//! E9 — Section III-A: the ingress-filtering incentive.
+//!
+//! *"If a provider pro-actively prevents spoofed flows from exiting its
+//! network, it lowers the probability of an attack being launched from its
+//! own network, thus reducing the number of expected filtering requests it
+//! will later have to satisfy."*
+//!
+//! A zombie spoofs sources from outside its network's prefix. With ingress
+//! filtering at its gateway the flood dies at the first hop; without it,
+//! the spoofed flows reach the victim, generate filtering requests, and
+//! come back as work (filters, handshakes, notices) for that same
+//! provider.
+
+use aitf_attack::SpoofingFlood;
+use aitf_core::{AitfConfig, Contract, HostPolicy, RouterPolicy, WorldBuilder};
+use aitf_netsim::SimDuration;
+
+use crate::harness::{fmt_f, Table};
+
+/// Outcome of one mode.
+#[derive(Debug)]
+pub struct IngressOutcome {
+    /// Mode label.
+    pub mode: &'static str,
+    /// Spoofed packets dropped at the zombie's gateway.
+    pub spoofed_dropped: u64,
+    /// Attack packets that reached the victim.
+    pub victim_attack_pkts: u64,
+    /// Filtering requests the zombie's provider had to process.
+    pub provider_requests: u64,
+    /// Filters the zombie's provider had to install.
+    pub provider_filters: u64,
+}
+
+/// Runs one mode.
+pub fn run_one(ingress_filtering: bool, seed: u64) -> IngressOutcome {
+    let cfg = AitfConfig {
+        peer_contract: Contract::new(100.0, 100),
+        detection_delay: SimDuration::from_millis(10),
+        grace: SimDuration::from_secs(3600),
+        ..AitfConfig::default()
+    };
+    let mut b = WorldBuilder::new(seed, cfg);
+    let wan = b.network("wan", "10.100.0.0/16", None);
+    let v_net = b.network("v_net", "10.1.0.0/16", Some(wan));
+    let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
+    // Ingress filtering is a deployment decision: when it is off, it is
+    // off for the zombie's whole provider chain (otherwise the provider
+    // one level up catches the spoofs instead).
+    for net in [wan, v_net, b_net] {
+        b.set_router_policy(
+            net,
+            RouterPolicy {
+                ingress_filtering,
+                ..RouterPolicy::default()
+            },
+        );
+    }
+    let victim = b.host(v_net);
+    let zombie = b.host_with(
+        b_net,
+        HostPolicy::Malicious,
+        WorldBuilder::default_host_link(),
+    );
+    let mut w = b.build();
+    let target = w.host_addr(victim);
+    // Spoof pool OUTSIDE b_net's prefix — exactly what ingress filtering
+    // is meant to stop.
+    let pool: aitf_packet::Prefix = "172.16.0.0/24".parse().expect("valid prefix");
+    w.add_app(
+        zombie,
+        Box::new(SpoofingFlood::new(target, 200, 200, pool, 64)),
+    );
+    w.sim.run_for(SimDuration::from_secs(10));
+
+    let gw = w.router(aitf_core::NetId(2)).counters();
+    IngressOutcome {
+        mode: if ingress_filtering {
+            "ingress filtering ON"
+        } else {
+            "ingress filtering OFF"
+        },
+        spoofed_dropped: gw.spoofed_dropped,
+        victim_attack_pkts: w.host(victim).counters().rx_attack_pkts,
+        provider_requests: gw.requests_received,
+        provider_filters: gw.filters_installed,
+    }
+}
+
+/// Runs both modes and prints the table.
+pub fn run(_quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9 (§III-A): ingress filtering pays for itself",
+        &[
+            "mode",
+            "spoofs dropped",
+            "victim attack pkts",
+            "provider requests",
+            "provider filters",
+        ],
+    );
+    let mut ratio = (0u64, 0u64);
+    for ingress in [true, false] {
+        let o = run_one(ingress, 61);
+        if ingress {
+            ratio.0 = o.provider_requests;
+        } else {
+            ratio.1 = o.provider_requests;
+        }
+        table.row_owned(vec![
+            o.mode.to_string(),
+            o.spoofed_dropped.to_string(),
+            o.victim_attack_pkts.to_string(),
+            o.provider_requests.to_string(),
+            o.provider_filters.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper expectation: with ingress filtering the provider drops the \
+         spoofs at its own edge and later processes ~{} requests; without \
+         it, the same provider ends up servicing {} filtering requests for \
+         flows it let out — the §III-A economic incentive.\n",
+        fmt_f(ratio.0 as f64),
+        fmt_f(ratio.1 as f64),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingress_on_stops_spoofs_at_the_edge() {
+        let o = run_one(true, 2);
+        assert!(o.spoofed_dropped > 1000, "{o:?}");
+        assert_eq!(o.victim_attack_pkts, 0, "{o:?}");
+        assert_eq!(o.provider_requests, 0, "{o:?}");
+    }
+
+    #[test]
+    fn ingress_off_turns_into_filtering_work() {
+        let o = run_one(false, 2);
+        assert_eq!(o.spoofed_dropped, 0, "{o:?}");
+        assert!(o.victim_attack_pkts > 0, "{o:?}");
+        assert!(o.provider_requests > 10, "{o:?}");
+        assert!(o.provider_filters > 10, "{o:?}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Table formatting and measurement helpers shared by all experiments.
+
+use aitf_core::{HostId, World};
+use aitf_netsim::SimDuration;
+
+/// A printable results table with aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_bench::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1", "2.0"]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column) for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float compactly (6 significant-ish digits, no noise).
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Runs `world` in fixed-size bins and samples `probe` after each bin,
+/// returning `(seconds, value)` points — how the harness generates the
+/// paper-style time-series figures.
+pub fn sample_bins(
+    world: &mut World,
+    total: SimDuration,
+    bin: SimDuration,
+    mut probe: impl FnMut(&World) -> f64,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut elapsed = SimDuration::ZERO;
+    while elapsed < total {
+        world.sim.run_for(bin);
+        elapsed = elapsed + bin;
+        out.push((world.sim.now().as_secs_f64(), probe(world)));
+    }
+    out
+}
+
+/// Prints a series in a gnuplot-friendly two-column layout.
+pub fn print_series(name: &str, points: &[(f64, f64)]) {
+    println!("# series: {name}");
+    for (x, y) in points {
+        println!("{x:.3} {y:.6}");
+    }
+    println!();
+}
+
+/// The victim's attack-leak ratio so far: attack bytes *received* over
+/// attack bytes *offered* by the given attacker hosts — the measured
+/// counterpart of the paper's effective-bandwidth reduction factor `r`.
+pub fn leak_ratio(world: &World, victim: HostId, attackers: &[HostId]) -> f64 {
+    let offered: u64 = attackers
+        .iter()
+        .map(|&a| world.host(a).counters().tx_bytes)
+        .sum();
+    if offered == 0 {
+        return 0.0;
+    }
+    world.host(victim).counters().rx_attack_bytes as f64 / offered as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t", &["aa", "b"]);
+        t.row(&["1", "22222"]);
+        t.row(&["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("## t"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, 1), "22222");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn fmt_f_ranges() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.00083), "0.00083");
+        assert_eq!(fmt_f(1.5), "1.50");
+        assert_eq!(fmt_f(1234.0), "1234");
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment harness: regenerates every table and figure of the AITF
+//! paper's evaluation (Section IV plus the Figure 1 / Section II-D
+//! scenario and the Section V pushback comparison).
+//!
+//! Each experiment is a library module with a `run(quick)` entry point and
+//! a thin binary wrapper in `src/bin/`. `quick = true` shrinks durations
+//! and sweeps so the whole suite doubles as an integration test; the
+//! binaries run the full-size versions. Every experiment prints
+//! *paper-expected* and *measured* values side by side; EXPERIMENTS.md
+//! records the outcomes.
+//!
+//! | experiment | paper source | claim |
+//! |------------|--------------|-------|
+//! | [`e1_escalation`] | Fig. 1, §II-D | rounds push filtering to the attacker's side, then disconnect |
+//! | [`e2_effective_bandwidth`] | §IV-A.1 | `r ≈ n(Td+Tr)/T` |
+//! | [`e3_protection_capacity`] | §IV-A.2 | `Nv = R1·T` |
+//! | [`e4_victim_gw_resources`] | §IV-B | `nv = R1·Ttmp`, `mv = R1·T` |
+//! | [`e5_attacker_gw_resources`] | §IV-C/D | `na = R2·T` |
+//! | [`e6_handshake_security`] | §II-E, §III-B | forgery fails off-path, succeeds only on-path |
+//! | [`e7_onoff_attacks`] | §II-B fn.2 | the shadow cache defeats on-off games |
+//! | [`e8_vs_pushback`] | §V | 4 nodes/round vs hop-by-hop; disconnection vs good will |
+//! | [`e9_ingress_incentive`] | §III-A | ingress filtering pays for itself |
+//! | [`e10_scaling`] | §III-C | per-provider load follows its own clients |
+//! | [`e11_detection`] | §V (detection boundary) | a real rate detector reproduces the assumed `Td` |
+
+pub mod e10_scaling;
+pub mod e11_detection;
+pub mod e1_escalation;
+pub mod e2_effective_bandwidth;
+pub mod e3_protection_capacity;
+pub mod e4_victim_gw_resources;
+pub mod e5_attacker_gw_resources;
+pub mod e6_handshake_security;
+pub mod e7_onoff_attacks;
+pub mod e8_vs_pushback;
+pub mod e9_ingress_incentive;
+pub mod figures;
+pub mod harness;
+
+pub use harness::Table;

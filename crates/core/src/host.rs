@@ -1,0 +1,596 @@
+//! The AITF end host.
+//!
+//! An [`EndHost`] is a victim, an attacker, a legitimate client, or any mix
+//! of the three. It carries:
+//!
+//! - pluggable **traffic applications** ([`TrafficApp`]) — flood sources,
+//!   on-off attackers, legitimate request generators (implemented in the
+//!   `aitf-attack` crate);
+//! - the **victim agent**: attack detection (oracle with delay `Td`; fast
+//!   re-detection of logged flows per footnote 8), filtering-request
+//!   origination, the request log used to answer verification queries, and
+//!   a traceback collector fed by every received packet;
+//! - the **attacker agent**: compliance with `dest=Attacker` notices. A
+//!   [`HostPolicy::Compliant`] host installs a self-filter and stops
+//!   sending matching traffic ("a legitimate AITF node must be provisioned
+//!   to stop sending undesired flows when requested", Section IV-D); a
+//!   [`HostPolicy::Malicious`] host ignores notices and risks
+//!   disconnection.
+
+use std::collections::HashMap;
+
+use aitf_filter::{FilterTable, TokenBucket};
+use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimDuration, SimTime};
+use aitf_packet::{
+    Addr, AitfMessage, FilteringRequest, FlowLabel, Header, Packet, Protocol, RequestDestination,
+    TrafficClass, VerificationReply,
+};
+use aitf_traceback::{RouteRecordTraceback, SamplingTraceback, Traceback};
+
+use crate::config::{AitfConfig, HostPolicy, TracebackMode};
+use crate::detector::{DetectionMode, RateDetector};
+
+/// Host-side statistics, read by the experiment harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostCounters {
+    /// Attack-class data packets received.
+    pub rx_attack_pkts: u64,
+    /// Attack-class bytes received (the victim's *effective bandwidth* of
+    /// undesired flows — the paper's `Be`).
+    pub rx_attack_bytes: u64,
+    /// Legitimate data packets received.
+    pub rx_legit_pkts: u64,
+    /// Legitimate bytes received (goodput numerator).
+    pub rx_legit_bytes: u64,
+    /// Data packets sent by applications.
+    pub tx_pkts: u64,
+    /// Bytes sent by applications.
+    pub tx_bytes: u64,
+    /// Sends suppressed by a self-filter (compliance).
+    pub tx_suppressed: u64,
+    /// Filtering requests sent to the gateway.
+    pub requests_sent: u64,
+    /// Requests withheld by the host's own contract bucket.
+    pub requests_self_limited: u64,
+    /// Verification queries answered.
+    pub verification_queries: u64,
+    /// Queries confirmed (we really did request the block).
+    pub verification_confirmed: u64,
+    /// Queries denied (someone forged a request in our name).
+    pub verification_denied: u64,
+    /// `dest=Attacker` notices received.
+    pub notices_received: u64,
+    /// Flows stopped in compliance with a notice.
+    pub flows_stopped: u64,
+    /// Undesired flows detected (detection events, not packets).
+    pub detections: u64,
+}
+
+/// The send-side API a [`TrafficApp`] drives the host through.
+pub struct HostApi<'a, 'b> {
+    ctx: &'a mut Context<'b>,
+    addr: Addr,
+    gateway: Addr,
+    uplink: LinkId,
+    app_index: usize,
+    suppress: bool,
+    self_filters: &'a mut FilterTable,
+    counters: &'a mut HostCounters,
+}
+
+impl HostApi<'_, '_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// This host's address.
+    pub fn my_addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// This host's gateway address.
+    pub fn gateway(&self) -> Addr {
+        self.gateway
+    }
+
+    /// Deterministic RNG.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.ctx.rng()
+    }
+
+    /// Arms a one-shot timer delivered back to this app's
+    /// [`TrafficApp::on_timer`] with `app_token`.
+    pub fn set_timer(&mut self, delay: SimDuration, app_token: u32) {
+        let token = ((self.app_index as u64 + 1) << 32) | app_token as u64;
+        self.ctx.set_timer(delay, token);
+    }
+
+    /// Sends a data packet. Returns `false` if a self-filter suppressed it
+    /// (the host was asked to stop this flow and is compliant) or the link
+    /// dropped it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_data(
+        &mut self,
+        src: Addr,
+        dst: Addr,
+        proto: Protocol,
+        src_port: u16,
+        dst_port: u16,
+        class: TrafficClass,
+        size_bytes: u32,
+    ) -> bool {
+        let header = Header {
+            src,
+            dst,
+            proto,
+            src_port,
+            dst_port,
+            ttl: Header::DEFAULT_TTL,
+        };
+        if self.suppress && self.self_filters.matches(&header, self.ctx.now()) {
+            self.counters.tx_suppressed += 1;
+            return false;
+        }
+        let id = self.ctx.next_packet_id();
+        self.counters.tx_pkts += 1;
+        self.counters.tx_bytes += size_bytes.max(40) as u64;
+        self.ctx
+            .send(self.uplink, Packet::data(id, header, class, size_bytes))
+    }
+
+    /// Sends an arbitrary pre-built packet out of the uplink. Adversarial
+    /// apps use this to forge control messages; the packet id is replaced
+    /// with a fresh one.
+    pub fn send_raw(&mut self, mut packet: Packet) -> bool {
+        packet.id = self.ctx.next_packet_id();
+        self.ctx.send(self.uplink, packet)
+    }
+
+    /// Sends a data packet sourced from this host's own address.
+    pub fn send_from_self(
+        &mut self,
+        dst: Addr,
+        proto: Protocol,
+        dst_port: u16,
+        class: TrafficClass,
+        size_bytes: u32,
+    ) -> bool {
+        self.send_data(self.addr, dst, proto, 0, dst_port, class, size_bytes)
+    }
+}
+
+/// A traffic generator or responder running on an [`EndHost`].
+///
+/// Implementations live in the `aitf-attack` crate (floods, on-off
+/// attackers, legitimate clients and echo servers).
+pub trait TrafficApp: 'static {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>);
+
+    /// A timer armed through [`HostApi::set_timer`] fired.
+    fn on_timer(&mut self, _token: u32, _api: &mut HostApi<'_, '_>) {}
+
+    /// A data packet was delivered to this host.
+    fn on_packet(&mut self, _packet: &Packet, _api: &mut HostApi<'_, '_>) {}
+}
+
+enum TracebackBox {
+    RouteRecord(RouteRecordTraceback),
+    Sampling(SamplingTraceback),
+}
+
+impl TracebackBox {
+    fn as_traceback(&mut self) -> &mut dyn Traceback {
+        match self {
+            TracebackBox::RouteRecord(t) => t,
+            TracebackBox::Sampling(t) => t,
+        }
+    }
+
+    fn attack_path(&self, flow: &FlowLabel) -> Option<Vec<Addr>> {
+        match self {
+            TracebackBox::RouteRecord(t) => t.attack_path(flow),
+            TracebackBox::Sampling(t) => t.attack_path(flow),
+        }
+    }
+}
+
+/// Host timer meanings (tokens below the app namespace).
+enum HostTimer {
+    Detect { flow: FlowLabel },
+}
+
+/// An AITF end host node.
+pub struct EndHost {
+    addr: Addr,
+    gateway: Addr,
+    uplink: LinkId,
+    cfg: AitfConfig,
+    policy: HostPolicy,
+    apps: Vec<Option<Box<dyn TrafficApp>>>,
+    /// Flows whose detection timer is pending.
+    detecting: HashMap<FlowLabel, ()>,
+    /// Flows this host has requested blocked, with the `T` expiry.
+    request_log: HashMap<FlowLabel, SimTime>,
+    /// Damping: last time a request was sent per flow.
+    last_request: HashMap<FlowLabel, SimTime>,
+    /// Self-policing of the client contract (R1).
+    request_bucket: TokenBucket,
+    /// The rate-threshold detector, when configured.
+    rate_detector: Option<RateDetector>,
+    traceback: TracebackBox,
+    /// Self-filters: flows this host agreed to stop sending (sized
+    /// `na = R2·T`, Section IV-D).
+    self_filters: FilterTable,
+    token_map: HashMap<u64, HostTimer>,
+    next_token: u64,
+    counters: HostCounters,
+    timeline: Vec<(SimTime, String)>,
+}
+
+impl EndHost {
+    /// Builds a host attached to `gateway` through `uplink`.
+    pub fn new(
+        addr: Addr,
+        gateway: Addr,
+        uplink: LinkId,
+        cfg: AitfConfig,
+        policy: HostPolicy,
+    ) -> Self {
+        let traceback = match cfg.traceback {
+            TracebackMode::RouteRecord => {
+                TracebackBox::RouteRecord(RouteRecordTraceback::new(4096))
+            }
+            TracebackMode::Sampling { min_samples, .. } => {
+                TracebackBox::Sampling(SamplingTraceback::new(4096, min_samples))
+            }
+        };
+        let na = (cfg.peer_contract.rate * cfg.t_long.as_secs_f64())
+            .ceil()
+            .max(1.0) as usize;
+        let rate_detector = match cfg.detection {
+            DetectionMode::Oracle => None,
+            DetectionMode::RateThreshold {
+                bytes_per_sec,
+                window,
+            } => Some(RateDetector::new(bytes_per_sec, window, 4096)),
+        };
+        EndHost {
+            addr,
+            gateway,
+            uplink,
+            request_bucket: TokenBucket::new(cfg.client_contract.rate, cfg.client_contract.burst),
+            rate_detector,
+            self_filters: FilterTable::new(na),
+            cfg,
+            policy,
+            apps: Vec::new(),
+            detecting: HashMap::new(),
+            request_log: HashMap::new(),
+            last_request: HashMap::new(),
+            traceback,
+            token_map: HashMap::new(),
+            next_token: 0,
+            counters: HostCounters::default(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// This host's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> HostCounters {
+        self.counters
+    }
+
+    /// The self-filter table (compliance state).
+    pub fn self_filters(&self) -> &FilterTable {
+        &self.self_filters
+    }
+
+    /// Live request-log size.
+    pub fn request_log_len(&self) -> usize {
+        self.request_log.len()
+    }
+
+    /// The recorded timeline (empty unless `config.trace`).
+    pub fn timeline(&self) -> &[(SimTime, String)] {
+        &self.timeline
+    }
+
+    /// Installs a traffic application. Must be called before the simulation
+    /// starts.
+    pub fn add_app(&mut self, app: Box<dyn TrafficApp>) {
+        self.apps.push(Some(app));
+    }
+
+    /// Changes the host's compliance policy (experiments flip this).
+    pub fn set_policy(&mut self, policy: HostPolicy) {
+        self.policy = policy;
+    }
+
+    fn trace(&mut self, now: SimTime, msg: impl FnOnce() -> String) {
+        if self.cfg.trace {
+            self.timeline.push((now, msg()));
+        }
+    }
+
+    fn with_api<R>(
+        &mut self,
+        app_index: usize,
+        ctx: &mut Context<'_>,
+        f: impl FnOnce(&mut dyn TrafficApp, &mut HostApi<'_, '_>) -> R,
+    ) -> Option<R> {
+        let mut app = self.apps[app_index].take()?;
+        let mut api = HostApi {
+            ctx,
+            addr: self.addr,
+            gateway: self.gateway,
+            uplink: self.uplink,
+            app_index,
+            suppress: self.policy == HostPolicy::Compliant,
+            self_filters: &mut self.self_filters,
+            counters: &mut self.counters,
+        };
+        let r = f(app.as_mut(), &mut api);
+        self.apps[app_index] = Some(app);
+        Some(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Victim agent.
+    // ------------------------------------------------------------------
+
+    fn on_attack_packet(&mut self, packet: &Packet, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let flow = FlowLabel::src_dst(packet.header.src, self.addr);
+        self.purge_request_log(now);
+
+        if let Some(&expiry) = self.request_log.get(&flow) {
+            if expiry > now {
+                // A flow we already asked to have blocked is leaking. With
+                // fast re-detection (footnote 8) the request goes out
+                // immediately; without it, re-detection costs a fresh `Td`
+                // like any new flow — the conservative model behind the
+                // paper's `r ≈ n(Td+Tr)/T`.
+                let cooldown = self.cfg.t_tmp / 2;
+                let recently = self
+                    .last_request
+                    .get(&flow)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                if now.saturating_since(recently) < cooldown {
+                    return;
+                }
+                if self.cfg.fast_redetect {
+                    self.send_filtering_request(flow, ctx);
+                } else if !self.detecting.contains_key(&flow) {
+                    self.detecting.insert(flow, ());
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.token_map.insert(token, HostTimer::Detect { flow });
+                    ctx.set_timer(self.cfg.detection_delay, token);
+                }
+                return;
+            }
+        }
+        if self.detecting.contains_key(&flow) {
+            return;
+        }
+        // New undesired flow: the oracle detector fires after Td.
+        self.detecting.insert(flow, ());
+        let token = self.next_token;
+        self.next_token += 1;
+        self.token_map.insert(token, HostTimer::Detect { flow });
+        ctx.set_timer(self.cfg.detection_delay, token);
+    }
+
+    fn on_detect(&mut self, flow: FlowLabel, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        // Under sampling traceback the attack path may not have converged
+        // yet; a request without a path cannot be propagated, so wait.
+        // This is exactly the identification latency the sampling ablation
+        // is meant to expose.
+        if matches!(self.cfg.traceback, TracebackMode::Sampling { .. })
+            && self.traceback.attack_path(&flow).is_none()
+        {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.token_map.insert(token, HostTimer::Detect { flow });
+            ctx.set_timer(SimDuration::from_millis(20), token);
+            return;
+        }
+        self.detecting.remove(&flow);
+        self.counters.detections += 1;
+        self.trace(now, || format!("detected undesired flow {flow}"));
+        self.send_filtering_request(flow, ctx);
+    }
+
+    /// The rate detector flagged `src`: request a block immediately
+    /// (detection latency already elapsed inside the estimator).
+    fn on_rate_trip(&mut self, src: aitf_packet::Addr, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let flow = FlowLabel::src_dst(src, self.addr);
+        self.purge_request_log(now);
+        if let Some(&expiry) = self.request_log.get(&flow) {
+            if expiry > now {
+                // Already requested; damp re-requests like the oracle path.
+                let cooldown = self.cfg.t_tmp / 2;
+                let recently = self
+                    .last_request
+                    .get(&flow)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                if self.cfg.fast_redetect && now.saturating_since(recently) >= cooldown {
+                    self.send_filtering_request(flow, ctx);
+                }
+                return;
+            }
+        }
+        self.counters.detections += 1;
+        self.trace(now, || format!("rate detector flagged {flow}"));
+        if let Some(d) = &mut self.rate_detector {
+            d.forget(src);
+        }
+        self.send_filtering_request(flow, ctx);
+    }
+
+    fn send_filtering_request(&mut self, flow: FlowLabel, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        // Self-police the contract: the gateway would drop the excess
+        // anyway (Section II-B), so do not waste the wire.
+        if !self.request_bucket.try_acquire(now) {
+            self.counters.requests_self_limited += 1;
+            return;
+        }
+        let path = self.traceback.attack_path(&flow).unwrap_or_default();
+        let id = ctx.next_packet_id();
+        let req = FilteringRequest {
+            id,
+            flow,
+            dest: RequestDestination::VictimGateway,
+            duration_ns: self.cfg.t_long.as_nanos(),
+            path: aitf_packet::RouteRecord::from_hops(path.iter().copied()),
+            round: 1,
+        };
+        self.counters.requests_sent += 1;
+        self.request_log.insert(flow, now + self.cfg.t_long);
+        self.last_request.insert(flow, now);
+        self.trace(now, || format!("filtering request #{id} for {flow}"));
+        let pkt = Packet::control(
+            ctx.next_packet_id(),
+            self.addr,
+            self.gateway,
+            AitfMessage::FilteringRequest(req),
+        );
+        ctx.send(self.uplink, pkt);
+    }
+
+    fn purge_request_log(&mut self, now: SimTime) {
+        if self.request_log.len() > 64 {
+            self.request_log.retain(|_, &mut exp| exp > now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane handling.
+    // ------------------------------------------------------------------
+
+    fn handle_control(&mut self, packet: &Packet, ctx: &mut Context<'_>) {
+        let Some(msg) = packet.aitf_message() else {
+            return;
+        };
+        let now = ctx.now();
+        match msg {
+            AitfMessage::VerificationQuery(q) => {
+                self.counters.verification_queries += 1;
+                let confirm = self.request_log.get(&q.flow).is_some_and(|&exp| exp > now);
+                if confirm {
+                    self.counters.verification_confirmed += 1;
+                } else {
+                    self.counters.verification_denied += 1;
+                }
+                self.trace(now, || {
+                    format!("verification query for {}: confirm={confirm}", q.flow)
+                });
+                let reply = VerificationReply {
+                    request_id: q.request_id,
+                    flow: q.flow,
+                    nonce: q.nonce,
+                    confirm,
+                };
+                let pkt = Packet::control(
+                    ctx.next_packet_id(),
+                    self.addr,
+                    packet.header.src,
+                    AitfMessage::VerificationReply(reply),
+                );
+                ctx.send(self.uplink, pkt);
+            }
+            AitfMessage::FilteringRequest(req) if req.dest == RequestDestination::Attacker => {
+                self.counters.notices_received += 1;
+                match self.policy {
+                    HostPolicy::Compliant => {
+                        let dur = SimDuration::from_nanos(req.duration_ns);
+                        if self.self_filters.install(req.flow, now, dur).is_ok() {
+                            self.counters.flows_stopped += 1;
+                            self.trace(now, || format!("stopping flow {} as asked", req.flow));
+                        }
+                    }
+                    HostPolicy::Malicious => {
+                        self.trace(now, || format!("IGNORING stop notice for {}", req.flow));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for EndHost {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..self.apps.len() {
+            self.with_api(i, ctx, |app, api| app.on_start(api));
+        }
+    }
+
+    fn on_packet(&mut self, packet: Packet, _link: LinkId, ctx: &mut Context<'_>) {
+        // Feed traceback with everything we receive.
+        self.traceback.as_traceback().observe(&packet);
+
+        if packet.header.dst != self.addr {
+            // Mis-routed packet; hosts do not forward.
+            return;
+        }
+        if packet.is_data() {
+            match packet.payload {
+                aitf_packet::PayloadKind::Data(TrafficClass::Attack) => {
+                    self.counters.rx_attack_pkts += 1;
+                    self.counters.rx_attack_bytes += packet.size_bytes as u64;
+                    if self.rate_detector.is_none() {
+                        self.on_attack_packet(&packet, ctx);
+                    }
+                }
+                aitf_packet::PayloadKind::Data(TrafficClass::Legit) => {
+                    self.counters.rx_legit_pkts += 1;
+                    self.counters.rx_legit_bytes += packet.size_bytes as u64;
+                }
+                aitf_packet::PayloadKind::Aitf(_) => unreachable!("is_data checked"),
+            }
+            // The rate detector is class-blind: it sees what a real victim
+            // sees — bytes per source — and flags whoever floods.
+            if let Some(detector) = &mut self.rate_detector {
+                let now = ctx.now();
+                let src = packet.header.src;
+                if detector.observe(src, packet.size_bytes, now) {
+                    self.on_rate_trip(src, ctx);
+                }
+            }
+            for i in 0..self.apps.len() {
+                self.with_api(i, ctx, |app, api| app.on_packet(&packet, api));
+            }
+        } else {
+            self.handle_control(&packet, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        let app_ns = token >> 32;
+        if app_ns > 0 {
+            let app_index = (app_ns - 1) as usize;
+            let app_token = (token & 0xffff_ffff) as u32;
+            self.with_api(app_index, ctx, |app, api| app.on_timer(app_token, api));
+            return;
+        }
+        match self.token_map.remove(&token) {
+            Some(HostTimer::Detect { flow }) => self.on_detect(flow, ctx),
+            None => {}
+        }
+    }
+
+    impl_node_any!();
+}

@@ -1,0 +1,426 @@
+//! End-to-end protocol tests over the paper's Figure 1 topology.
+//!
+//! These are the behavioural contract of the whole crate: a constant flood
+//! is launched from `B_host` towards `G_host` across three provider levels
+//! on each side, and the tests assert who blocked what, when, and with how
+//! many filters — for cooperative, non-cooperative, malicious and forged
+//! scenarios.
+
+#![cfg(test)]
+
+use aitf_netsim::{SimDuration, SimTime};
+use aitf_packet::{
+    Addr, AitfMessage, FilteringRequest, FlowLabel, Packet, Protocol, RequestDestination,
+    TrafficClass,
+};
+
+use crate::config::{AitfConfig, HostPolicy, RouterPolicy};
+use crate::host::{HostApi, TrafficApp};
+use crate::world::{HostId, NetId, World, WorldBuilder};
+
+/// A constant-rate UDP flood: one packet every `period`.
+struct TestFlood {
+    target: Addr,
+    period: SimDuration,
+    size: u32,
+}
+
+impl TrafficApp for TestFlood {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        api.set_timer(self.period, 0);
+    }
+
+    fn on_timer(&mut self, _token: u32, api: &mut HostApi<'_, '_>) {
+        api.send_from_self(
+            self.target,
+            Protocol::Udp,
+            80,
+            TrafficClass::Attack,
+            self.size,
+        );
+        api.set_timer(self.period, 0);
+    }
+}
+
+/// A one-shot forged filtering request sent straight to a gateway address.
+struct ForgeRequest {
+    to_gateway: Addr,
+    claim_flow: FlowLabel,
+    delay: SimDuration,
+}
+
+impl TrafficApp for ForgeRequest {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        api.set_timer(self.delay, 1);
+    }
+
+    fn on_timer(&mut self, _token: u32, api: &mut HostApi<'_, '_>) {
+        let req = FilteringRequest {
+            id: 999_999,
+            flow: self.claim_flow,
+            dest: RequestDestination::AttackerGateway,
+            duration_ns: 60_000_000_000,
+            path: Default::default(),
+            round: 1,
+        };
+        // Hand-roll the control packet (a compromised node is not polite).
+        let now_unused = api.now();
+        let _ = now_unused;
+        let src = api.my_addr();
+        let pkt = Packet::control(0, src, self.to_gateway, AitfMessage::FilteringRequest(req));
+        // Send through the host's uplink via the public API: send_data is
+        // for data packets, so use a tiny shim — the forged request is a
+        // control payload, which HostApi does not offer; emulate by direct
+        // construction through send_raw below.
+        api.send_raw(pkt);
+    }
+}
+
+/// Legitimate constant-rate traffic for collateral-damage checks.
+struct TestLegit {
+    target: Addr,
+    period: SimDuration,
+}
+
+impl TrafficApp for TestLegit {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        api.set_timer(self.period, 2);
+    }
+
+    fn on_timer(&mut self, _token: u32, api: &mut HostApi<'_, '_>) {
+        api.send_from_self(self.target, Protocol::Tcp, 443, TrafficClass::Legit, 500);
+        api.set_timer(self.period, 2);
+    }
+}
+
+/// The paper's Figure 1: G_host–G_gw1–G_gw2–G_gw3 = B_gw3–B_gw2–B_gw1–B_host.
+#[allow(dead_code)] // Handles kept symmetric for readability.
+struct Fig1 {
+    world: World,
+    g_net: NetId,
+    g_isp: NetId,
+    g_wan: NetId,
+    b_net: NetId,
+    b_isp: NetId,
+    b_wan: NetId,
+    victim: HostId,
+    attacker: HostId,
+}
+
+fn fig1(cfg: AitfConfig, attacker_policy: HostPolicy) -> Fig1 {
+    let mut b = WorldBuilder::new(42, cfg);
+    let g_wan = b.network("G_wan", "10.103.0.0/16", None);
+    let g_isp = b.network("G_isp", "10.102.0.0/16", Some(g_wan));
+    let g_net = b.network("G_net", "10.1.0.0/16", Some(g_isp));
+    let b_wan = b.network("B_wan", "10.203.0.0/16", None);
+    let b_isp = b.network("B_isp", "10.202.0.0/16", Some(b_wan));
+    let b_net = b.network("B_net", "10.9.0.0/16", Some(b_isp));
+    b.peer(g_wan, b_wan, WorldBuilder::default_net_link());
+    let victim = b.host(g_net);
+    let attacker = b.host_with(b_net, attacker_policy, WorldBuilder::default_host_link());
+    Fig1 {
+        world: b.build(),
+        g_net,
+        g_isp,
+        g_wan,
+        b_net,
+        b_isp,
+        b_wan,
+        victim,
+        attacker,
+    }
+}
+
+fn flood(f: &mut Fig1, pps: u64, size: u32) {
+    let target = f.world.host_addr(f.victim);
+    f.world.add_app(
+        f.attacker,
+        Box::new(TestFlood {
+            target,
+            period: SimDuration::from_nanos(1_000_000_000 / pps),
+            size,
+        }),
+    );
+}
+
+#[test]
+fn cooperative_world_quenches_flood_at_attacker_gateway() {
+    let cfg = AitfConfig::default();
+    let td = cfg.detection_delay;
+    let mut f = fig1(cfg, HostPolicy::Compliant);
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(10));
+
+    // The victim saw attack traffic only during the detection+request
+    // window: at 1000 pps * 500 B that window is Td + ~2*5ms ≈ 115 ms,
+    // so roughly 115 packets; allow generous slack.
+    let c = f.world.host(f.victim).counters();
+    assert!(
+        c.rx_attack_pkts > 0,
+        "some leak before the block is expected"
+    );
+    assert!(
+        c.rx_attack_pkts < 400,
+        "flood not quenched: {} attack packets reached the victim",
+        c.rx_attack_pkts
+    );
+    assert!(c.requests_sent >= 1);
+    let _ = td;
+
+    // The attacker's gateway holds the long filter...
+    let b_gw1 = f.world.router(f.b_net);
+    assert_eq!(b_gw1.counters().filters_installed, 1);
+    assert!(b_gw1.counters().handshakes_confirmed >= 1);
+    // ...and the victim's gateway only ever needed its temporary filter.
+    let g_gw1 = f.world.router(f.g_net);
+    assert!(g_gw1.counters().escalations_sent == 0);
+
+    // The compliant attacker actually stopped sending.
+    let a = f.world.host(f.attacker).counters();
+    assert!(a.flows_stopped == 1);
+    assert!(
+        a.tx_suppressed > 0,
+        "self-filter must suppress further sends"
+    );
+
+    // Nobody was disconnected.
+    assert_eq!(b_gw1.counters().disconnects_client, 0);
+}
+
+#[test]
+fn malicious_host_is_disconnected_after_grace() {
+    let cfg = AitfConfig::default();
+    let mut f = fig1(cfg, HostPolicy::Malicious);
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(10));
+
+    let b_gw1 = f.world.router(f.b_net);
+    assert_eq!(
+        b_gw1.counters().disconnects_client,
+        1,
+        "the zombie must be disconnected after the grace period"
+    );
+    // The host kept trying to send (malicious hosts have no self-filter).
+    let a = f.world.host(f.attacker).counters();
+    assert_eq!(a.tx_suppressed, 0);
+    assert!(a.notices_received >= 1);
+    // After disconnection nothing reaches even B_gw1: its filter stops
+    // seeing hits. The victim saw only the initial leak.
+    let v = f.world.host(f.victim).counters();
+    assert!(v.rx_attack_pkts < 400, "victim leak: {}", v.rx_attack_pkts);
+}
+
+#[test]
+fn non_cooperating_attacker_gateway_forces_escalation() {
+    let cfg = AitfConfig::default();
+    let mut f = fig1(cfg, HostPolicy::Malicious);
+    // B_gw1 ignores filtering requests.
+    f.world
+        .router_mut(f.b_net)
+        .set_policy(RouterPolicy::non_cooperating());
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(10));
+
+    // Round 2 lands at B_gw2 (B_isp), which installs the long filter.
+    let b_gw2 = f.world.router(f.b_isp);
+    assert!(
+        b_gw2.counters().filters_installed >= 1,
+        "escalation must reach B_isp: {:?}",
+        b_gw2.counters()
+    );
+    // The victim's gateway escalated at least once.
+    let g_gw1 = f.world.router(f.g_net);
+    assert!(g_gw1.counters().escalations_sent >= 1 || g_gw1.counters().reactivations >= 1);
+    // B_isp, holding the bag for its bad client, disconnects B_net.
+    assert_eq!(b_gw2.counters().disconnects_client, 1);
+    let v = f.world.host(f.victim).counters();
+    assert!(v.rx_attack_pkts < 800, "victim leak: {}", v.rx_attack_pkts);
+}
+
+#[test]
+fn fully_rogue_attacker_side_triggers_peer_disconnect() {
+    let cfg = AitfConfig::default();
+    let mut f = fig1(cfg, HostPolicy::Malicious);
+    for net in [f.b_net, f.b_isp, f.b_wan] {
+        f.world
+            .router_mut(net)
+            .set_policy(RouterPolicy::non_cooperating());
+    }
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(20));
+
+    // The worst case of Section II-D: G_gw3 disconnects from B_gw3.
+    let g_gw3 = f.world.router(f.g_wan);
+    assert!(
+        g_gw3.counters().disconnects_peer >= 1,
+        "top-level victim-side gateway must disconnect the rogue peer: {:?}",
+        g_gw3.counters()
+    );
+    // After the disconnect the flood is fully dead.
+    let v0 = f.world.host(f.victim).counters().rx_attack_pkts;
+    f.world.sim.run_for(SimDuration::from_secs(5));
+    let v1 = f.world.host(f.victim).counters().rx_attack_pkts;
+    assert_eq!(v0, v1, "flood must stay dead after peer disconnect");
+}
+
+#[test]
+fn forged_request_is_denied_by_handshake() {
+    // A compromised host M in G_isp forges "block A->V" for a legitimate
+    // flow it is not on the path of. The handshake must kill it.
+    let cfg = AitfConfig::default();
+    let mut b = WorldBuilder::new(7, cfg);
+    let wan = b.network("wan", "10.100.0.0/16", None);
+    let a_net = b.network("a_net", "10.1.0.0/16", Some(wan));
+    let v_net = b.network("v_net", "10.2.0.0/16", Some(wan));
+    let m_net = b.network("m_net", "10.3.0.0/16", Some(wan));
+    let a = b.host(a_net);
+    let v = b.host(v_net);
+    let m = b.host(m_net);
+    let mut world = b.build();
+
+    let a_addr = world.host_addr(a);
+    let v_addr = world.host_addr(v);
+    let a_gw = world.router_addr(a_net);
+    // A sends legitimate traffic to V.
+    world.add_app(
+        a,
+        Box::new(TestLegit {
+            target: v_addr,
+            period: SimDuration::from_millis(10),
+        }),
+    );
+    // M forges a request claiming V wants A blocked.
+    world.add_app(
+        m,
+        Box::new(ForgeRequest {
+            to_gateway: a_gw,
+            claim_flow: FlowLabel::src_dst(a_addr, v_addr),
+            delay: SimDuration::from_secs(1),
+        }),
+    );
+    world.sim.run_for(SimDuration::from_secs(5));
+
+    let a_router = world.router(a_net);
+    assert_eq!(
+        a_router.counters().handshakes_denied,
+        1,
+        "{:?}",
+        a_router.counters()
+    );
+    assert_eq!(
+        a_router.counters().filters_installed,
+        0,
+        "forged request must not block"
+    );
+    // V denied the query.
+    assert_eq!(world.host(v).counters().verification_denied, 1);
+    // The legitimate flow kept flowing.
+    let legit = world.host(v).counters().rx_legit_pkts;
+    assert!(legit > 400, "legit flow harmed: only {legit} packets");
+}
+
+#[test]
+fn forgery_succeeds_without_verification_ablation() {
+    let cfg = AitfConfig {
+        verification: false,
+        ..AitfConfig::default()
+    };
+    let mut b = WorldBuilder::new(7, cfg);
+    let wan = b.network("wan", "10.100.0.0/16", None);
+    let a_net = b.network("a_net", "10.1.0.0/16", Some(wan));
+    let v_net = b.network("v_net", "10.2.0.0/16", Some(wan));
+    let m_net = b.network("m_net", "10.3.0.0/16", Some(wan));
+    let a = b.host(a_net);
+    let v = b.host(v_net);
+    let m = b.host(m_net);
+    let mut world = b.build();
+    let a_addr = world.host_addr(a);
+    let v_addr = world.host_addr(v);
+    let a_gw = world.router_addr(a_net);
+    world.add_app(
+        a,
+        Box::new(TestLegit {
+            target: v_addr,
+            period: SimDuration::from_millis(10),
+        }),
+    );
+    world.add_app(
+        m,
+        Box::new(ForgeRequest {
+            to_gateway: a_gw,
+            claim_flow: FlowLabel::src_dst(a_addr, v_addr),
+            delay: SimDuration::from_secs(1),
+        }),
+    );
+    world.sim.run_for(SimDuration::from_secs(5));
+
+    // Without the handshake the forged request installs a real filter and
+    // the legitimate flow dies — this is why Section II-E exists.
+    let a_router = world.router(a_net);
+    assert!(a_router.counters().filters_installed >= 1);
+    let legit_at_2s = world.host(v).counters().rx_legit_pkts;
+    assert!(
+        legit_at_2s < 150,
+        "legit flow should have been cut early, got {legit_at_2s} packets"
+    );
+}
+
+#[test]
+fn victim_gateway_filter_is_temporary_not_long() {
+    let cfg = AitfConfig::default();
+    let t_tmp = cfg.t_tmp;
+    let mut f = fig1(cfg, HostPolicy::Compliant);
+    flood(&mut f, 1000, 500);
+    // Run long enough for install, then check expiry bookkeeping.
+    f.world.sim.run_for(SimDuration::from_millis(300));
+    let flow = FlowLabel::src_dst(f.world.host_addr(f.attacker), f.world.host_addr(f.victim));
+    let g_gw1 = f.world.router(f.g_net);
+    let exp = g_gw1
+        .filters()
+        .expiry_of(&flow)
+        .expect("temp filter present");
+    assert!(
+        exp <= SimTime::ZERO + SimDuration::from_millis(300) + t_tmp,
+        "victim gateway filter must be temporary"
+    );
+    // The shadow outlives the filter by design.
+    let shadow = g_gw1.shadow().get(&flow).expect("shadow present");
+    assert!(shadow.expires > exp);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let mut b = WorldBuilder::new(seed, AitfConfig::default());
+        let wan = b.network("wan", "10.100.0.0/16", None);
+        let g = b.network("g", "10.1.0.0/16", Some(wan));
+        let bad = b.network("b", "10.9.0.0/16", Some(wan));
+        let v = b.host(g);
+        let a = b.host_with(
+            bad,
+            HostPolicy::Malicious,
+            WorldBuilder::default_host_link(),
+        );
+        let mut w = b.build();
+        let target = w.host_addr(v);
+        w.add_app(
+            a,
+            Box::new(TestFlood {
+                target,
+                period: SimDuration::from_millis(2),
+                size: 600,
+            }),
+        );
+        w.sim.run_for(SimDuration::from_secs(5));
+        let vc = w.host(v).counters();
+        (
+            vc.rx_attack_pkts,
+            vc.rx_attack_bytes,
+            vc.requests_sent,
+            w.sim.dispatched_events(),
+        )
+    };
+    assert_eq!(run(99), run(99));
+    // A different seed still works (values may differ).
+    let _ = run(100);
+}

@@ -1,0 +1,866 @@
+//! The AITF border router.
+//!
+//! Border routers are the only routers that speak AITF (Section II-C:
+//! "Internal routers do not participate"). One [`BorderRouter`] node plays
+//! every role the paper describes, depending on the request it receives:
+//!
+//! - **victim's gateway** — polices its client's requests, installs the
+//!   temporary filter for `Ttmp`, logs the shadow for `T`, and propagates
+//!   the request to the attacker's gateway (or escalates to its own
+//!   gateway when the attacker side does not cooperate);
+//! - **attacker's gateway** — verifies the request with the 3-way
+//!   handshake, installs the long (`T`) filter, tells its client to stop,
+//!   and disconnects the client after the grace period if it does not;
+//! - **escalation relay** — both of the above, one level up, in later
+//!   rounds;
+//! - **plain forwarder** — stamps the route-record shim (or probabilistic
+//!   marks) on transit data packets and enforces ingress filtering.
+
+use std::collections::HashMap;
+
+use aitf_filter::{FilterTable, InstallError, RateLimiterBank, ShadowCache};
+use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimTime};
+use aitf_packet::{
+    Addr, AitfMessage, FilteringRequest, FlowLabel, LpmTable, Nonce, Packet, PayloadKind, Prefix,
+    RequestDestination, TracebackMark, VerificationQuery, VerificationReply,
+};
+use rand::Rng;
+
+use crate::config::{AitfConfig, RouterPolicy, TracebackMode};
+
+/// Everything a border router counts; read by experiments after a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterCounters {
+    /// Data packets forwarded.
+    pub data_forwarded: u64,
+    /// Data packets dropped by a wire-speed filter.
+    pub data_filtered_pkts: u64,
+    /// Bytes dropped by a wire-speed filter.
+    pub data_filtered_bytes: u64,
+    /// Client packets dropped by ingress filtering (spoofed source).
+    pub spoofed_dropped: u64,
+    /// Packets dropped for TTL exhaustion or no route.
+    pub undeliverable: u64,
+    /// Filtering requests received (before policing).
+    pub requests_received: u64,
+    /// Filtering requests dropped by contract policing.
+    pub requests_policed: u64,
+    /// Requests ignored because this router is non-cooperating or legacy.
+    pub requests_ignored: u64,
+    /// Victim-gateway-role requests rejected as invalid (wrong direction,
+    /// destination not behind the requesting client).
+    pub requests_invalid: u64,
+    /// Requests this router satisfied by installing a filter.
+    pub filters_installed: u64,
+    /// Requests that failed because the filter table was full.
+    pub requests_unsatisfiable: u64,
+    /// Verification handshakes started.
+    pub handshakes_started: u64,
+    /// Handshakes that confirmed the request.
+    pub handshakes_confirmed: u64,
+    /// Handshakes denied by the victim.
+    pub handshakes_denied: u64,
+    /// Handshakes that timed out.
+    pub handshakes_timed_out: u64,
+    /// Escalated requests sent to this router's own gateway.
+    pub escalations_sent: u64,
+    /// Shadow-cache reactivations (on-off flows caught).
+    pub reactivations: u64,
+    /// Clients (hosts or client networks) disconnected after the grace
+    /// period.
+    pub disconnects_client: u64,
+    /// Peers disconnected at the top of the escalation chain.
+    pub disconnects_peer: u64,
+    /// `dest=Attacker` notices sent towards the attacker.
+    pub attacker_notices_sent: u64,
+    /// Verification queries snooped and forged (compromised router only).
+    pub handshakes_forged: u64,
+}
+
+/// Timer meanings, keyed by token through `token_map`.
+#[derive(Debug)]
+enum TimerAction {
+    HandshakeTimeout { nonce: u64 },
+    GraceCheck { watch: u64 },
+}
+
+#[derive(Debug)]
+struct PendingHandshake {
+    request: FilteringRequest,
+    nonce: Nonce,
+}
+
+#[derive(Debug)]
+struct GraceWatch {
+    flow: FlowLabel,
+    client_link: Option<LinkId>,
+    armed_at: SimTime,
+}
+
+/// A victim-gateway request waiting for an attack-path sample.
+#[derive(Debug)]
+struct PendingPath {
+    request: FilteringRequest,
+    expires: SimTime,
+}
+
+/// Static wiring a router needs from the world builder.
+#[derive(Debug, Clone)]
+pub struct RouterSpec {
+    /// This router's control-plane address.
+    pub addr: Addr,
+    /// Longest-prefix-match forwarding table: network prefixes towards
+    /// remote networks plus /32 routes for this router's own clients.
+    pub fwd: LpmTable<LinkId>,
+    /// Link towards this router's provider; `None` at the top level.
+    pub uplink: Option<LinkId>,
+    /// Address of the provider's gateway (escalation target).
+    pub parent_gw: Option<Addr>,
+    /// Client links (to end-hosts and client networks) with the set of
+    /// prefixes legitimately sourced behind each.
+    pub client_links: HashMap<LinkId, Vec<Prefix>>,
+    /// Protocol parameters.
+    pub config: AitfConfig,
+    /// Behaviour knobs.
+    pub policy: RouterPolicy,
+}
+
+/// An AITF border router node.
+pub struct BorderRouter {
+    addr: Addr,
+    cfg: AitfConfig,
+    policy: RouterPolicy,
+    fwd: LpmTable<LinkId>,
+    uplink: Option<LinkId>,
+    parent_gw: Option<Addr>,
+    client_links: HashMap<LinkId, Vec<Prefix>>,
+    filters: FilterTable,
+    shadow: ShadowCache,
+    limiter: RateLimiterBank,
+    pending_handshakes: HashMap<u64, PendingHandshake>,
+    pending_paths: Vec<PendingPath>,
+    grace_watches: HashMap<u64, GraceWatch>,
+    token_map: HashMap<u64, TimerAction>,
+    next_id: u64,
+    counters: RouterCounters,
+    timeline: Vec<(SimTime, String)>,
+}
+
+impl BorderRouter {
+    /// Builds a router from its spec.
+    pub fn new(spec: RouterSpec) -> Self {
+        let cfg = spec.config;
+        let mut limiter = RateLimiterBank::new(cfg.peer_contract.rate, cfg.peer_contract.burst);
+        // Client links are policed at the client contract (R1); everything
+        // else (uplink, peering) at the peer contract (R2).
+        for &link in spec.client_links.keys() {
+            limiter.set_contract(
+                link.0 as u64,
+                cfg.client_contract.rate,
+                cfg.client_contract.burst,
+            );
+        }
+        BorderRouter {
+            addr: spec.addr,
+            filters: FilterTable::with_policy(cfg.filter_capacity, cfg.eviction),
+            shadow: ShadowCache::new(cfg.shadow_capacity),
+            limiter,
+            cfg,
+            policy: spec.policy,
+            fwd: spec.fwd,
+            uplink: spec.uplink,
+            parent_gw: spec.parent_gw,
+            client_links: spec.client_links,
+            pending_handshakes: HashMap::new(),
+            pending_paths: Vec::new(),
+            grace_watches: HashMap::new(),
+            token_map: HashMap::new(),
+            next_id: 0,
+            counters: RouterCounters::default(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// This router's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The link towards this router's provider, if any.
+    pub fn uplink(&self) -> Option<LinkId> {
+        self.uplink
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> RouterCounters {
+        self.counters
+    }
+
+    /// The wire-speed filter table (read-only).
+    pub fn filters(&self) -> &FilterTable {
+        &self.filters
+    }
+
+    /// The DRAM shadow cache (read-only).
+    pub fn shadow(&self) -> &ShadowCache {
+        &self.shadow
+    }
+
+    /// The contract policer (read-only).
+    pub fn limiter(&self) -> &RateLimiterBank {
+        &self.limiter
+    }
+
+    /// The recorded timeline (empty unless `config.trace`).
+    pub fn timeline(&self) -> &[(SimTime, String)] {
+        &self.timeline
+    }
+
+    /// Replaces the behaviour policy (experiments flip cooperation at
+    /// runtime).
+    pub fn set_policy(&mut self, policy: RouterPolicy) {
+        self.policy = policy;
+    }
+
+    fn trace(&mut self, now: SimTime, msg: impl FnOnce() -> String) {
+        if self.cfg.trace {
+            self.timeline.push((now, msg()));
+        }
+    }
+
+    fn alloc_token(&mut self, action: TimerAction) -> u64 {
+        let token = self.next_id;
+        self.next_id += 1;
+        self.token_map.insert(token, action);
+        token
+    }
+
+    /// Sends an AITF control message towards `dst` through the forwarding
+    /// table.
+    fn send_control(&mut self, ctx: &mut Context<'_>, dst: Addr, msg: AitfMessage) {
+        let Some(&link) = self.fwd.lookup(dst) else {
+            self.counters.undeliverable += 1;
+            return;
+        };
+        let id = ctx.next_packet_id();
+        ctx.send(link, Packet::control(id, self.addr, dst, msg));
+    }
+
+    /// Is `link` a client link, and if so, which prefixes live behind it?
+    fn client_prefixes(&self, link: LinkId) -> Option<&[Prefix]> {
+        self.client_links.get(&link).map(Vec::as_slice)
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane.
+    // ------------------------------------------------------------------
+
+    fn forward_data(&mut self, mut packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let is_data = packet.is_data();
+
+        // Ingress filtering: a client packet must be sourced inside the
+        // client's own prefixes (Section III-A's incentive).
+        if self.policy.aitf_enabled && self.policy.ingress_filtering && is_data {
+            if let Some(prefixes) = self.client_prefixes(arrival) {
+                if !prefixes.iter().any(|p| p.contains(packet.header.src)) {
+                    self.counters.spoofed_dropped += 1;
+                    return;
+                }
+            }
+        }
+
+        // Wire-speed filter check.
+        if self.policy.aitf_enabled && is_data && self.filters.matches(&packet.header, now) {
+            self.counters.data_filtered_pkts += 1;
+            self.counters.data_filtered_bytes += packet.size_bytes as u64;
+            // The blocked packet still carries traceback information a
+            // pending request may be waiting for.
+            self.harvest_pending_path(&packet, ctx);
+            return;
+        }
+
+        // Shadow reactivation: a recently blocked flow reappeared after its
+        // temporary filter expired — the attacker side never took over.
+        if self.policy.aitf_enabled
+            && is_data
+            && self.cfg.packet_triggered_reactivation
+            && self.policy.cooperating
+        {
+            if let Some(entry) = self.shadow.check_reactivation(&packet.header, now) {
+                self.counters.reactivations += 1;
+                self.trace(now, || {
+                    format!(
+                        "reactivation: {} round {} reappeared",
+                        entry.label, entry.round
+                    )
+                });
+                self.on_reactivation(entry, &packet, ctx);
+                return;
+            }
+        }
+
+        // TTL.
+        match packet.header.ttl.checked_sub(1) {
+            Some(0) | None => {
+                self.counters.undeliverable += 1;
+                return;
+            }
+            Some(ttl) => packet.header.ttl = ttl,
+        }
+
+        // Traceback stamping (data plane only; control messages are
+        // point-to-point and need no traceback).
+        if self.policy.aitf_enabled && is_data {
+            match self.cfg.traceback {
+                TracebackMode::RouteRecord => {
+                    // A full record degrades traceback but must not break
+                    // forwarding.
+                    let _ = packet.route_record.push(self.addr);
+                }
+                TracebackMode::Sampling { p, .. } => {
+                    if ctx.rng().gen_bool(p) {
+                        packet.mark = Some(TracebackMark {
+                            router: self.addr,
+                            distance: 0,
+                        });
+                    } else if let Some(m) = &mut packet.mark {
+                        m.distance = m.distance.saturating_add(1);
+                    }
+                }
+            }
+        }
+
+        match self.fwd.lookup(packet.header.dst) {
+            Some(&link) => {
+                self.counters.data_forwarded += 1;
+                ctx.send(link, packet);
+            }
+            None => self.counters.undeliverable += 1,
+        }
+    }
+
+    /// A packet matching a pending-path request supplies the missing
+    /// attack-path sample; complete the propagation step.
+    fn harvest_pending_path(&mut self, packet: &Packet, ctx: &mut Context<'_>) {
+        if self.pending_paths.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        self.pending_paths.retain(|p| p.expires > now);
+        let Some(pos) = self
+            .pending_paths
+            .iter()
+            .position(|p| p.request.flow.matches(&packet.header))
+        else {
+            return;
+        };
+        if packet.route_record.is_empty() {
+            return;
+        }
+        let mut request = self.pending_paths.remove(pos).request;
+        // The packet has not crossed this router yet, so the record lacks
+        // our own hop; append it for a complete path.
+        let mut hops = packet.route_record.hops().to_vec();
+        if hops.last() != Some(&self.addr) {
+            hops.push(self.addr);
+        }
+        request.path = aitf_packet::RouteRecord::from_hops(hops.iter().copied());
+        self.shadow.insert_with_path(
+            request.flow,
+            request.id,
+            now,
+            self.cfg.t_long,
+            request.round,
+            hops,
+        );
+        self.trace(now, || {
+            format!("pending path resolved for {}", request.flow)
+        });
+        self.propagate_as_victim_gateway(request, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane.
+    // ------------------------------------------------------------------
+
+    fn handle_control(&mut self, packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
+        let PayloadKind::Aitf(msg) = packet.payload else {
+            return;
+        };
+        match msg {
+            AitfMessage::FilteringRequest(req) => self.handle_request(req, arrival, ctx),
+            AitfMessage::VerificationReply(rep) => self.handle_verification_reply(rep, ctx),
+            AitfMessage::VerificationQuery(_) | AitfMessage::Pushback(_) => {
+                // Queries are for victims (end hosts) and pushback belongs
+                // to the baseline protocol; either here is a misdelivery.
+                self.counters.undeliverable += 1;
+            }
+        }
+    }
+
+    fn handle_request(&mut self, req: FilteringRequest, arrival: LinkId, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        self.counters.requests_received += 1;
+
+        if !self.policy.aitf_enabled {
+            self.counters.requests_ignored += 1;
+            return;
+        }
+
+        // Contract policing per arrival interface (Section II-B).
+        if !self.limiter.try_acquire(arrival.0 as u64, now) {
+            self.counters.requests_policed += 1;
+            return;
+        }
+
+        match req.dest {
+            RequestDestination::VictimGateway => self.victim_gateway_role(req, arrival, ctx),
+            RequestDestination::AttackerGateway => self.attacker_gateway_role(req, ctx),
+            RequestDestination::Attacker => self.attacker_role(req, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Victim-gateway role.
+    // ------------------------------------------------------------------
+
+    fn victim_gateway_role(
+        &mut self,
+        mut req: FilteringRequest,
+        arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) {
+        let now = ctx.now();
+        if !self.policy.cooperating {
+            self.counters.requests_ignored += 1;
+            return;
+        }
+
+        // The requester must be a client, and may only claim victimhood for
+        // destinations behind itself (trivial ingress verification,
+        // Section II-E).
+        match self.client_prefixes(arrival) {
+            Some(prefixes) => {
+                let dst_ok = match req.flow.dst_host() {
+                    Some(dst) => prefixes.iter().any(|p| p.contains(dst)),
+                    None => prefixes.iter().any(|p| req.flow.dst.overlaps(*p)),
+                };
+                if !dst_ok {
+                    self.counters.requests_invalid += 1;
+                    return;
+                }
+            }
+            None => {
+                self.counters.requests_invalid += 1;
+                return;
+            }
+        }
+
+        // A repeat request for a flow we already acted on means the last
+        // round failed: escalate. (The client always claims round 1; the
+        // shadow knows better.)
+        if let Some(entry) = self.shadow.get(&req.flow) {
+            let cooldown = self.cfg.t_tmp / 2;
+            if entry.round >= req.round {
+                if now.saturating_since(entry.last_action) < cooldown {
+                    // Duplicate within the damping window: refresh only.
+                    let _ = self.filters.install(req.flow, now, self.cfg.t_tmp);
+                    return;
+                }
+                req.round = entry.round.saturating_add(1).min(self.cfg.max_round);
+            }
+            if req.path.is_empty() && !entry.path.is_empty() {
+                req.path = aitf_packet::RouteRecord::from_hops(entry.path.iter().copied());
+            }
+        }
+
+        // Temporary filter for Ttmp; shadow for T.
+        match self.filters.install(req.flow, now, self.cfg.t_tmp) {
+            Ok(_) => {}
+            Err(InstallError::TableFull) => {
+                self.counters.requests_unsatisfiable += 1;
+                return;
+            }
+        }
+        self.shadow.insert_with_path(
+            req.flow,
+            req.id,
+            now,
+            self.cfg.t_long,
+            req.round,
+            req.path.hops().to_vec(),
+        );
+        self.trace(now, || {
+            format!(
+                "victim-gw: temp filter for {} (round {})",
+                req.flow, req.round
+            )
+        });
+
+        if req.path.is_empty() {
+            // No attack-path sample yet: wait for one (the temporary filter
+            // is already protecting the client; blocked packets will carry
+            // the route record).
+            self.pending_paths.push(PendingPath {
+                request: req,
+                expires: now + self.cfg.t_tmp,
+            });
+            return;
+        }
+        self.propagate_as_victim_gateway(req, ctx);
+    }
+
+    /// Decides, for round `k`, whether this router propagates to the
+    /// attacker side, forwards the escalation to its parent, or — at the
+    /// top of the chain with nothing left to try — disconnects the peer.
+    fn propagate_as_victim_gateway(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let path = req.path.hops();
+        let k = req.round.max(1) as usize;
+        let my_pos = req.path.position(self.addr);
+        // The victim-side handler for round k is the k-th node from the
+        // victim end of the path.
+        let handler_pos = path.len().checked_sub(k);
+
+        let i_am_handler = match (my_pos, handler_pos) {
+            (Some(p), Some(h)) => p == h || (p > h && self.parent_gw.is_none()),
+            // Not on the recorded path (or path exhausted): handle locally.
+            _ => true,
+        };
+
+        if !i_am_handler {
+            let Some(parent) = self.parent_gw else {
+                // Defensive: treated as handler above when parent is None.
+                return;
+            };
+            let escalated = FilteringRequest {
+                dest: RequestDestination::VictimGateway,
+                ..req.clone()
+            };
+            self.counters.escalations_sent += 1;
+            self.shadow.note_round(&req.flow, req.round);
+            self.shadow.touch_action(&req.flow, now);
+            self.trace(now, || {
+                format!(
+                    "escalate round {} for {} to parent {}",
+                    req.round, req.flow, parent
+                )
+            });
+            self.send_control(ctx, parent, AitfMessage::FilteringRequest(escalated));
+            return;
+        }
+
+        // I am the handler: ask the round-k attacker-side node to filter.
+        match req.path.node_for_round(k) {
+            Some(target) if target != self.addr => {
+                let outgoing = FilteringRequest {
+                    dest: RequestDestination::AttackerGateway,
+                    ..req.clone()
+                };
+                self.shadow.touch_action(&req.flow, now);
+                self.trace(now, || {
+                    format!(
+                        "round {}: request {} -> attacker-side node {}",
+                        k, req.flow, target
+                    )
+                });
+                self.send_control(ctx, target, AitfMessage::FilteringRequest(outgoing));
+            }
+            _ => {
+                // Every attacker-side node was tried (or the round walked
+                // into ourselves): disconnect the neighbour the flow comes
+                // through (Section II-D worst case: "G_gw3 disconnects from
+                // B_gw3").
+                self.disconnect_flow_neighbor(&req, ctx);
+            }
+        }
+    }
+
+    /// Blocks the incoming direction of the link the attack path enters
+    /// through.
+    fn disconnect_flow_neighbor(&mut self, req: &FilteringRequest, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let my_pos = req.path.position(self.addr);
+        // The neighbour towards the attacker: previous hop on the path, or
+        // the route towards the flow source as a fallback.
+        let neighbor = my_pos
+            .and_then(|p| p.checked_sub(1))
+            .and_then(|i| req.path.hops().get(i).copied())
+            .or_else(|| req.flow.src_host());
+        let Some(neighbor) = neighbor else { return };
+        let Some(&link) = self.fwd.lookup(neighbor).copied().as_ref() else {
+            return;
+        };
+        self.counters.disconnects_peer += 1;
+        self.trace(now, || {
+            format!(
+                "disconnecting peer {} (link {:?}) over {}",
+                neighbor, link, req.flow
+            )
+        });
+        ctx.set_incoming_blocked(link, true);
+    }
+
+    /// A shadowed flow reappeared: reinstall the temporary filter and
+    /// escalate one round.
+    fn on_reactivation(
+        &mut self,
+        entry: aitf_filter::ShadowEntry,
+        packet: &Packet,
+        ctx: &mut Context<'_>,
+    ) {
+        let now = ctx.now();
+        let _ = self.filters.install(entry.label, now, self.cfg.t_tmp);
+        let cooldown = self.cfg.t_tmp / 2;
+        if now.saturating_since(entry.last_action) < cooldown {
+            return;
+        }
+        let round = entry.round.saturating_add(1).min(self.cfg.max_round);
+        self.shadow.note_round(&entry.label, round);
+        self.shadow.touch_action(&entry.label, now);
+        // Prefer the stored path; fall back to the triggering packet's
+        // route record (plus our own hop).
+        let path = if entry.path.is_empty() {
+            let mut hops = packet.route_record.hops().to_vec();
+            if hops.last() != Some(&self.addr) {
+                hops.push(self.addr);
+            }
+            hops
+        } else {
+            entry.path.clone()
+        };
+        let req = FilteringRequest {
+            id: entry.request_id,
+            flow: entry.label,
+            dest: RequestDestination::VictimGateway,
+            duration_ns: self.cfg.t_long.as_nanos(),
+            path: aitf_packet::RouteRecord::from_hops(path.iter().copied()),
+            round,
+        };
+        self.propagate_as_victim_gateway(req, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Attacker-gateway role.
+    // ------------------------------------------------------------------
+
+    fn attacker_gateway_role(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if !self.policy.cooperating {
+            self.counters.requests_ignored += 1;
+            self.trace(now, || {
+                format!("ignoring request for {} (non-cooperating)", req.flow)
+            });
+            return;
+        }
+        if self.cfg.verification {
+            self.start_handshake(req, ctx);
+        } else {
+            self.satisfy_attacker_side(req, ctx);
+        }
+    }
+
+    fn start_handshake(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let Some(victim) = req.flow.dst_host() else {
+            // Cannot query a wildcard victim; refuse conservatively.
+            self.counters.requests_invalid += 1;
+            return;
+        };
+        let nonce = Nonce(ctx.rng().gen());
+        self.counters.handshakes_started += 1;
+        let query = VerificationQuery {
+            request_id: req.id,
+            flow: req.flow,
+            nonce,
+        };
+        self.pending_handshakes.insert(
+            nonce.0,
+            PendingHandshake {
+                request: req,
+                nonce,
+            },
+        );
+        let token = self.alloc_token(TimerAction::HandshakeTimeout { nonce: nonce.0 });
+        ctx.set_timer(self.cfg.handshake_timeout, token);
+        self.trace(now, || {
+            format!("handshake query to {} nonce {}", victim, nonce)
+        });
+        self.send_control(ctx, victim, AitfMessage::VerificationQuery(query));
+    }
+
+    fn handle_verification_reply(&mut self, rep: VerificationReply, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let Some(pending) = self.pending_handshakes.remove(&rep.nonce.0) else {
+            return;
+        };
+        // The reply must echo the exact flow, nonce and request id.
+        if pending.request.id != rep.request_id
+            || pending.request.flow != rep.flow
+            || pending.nonce != rep.nonce
+        {
+            self.pending_handshakes.insert(rep.nonce.0, pending);
+            return;
+        }
+        if rep.confirm {
+            self.counters.handshakes_confirmed += 1;
+            self.trace(now, || format!("handshake confirmed for {}", rep.flow));
+            self.satisfy_attacker_side(pending.request, ctx);
+        } else {
+            self.counters.handshakes_denied += 1;
+            self.trace(now, || format!("handshake DENIED for {}", rep.flow));
+        }
+    }
+
+    /// Installs the long filter and pushes the request one step closer to
+    /// the attacker, arming the disconnection grace timer.
+    fn satisfy_attacker_side(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        match self.filters.install(req.flow, now, self.cfg.t_long) {
+            Ok(_) => self.counters.filters_installed += 1,
+            Err(InstallError::TableFull) => {
+                self.counters.requests_unsatisfiable += 1;
+                return;
+            }
+        }
+        self.trace(now, || format!("attacker-gw: T-filter for {}", req.flow));
+
+        // Who is my misbehaving client for this flow? Round 1: the attacker
+        // host itself. Round k: the (k-1)-th node on the path — the client
+        // network that failed to cooperate.
+        let my_pos = req.path.position(self.addr);
+        let client: Option<Addr> = match my_pos {
+            Some(0) | None => req.flow.src_host(),
+            Some(p) => req.path.hops().get(p - 1).copied(),
+        };
+        let Some(client) = client else { return };
+        let client_link = self.fwd.lookup(client).copied();
+        // Only police/disconnect parties that actually hang off a client
+        // interface of ours.
+        let is_client = client_link.is_some_and(|l| self.client_links.contains_key(&l));
+
+        let notice = FilteringRequest {
+            dest: RequestDestination::Attacker,
+            ..req.clone()
+        };
+        self.counters.attacker_notices_sent += 1;
+        self.send_control(ctx, client, AitfMessage::FilteringRequest(notice));
+
+        if is_client {
+            let watch_id = self.next_id;
+            self.next_id += 1;
+            self.grace_watches.insert(
+                watch_id,
+                GraceWatch {
+                    flow: req.flow,
+                    client_link,
+                    armed_at: now,
+                },
+            );
+            let token = self.alloc_token(TimerAction::GraceCheck { watch: watch_id });
+            ctx.set_timer(self.cfg.grace, token);
+        }
+    }
+
+    /// `dest=Attacker` addressed to a *router*: an upstream gateway holds us
+    /// responsible. A cooperating router blocks the flow itself and relays
+    /// the notice towards the true attacker.
+    fn attacker_role(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if !self.policy.cooperating {
+            self.counters.requests_ignored += 1;
+            return;
+        }
+        self.trace(now, || {
+            format!("attacker-role: blocking {} (or be disconnected)", req.flow)
+        });
+        // Block the flow ourselves and relay one step closer to the true
+        // attacker, with the same grace-watch policing of our own client.
+        self.satisfy_attacker_side(req, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+    // ------------------------------------------------------------------
+
+    fn on_grace_check(&mut self, watch_id: u64, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let Some(watch) = self.grace_watches.remove(&watch_id) else {
+            return;
+        };
+        // Has the flow kept arriving well into the grace period?
+        let margin = self.cfg.grace / 2;
+        let still_flowing = self
+            .filters
+            .last_hit_of(&watch.flow)
+            .is_some_and(|t| t > watch.armed_at + margin);
+        if still_flowing {
+            if let Some(link) = watch.client_link {
+                self.counters.disconnects_client += 1;
+                self.trace(now, || {
+                    format!(
+                        "grace expired: disconnecting client link {:?} over {}",
+                        link, watch.flow
+                    )
+                });
+                ctx.set_incoming_blocked(link, true);
+            }
+        }
+    }
+
+    /// Reconnects a previously disconnected client (operator action in the
+    /// paper's world; exposed for experiments).
+    pub fn reconnect(&mut self, link: LinkId, ctx: &mut Context<'_>) {
+        ctx.set_incoming_blocked(link, false);
+    }
+}
+
+impl Node for BorderRouter {
+    fn on_packet(&mut self, packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
+        if packet.header.dst == self.addr {
+            self.handle_control(packet, link, ctx);
+            return;
+        }
+        // Compromised on-path router: snoop verification queries and forge
+        // confirming replies (Section III-B's caveat).
+        if self.policy.compromised {
+            if let PayloadKind::Aitf(AitfMessage::VerificationQuery(q)) = &packet.payload {
+                let forged = VerificationReply {
+                    request_id: q.request_id,
+                    flow: q.flow,
+                    nonce: q.nonce,
+                    confirm: true,
+                };
+                let origin = packet.header.src;
+                let victim = packet.header.dst;
+                self.counters.handshakes_forged += 1;
+                let id = ctx.next_packet_id();
+                // Spoof the victim's address as the reply source.
+                if let Some(&out) = self.fwd.lookup(origin) {
+                    let mut reply =
+                        Packet::control(id, victim, origin, AitfMessage::VerificationReply(forged));
+                    reply.header.src = victim;
+                    ctx.send(out, reply);
+                }
+                // Swallow the query so the real victim never denies it.
+                return;
+            }
+        }
+        self.forward_data(packet, link, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        match self.token_map.remove(&token) {
+            Some(TimerAction::HandshakeTimeout { nonce }) => {
+                if self.pending_handshakes.remove(&nonce).is_some() {
+                    self.counters.handshakes_timed_out += 1;
+                }
+            }
+            Some(TimerAction::GraceCheck { watch }) => self.on_grace_check(watch, ctx),
+            None => {}
+        }
+    }
+
+    impl_node_any!();
+}

@@ -1,0 +1,502 @@
+//! World builder: assembles AITF networks, hosts and routing into a
+//! runnable simulation.
+//!
+//! An *AITF network* (Section II-A) is an Autonomous Domain fronted by one
+//! border router, with filtering contracts towards its end-hosts and its
+//! neighbour ADs. The builder mirrors the paper's Figure 1: networks form
+//! a provider hierarchy (`G_net ⊂ G_isp ⊂ G_wan`), top-level ADs peer with
+//! each other, and end hosts hang off their network's border router
+//! through a tail circuit.
+//!
+//! # Examples
+//!
+//! ```
+//! use aitf_core::{AitfConfig, WorldBuilder};
+//! use aitf_netsim::SimDuration;
+//!
+//! let mut b = WorldBuilder::new(42, AitfConfig::default());
+//! let wan = b.network("wan", "10.100.0.0/16", None);
+//! let net = b.network("net", "10.1.0.0/16", Some(wan));
+//! let host = b.host(net);
+//! let mut world = b.build();
+//! world.sim.run_for(SimDuration::from_secs(1));
+//! assert!(world.host_addr(host).to_string().starts_with("10.1."));
+//! ```
+
+use std::collections::HashMap;
+
+use aitf_netsim::{LinkId, LinkParams, NetworkBuilder, NodeId, SimDuration, Simulator};
+use aitf_packet::{Addr, LpmTable, Prefix};
+
+use crate::config::{AitfConfig, HostPolicy, RouterPolicy};
+use crate::host::{EndHost, TrafficApp};
+use crate::router::{BorderRouter, RouterSpec};
+
+/// Handle to a network (AD) in a [`WorldBuilder`] / [`World`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NetId(pub usize);
+
+/// Handle to an end host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HostId(pub usize);
+
+struct NetSpec {
+    name: String,
+    prefix: Prefix,
+    parent: Option<usize>,
+    policy: RouterPolicy,
+    uplink_params: LinkParams,
+}
+
+struct HostSpec {
+    net: usize,
+    policy: HostPolicy,
+    link_params: LinkParams,
+}
+
+/// Builder for an AITF world.
+pub struct WorldBuilder {
+    seed: u64,
+    cfg: AitfConfig,
+    nets: Vec<NetSpec>,
+    hosts: Vec<HostSpec>,
+    peerings: Vec<(usize, usize, LinkParams)>,
+}
+
+impl WorldBuilder {
+    /// Default inter-network link: 1 Gbit/s, 10 ms, fat queue.
+    pub fn default_net_link() -> LinkParams {
+        LinkParams::ethernet(1_000_000_000, SimDuration::from_millis(10)).with_queue_bytes(1 << 20)
+    }
+
+    /// Default tail circuit: 10 Mbit/s, 5 ms, shallow queue — the paper's
+    /// introduction example of a link an attacker can congest.
+    pub fn default_host_link() -> LinkParams {
+        LinkParams::ethernet(10_000_000, SimDuration::from_millis(5))
+    }
+
+    /// Creates a builder.
+    pub fn new(seed: u64, cfg: AitfConfig) -> Self {
+        WorldBuilder {
+            seed,
+            cfg,
+            nets: Vec::new(),
+            hosts: Vec::new(),
+            peerings: Vec::new(),
+        }
+    }
+
+    /// Declares a network with the default router policy and uplink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` does not parse or overlaps an existing network.
+    pub fn network(&mut self, name: &str, prefix: &str, parent: Option<NetId>) -> NetId {
+        self.network_with(
+            name,
+            prefix,
+            parent,
+            RouterPolicy::default(),
+            Self::default_net_link(),
+        )
+    }
+
+    /// Declares a network with explicit policy and uplink parameters.
+    pub fn network_with(
+        &mut self,
+        name: &str,
+        prefix: &str,
+        parent: Option<NetId>,
+        policy: RouterPolicy,
+        uplink_params: LinkParams,
+    ) -> NetId {
+        let prefix: Prefix = prefix.parse().expect("invalid network prefix");
+        for n in &self.nets {
+            assert!(
+                !n.prefix.overlaps(prefix),
+                "prefix {prefix} overlaps existing network {}",
+                n.name
+            );
+        }
+        let id = NetId(self.nets.len());
+        self.nets.push(NetSpec {
+            name: name.to_string(),
+            prefix,
+            parent: parent.map(|p| p.0),
+            policy,
+            uplink_params,
+        });
+        id
+    }
+
+    /// Overrides a network's router policy before building.
+    pub fn set_router_policy(&mut self, net: NetId, policy: RouterPolicy) {
+        self.nets[net.0].policy = policy;
+    }
+
+    /// Adds a compliant host with the default tail circuit.
+    pub fn host(&mut self, net: NetId) -> HostId {
+        self.host_with(net, HostPolicy::Compliant, Self::default_host_link())
+    }
+
+    /// Adds a host with explicit policy and tail-circuit parameters.
+    pub fn host_with(&mut self, net: NetId, policy: HostPolicy, link_params: LinkParams) -> HostId {
+        let id = HostId(self.hosts.len());
+        self.hosts.push(HostSpec {
+            net: net.0,
+            policy,
+            link_params,
+        });
+        id
+    }
+
+    /// Connects two (typically top-level) networks as peers.
+    pub fn peer(&mut self, a: NetId, b: NetId, params: LinkParams) {
+        self.peerings.push((a.0, b.0, params));
+    }
+
+    /// Assembles the simulator, routing tables and protocol nodes, with
+    /// [`BorderRouter`]s at every network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent input: a network with more than 250 hosts,
+    /// or a disconnected topology being asked to route.
+    pub fn build(self) -> World {
+        self.build_with_routers(|spec| Box::new(BorderRouter::new(spec)))
+    }
+
+    /// Like [`WorldBuilder::build`] but with a custom router factory —
+    /// the pushback baseline substitutes its own router node type while
+    /// reusing all the topology, addressing and routing machinery.
+    pub fn build_with_routers(
+        self,
+        make_router: impl Fn(RouterSpec) -> Box<dyn aitf_netsim::Node>,
+    ) -> World {
+        let mut nb = NetworkBuilder::new(self.seed);
+
+        // One node per router, one per host.
+        let router_nodes: Vec<NodeId> = self.nets.iter().map(|_| nb.add_node()).collect();
+        let host_nodes: Vec<NodeId> = self.hosts.iter().map(|_| nb.add_node()).collect();
+
+        // Links: child → parent uplinks, host tail circuits, peerings.
+        let mut uplinks: Vec<Option<LinkId>> = vec![None; self.nets.len()];
+        for (i, net) in self.nets.iter().enumerate() {
+            if let Some(p) = net.parent {
+                uplinks[i] = Some(nb.connect(router_nodes[i], router_nodes[p], net.uplink_params));
+            }
+        }
+        let tail_links: Vec<LinkId> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| nb.connect(host_nodes[i], router_nodes[h.net], h.link_params))
+            .collect();
+        for &(a, b, params) in &self.peerings {
+            nb.connect(router_nodes[a], router_nodes[b], params);
+        }
+
+        let mut sim = nb.build();
+        let next_hops = sim.compute_next_hops(|_| 1);
+
+        // Address assignment: router = .254 of the first /24, hosts from 1.
+        let router_addr: Vec<Addr> = self.nets.iter().map(|n| n.prefix.host_at(254)).collect();
+        let mut hosts_in_net: HashMap<usize, u32> = HashMap::new();
+        let host_addr: Vec<Addr> = self
+            .hosts
+            .iter()
+            .map(|h| {
+                let k = hosts_in_net.entry(h.net).or_insert(0);
+                *k += 1;
+                assert!(*k <= 250, "more than 250 hosts in one network");
+                self.nets[h.net].prefix.host_at(*k)
+            })
+            .collect();
+
+        // Longest-prefix-match forwarding: one route per remote network
+        // prefix (towards its border router) plus /32 routes for the hosts
+        // of a router's own network — the aggregation a real AS-level
+        // forwarding table has.
+        let fwd_for = |node: NodeId| -> LpmTable<LinkId> {
+            let mut table = LpmTable::new();
+            for (n, net) in self.nets.iter().enumerate() {
+                if router_nodes[n] == node {
+                    continue;
+                }
+                if let Some(link) = next_hops.next_hop(node, router_nodes[n]) {
+                    table.insert(net.prefix, link);
+                }
+            }
+            for (h, _) in self.hosts.iter().enumerate() {
+                if host_nodes[h] == node {
+                    continue;
+                }
+                if let Some(link) = next_hops.next_hop(node, host_nodes[h]) {
+                    // Only the host's own gateway needs the /32 (remote
+                    // nodes reach it through the prefix route), but adding
+                    // it everywhere is harmless and keeps the closure
+                    // simple; LPM prefers the /32 exactly where it differs.
+                    table.insert(Prefix::host(host_addr[h]), link);
+                }
+            }
+            table
+        };
+
+        // Subtree prefixes (self + all descendants) per network.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.nets.len()];
+        for (i, net) in self.nets.iter().enumerate() {
+            if let Some(p) = net.parent {
+                children[p].push(i);
+            }
+        }
+        fn collect_subtree(
+            i: usize,
+            children: &[Vec<usize>],
+            nets: &[NetSpec],
+            out: &mut Vec<Prefix>,
+        ) {
+            out.push(nets[i].prefix);
+            for &c in &children[i] {
+                collect_subtree(c, children, nets, out);
+            }
+        }
+        let subtree: Vec<Vec<Prefix>> = (0..self.nets.len())
+            .map(|i| {
+                let mut v = Vec::new();
+                collect_subtree(i, &children, &self.nets, &mut v);
+                v
+            })
+            .collect();
+
+        // Install routers.
+        for (i, net) in self.nets.iter().enumerate() {
+            let mut client_links: HashMap<LinkId, Vec<Prefix>> = HashMap::new();
+            for &c in &children[i] {
+                let link = uplinks[c].expect("child has an uplink");
+                client_links.insert(link, subtree[c].clone());
+            }
+            for (h, hspec) in self.hosts.iter().enumerate() {
+                if hspec.net == i {
+                    // Ingress filtering is at network granularity (Section
+                    // III-A: a provider keeps spoofed flows from *exiting
+                    // its network*); spoofing inside one's own prefix is
+                    // exactly what ingress filtering cannot catch.
+                    client_links.insert(tail_links[h], vec![net.prefix]);
+                }
+            }
+            let spec = RouterSpec {
+                addr: router_addr[i],
+                fwd: fwd_for(router_nodes[i]),
+                uplink: uplinks[i],
+                parent_gw: net.parent.map(|p| router_addr[p]),
+                client_links,
+                config: self.cfg.clone(),
+                policy: net.policy,
+            };
+            sim.install(router_nodes[i], make_router(spec));
+        }
+
+        // Install hosts.
+        for (h, hspec) in self.hosts.iter().enumerate() {
+            let host = EndHost::new(
+                host_addr[h],
+                router_addr[hspec.net],
+                tail_links[h],
+                self.cfg.clone(),
+                hspec.policy,
+            );
+            sim.install(host_nodes[h], Box::new(host));
+        }
+
+        World {
+            sim,
+            cfg: self.cfg,
+            net_names: self.nets.iter().map(|n| n.name.clone()).collect(),
+            net_prefixes: self.nets.iter().map(|n| n.prefix).collect(),
+            router_nodes,
+            router_addr,
+            host_nodes,
+            host_addr,
+            host_net: self.hosts.iter().map(|h| h.net).collect(),
+            tail_links,
+            uplinks,
+        }
+    }
+}
+
+/// A built AITF world: the simulator plus the name/address bookkeeping the
+/// experiment harness needs.
+pub struct World {
+    /// The underlying simulator; run it with `run_for`/`run_until`.
+    pub sim: Simulator,
+    /// The configuration the world was built with.
+    pub cfg: AitfConfig,
+    net_names: Vec<String>,
+    net_prefixes: Vec<Prefix>,
+    router_nodes: Vec<NodeId>,
+    router_addr: Vec<Addr>,
+    host_nodes: Vec<NodeId>,
+    host_addr: Vec<Addr>,
+    host_net: Vec<usize>,
+    tail_links: Vec<LinkId>,
+    uplinks: Vec<Option<LinkId>>,
+}
+
+impl World {
+    /// Number of networks.
+    pub fn net_count(&self) -> usize {
+        self.router_nodes.len()
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.host_nodes.len()
+    }
+
+    /// A network's display name.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// A network's prefix.
+    pub fn net_prefix(&self, net: NetId) -> Prefix {
+        self.net_prefixes[net.0]
+    }
+
+    /// A network's border-router address.
+    pub fn router_addr(&self, net: NetId) -> Addr {
+        self.router_addr[net.0]
+    }
+
+    /// A network's border-router node id.
+    pub fn router_node(&self, net: NetId) -> NodeId {
+        self.router_nodes[net.0]
+    }
+
+    /// A host's address.
+    pub fn host_addr(&self, host: HostId) -> Addr {
+        self.host_addr[host.0]
+    }
+
+    /// A host's node id.
+    pub fn host_node(&self, host: HostId) -> NodeId {
+        self.host_nodes[host.0]
+    }
+
+    /// The network a host belongs to.
+    pub fn host_net(&self, host: HostId) -> NetId {
+        NetId(self.host_net[host.0])
+    }
+
+    /// A host's tail-circuit link.
+    pub fn tail_link(&self, host: HostId) -> LinkId {
+        self.tail_links[host.0]
+    }
+
+    /// A network's uplink towards its provider.
+    pub fn uplink(&self, net: NetId) -> Option<LinkId> {
+        self.uplinks[net.0]
+    }
+
+    /// Read access to a border router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a [`BorderRouter`] (cannot happen for ids
+    /// from this world).
+    pub fn router(&self, net: NetId) -> &BorderRouter {
+        self.sim
+            .node_ref::<BorderRouter>(self.router_nodes[net.0])
+            .expect("router node")
+    }
+
+    /// Mutable access to a border router.
+    pub fn router_mut(&mut self, net: NetId) -> &mut BorderRouter {
+        self.sim
+            .node_mut::<BorderRouter>(self.router_nodes[net.0])
+            .expect("router node")
+    }
+
+    /// Read access to a host.
+    pub fn host(&self, host: HostId) -> &EndHost {
+        self.sim
+            .node_ref::<EndHost>(self.host_nodes[host.0])
+            .expect("host node")
+    }
+
+    /// Mutable access to a host.
+    pub fn host_mut(&mut self, host: HostId) -> &mut EndHost {
+        self.sim
+            .node_mut::<EndHost>(self.host_nodes[host.0])
+            .expect("host node")
+    }
+
+    /// Installs a traffic application on a host (before the run starts).
+    pub fn add_app(&mut self, host: HostId, app: Box<dyn TrafficApp>) {
+        self.host_mut(host).add_app(app);
+    }
+
+    /// Attack bytes delivered to a host so far (the victim's effective
+    /// bandwidth numerator).
+    pub fn attack_bytes_at(&self, host: HostId) -> u64 {
+        self.host(host).counters().rx_attack_bytes
+    }
+
+    /// Legitimate bytes delivered to a host so far.
+    pub fn legit_bytes_at(&self, host: HostId) -> u64 {
+        self.host(host).counters().rx_legit_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level_world() -> (World, NetId, NetId, HostId, HostId) {
+        let mut b = WorldBuilder::new(1, AitfConfig::default());
+        let wan = b.network("wan", "10.100.0.0/16", None);
+        let g_net = b.network("g_net", "10.1.0.0/16", Some(wan));
+        let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
+        let v = b.host(g_net);
+        let a = b.host(b_net);
+        (b.build(), g_net, b_net, v, a)
+    }
+
+    #[test]
+    fn addresses_follow_prefixes() {
+        let (w, g_net, b_net, v, a) = two_level_world();
+        assert_eq!(w.router_addr(g_net), Addr::new(10, 1, 0, 254));
+        assert_eq!(w.router_addr(b_net), Addr::new(10, 9, 0, 254));
+        assert_eq!(w.host_addr(v), Addr::new(10, 1, 0, 1));
+        assert_eq!(w.host_addr(a), Addr::new(10, 9, 0, 1));
+        assert!(w.net_prefix(g_net).contains(w.host_addr(v)));
+    }
+
+    #[test]
+    fn world_accessors_are_consistent() {
+        let (w, g_net, _, v, _) = two_level_world();
+        assert_eq!(w.net_count(), 3);
+        assert_eq!(w.host_count(), 2);
+        assert_eq!(w.host_net(v), g_net);
+        assert_eq!(w.net_name(g_net), "g_net");
+        assert_eq!(w.router(g_net).addr(), w.router_addr(g_net));
+        assert_eq!(w.host(v).addr(), w.host_addr(v));
+        assert!(w.uplink(g_net).is_some());
+        assert!(w.uplink(NetId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing network")]
+    fn overlapping_prefixes_rejected() {
+        let mut b = WorldBuilder::new(1, AitfConfig::default());
+        b.network("a", "10.0.0.0/8", None);
+        b.network("b", "10.1.0.0/16", None);
+    }
+
+    #[test]
+    fn empty_world_runs() {
+        let (mut w, ..) = two_level_world();
+        w.sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(w.sim.now().as_secs_f64(), 1.0);
+    }
+}

@@ -1,0 +1,484 @@
+//! The DRAM shadow cache.
+//!
+//! Section II-B: the victim's gateway *"installs a filter for `Ttmp ≪ T`
+//! time units, but keeps a 'shadow' of the filter in DRAM for `T` time
+//! units"*. The shadow exists to defeat "on-off" attackers (footnote 2):
+//! when a logged flow reappears after its temporary filter expired, the
+//! gateway knows immediately that the attacker's gateway never took over
+//! and can reinstall the filter and escalate, rather than re-running the
+//! whole detection pipeline.
+//!
+//! DRAM is cheap, so the cache is large (`mv = R1·T` entries are enough to
+//! honour a contract, Section IV-B) but still bounded; beyond capacity the
+//! oldest entry is evicted FIFO.
+
+use std::collections::HashMap;
+
+use aitf_netsim::{SimDuration, SimTime};
+use aitf_packet::{Addr, FlowLabel, Header};
+
+/// A logged filtering request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShadowEntry {
+    /// The blocked flow.
+    pub label: FlowLabel,
+    /// The originating request id.
+    pub request_id: u64,
+    /// When the request was logged.
+    pub logged_at: SimTime,
+    /// When the shadow stops being relevant (the `T` horizon).
+    pub expires: SimTime,
+    /// The escalation round the request had reached when last seen.
+    pub round: u8,
+    /// How many times the flow reappeared while shadowed (on-off count).
+    pub reactivations: u32,
+    /// The attack path carried by the logged request (border routers,
+    /// attacker side first). Escalation reads rounds off this path.
+    pub path: Vec<Addr>,
+    /// Last time the logging router acted on this entry (propagated or
+    /// escalated the request) — used to damp duplicate escalations.
+    pub last_action: SimTime,
+}
+
+/// Statistics for the shadow cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShadowStats {
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries refreshed in place.
+    pub refreshes: u64,
+    /// Entries evicted FIFO because the cache was full.
+    pub evictions: u64,
+    /// Entries that aged out.
+    pub expirations: u64,
+    /// Packet checks that found a live shadow (on-off detections).
+    pub reactivation_hits: u64,
+    /// Highest simultaneous occupancy observed.
+    pub peak_occupancy: usize,
+}
+
+/// The DRAM log of recent filtering requests.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_filter::ShadowCache;
+/// use aitf_netsim::{SimDuration, SimTime};
+/// use aitf_packet::{Addr, FlowLabel, Header};
+///
+/// let mut cache = ShadowCache::new(1000);
+/// let label = FlowLabel::src_dst(Addr::new(10, 9, 0, 7), Addr::new(10, 1, 0, 1));
+/// cache.insert(label, 42, SimTime::ZERO, SimDuration::from_secs(60), 1);
+///
+/// // The flow reappears 30 s later: the cache recognises it instantly.
+/// let hdr = Header::udp(Addr::new(10, 9, 0, 7), Addr::new(10, 1, 0, 1), 1, 2);
+/// let t = SimTime::ZERO + SimDuration::from_secs(30);
+/// assert!(cache.check_reactivation(&hdr, t).is_some());
+/// ```
+#[derive(Debug)]
+pub struct ShadowCache {
+    capacity: usize,
+    /// Entries in insertion order (for FIFO eviction); `None` = tombstone.
+    entries: Vec<Option<ShadowEntry>>,
+    /// Index of the oldest possibly-live slot.
+    head: usize,
+    /// Index: destination host → slot indices.
+    by_dst: HashMap<Addr, Vec<usize>>,
+    /// Slots whose label destination is not a /32.
+    wildcard_dst: Vec<usize>,
+    live: usize,
+    stats: ShadowStats,
+}
+
+impl ShadowCache {
+    /// Creates a cache holding at most `capacity` shadows.
+    pub fn new(capacity: usize) -> Self {
+        ShadowCache {
+            capacity,
+            entries: Vec::new(),
+            head: 0,
+            by_dst: HashMap::new(),
+            wildcard_dst: Vec::new(),
+            live: 0,
+            stats: ShadowStats::default(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entry count as of the last operation.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ShadowStats {
+        self.stats
+    }
+
+    /// Logs a filtering request for `ttl`; refreshes in place if the exact
+    /// label is already shadowed (keeping the later expiry and the higher
+    /// round).
+    pub fn insert(
+        &mut self,
+        label: FlowLabel,
+        request_id: u64,
+        now: SimTime,
+        ttl: SimDuration,
+        round: u8,
+    ) {
+        self.insert_with_path(label, request_id, now, ttl, round, Vec::new());
+    }
+
+    /// Like [`ShadowCache::insert`], also logging the request's attack path.
+    /// A longer path replaces a shorter one on refresh.
+    pub fn insert_with_path(
+        &mut self,
+        label: FlowLabel,
+        request_id: u64,
+        now: SimTime,
+        ttl: SimDuration,
+        round: u8,
+        path: Vec<Addr>,
+    ) {
+        self.purge_expired(now);
+        let expires = now.saturating_add(ttl);
+        if let Some(idx) = self.find_exact(&label) {
+            let e = self.entries[idx].as_mut().expect("indexed slot is live");
+            e.expires = e.expires.max(expires);
+            e.round = e.round.max(round);
+            e.request_id = request_id;
+            if path.len() > e.path.len() {
+                e.path = path;
+            }
+            self.stats.refreshes += 1;
+            return;
+        }
+        if self.live >= self.capacity {
+            self.evict_oldest();
+        }
+        let idx = self.entries.len();
+        self.entries.push(Some(ShadowEntry {
+            label,
+            request_id,
+            logged_at: now,
+            expires,
+            round,
+            reactivations: 0,
+            path,
+            last_action: now,
+        }));
+        match label.dst_host() {
+            Some(dst) => self.by_dst.entry(dst).or_default().push(idx),
+            None => self.wildcard_dst.push(idx),
+        }
+        self.live += 1;
+        self.stats.inserts += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.live);
+    }
+
+    /// Checks whether `header` belongs to a shadowed (recently blocked)
+    /// flow. On a hit, bumps the entry's reactivation count and returns a
+    /// copy — the caller reinstalls a temporary filter and escalates.
+    pub fn check_reactivation(&mut self, header: &Header, now: SimTime) -> Option<ShadowEntry> {
+        let idx = self.find_matching(header, now)?;
+        let e = self.entries[idx].as_mut().expect("matched slot is live");
+        e.reactivations += 1;
+        self.stats.reactivation_hits += 1;
+        Some(e.clone())
+    }
+
+    /// Looks up the shadow for an exact label without touching statistics.
+    pub fn get(&self, label: &FlowLabel) -> Option<&ShadowEntry> {
+        self.find_exact(label)
+            .map(|i| self.entries[i].as_ref().expect("live slot"))
+    }
+
+    /// Records that the request for `label` has escalated to `round`.
+    pub fn note_round(&mut self, label: &FlowLabel, round: u8) {
+        if let Some(idx) = self.find_exact(label) {
+            let e = self.entries[idx].as_mut().expect("live slot");
+            e.round = e.round.max(round);
+        }
+    }
+
+    /// Records that the logging router acted on `label` at `now`.
+    pub fn touch_action(&mut self, label: &FlowLabel, now: SimTime) {
+        if let Some(idx) = self.find_exact(label) {
+            self.entries[idx].as_mut().expect("live slot").last_action = now;
+        }
+    }
+
+    /// Drops entries expired at or before `now`.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let expired: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e.expires)))
+            .filter(|&(_, exp)| exp <= now)
+            .map(|(i, _)| i)
+            .collect();
+        for i in expired {
+            self.remove_slot(i);
+            self.stats.expirations += 1;
+        }
+        self.compact_if_sparse();
+    }
+
+    fn evict_oldest(&mut self) {
+        while self.head < self.entries.len() {
+            if self.entries[self.head].is_some() {
+                self.remove_slot(self.head);
+                self.stats.evictions += 1;
+                return;
+            }
+            self.head += 1;
+        }
+    }
+
+    fn find_exact(&self, label: &FlowLabel) -> Option<usize> {
+        let scan: &[usize] = match label.dst_host() {
+            Some(dst) => self.by_dst.get(&dst).map(Vec::as_slice).unwrap_or(&[]),
+            None => &self.wildcard_dst,
+        };
+        scan.iter()
+            .copied()
+            .find(|&i| self.entries[i].as_ref().is_some_and(|e| e.label == *label))
+    }
+
+    fn find_matching(&self, header: &Header, now: SimTime) -> Option<usize> {
+        if let Some(indices) = self.by_dst.get(&header.dst) {
+            for &i in indices {
+                if let Some(e) = self.entries[i].as_ref() {
+                    if e.expires > now && e.label.matches(header) {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        self.wildcard_dst.iter().copied().find(|&i| {
+            self.entries[i]
+                .as_ref()
+                .is_some_and(|e| e.expires > now && e.label.matches(header))
+        })
+    }
+
+    fn remove_slot(&mut self, idx: usize) {
+        let entry = self.entries[idx].take().expect("removing a live slot");
+        match entry.label.dst_host() {
+            Some(dst) => {
+                if let Some(v) = self.by_dst.get_mut(&dst) {
+                    v.retain(|&i| i != idx);
+                    if v.is_empty() {
+                        self.by_dst.remove(&dst);
+                    }
+                }
+            }
+            None => self.wildcard_dst.retain(|&i| i != idx),
+        }
+        self.live -= 1;
+    }
+
+    /// Rebuilds storage when tombstones dominate, keeping memory bounded
+    /// over long runs.
+    fn compact_if_sparse(&mut self) {
+        if self.entries.len() < 64 || self.live * 4 > self.entries.len() {
+            return;
+        }
+        let old = std::mem::take(&mut self.entries);
+        self.by_dst.clear();
+        self.wildcard_dst.clear();
+        self.head = 0;
+        for entry in old.into_iter().flatten() {
+            let idx = self.entries.len();
+            match entry.label.dst_host() {
+                Some(dst) => self.by_dst.entry(dst).or_default().push(idx),
+                None => self.wildcard_dst.push(idx),
+            }
+            self.entries.push(Some(entry));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn label(i: u8) -> FlowLabel {
+        FlowLabel::src_dst(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1))
+    }
+
+    fn header(i: u8) -> Header {
+        Header::udp(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1), 1, 2)
+    }
+
+    #[test]
+    fn insert_and_reactivate() {
+        let mut c = ShadowCache::new(100);
+        c.insert(label(1), 7, t(0), SimDuration::from_secs(60), 1);
+        let hit = c
+            .check_reactivation(&header(1), t(30))
+            .expect("shadow live");
+        assert_eq!(hit.request_id, 7);
+        assert_eq!(hit.reactivations, 1);
+        let hit2 = c.check_reactivation(&header(1), t(40)).expect("still live");
+        assert_eq!(hit2.reactivations, 2);
+        assert!(c.check_reactivation(&header(2), t(30)).is_none());
+    }
+
+    #[test]
+    fn shadow_expires_at_t_horizon() {
+        let mut c = ShadowCache::new(100);
+        c.insert(label(1), 7, t(0), SimDuration::from_secs(60), 1);
+        assert!(c.check_reactivation(&header(1), t(61)).is_none());
+        c.purge_expired(t(61));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn refresh_keeps_later_expiry_and_higher_round() {
+        let mut c = ShadowCache::new(100);
+        c.insert(label(1), 7, t(0), SimDuration::from_secs(60), 2);
+        c.insert(label(1), 8, t(10), SimDuration::from_secs(10), 1);
+        let e = c.get(&label(1)).unwrap();
+        assert_eq!(e.expires, t(60));
+        assert_eq!(e.round, 2);
+        assert_eq!(e.request_id, 8);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut c = ShadowCache::new(3);
+        for i in 0..3 {
+            c.insert(
+                label(i),
+                i as u64,
+                t(i as u64),
+                SimDuration::from_secs(600),
+                1,
+            );
+        }
+        c.insert(label(9), 9, t(3), SimDuration::from_secs(600), 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 1);
+        // The oldest (label 0) is gone; the newest present.
+        assert!(c.get(&label(0)).is_none());
+        assert!(c.get(&label(9)).is_some());
+    }
+
+    #[test]
+    fn note_round_monotonic() {
+        let mut c = ShadowCache::new(10);
+        c.insert(label(1), 1, t(0), SimDuration::from_secs(60), 1);
+        c.note_round(&label(1), 3);
+        assert_eq!(c.get(&label(1)).unwrap().round, 3);
+        c.note_round(&label(1), 2);
+        assert_eq!(c.get(&label(1)).unwrap().round, 3);
+    }
+
+    #[test]
+    fn wildcard_labels_supported() {
+        let mut c = ShadowCache::new(10);
+        let wide = FlowLabel::net_to_host("10.9.0.0/16".parse().unwrap(), Addr::new(10, 1, 0, 1));
+        c.insert(wide, 1, t(0), SimDuration::from_secs(60), 1);
+        assert!(c.check_reactivation(&header(200), t(1)).is_some());
+        // Wildcard-destination label too.
+        let mut c2 = ShadowCache::new(10);
+        let any_dst = FlowLabel {
+            src: aitf_packet::Prefix::host(Addr::new(10, 9, 0, 1)),
+            ..FlowLabel::ANY
+        };
+        c2.insert(any_dst, 2, t(0), SimDuration::from_secs(60), 1);
+        assert!(c2
+            .check_reactivation(
+                &Header::udp(Addr::new(10, 9, 0, 1), Addr::new(99, 9, 9, 9), 1, 2),
+                t(1)
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn compaction_preserves_live_entries() {
+        let mut c = ShadowCache::new(1000);
+        // Insert many short-lived entries plus a few long-lived ones.
+        for i in 0..200u32 {
+            let lab = FlowLabel::src_dst(
+                Addr::new(10, (i / 250) as u8, (i % 250) as u8, 1),
+                Addr::new(10, 1, 0, 1),
+            );
+            let ttl = if i % 50 == 0 { 600 } else { 1 };
+            c.insert(lab, i as u64, t(0), SimDuration::from_secs(ttl), 1);
+        }
+        c.purge_expired(t(10));
+        assert_eq!(c.len(), 4);
+        // Survivors still findable after compaction.
+        let survivor = FlowLabel::src_dst(Addr::new(10, 0, 0, 1), Addr::new(10, 1, 0, 1));
+        assert!(c.get(&survivor).is_some());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_highwater() {
+        let mut c = ShadowCache::new(100);
+        for i in 0..10 {
+            c.insert(label(i), i as u64, t(0), SimDuration::from_secs(60), 1);
+        }
+        c.purge_expired(t(61));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().peak_occupancy, 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The cache never exceeds capacity, and an entry can only be hit
+        /// within its TTL window.
+        #[test]
+        fn capacity_and_ttl_invariants(
+            ops in proptest::collection::vec((any::<u8>(), 1u64..100, 1u64..30), 1..200),
+            cap in 1usize..12,
+        ) {
+            let mut c = ShadowCache::new(cap);
+            let mut now = SimTime::ZERO;
+            // Refreshes keep the *later* expiry, so track ground truth.
+            let mut truth: std::collections::HashMap<u8, SimTime> = Default::default();
+            for (i, ttl, advance) in ops {
+                let lab = FlowLabel::src_dst(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1));
+                c.insert(lab, i as u64, now, SimDuration::from_secs(ttl), 1);
+                let exp = now + SimDuration::from_secs(ttl);
+                let entry = truth.entry(i).or_insert(exp);
+                *entry = (*entry).max(exp);
+                prop_assert!(c.len() <= cap);
+                now = now + SimDuration::from_secs(advance);
+                let hdr = Header::udp(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1), 1, 2);
+                if truth[&i] <= now {
+                    prop_assert!(
+                        c.check_reactivation(&hdr, now).is_none(),
+                        "hit after TTL"
+                    );
+                }
+                c.purge_expired(now);
+                prop_assert!(c.len() <= cap);
+            }
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! The bounded wire-speed filter table.
+//!
+//! A hardware router has "a fixed maximum number of wire-speed filters that
+//! can block traffic with no degradation in router performance ... typically
+//! limited to several thousand" (Section I). [`FilterTable`] enforces that
+//! bound: installation beyond capacity either fails or evicts according to
+//! the configured [`EvictionPolicy`], and the table tracks occupancy
+//! statistics that the benchmark harness compares against the paper's
+//! `nv = R1·Ttmp` and `na = R2·T` formulas.
+//!
+//! Lookups are indexed by destination host where possible (the common AITF
+//! label shape is `src host → dst host`), falling back to a scan of the
+//! small set of wildcard-destination filters.
+
+use std::collections::HashMap;
+
+use aitf_netsim::SimTime;
+use aitf_packet::{Addr, FlowLabel, Header};
+
+/// What to do when installing into a full table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvictionPolicy {
+    /// Refuse the new filter; the caller must escalate or drop the request.
+    /// This is the conservative behaviour the paper's contracts are sized
+    /// to make unnecessary.
+    #[default]
+    Reject,
+    /// Evict the entry closest to expiry to make room. Trades a short
+    /// window of unfiltered traffic for accepting the new request.
+    EvictSoonestExpiring,
+    /// Evict the least specific entry (widest label) to make room.
+    EvictLeastSpecific,
+}
+
+/// Why an installation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallError {
+    /// The table is full and the policy is [`EvictionPolicy::Reject`].
+    TableFull,
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::TableFull => write!(f, "filter table full"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// How an installation was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallOutcome {
+    /// A new entry was created.
+    Installed,
+    /// An identical label already existed; its expiry was extended.
+    Refreshed,
+    /// An existing, *wider* entry already blocks this flow; nothing added.
+    AlreadyCovered,
+    /// A new entry was created after evicting another (policy-dependent).
+    InstalledWithEviction,
+}
+
+/// Occupancy and traffic statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Successful new installations (including with eviction).
+    pub installs: u64,
+    /// Refreshes of an existing identical label.
+    pub refreshes: u64,
+    /// Requests absorbed by an already-covering entry.
+    pub covered: u64,
+    /// Installations rejected because the table was full.
+    pub rejections: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries that aged out.
+    pub expirations: u64,
+    /// Packets dropped by a matching filter.
+    pub hits: u64,
+    /// Packets checked that matched nothing.
+    pub misses: u64,
+    /// Highest simultaneous occupancy ever observed.
+    pub peak_occupancy: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    label: FlowLabel,
+    expires: SimTime,
+    installed: SimTime,
+    /// Last time a packet hit this filter; `None` until the first hit.
+    last_hit: Option<SimTime>,
+}
+
+/// A bounded table of blocking filters.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_filter::FilterTable;
+/// use aitf_netsim::{SimDuration, SimTime};
+/// use aitf_packet::{Addr, FlowLabel, Header};
+///
+/// let mut table = FilterTable::new(100);
+/// let attacker = Addr::new(10, 9, 0, 7);
+/// let victim = Addr::new(10, 1, 0, 1);
+/// let t0 = SimTime::ZERO;
+///
+/// table.install(FlowLabel::src_dst(attacker, victim), t0, SimDuration::from_secs(60)).unwrap();
+/// assert!(table.matches(&Header::udp(attacker, victim, 1, 2), t0));
+/// // After expiry the filter stops matching.
+/// let later = t0 + SimDuration::from_secs(61);
+/// assert!(!table.matches(&Header::udp(attacker, victim, 1, 2), later));
+/// ```
+#[derive(Debug)]
+pub struct FilterTable {
+    capacity: usize,
+    policy: EvictionPolicy,
+    /// Slab of entries; `None` slots are free.
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    /// Index: destination host (/32 labels only) → slot indices.
+    by_dst: HashMap<Addr, Vec<usize>>,
+    /// Slots whose label has a non-/32 destination.
+    wildcard_dst: Vec<usize>,
+    live: usize,
+    stats: FilterStats,
+}
+
+impl FilterTable {
+    /// Creates a table holding at most `capacity` filters with the default
+    /// ([`EvictionPolicy::Reject`]) policy.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::default())
+    }
+
+    /// Creates a table with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
+        FilterTable {
+            capacity,
+            policy,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_dst: HashMap::new(),
+            wildcard_dst: Vec::new(),
+            live: 0,
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// The hard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live (non-expired as of the last operation) entry count.
+    ///
+    /// Expired entries are purged lazily; call [`FilterTable::purge_expired`]
+    /// first for an exact figure at a given instant.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if no filters are installed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// Installs (or refreshes) a filter blocking `label` until
+    /// `now + duration`.
+    ///
+    /// Behaviour on a full table depends on the [`EvictionPolicy`].
+    pub fn install(
+        &mut self,
+        label: FlowLabel,
+        now: SimTime,
+        duration: aitf_netsim::SimDuration,
+    ) -> Result<InstallOutcome, InstallError> {
+        let expires = now.saturating_add(duration);
+        self.purge_expired(now);
+
+        // Refresh an identical label in place.
+        if let Some(idx) = self.find_exact(&label) {
+            let e = self.slots[idx].as_mut().expect("indexed slot is live");
+            if expires > e.expires {
+                e.expires = expires;
+            }
+            self.stats.refreshes += 1;
+            return Ok(InstallOutcome::Refreshed);
+        }
+
+        // A wider live entry already blocks every packet of `label`.
+        if self.find_covering(&label, now).is_some() {
+            self.stats.covered += 1;
+            return Ok(InstallOutcome::AlreadyCovered);
+        }
+
+        let mut evicted = false;
+        if self.live >= self.capacity {
+            match self.policy {
+                EvictionPolicy::Reject => {
+                    self.stats.rejections += 1;
+                    return Err(InstallError::TableFull);
+                }
+                EvictionPolicy::EvictSoonestExpiring => {
+                    let victim = self
+                        .live_indices()
+                        .min_by_key(|&i| {
+                            let e = self.slots[i].as_ref().expect("live index");
+                            (e.expires, i)
+                        })
+                        .expect("table is full, so non-empty");
+                    self.remove_slot(victim);
+                    self.stats.evictions += 1;
+                    evicted = true;
+                }
+                EvictionPolicy::EvictLeastSpecific => {
+                    let victim = self
+                        .live_indices()
+                        .min_by_key(|&i| {
+                            let e = self.slots[i].as_ref().expect("live index");
+                            (e.label.specificity(), i)
+                        })
+                        .expect("table is full, so non-empty");
+                    self.remove_slot(victim);
+                    self.stats.evictions += 1;
+                    evicted = true;
+                }
+            }
+        }
+
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(Entry {
+                    label,
+                    expires,
+                    installed: now,
+                    last_hit: None,
+                });
+                i
+            }
+            None => {
+                self.slots.push(Some(Entry {
+                    label,
+                    expires,
+                    installed: now,
+                    last_hit: None,
+                }));
+                self.slots.len() - 1
+            }
+        };
+        match label.dst_host() {
+            Some(dst) => self.by_dst.entry(dst).or_default().push(idx),
+            None => self.wildcard_dst.push(idx),
+        }
+        self.live += 1;
+        self.stats.installs += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.live);
+        Ok(if evicted {
+            InstallOutcome::InstalledWithEviction
+        } else {
+            InstallOutcome::Installed
+        })
+    }
+
+    /// Removes the filter with exactly this label. Returns `true` if found.
+    pub fn remove(&mut self, label: &FlowLabel) -> bool {
+        match self.find_exact(label) {
+            Some(idx) => {
+                self.remove_slot(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns `true` if a live filter matches `header` — i.e. the packet
+    /// must be dropped. Updates hit/miss statistics and the matching
+    /// entry's last-hit time (used for grace-period checks).
+    pub fn matches(&mut self, header: &Header, now: SimTime) -> bool {
+        match self.find_live_match(header, now) {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.slots[idx]
+                    .as_mut()
+                    .expect("matched slot is live")
+                    .last_hit = Some(now);
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Last time a packet hit the filter with exactly this label.
+    pub fn last_hit_of(&self, label: &FlowLabel) -> Option<SimTime> {
+        self.find_exact(label)
+            .and_then(|i| self.slots[i].as_ref().expect("live index").last_hit)
+    }
+
+    fn find_live_match(&self, header: &Header, now: SimTime) -> Option<usize> {
+        if let Some(indices) = self.by_dst.get(&header.dst) {
+            for &i in indices {
+                if let Some(e) = self.slots[i].as_ref() {
+                    if e.expires > now && e.label.matches(header) {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        self.wildcard_dst.iter().copied().find(|&i| {
+            self.slots[i]
+                .as_ref()
+                .is_some_and(|e| e.expires > now && e.label.matches(header))
+        })
+    }
+
+    /// Like [`FilterTable::matches`] but returns the matching label and does
+    /// not update statistics or last-hit times.
+    pub fn lookup(&self, header: &Header, now: SimTime) -> Option<FlowLabel> {
+        self.find_live_match(header, now)
+            .map(|i| self.slots[i].as_ref().expect("live index").label)
+    }
+
+    /// Returns the expiry of the filter with exactly this label, if live.
+    pub fn expiry_of(&self, label: &FlowLabel) -> Option<SimTime> {
+        self.find_exact(label)
+            .map(|i| self.slots[i].as_ref().expect("live index").expires)
+    }
+
+    /// Drops every entry whose expiry is at or before `now`.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let expired: Vec<usize> = self
+            .live_indices()
+            .filter(|&i| self.slots[i].as_ref().expect("live index").expires <= now)
+            .collect();
+        for i in expired {
+            self.remove_slot(i);
+            self.stats.expirations += 1;
+        }
+    }
+
+    /// All live labels with their expiry times, in no particular order.
+    pub fn entries(&self) -> Vec<(FlowLabel, SimTime)> {
+        self.live_indices()
+            .map(|i| {
+                let e = self.slots[i].as_ref().expect("live index");
+                (e.label, e.expires)
+            })
+            .collect()
+    }
+
+    /// Removes every filter (used by non-cooperating-router experiments).
+    pub fn clear(&mut self) {
+        let all: Vec<usize> = self.live_indices().collect();
+        for i in all {
+            self.remove_slot(i);
+        }
+    }
+
+    fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+    }
+
+    fn find_exact(&self, label: &FlowLabel) -> Option<usize> {
+        let candidates: Box<dyn Iterator<Item = usize>> = match label.dst_host() {
+            Some(dst) => match self.by_dst.get(&dst) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => return None,
+            },
+            None => Box::new(self.wildcard_dst.iter().copied()),
+        };
+        for i in candidates {
+            if let Some(e) = self.slots[i].as_ref() {
+                if e.label == *label {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn find_covering(&self, label: &FlowLabel, now: SimTime) -> Option<usize> {
+        // A covering entry with a /32 destination must have the same
+        // destination host; wildcard-destination entries can cover anything.
+        let check = |i: usize| -> bool {
+            self.slots[i]
+                .as_ref()
+                .is_some_and(|e| e.expires > now && e.label.covers(label))
+        };
+        if let Some(dst) = label.dst_host() {
+            if let Some(v) = self.by_dst.get(&dst) {
+                for &i in v {
+                    if check(i) {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        let wildcards: Vec<usize> = self.wildcard_dst.clone();
+        wildcards.into_iter().find(|&i| check(i))
+    }
+
+    fn remove_slot(&mut self, idx: usize) {
+        let entry = self.slots[idx].take().expect("removing a live slot");
+        match entry.label.dst_host() {
+            Some(dst) => {
+                if let Some(v) = self.by_dst.get_mut(&dst) {
+                    v.retain(|&i| i != idx);
+                    if v.is_empty() {
+                        self.by_dst.remove(&dst);
+                    }
+                }
+            }
+            None => self.wildcard_dst.retain(|&i| i != idx),
+        }
+        self.free.push(idx);
+        self.live -= 1;
+        let _ = entry.installed; // Kept for future age-based policies.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_netsim::SimDuration;
+    use aitf_packet::Prefix;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn label(i: u8) -> FlowLabel {
+        FlowLabel::src_dst(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1))
+    }
+
+    fn header(i: u8) -> Header {
+        Header::udp(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1), 1, 2)
+    }
+
+    #[test]
+    fn install_then_match_then_expire() {
+        let mut tbl = FilterTable::new(10);
+        assert_eq!(
+            tbl.install(label(1), t(0), SimDuration::from_secs(60)),
+            Ok(InstallOutcome::Installed)
+        );
+        assert!(tbl.matches(&header(1), t(30)));
+        assert!(!tbl.matches(&header(2), t(30)));
+        assert!(!tbl.matches(&header(1), t(61)));
+        tbl.purge_expired(t(61));
+        assert!(tbl.is_empty());
+        assert_eq!(tbl.stats().expirations, 1);
+    }
+
+    #[test]
+    fn capacity_bound_is_hard_with_reject_policy() {
+        let mut tbl = FilterTable::new(3);
+        for i in 0..3 {
+            tbl.install(label(i), t(0), SimDuration::from_secs(60))
+                .unwrap();
+        }
+        assert_eq!(
+            tbl.install(label(9), t(0), SimDuration::from_secs(60)),
+            Err(InstallError::TableFull)
+        );
+        assert_eq!(tbl.len(), 3);
+        assert_eq!(tbl.stats().rejections, 1);
+        assert_eq!(tbl.stats().peak_occupancy, 3);
+    }
+
+    #[test]
+    fn expired_entries_free_capacity() {
+        let mut tbl = FilterTable::new(1);
+        tbl.install(label(1), t(0), SimDuration::from_secs(10))
+            .unwrap();
+        assert!(tbl
+            .install(label(2), t(5), SimDuration::from_secs(10))
+            .is_err());
+        // After the first expires, the slot is reusable.
+        assert_eq!(
+            tbl.install(label(2), t(11), SimDuration::from_secs(10)),
+            Ok(InstallOutcome::Installed)
+        );
+        assert_eq!(tbl.len(), 1);
+    }
+
+    #[test]
+    fn refresh_extends_expiry() {
+        let mut tbl = FilterTable::new(10);
+        tbl.install(label(1), t(0), SimDuration::from_secs(10))
+            .unwrap();
+        assert_eq!(
+            tbl.install(label(1), t(5), SimDuration::from_secs(10)),
+            Ok(InstallOutcome::Refreshed)
+        );
+        assert_eq!(tbl.expiry_of(&label(1)), Some(t(15)));
+        assert_eq!(tbl.len(), 1);
+        // A shorter refresh must not shorten the expiry.
+        tbl.install(label(1), t(6), SimDuration::from_secs(1))
+            .unwrap();
+        assert_eq!(tbl.expiry_of(&label(1)), Some(t(15)));
+    }
+
+    #[test]
+    fn covering_entry_absorbs_narrower_request() {
+        let mut tbl = FilterTable::new(10);
+        let wide = FlowLabel::net_to_host("10.9.0.0/16".parse().unwrap(), Addr::new(10, 1, 0, 1));
+        tbl.install(wide, t(0), SimDuration::from_secs(60)).unwrap();
+        assert_eq!(
+            tbl.install(label(1), t(0), SimDuration::from_secs(60)),
+            Ok(InstallOutcome::AlreadyCovered)
+        );
+        assert_eq!(tbl.len(), 1);
+        assert_eq!(tbl.stats().covered, 1);
+    }
+
+    #[test]
+    fn evict_soonest_expiring_makes_room() {
+        let mut tbl = FilterTable::with_policy(2, EvictionPolicy::EvictSoonestExpiring);
+        tbl.install(label(1), t(0), SimDuration::from_secs(10))
+            .unwrap();
+        tbl.install(label(2), t(0), SimDuration::from_secs(60))
+            .unwrap();
+        assert_eq!(
+            tbl.install(label(3), t(1), SimDuration::from_secs(60)),
+            Ok(InstallOutcome::InstalledWithEviction)
+        );
+        // label(1) (soonest expiry) was evicted.
+        assert!(!tbl.matches(&header(1), t(2)));
+        assert!(tbl.matches(&header(2), t(2)));
+        assert!(tbl.matches(&header(3), t(2)));
+        assert_eq!(tbl.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evict_least_specific_prefers_wildcards() {
+        let mut tbl = FilterTable::with_policy(2, EvictionPolicy::EvictLeastSpecific);
+        let wide = FlowLabel::to_host(Addr::new(10, 2, 0, 1));
+        tbl.install(wide, t(0), SimDuration::from_secs(60)).unwrap();
+        tbl.install(label(2), t(0), SimDuration::from_secs(60))
+            .unwrap();
+        tbl.install(label(3), t(1), SimDuration::from_secs(60))
+            .unwrap();
+        // The wildcard entry went away; the two host-pair filters remain.
+        assert!(tbl.matches(&header(2), t(2)));
+        assert!(tbl.matches(&header(3), t(2)));
+        assert!(!tbl.matches(
+            &Header::udp(Addr::new(9, 9, 9, 9), Addr::new(10, 2, 0, 1), 1, 2),
+            t(2)
+        ));
+    }
+
+    #[test]
+    fn remove_frees_the_slot() {
+        let mut tbl = FilterTable::new(1);
+        tbl.install(label(1), t(0), SimDuration::from_secs(60))
+            .unwrap();
+        assert!(tbl.remove(&label(1)));
+        assert!(!tbl.remove(&label(1)));
+        assert!(tbl.is_empty());
+        assert!(tbl
+            .install(label(2), t(0), SimDuration::from_secs(60))
+            .is_ok());
+    }
+
+    #[test]
+    fn wildcard_dst_labels_are_matched() {
+        let mut tbl = FilterTable::new(10);
+        let net_label = FlowLabel {
+            src: Prefix::host(Addr::new(10, 9, 0, 1)),
+            dst: "10.1.0.0/16".parse().unwrap(),
+            ..FlowLabel::ANY
+        };
+        tbl.install(net_label, t(0), SimDuration::from_secs(60))
+            .unwrap();
+        let hdr = Header::udp(Addr::new(10, 9, 0, 1), Addr::new(10, 1, 77, 3), 1, 2);
+        assert!(tbl.matches(&hdr, t(1)));
+        assert!(tbl.remove(&net_label));
+        assert!(!tbl.matches(&hdr, t(1)));
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut tbl = FilterTable::new(10);
+        tbl.install(label(1), t(0), SimDuration::from_secs(60))
+            .unwrap();
+        tbl.matches(&header(1), t(1));
+        tbl.matches(&header(1), t(2));
+        tbl.matches(&header(2), t(3));
+        let s = tbl.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut tbl = FilterTable::new(10);
+        for i in 0..5 {
+            tbl.install(label(i), t(0), SimDuration::from_secs(60))
+                .unwrap();
+        }
+        tbl.clear();
+        assert!(tbl.is_empty());
+        assert!(!tbl.matches(&header(0), t(1)));
+    }
+
+    #[test]
+    fn entries_lists_live_filters() {
+        let mut tbl = FilterTable::new(10);
+        tbl.install(label(1), t(0), SimDuration::from_secs(10))
+            .unwrap();
+        tbl.install(label(2), t(0), SimDuration::from_secs(20))
+            .unwrap();
+        let mut entries = tbl.entries();
+        entries.sort_by_key(|&(_, e)| e);
+        assert_eq!(entries, vec![(label(1), t(10)), (label(2), t(20))]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use aitf_netsim::SimDuration;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Install(u8, u64),
+        Remove(u8),
+        Advance(u64),
+        Match(u8),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), 1u64..120).prop_map(|(i, d)| Op::Install(i, d)),
+            any::<u8>().prop_map(Op::Remove),
+            (1u64..30).prop_map(Op::Advance),
+            any::<u8>().prop_map(Op::Match),
+        ]
+    }
+
+    proptest! {
+        /// Under any operation sequence: occupancy never exceeds capacity,
+        /// and no expired entry ever matches a packet.
+        #[test]
+        fn capacity_and_expiry_invariants(
+            ops in proptest::collection::vec(arb_op(), 1..200),
+            cap in 1usize..16,
+        ) {
+            let mut tbl = FilterTable::with_policy(cap, EvictionPolicy::EvictSoonestExpiring);
+            let mut now = SimTime::ZERO;
+            // Track ground truth expiries for exact labels.
+            let mut truth: std::collections::HashMap<u8, SimTime> = Default::default();
+            for op in ops {
+                match op {
+                    Op::Install(i, d) => {
+                        let lab = FlowLabel::src_dst(
+                            Addr::new(10, 9, 0, i),
+                            Addr::new(10, 1, 0, 1),
+                        );
+                        let dur = SimDuration::from_secs(d);
+                        if tbl.install(lab, now, dur).is_ok() {
+                            let exp = tbl.expiry_of(&lab);
+                            if let Some(e) = exp {
+                                truth.insert(i, e);
+                            }
+                        }
+                    }
+                    Op::Remove(i) => {
+                        let lab = FlowLabel::src_dst(
+                            Addr::new(10, 9, 0, i),
+                            Addr::new(10, 1, 0, 1),
+                        );
+                        tbl.remove(&lab);
+                        truth.remove(&i);
+                    }
+                    Op::Advance(s) => {
+                        now = now + SimDuration::from_secs(s);
+                    }
+                    Op::Match(i) => {
+                        let hdr = Header::udp(
+                            Addr::new(10, 9, 0, i),
+                            Addr::new(10, 1, 0, 1),
+                            1,
+                            2,
+                        );
+                        let hit = tbl.matches(&hdr, now);
+                        // If ground truth says expired (or absent), the table
+                        // must agree that nothing live matches; evictions can
+                        // only make the table match *less*, never more.
+                        match truth.get(&i) {
+                            Some(&exp) if exp > now => {}
+                            _ => prop_assert!(!hit, "expired/absent filter matched"),
+                        }
+                    }
+                }
+                tbl.purge_expired(now);
+                prop_assert!(tbl.len() <= cap, "occupancy exceeded capacity");
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is a
+//! monotonically increasing tie-breaker, so two events scheduled for the
+//! same instant fire in scheduling order. This total order is what makes
+//! the simulator deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use aitf_packet::Packet;
+
+use crate::link::{LinkDirection, LinkId};
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes propagation and arrives at `node` via `link`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Link the packet arrives on.
+        link: LinkId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// The head-of-line packet on one direction of a link finishes
+    /// transmission; the link starts its propagation and begins serialising
+    /// the next queued packet, if any.
+    LinkTxDone {
+        /// The transmitting link.
+        link: LinkId,
+        /// Which direction finished.
+        dir: LinkDirection,
+    },
+    /// A node timer fires with an opaque token chosen by the node.
+    Timer {
+        /// The owning node.
+        node: NodeId,
+        /// Opaque token; the node gives it meaning.
+        token: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Scheduling-order tie breaker.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events, earliest first.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            token,
+        }
+    }
+
+    fn pop_token(q: &mut EventQueue) -> u64 {
+        match q.pop().expect("event").kind {
+            EventKind::Timer { token, .. } => token,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), timer(0, 3));
+        q.schedule(SimTime(10), timer(0, 1));
+        q.schedule(SimTime(20), timer(0, 2));
+        assert_eq!(pop_token(&mut q), 1);
+        assert_eq!(pop_token(&mut q), 2);
+        assert_eq!(pop_token(&mut q), 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            q.schedule(SimTime(5), timer(0, token));
+        }
+        for expected in 0..100 {
+            assert_eq!(pop_token(&mut q), expected);
+        }
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(50), timer(0, 0));
+        q.schedule(SimTime(20), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime(20)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(50)));
+    }
+
+    #[test]
+    fn len_and_scheduled_total_track_usage() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1), timer(0, 0));
+        q.schedule(SimTime(2), timer(0, 1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), timer(0, 10));
+        q.schedule(SimTime(5), timer(0, 5));
+        assert_eq!(pop_token(&mut q), 5);
+        q.schedule(SimTime(7), timer(0, 7));
+        q.schedule(SimTime(12), timer(0, 12));
+        assert_eq!(pop_token(&mut q), 7);
+        assert_eq!(pop_token(&mut q), 10);
+        assert_eq!(pop_token(&mut q), 12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping must yield non-decreasing times regardless of insertion
+        /// order, and equal times must preserve insertion order.
+        #[test]
+        fn total_order_holds(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime(t), EventKind::Timer { node: NodeId(0), token: i as u64 });
+            }
+            let mut last: Option<(SimTime, u64)> = None;
+            while let Some(ev) = q.pop() {
+                let token = match ev.kind {
+                    EventKind::Timer { token, .. } => token,
+                    _ => unreachable!(),
+                };
+                if let Some((lt, lseq)) = last {
+                    prop_assert!(ev.time >= lt);
+                    if ev.time == lt {
+                        prop_assert!(ev.seq > lseq, "FIFO broken among equal times");
+                    }
+                }
+                prop_assert_eq!(times[token as usize], ev.time.0);
+                last = Some((ev.time, ev.seq));
+            }
+        }
+    }
+}

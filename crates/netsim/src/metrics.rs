@@ -1,0 +1,130 @@
+//! Counters and time series for experiment output.
+//!
+//! Metrics are intentionally simple: named `u64` counters (optionally keyed
+//! by a subject such as a node id) and named `(time, value)` series. The
+//! experiment harness reads them after a run to print the paper's tables
+//! and figures. None of this sits on the per-packet fast path of the
+//! protocol — routers keep their own dense counters — so a hash map is fine.
+
+use std::collections::HashMap;
+
+use crate::time::SimTime;
+
+/// Simulation-wide metrics sink.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: HashMap<&'static str, u64>,
+    keyed: HashMap<(&'static str, u64), u64>,
+    series: HashMap<&'static str, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `v` to the global counter `name`.
+    pub fn inc(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Adds `v` to counter `name` keyed by `key` (e.g. a node id).
+    pub fn inc_keyed(&mut self, name: &'static str, key: u64, v: u64) {
+        *self.keyed.entry((name, key)).or_insert(0) += v;
+    }
+
+    /// Reads a global counter (0 if never written).
+    pub fn get(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a keyed counter (0 if never written).
+    pub fn get_keyed(&self, name: &'static str, key: u64) -> u64 {
+        self.keyed.get(&(name, key)).copied().unwrap_or(0)
+    }
+
+    /// Sum of a keyed counter over all keys.
+    pub fn sum_keyed(&self, name: &'static str) -> u64 {
+        self.keyed
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All `(key, value)` pairs of a keyed counter, sorted by key.
+    pub fn keyed_entries(&self, name: &'static str) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .keyed
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(&(_, k), &val)| (k, val))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Appends a sample to the series `name`.
+    pub fn record(&mut self, name: &'static str, t: SimTime, value: f64) {
+        self.series.entry(name).or_default().push((t, value));
+    }
+
+    /// Reads a series (empty slice if never written).
+    pub fn series(&self, name: &'static str) -> &[(SimTime, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Maximum value seen in a series, if non-empty.
+    pub fn series_max(&self, name: &'static str) -> Option<f64> {
+        self.series(name)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(m) if v > m => v,
+                    Some(m) => m,
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.get("x"), 0);
+        m.inc("x", 2);
+        m.inc("x", 3);
+        assert_eq!(m.get("x"), 5);
+    }
+
+    #[test]
+    fn keyed_counters_are_independent() {
+        let mut m = Metrics::new();
+        m.inc_keyed("drops", 1, 10);
+        m.inc_keyed("drops", 2, 20);
+        m.inc_keyed("other", 1, 99);
+        assert_eq!(m.get_keyed("drops", 1), 10);
+        assert_eq!(m.get_keyed("drops", 2), 20);
+        assert_eq!(m.get_keyed("drops", 3), 0);
+        assert_eq!(m.sum_keyed("drops"), 30);
+        assert_eq!(m.keyed_entries("drops"), vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn series_record_and_max() {
+        let mut m = Metrics::new();
+        assert!(m.series("bw").is_empty());
+        assert_eq!(m.series_max("bw"), None);
+        m.record("bw", SimTime(1), 1.5);
+        m.record("bw", SimTime(2), 3.0);
+        m.record("bw", SimTime(3), 2.0);
+        assert_eq!(m.series("bw").len(), 3);
+        assert_eq!(m.series_max("bw"), Some(3.0));
+    }
+}

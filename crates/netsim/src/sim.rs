@@ -1,0 +1,532 @@
+//! The simulator: builder, core state and the event loop.
+//!
+//! [`NetworkBuilder`] assembles nodes and links; [`Simulator`] owns them and
+//! runs the event loop. Node objects are installed after building because
+//! higher layers (the AITF protocol crate) need the topology — routing
+//! tables, link lists — to construct them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use aitf_packet::Packet;
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{Link, LinkDirection, LinkId, LinkParams, LinkStats};
+use crate::metrics::Metrics;
+use crate::node::{Context, Node, NodeId};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NextHops;
+
+/// Everything in the simulator except the node objects themselves.
+///
+/// The split lets a node handler borrow the core mutably (through
+/// [`Context`]) while the node itself is temporarily detached — the
+/// standard way to give trait-object nodes access to the world without
+/// interior mutability.
+pub struct SimCore {
+    pub(crate) time: SimTime,
+    pub(crate) events: EventQueue,
+    pub(crate) links: Vec<Link>,
+    pub(crate) node_links: Vec<Vec<LinkId>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) rng: StdRng,
+    next_pkt_id: u64,
+    dispatched_events: u64,
+}
+
+impl SimCore {
+    /// Sends `packet` from `node` over `link`, returning link acceptance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of `link`.
+    pub fn send_from(&mut self, node: NodeId, link: LinkId, packet: Packet) -> bool {
+        let dir = self.links[link.0].dir_from(node);
+        let now = self.time;
+        self.links[link.0].enqueue(now, dir, packet, &mut self.events)
+    }
+
+    /// Arms a timer for `node`.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.events
+            .schedule(self.time + delay, EventKind::Timer { node, token });
+    }
+
+    /// Links attached to `node`, in creation order.
+    pub fn links_of(&self, node: NodeId) -> &[LinkId] {
+        &self.node_links[node.0]
+    }
+
+    /// Immutable link access.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Mutable link access.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// Draws a fresh globally unique packet id.
+    pub fn next_packet_id(&mut self) -> u64 {
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        id
+    }
+}
+
+/// Builds the static topology: nodes (as slots) and links.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_netsim::{LinkParams, NetworkBuilder, SimDuration};
+///
+/// let mut b = NetworkBuilder::new(7);
+/// let n0 = b.add_node();
+/// let n1 = b.add_node();
+/// let l = b.connect(n0, n1, LinkParams::infinite(SimDuration::from_millis(1)));
+/// let sim = b.build();
+/// assert_eq!(sim.link_endpoints(l), (n0, n1));
+/// ```
+pub struct NetworkBuilder {
+    node_count: usize,
+    links: Vec<(NodeId, NodeId, LinkParams)>,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder; `seed` drives every random decision in the run.
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            node_count: 0,
+            links: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Reserves a node slot and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Number of node slots reserved so far.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Connects two nodes with a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range or if `a == b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> LinkId {
+        assert!(
+            a.0 < self.node_count && b.0 < self.node_count,
+            "unknown node"
+        );
+        assert_ne!(a, b, "self-links are not allowed");
+        let id = LinkId(self.links.len());
+        self.links.push((a, b, params));
+        id
+    }
+
+    /// Finalises the topology into a runnable [`Simulator`] with empty node
+    /// slots; install nodes with [`Simulator::install`].
+    pub fn build(self) -> Simulator {
+        let mut node_links = vec![Vec::new(); self.node_count];
+        let mut links = Vec::with_capacity(self.links.len());
+        for (i, (a, b, params)) in self.links.into_iter().enumerate() {
+            let id = LinkId(i);
+            node_links[a.0].push(id);
+            node_links[b.0].push(id);
+            links.push(Link::new(id, a, b, params));
+        }
+        Simulator {
+            core: SimCore {
+                time: SimTime::ZERO,
+                events: EventQueue::new(),
+                links,
+                node_links,
+                metrics: Metrics::new(),
+                rng: StdRng::seed_from_u64(self.seed),
+                next_pkt_id: 0,
+                dispatched_events: 0,
+            },
+            nodes: (0..self.node_count).map(|_| None).collect(),
+            started: false,
+        }
+    }
+}
+
+/// The deterministic discrete-event simulator.
+pub struct Simulator {
+    core: SimCore,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Installs the node object for slot `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied or out of range.
+    pub fn install(&mut self, id: NodeId, node: Box<dyn Node>) {
+        let slot = &mut self.nodes[id.0];
+        assert!(slot.is_none(), "node {id:?} installed twice");
+        *slot = Some(node);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// Number of node slots.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.core.links.len()
+    }
+
+    /// The endpoints of `link`.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.core.links[link.0].endpoints()
+    }
+
+    /// Traffic statistics of one direction of `link`.
+    pub fn link_stats(&self, link: LinkId, dir: LinkDirection) -> &LinkStats {
+        self.core.links[link.0].stats(dir)
+    }
+
+    /// Statistics of the direction of `link` that carries traffic *into*
+    /// `node`.
+    pub fn link_stats_towards(&self, link: LinkId, node: NodeId) -> &LinkStats {
+        let l = &self.core.links[link.0];
+        l.stats(l.dir_from(l.peer_of(node)))
+    }
+
+    /// The links attached to `node`.
+    pub fn links_of(&self, node: NodeId) -> &[LinkId] {
+        self.core.links_of(node)
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Mutable metrics access (for experiment probes between runs).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Number of events dispatched so far (diagnostics / benches).
+    pub fn dispatched_events(&self) -> u64 {
+        self.core.dispatched_events
+    }
+
+    /// Downcasts the node in slot `id` to a concrete type.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0]
+            .as_deref()
+            .and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the node in slot `id`.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0]
+            .as_deref_mut()
+            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Computes shortest-path next hops between all node pairs, weighting
+    /// each link by `weight` (use `|_| 1` for hop count).
+    pub fn compute_next_hops(&self, weight: impl Fn(LinkId) -> u64) -> NextHops {
+        let links: Vec<(NodeId, NodeId, LinkId, u64)> = self
+            .core
+            .links
+            .iter()
+            .map(|l| {
+                let (a, b) = l.endpoints();
+                (a, b, l.id(), weight(l.id()))
+            })
+            .collect();
+        NextHops::compute(self.nodes.len(), &links)
+    }
+
+    /// Calls [`Node::on_start`] on every installed node, in id order.
+    /// Runs automatically on the first `run_*` call if not done explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node slot was never installed.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        for i in 0..self.nodes.len() {
+            assert!(self.nodes[i].is_some(), "node {i} was never installed");
+            let mut node = self.nodes[i].take().expect("checked above");
+            let mut ctx = Context {
+                node: NodeId(i),
+                core: &mut self.core,
+            };
+            node.on_start(&mut ctx);
+            self.nodes[i] = Some(node);
+        }
+        self.started = true;
+    }
+
+    /// Runs the event loop until virtual time `t`; the clock ends exactly
+    /// at `t` even if the queue drains early.
+    pub fn run_until(&mut self, t: SimTime) {
+        if !self.started {
+            self.start();
+        }
+        while let Some(next) = self.core.events.peek_time() {
+            if next > t {
+                break;
+            }
+            let ev = self.core.events.pop().expect("peeked event exists");
+            self.core.time = ev.time;
+            self.core.dispatched_events += 1;
+            match ev.kind {
+                EventKind::Deliver { node, link, packet } => {
+                    self.dispatch_packet(node, link, packet);
+                }
+                EventKind::LinkTxDone { link, dir } => {
+                    let now = self.core.time;
+                    // Split borrow: the link mutates itself and schedules
+                    // follow-up events; nodes are not involved.
+                    let SimCore { links, events, .. } = &mut self.core;
+                    links[link.0].on_tx_done(now, dir, events);
+                }
+                EventKind::Timer { node, token } => {
+                    self.dispatch_timer(node, token);
+                }
+            }
+        }
+        self.core.time = t;
+    }
+
+    /// Runs for `d` of virtual time from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.core.time + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the event queue is empty (only safe when no node re-arms
+    /// timers forever), with a hard event-count bound as a loop guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_events` fire, which indicates a runaway
+    /// schedule.
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        if !self.started {
+            self.start();
+        }
+        let start_count = self.core.dispatched_events;
+        while let Some(next) = self.core.events.peek_time() {
+            assert!(
+                self.core.dispatched_events - start_count < max_events,
+                "exceeded {max_events} events without quiescing"
+            );
+            self.run_until(next);
+        }
+    }
+
+    fn dispatch_packet(&mut self, node: NodeId, link: LinkId, packet: Packet) {
+        let mut n = self.nodes[node.0].take().expect("installed node");
+        let mut ctx = Context {
+            node,
+            core: &mut self.core,
+        };
+        n.on_packet(packet, link, &mut ctx);
+        self.nodes[node.0] = Some(n);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: u64) {
+        let mut n = self.nodes[node.0].take().expect("installed node");
+        let mut ctx = Context {
+            node,
+            core: &mut self.core,
+        };
+        n.on_timer(token, &mut ctx);
+        self.nodes[node.0] = Some(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_node_any;
+    use aitf_packet::{Addr, Header, TrafficClass};
+
+    /// Forwards every packet out of every other link; counts receptions.
+    struct FloodRelay {
+        received: u64,
+    }
+
+    impl Node for FloodRelay {
+        fn on_packet(&mut self, packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
+            self.received += 1;
+            let links: Vec<LinkId> = ctx.my_links().to_vec();
+            for l in links {
+                if l != link {
+                    let mut p = packet.clone();
+                    p.header.ttl = match p.header.ttl.checked_sub(1) {
+                        Some(t) => t,
+                        None => return,
+                    };
+                    if p.header.ttl > 0 {
+                        ctx.send(l, p);
+                    }
+                }
+            }
+        }
+
+        impl_node_any!();
+    }
+
+    /// Sends `count` packets at start.
+    struct Burst {
+        count: u32,
+    }
+
+    impl Node for Burst {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let link = ctx.my_links()[0];
+            for _ in 0..self.count {
+                let id = ctx.next_packet_id();
+                let h = Header::udp(Addr::new(1, 0, 0, 1), Addr::new(1, 0, 0, 2), 1, 2);
+                ctx.send(link, Packet::data(id, h, TrafficClass::Legit, 100));
+            }
+        }
+
+        fn on_packet(&mut self, _p: Packet, _l: LinkId, _ctx: &mut Context<'_>) {}
+
+        impl_node_any!();
+    }
+
+    fn line_topology(n: usize) -> (Simulator, Vec<NodeId>) {
+        let mut b = NetworkBuilder::new(3);
+        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+        for w in ids.windows(2) {
+            b.connect(
+                w[0],
+                w[1],
+                LinkParams::infinite(SimDuration::from_millis(1)),
+            );
+        }
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn packets_traverse_a_line() {
+        let (mut sim, ids) = line_topology(4);
+        sim.install(ids[0], Box::new(Burst { count: 5 }));
+        for &id in &ids[1..] {
+            sim.install(id, Box::new(FloodRelay { received: 0 }));
+        }
+        sim.run_for(SimDuration::from_millis(100));
+        // Every relay saw all 5 packets exactly once (line topology, no loops).
+        for &id in &ids[1..] {
+            assert_eq!(sim.node_ref::<FloodRelay>(id).unwrap().received, 5);
+        }
+    }
+
+    #[test]
+    fn clock_advances_to_run_target_even_when_idle() {
+        let (mut sim, ids) = line_topology(2);
+        sim.install(ids[0], Box::new(Burst { count: 0 }));
+        sim.install(ids[1], Box::new(FloodRelay { received: 0 }));
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.now(), SimTime(5_000_000_000));
+    }
+
+    #[test]
+    fn run_until_is_incremental() {
+        let (mut sim, ids) = line_topology(3);
+        sim.install(ids[0], Box::new(Burst { count: 1 }));
+        sim.install(ids[1], Box::new(FloodRelay { received: 0 }));
+        sim.install(ids[2], Box::new(FloodRelay { received: 0 }));
+        sim.run_until(SimTime(500_000));
+        // Packet needs 1 ms to reach the first relay.
+        assert_eq!(sim.node_ref::<FloodRelay>(ids[1]).unwrap().received, 0);
+        sim.run_until(SimTime(1_500_000));
+        assert_eq!(sim.node_ref::<FloodRelay>(ids[1]).unwrap().received, 1);
+        assert_eq!(sim.node_ref::<FloodRelay>(ids[2]).unwrap().received, 0);
+        sim.run_until(SimTime(2_500_000));
+        assert_eq!(sim.node_ref::<FloodRelay>(ids[2]).unwrap().received, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never installed")]
+    fn missing_node_is_a_build_error() {
+        let (mut sim, ids) = line_topology(2);
+        sim.install(ids[0], Box::new(Burst { count: 0 }));
+        sim.run_for(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "installed twice")]
+    fn double_install_panics() {
+        let (mut sim, ids) = line_topology(2);
+        sim.install(ids[0], Box::new(Burst { count: 0 }));
+        sim.install(ids[0], Box::new(Burst { count: 0 }));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut sim, ids) = line_topology(5);
+            sim.install(ids[0], Box::new(Burst { count: 50 }));
+            for &id in &ids[1..] {
+                sim.install(id, Box::new(FloodRelay { received: 0 }));
+            }
+            sim.run_for(SimDuration::from_secs(1));
+            (
+                sim.dispatched_events(),
+                ids[1..]
+                    .iter()
+                    .map(|&id| sim.node_ref::<FloodRelay>(id).unwrap().received)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quiescence_guard_trips_on_runaway() {
+        struct Storm;
+
+        impl Node for Storm {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+
+            fn on_packet(&mut self, _p: Packet, _l: LinkId, _ctx: &mut Context<'_>) {}
+
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+
+            impl_node_any!();
+        }
+
+        let mut b = NetworkBuilder::new(1);
+        let a = b.add_node();
+        let mut sim = b.build();
+        sim.install(a, Box::new(Storm));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_to_quiescence(1_000);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Shortest-path routing over the static topology.
+//!
+//! Routers in the AITF world forward by destination prefix; the protocol
+//! crate turns "next hop towards node N" into "next hop towards prefix P"
+//! by mapping each prefix to the node that owns it. This module provides
+//! the node-to-node half: an all-pairs next-hop table computed with
+//! Dijkstra per source over arbitrary positive link weights.
+//!
+//! Determinism: when two paths tie, the one whose next hop has the smaller
+//! `(weight, link id)` wins, so the table is a pure function of the
+//! topology.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+
+/// All-pairs next-hop table: `next_hop(from, to)` is the link `from` should
+/// forward on to reach `to` by a shortest path.
+#[derive(Debug, Clone)]
+pub struct NextHops {
+    n: usize,
+    /// `table[from * n + to]` = outgoing link, `None` when unreachable or
+    /// `from == to`.
+    table: Vec<Option<LinkId>>,
+    /// `dist[from * n + to]` = shortest-path weight, `u64::MAX` when
+    /// unreachable.
+    dist: Vec<u64>,
+}
+
+impl NextHops {
+    /// Computes the table from an edge list `(a, b, link, weight)`.
+    ///
+    /// Links are bidirectional. Weights must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is zero (zero-weight cycles break Dijkstra's
+    /// invariants) or an endpoint is out of range.
+    pub fn compute(n: usize, links: &[(NodeId, NodeId, LinkId, u64)]) -> Self {
+        let mut adj: Vec<Vec<(NodeId, LinkId, u64)>> = vec![Vec::new(); n];
+        for &(a, b, id, w) in links {
+            assert!(w > 0, "link weights must be positive");
+            assert!(a.0 < n && b.0 < n, "endpoint out of range");
+            adj[a.0].push((b, id, w));
+            adj[b.0].push((a, id, w));
+        }
+        // Deterministic neighbour order.
+        for neighbours in &mut adj {
+            neighbours.sort_by_key(|&(_, id, w)| (w, id));
+        }
+        let mut table = vec![None; n * n];
+        let mut dist = vec![u64::MAX; n * n];
+        for src in 0..n {
+            Self::dijkstra(
+                src,
+                &adj,
+                &mut table[src * n..(src + 1) * n],
+                &mut dist[src * n..(src + 1) * n],
+            );
+        }
+        NextHops { n, table, dist }
+    }
+
+    /// Dijkstra from `src`; records, for each destination, the *first* link
+    /// out of `src` on the shortest path.
+    fn dijkstra(
+        src: usize,
+        adj: &[Vec<(NodeId, LinkId, u64)>],
+        first_link: &mut [Option<LinkId>],
+        dist: &mut [u64],
+    ) {
+        let n = adj.len();
+        let mut done = vec![false; n];
+        dist[src] = 0;
+        // Heap entries: (distance, node, first link taken out of src).
+        let mut heap: BinaryHeap<Reverse<(u64, usize, Option<LinkId>)>> = BinaryHeap::new();
+        heap.push(Reverse((0, src, None)));
+        while let Some(Reverse((d, u, first))) = heap.pop() {
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            first_link[u] = first;
+            for &(v, link, w) in &adj[u] {
+                let nd = d + w;
+                if nd < dist[v.0] {
+                    dist[v.0] = nd;
+                    let f = if u == src { Some(link) } else { first };
+                    heap.push(Reverse((nd, v.0, f)));
+                }
+            }
+        }
+    }
+
+    /// The link `from` forwards on towards `to`; `None` if unreachable or
+    /// `from == to`.
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.table[from.0 * self.n + to.0]
+    }
+
+    /// Shortest-path weight from `from` to `to`; `None` if unreachable.
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        let d = self.dist[from.0 * self.n + to.0];
+        (d != u64::MAX).then_some(d)
+    }
+
+    /// Number of nodes the table covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn lid(i: usize) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn line_routes_through_neighbours() {
+        // 0 -l0- 1 -l1- 2 -l2- 3
+        let links = [
+            (nid(0), nid(1), lid(0), 1),
+            (nid(1), nid(2), lid(1), 1),
+            (nid(2), nid(3), lid(2), 1),
+        ];
+        let nh = NextHops::compute(4, &links);
+        assert_eq!(nh.next_hop(nid(0), nid(3)), Some(lid(0)));
+        assert_eq!(nh.next_hop(nid(1), nid(3)), Some(lid(1)));
+        assert_eq!(nh.next_hop(nid(2), nid(3)), Some(lid(2)));
+        assert_eq!(nh.next_hop(nid(3), nid(0)), Some(lid(2)));
+        assert_eq!(nh.next_hop(nid(0), nid(0)), None);
+        assert_eq!(nh.distance(nid(0), nid(3)), Some(3));
+    }
+
+    #[test]
+    fn picks_shorter_of_two_paths() {
+        // 0 -(w1)- 1 -(w1)- 3 and 0 -(w5)- 2 -(w1)- 3.
+        let links = [
+            (nid(0), nid(1), lid(0), 1),
+            (nid(1), nid(3), lid(1), 1),
+            (nid(0), nid(2), lid(2), 5),
+            (nid(2), nid(3), lid(3), 1),
+        ];
+        let nh = NextHops::compute(4, &links);
+        assert_eq!(nh.next_hop(nid(0), nid(3)), Some(lid(0)));
+        assert_eq!(nh.distance(nid(0), nid(3)), Some(2));
+    }
+
+    #[test]
+    fn disconnected_components_are_unreachable() {
+        let links = [(nid(0), nid(1), lid(0), 1)];
+        let nh = NextHops::compute(4, &links);
+        assert_eq!(nh.next_hop(nid(0), nid(2)), None);
+        assert_eq!(nh.distance(nid(0), nid(2)), None);
+        assert_eq!(nh.next_hop(nid(2), nid(3)), None);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two equal-cost paths 0->1->3 and 0->2->3; the smaller link id from
+        // node 0 must win regardless of edge-list order.
+        let forward = [
+            (nid(0), nid(1), lid(0), 1),
+            (nid(1), nid(3), lid(1), 1),
+            (nid(0), nid(2), lid(2), 1),
+            (nid(2), nid(3), lid(3), 1),
+        ];
+        let mut reversed = forward;
+        reversed.reverse();
+        let a = NextHops::compute(4, &forward);
+        let b = NextHops::compute(4, &reversed);
+        assert_eq!(a.next_hop(nid(0), nid(3)), b.next_hop(nid(0), nid(3)));
+        assert_eq!(a.next_hop(nid(0), nid(3)), Some(lid(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let _ = NextHops::compute(2, &[(nid(0), nid(1), lid(0), 0)]);
+    }
+
+    #[test]
+    fn star_topology_routes_through_hub() {
+        // Hub is node 0; leaves 1..=4.
+        let links: Vec<_> = (1..5).map(|i| (nid(0), nid(i), lid(i - 1), 1)).collect();
+        let nh = NextHops::compute(5, &links);
+        for i in 1..5 {
+            for j in 1..5 {
+                if i != j {
+                    assert_eq!(nh.next_hop(nid(i), nid(j)), Some(lid(i - 1)));
+                    assert_eq!(nh.distance(nid(i), nid(j)), Some(2));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random connected graphs: next-hop tables must route every pair, and
+    /// following next hops must reach the destination in ≤ n steps.
+    fn arb_connected_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, LinkId, u64)>)> {
+        (2usize..20).prop_flat_map(|n| {
+            // A random spanning tree guarantees connectivity; extra random
+            // edges add alternative paths.
+            let tree = proptest::collection::vec(any::<u64>(), n - 1);
+            let extras = proptest::collection::vec((0..n, 0..n, 1u64..10), 0..n);
+            (Just(n), tree, extras).prop_map(|(n, parents, extras)| {
+                let mut links = Vec::new();
+                for i in 1..n {
+                    let parent = (parents[i - 1] % i as u64) as usize;
+                    links.push((
+                        NodeId(i),
+                        NodeId(parent),
+                        LinkId(links.len()),
+                        1 + parents[i - 1] % 5,
+                    ));
+                }
+                for (a, b, w) in extras {
+                    if a != b {
+                        links.push((NodeId(a), NodeId(b), LinkId(links.len()), w));
+                    }
+                }
+                (n, links)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn next_hops_always_converge((n, links) in arb_connected_graph()) {
+            let nh = NextHops::compute(n, &links);
+            // Adjacency for walking.
+            for from in 0..n {
+                for to in 0..n {
+                    if from == to {
+                        continue;
+                    }
+                    let mut cur = from;
+                    let mut steps = 0;
+                    while cur != to {
+                        let link = nh.next_hop(NodeId(cur), NodeId(to))
+                            .expect("connected graph must route");
+                        let (a, b, _, _) = links[link.0];
+                        cur = if a.0 == cur { b.0 } else { a.0 };
+                        steps += 1;
+                        prop_assert!(steps <= n, "routing loop from {} to {}", from, to);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn distances_satisfy_triangle_inequality((n, links) in arb_connected_graph()) {
+            let nh = NextHops::compute(n, &links);
+            for &(a, b, _, w) in &links {
+                for dst in 0..n {
+                    let da = nh.distance(a, NodeId(dst)).unwrap();
+                    let db = nh.distance(b, NodeId(dst)).unwrap();
+                    prop_assert!(da <= db + w);
+                    prop_assert!(db <= da + w);
+                }
+            }
+        }
+    }
+}

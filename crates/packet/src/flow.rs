@@ -1,0 +1,540 @@
+//! Wildcarded flow labels.
+//!
+//! Section II-A of the paper: *"A flow label is a set of values that
+//! captures the common characteristics of a traffic flow — e.g., 'all
+//! packets with IP source address S and IP destination address D'."*
+//!
+//! A [`FlowLabel`] is the predicate carried inside filtering requests and
+//! installed into filter tables. Every field is a pattern that may be fully
+//! wildcarded, so one label can describe anything from a single TCP
+//! connection to "everything from network 10.1.0.0/16".
+
+use std::fmt;
+
+use crate::addr::{Addr, Prefix};
+use crate::packet::{Header, Protocol};
+
+/// Pattern over the 8-bit protocol field: a specific protocol or any.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ProtoPattern {
+    /// Matches every protocol.
+    #[default]
+    Any,
+    /// Matches exactly one protocol.
+    Exactly(Protocol),
+}
+
+impl ProtoPattern {
+    /// Returns `true` if the pattern matches `proto`.
+    pub fn matches(self, proto: Protocol) -> bool {
+        match self {
+            ProtoPattern::Any => true,
+            ProtoPattern::Exactly(p) => p == proto,
+        }
+    }
+
+    /// Returns `true` if every protocol matched by `other` is matched by `self`.
+    pub fn covers(self, other: ProtoPattern) -> bool {
+        match (self, other) {
+            (ProtoPattern::Any, _) => true,
+            (ProtoPattern::Exactly(a), ProtoPattern::Exactly(b)) => a == b,
+            (ProtoPattern::Exactly(_), ProtoPattern::Any) => false,
+        }
+    }
+}
+
+/// Pattern over a 16-bit port field: a specific port or any.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PortPattern {
+    /// Matches every port.
+    #[default]
+    Any,
+    /// Matches exactly one port.
+    Exactly(u16),
+}
+
+impl PortPattern {
+    /// Returns `true` if the pattern matches `port`.
+    pub fn matches(self, port: u16) -> bool {
+        match self {
+            PortPattern::Any => true,
+            PortPattern::Exactly(p) => p == port,
+        }
+    }
+
+    /// Returns `true` if every port matched by `other` is matched by `self`.
+    pub fn covers(self, other: PortPattern) -> bool {
+        match (self, other) {
+            (PortPattern::Any, _) => true,
+            (PortPattern::Exactly(a), PortPattern::Exactly(b)) => a == b,
+            (PortPattern::Exactly(_), PortPattern::Any) => false,
+        }
+    }
+}
+
+/// A wildcarded flow label: the predicate inside every filtering request.
+///
+/// Source and destination addresses are matched by prefix; protocol and
+/// ports by exact value or wildcard. The common case in the paper is a
+/// `(source host, destination host)` pair with everything else wildcarded —
+/// [`FlowLabel::src_dst`] builds exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_packet::{Addr, FlowLabel, Header};
+///
+/// let attacker = Addr::new(10, 9, 0, 7);
+/// let victim = Addr::new(10, 1, 0, 1);
+/// let label = FlowLabel::src_dst(attacker, victim);
+///
+/// let pkt = Header::udp(attacker, victim, 4000, 53);
+/// assert!(label.matches(&pkt));
+///
+/// let other = Header::udp(Addr::new(10, 9, 0, 8), victim, 4000, 53);
+/// assert!(!label.matches(&other));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowLabel {
+    /// Source address pattern (prefix containment).
+    pub src: Prefix,
+    /// Destination address pattern (prefix containment).
+    pub dst: Prefix,
+    /// Protocol pattern.
+    pub proto: ProtoPattern,
+    /// Source port pattern.
+    pub src_port: PortPattern,
+    /// Destination port pattern.
+    pub dst_port: PortPattern,
+}
+
+impl FlowLabel {
+    /// The label that matches every packet.
+    pub const ANY: FlowLabel = FlowLabel {
+        src: Prefix::ANY,
+        dst: Prefix::ANY,
+        proto: ProtoPattern::Any,
+        src_port: PortPattern::Any,
+        dst_port: PortPattern::Any,
+    };
+
+    /// Builds the classic AITF label: one source host to one destination
+    /// host, all protocols and ports.
+    pub fn src_dst(src: Addr, dst: Addr) -> Self {
+        FlowLabel {
+            src: Prefix::host(src),
+            dst: Prefix::host(dst),
+            ..FlowLabel::ANY
+        }
+    }
+
+    /// Builds a label matching everything from `src` (a network prefix) to a
+    /// destination host — the shape used when blocking a whole misbehaving
+    /// network after disconnection.
+    pub fn net_to_host(src: Prefix, dst: Addr) -> Self {
+        FlowLabel {
+            src,
+            dst: Prefix::host(dst),
+            ..FlowLabel::ANY
+        }
+    }
+
+    /// Builds a label matching everything addressed to `dst`, regardless of
+    /// source — the shape a victim uses against spoofed floods it cannot
+    /// attribute.
+    pub fn to_host(dst: Addr) -> Self {
+        FlowLabel {
+            dst: Prefix::host(dst),
+            ..FlowLabel::ANY
+        }
+    }
+
+    /// Restricts the label to one protocol, returning the narrowed label.
+    pub fn with_proto(mut self, proto: Protocol) -> Self {
+        self.proto = ProtoPattern::Exactly(proto);
+        self
+    }
+
+    /// Restricts the label to one destination port, returning the narrowed
+    /// label.
+    pub fn with_dst_port(mut self, port: u16) -> Self {
+        self.dst_port = PortPattern::Exactly(port);
+        self
+    }
+
+    /// Restricts the label to one source port, returning the narrowed label.
+    pub fn with_src_port(mut self, port: u16) -> Self {
+        self.src_port = PortPattern::Exactly(port);
+        self
+    }
+
+    /// Returns `true` if the packet header matches this label.
+    pub fn matches(&self, header: &Header) -> bool {
+        self.src.contains(header.src)
+            && self.dst.contains(header.dst)
+            && self.proto.matches(header.proto)
+            && self.src_port.matches(header.src_port)
+            && self.dst_port.matches(header.dst_port)
+    }
+
+    /// Returns `true` if every packet matched by `other` is also matched by
+    /// `self` (i.e. `self` is at least as general).
+    pub fn covers(&self, other: &FlowLabel) -> bool {
+        self.src.covers(other.src)
+            && self.dst.covers(other.dst)
+            && self.proto.covers(other.proto)
+            && self.src_port.covers(other.src_port)
+            && self.dst_port.covers(other.dst_port)
+    }
+
+    /// A coarse specificity score: higher means more specific.
+    ///
+    /// Used by filter tables to prefer keeping specific filters when forced
+    /// to evict, and by tests to check the covers/specificity relationship.
+    pub fn specificity(&self) -> u32 {
+        let mut s = self.src.len() as u32 + self.dst.len() as u32;
+        if matches!(self.proto, ProtoPattern::Exactly(_)) {
+            s += 8;
+        }
+        if matches!(self.src_port, PortPattern::Exactly(_)) {
+            s += 16;
+        }
+        if matches!(self.dst_port, PortPattern::Exactly(_)) {
+            s += 16;
+        }
+        s
+    }
+
+    /// Returns the single destination host if the destination pattern is a
+    /// /32, which is the common case for filtering requests.
+    pub fn dst_host(&self) -> Option<Addr> {
+        (self.dst.len() == 32).then(|| self.dst.addr())
+    }
+
+    /// Returns the single source host if the source pattern is a /32.
+    pub fn src_host(&self) -> Option<Addr> {
+        (self.src.len() == 32).then(|| self.src.addr())
+    }
+}
+
+impl fmt::Display for FlowLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)?;
+        if let ProtoPattern::Exactly(p) = self.proto {
+            write!(f, " proto={p:?}")?;
+        }
+        if let PortPattern::Exactly(p) = self.src_port {
+            write!(f, " sport={p}")?;
+        }
+        if let PortPattern::Exactly(p) = self.dst_port {
+            write!(f, " dport={p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Header;
+
+    fn h(src: Addr, dst: Addr) -> Header {
+        Header::udp(src, dst, 1000, 80)
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let hdr = h(Addr::new(1, 2, 3, 4), Addr::new(5, 6, 7, 8));
+        assert!(FlowLabel::ANY.matches(&hdr));
+    }
+
+    #[test]
+    fn src_dst_matches_only_that_pair() {
+        let a = Addr::new(10, 9, 0, 7);
+        let v = Addr::new(10, 1, 0, 1);
+        let label = FlowLabel::src_dst(a, v);
+        assert!(label.matches(&h(a, v)));
+        assert!(!label.matches(&h(v, a)));
+        assert!(!label.matches(&h(Addr::new(10, 9, 0, 8), v)));
+        assert!(!label.matches(&h(a, Addr::new(10, 1, 0, 2))));
+    }
+
+    #[test]
+    fn proto_and_port_narrowing() {
+        let a = Addr::new(10, 9, 0, 7);
+        let v = Addr::new(10, 1, 0, 1);
+        let label = FlowLabel::src_dst(a, v)
+            .with_proto(Protocol::Udp)
+            .with_dst_port(53);
+        assert!(label.matches(&Header::udp(a, v, 999, 53)));
+        assert!(!label.matches(&Header::udp(a, v, 999, 80)));
+        assert!(!label.matches(&Header::tcp(a, v, 999, 53)));
+    }
+
+    #[test]
+    fn net_to_host_matches_whole_prefix() {
+        let net: Prefix = "10.9.0.0/16".parse().unwrap();
+        let v = Addr::new(10, 1, 0, 1);
+        let label = FlowLabel::net_to_host(net, v);
+        assert!(label.matches(&h(Addr::new(10, 9, 200, 3), v)));
+        assert!(!label.matches(&h(Addr::new(10, 8, 0, 3), v)));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_ordered_by_generality() {
+        let a = Addr::new(10, 9, 0, 7);
+        let v = Addr::new(10, 1, 0, 1);
+        let narrow = FlowLabel::src_dst(a, v).with_proto(Protocol::Udp);
+        let wide = FlowLabel::to_host(v);
+        assert!(narrow.covers(&narrow));
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(FlowLabel::ANY.covers(&wide));
+    }
+
+    #[test]
+    fn specificity_increases_with_narrowing() {
+        let a = Addr::new(10, 9, 0, 7);
+        let v = Addr::new(10, 1, 0, 1);
+        let base = FlowLabel::src_dst(a, v);
+        assert!(base.specificity() > FlowLabel::to_host(v).specificity());
+        assert!(base.with_proto(Protocol::Udp).specificity() > base.specificity());
+        assert!(base.with_dst_port(53).specificity() > base.specificity());
+        assert_eq!(FlowLabel::ANY.specificity(), 0);
+    }
+
+    #[test]
+    fn dst_host_extraction() {
+        let v = Addr::new(10, 1, 0, 1);
+        assert_eq!(FlowLabel::to_host(v).dst_host(), Some(v));
+        let label = FlowLabel::net_to_host("10.0.0.0/8".parse().unwrap(), v);
+        assert_eq!(label.src_host(), None);
+        assert_eq!(label.dst_host(), Some(v));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Addr::new(10, 9, 0, 7);
+        let v = Addr::new(10, 1, 0, 1);
+        let s = FlowLabel::src_dst(a, v).with_dst_port(53).to_string();
+        assert!(s.contains("10.9.0.7/32"));
+        assert!(s.contains("dport=53"));
+    }
+}
+
+/// Label algebra: intersection and aggregation.
+///
+/// Routers that run out of filters can trade precision for space by
+/// *merging* labels (e.g. two host-pair filters from the same /24 into one
+/// prefix filter) — the paper's bounded-filter economy makes this the
+/// natural pressure valve. These operations are the verified kernel such a
+/// policy builds on.
+impl FlowLabel {
+    /// The most general label matched by **both** inputs, or `None` if
+    /// they are disjoint.
+    pub fn intersect(&self, other: &FlowLabel) -> Option<FlowLabel> {
+        fn narrower(a: Prefix, b: Prefix) -> Option<Prefix> {
+            if a.covers(b) {
+                Some(b)
+            } else if b.covers(a) {
+                Some(a)
+            } else {
+                None
+            }
+        }
+        let proto = match (self.proto, other.proto) {
+            (ProtoPattern::Any, p) | (p, ProtoPattern::Any) => p,
+            (a, b) if a == b => a,
+            _ => return None,
+        };
+        let pick_port = |a: PortPattern, b: PortPattern| match (a, b) {
+            (PortPattern::Any, p) | (p, PortPattern::Any) => Some(p),
+            (x, y) if x == y => Some(x),
+            _ => None,
+        };
+        Some(FlowLabel {
+            src: narrower(self.src, other.src)?,
+            dst: narrower(self.dst, other.dst)?,
+            proto,
+            src_port: pick_port(self.src_port, other.src_port)?,
+            dst_port: pick_port(self.dst_port, other.dst_port)?,
+        })
+    }
+
+    /// Returns `true` if some packet matches both labels.
+    pub fn overlaps(&self, other: &FlowLabel) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Attempts to merge two labels into one that covers both without
+    /// widening the source prefix beyond `max_src_widening` bits from the
+    /// narrower input (the precision the caller is willing to give up).
+    ///
+    /// Only labels that agree on everything except the source prefix are
+    /// merged — that is the shape filter aggregation needs: many attack
+    /// hosts in one network, one victim.
+    pub fn try_merge(&self, other: &FlowLabel, max_src_widening: u8) -> Option<FlowLabel> {
+        if self.dst != other.dst
+            || self.proto != other.proto
+            || self.src_port != other.src_port
+            || self.dst_port != other.dst_port
+        {
+            return None;
+        }
+        // The merged source is the longest common prefix of the two.
+        let min_len = self.src.len().min(other.src.len());
+        let a = self.src.addr().raw();
+        let b = other.src.addr().raw();
+        let common = (a ^ b).leading_zeros().min(32) as u8;
+        let merged_len = common.min(min_len);
+        let widening = self.src.len().max(other.src.len()) - merged_len;
+        if widening > max_src_widening {
+            return None;
+        }
+        Some(FlowLabel {
+            src: Prefix::new(self.src.addr(), merged_len),
+            ..*self
+        })
+    }
+}
+
+#[cfg(test)]
+mod algebra_tests {
+    use super::*;
+    use crate::packet::Header;
+
+    fn host(i: u8) -> Addr {
+        Addr::new(10, 9, 0, i)
+    }
+
+    const V: Addr = Addr::new(10, 1, 0, 1);
+
+    #[test]
+    fn intersect_narrows_to_the_specific_side() {
+        let wide = FlowLabel::net_to_host("10.9.0.0/16".parse().unwrap(), V);
+        let narrow = FlowLabel::src_dst(host(7), V).with_proto(Protocol::Udp);
+        let i = wide.intersect(&narrow).expect("overlap");
+        assert_eq!(i, narrow);
+        assert_eq!(narrow.intersect(&wide), Some(narrow), "commutative");
+    }
+
+    #[test]
+    fn disjoint_labels_do_not_intersect() {
+        let a = FlowLabel::src_dst(host(1), V);
+        let b = FlowLabel::src_dst(host(2), V);
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.overlaps(&b));
+        // Different protocols are also disjoint.
+        let udp = FlowLabel::src_dst(host(1), V).with_proto(Protocol::Udp);
+        let tcp = FlowLabel::src_dst(host(1), V).with_proto(Protocol::Tcp);
+        assert!(!udp.overlaps(&tcp));
+    }
+
+    #[test]
+    fn merge_two_hosts_into_their_common_prefix() {
+        let a = FlowLabel::src_dst(Addr::new(10, 9, 0, 2), V);
+        let b = FlowLabel::src_dst(Addr::new(10, 9, 0, 3), V);
+        let m = a.try_merge(&b, 8).expect("mergeable");
+        // 10.9.0.2 and 10.9.0.3 share a /31.
+        assert_eq!(m.src, "10.9.0.2/31".parse().unwrap());
+        assert!(m.covers(&a) && m.covers(&b));
+        // Both original packets still match.
+        assert!(m.matches(&Header::udp(Addr::new(10, 9, 0, 2), V, 1, 2)));
+        assert!(m.matches(&Header::udp(Addr::new(10, 9, 0, 3), V, 1, 2)));
+    }
+
+    #[test]
+    fn merge_refuses_excessive_widening() {
+        let a = FlowLabel::src_dst(Addr::new(10, 9, 0, 1), V);
+        let b = FlowLabel::src_dst(Addr::new(10, 200, 0, 1), V);
+        // Common prefix is /8: widening 24 bits.
+        assert!(a.try_merge(&b, 8).is_none());
+        assert!(a.try_merge(&b, 24).is_some());
+    }
+
+    #[test]
+    fn merge_requires_identical_non_src_fields() {
+        let a = FlowLabel::src_dst(host(1), V).with_dst_port(80);
+        let b = FlowLabel::src_dst(host(2), V).with_dst_port(443);
+        assert!(a.try_merge(&b, 32).is_none());
+        let c = FlowLabel::src_dst(host(2), Addr::new(10, 1, 0, 9));
+        assert!(FlowLabel::src_dst(host(1), V).try_merge(&c, 32).is_none());
+    }
+}
+
+#[cfg(test)]
+mod algebra_proptests {
+    use super::*;
+    use crate::packet::Header;
+    use proptest::prelude::*;
+
+    fn arb_prefix() -> impl Strategy<Value = Prefix> {
+        (any::<u32>(), 8u8..=32).prop_map(|(a, l)| Prefix::new(Addr(a), l))
+    }
+
+    fn arb_label() -> impl Strategy<Value = FlowLabel> {
+        (arb_prefix(), arb_prefix(), any::<bool>(), any::<bool>()).prop_map(
+            |(src, dst, udp, port)| {
+                let mut l = FlowLabel {
+                    src,
+                    dst,
+                    ..FlowLabel::ANY
+                };
+                if udp {
+                    l = l.with_proto(Protocol::Udp);
+                }
+                if port {
+                    l = l.with_dst_port(80);
+                }
+                l
+            },
+        )
+    }
+
+    fn arb_header() -> impl Strategy<Value = Header> {
+        (any::<u32>(), any::<u32>(), any::<bool>(), any::<u16>()).prop_map(|(s, d, udp, port)| {
+            if udp {
+                Header::udp(Addr(s), Addr(d), 1, port)
+            } else {
+                Header::tcp(Addr(s), Addr(d), 1, port)
+            }
+        })
+    }
+
+    proptest! {
+        /// A packet matches the intersection iff it matches both inputs.
+        #[test]
+        fn intersection_is_conjunction(
+            a in arb_label(),
+            b in arb_label(),
+            h in arb_header(),
+        ) {
+            match a.intersect(&b) {
+                Some(i) => prop_assert_eq!(i.matches(&h), a.matches(&h) && b.matches(&h)),
+                None => prop_assert!(!(a.matches(&h) && b.matches(&h))),
+            }
+        }
+
+        /// A merged label covers both inputs.
+        #[test]
+        fn merge_covers_both(a in arb_label(), b in arb_label()) {
+            if let Some(m) = a.try_merge(&b, 32) {
+                prop_assert!(m.covers(&a), "merge must cover lhs");
+                prop_assert!(m.covers(&b), "merge must cover rhs");
+            }
+        }
+
+        /// `covers` and `matches` are consistent: if A covers B, every
+        /// packet matching B matches A.
+        #[test]
+        fn covers_implies_matching_superset(
+            a in arb_label(),
+            b in arb_label(),
+            h in arb_header(),
+        ) {
+            if a.covers(&b) && b.matches(&h) {
+                prop_assert!(a.matches(&h));
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The AITF route-record shim.
+//!
+//! Section II-F assumes "an efficient traceback technique" so the victim's
+//! gateway can identify the attacker's gateway and the next AITF node on the
+//! attack path. Following the paper's own suggestion (Section IV-B) we model
+//! an architecture like TRIAD \[CG00\] "where traceback is automatically
+//! provided inside each packet": every AITF **border router** that forwards
+//! a packet appends its address to a shim list.
+//!
+//! The record therefore enumerates, in order from the attacker outwards, the
+//! border routers the packet crossed — exactly the *attack path* of Section
+//! II-A. Its first entry is the attacker's gateway; entry `k` is the AITF
+//! node tried at escalation round `k + 1`.
+
+use std::fmt;
+
+use crate::addr::Addr;
+
+/// Maximum number of recorded border routers.
+///
+/// Real AS-level paths are short (the mean AS path length is under 5); the
+/// bound keeps packet size finite and guards against a malicious source
+/// pre-filling the record to exhaust memory.
+pub const MAX_ROUTE_RECORD: usize = 16;
+
+/// Bytes each recorded hop adds to the on-wire packet size.
+pub const ROUTE_RECORD_ENTRY_BYTES: u32 = 4;
+
+/// The in-packet list of AITF border routers crossed, attacker side first.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RouteRecord {
+    hops: Vec<Addr>,
+}
+
+impl RouteRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        RouteRecord { hops: Vec::new() }
+    }
+
+    /// Creates a record from an explicit hop list, truncating to
+    /// [`MAX_ROUTE_RECORD`].
+    pub fn from_hops(hops: impl IntoIterator<Item = Addr>) -> Self {
+        let mut rr = RouteRecord::new();
+        for hop in hops {
+            if rr.push(hop).is_err() {
+                break;
+            }
+        }
+        rr
+    }
+
+    /// Appends a border-router address.
+    ///
+    /// Returns `Err(())` if the record is full; callers forward the packet
+    /// anyway (an overlong path degrades traceback, it must not break
+    /// forwarding).
+    pub fn push(&mut self, addr: Addr) -> Result<(), ()> {
+        if self.hops.len() >= MAX_ROUTE_RECORD {
+            return Err(());
+        }
+        self.hops.push(addr);
+        Ok(())
+    }
+
+    /// The recorded hops, first entry closest to the packet's origin.
+    pub fn hops(&self) -> &[Addr] {
+        &self.hops
+    }
+
+    /// Number of recorded hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The attacker's gateway: the first border router crossed.
+    pub fn attacker_gateway(&self) -> Option<Addr> {
+        self.hops.first().copied()
+    }
+
+    /// The border router closest to the destination.
+    pub fn victim_gateway(&self) -> Option<Addr> {
+        self.hops.last().copied()
+    }
+
+    /// The AITF node asked to filter at escalation round `round`
+    /// (1-indexed): round 1 is the attacker's gateway, round 2 the next
+    /// border router, and so on.
+    pub fn node_for_round(&self, round: usize) -> Option<Addr> {
+        if round == 0 {
+            return None;
+        }
+        self.hops.get(round - 1).copied()
+    }
+
+    /// Returns `true` if `addr` appears anywhere on the recorded path.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.hops.contains(&addr)
+    }
+
+    /// Position of `addr` on the path (0 = attacker's gateway).
+    pub fn position(&self, addr: Addr) -> Option<usize> {
+        self.hops.iter().position(|&h| h == addr)
+    }
+
+    /// Extra on-wire bytes contributed by the record.
+    pub fn wire_bytes(&self) -> u32 {
+        self.hops.len() as u32 * ROUTE_RECORD_ENTRY_BYTES
+    }
+}
+
+impl fmt::Display for RouteRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " > ")?;
+            }
+            write!(f, "{hop}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u8) -> Addr {
+        Addr::new(10, i, 0, 1)
+    }
+
+    #[test]
+    fn push_records_in_order() {
+        let mut rr = RouteRecord::new();
+        assert!(rr.is_empty());
+        rr.push(addr(1)).unwrap();
+        rr.push(addr(2)).unwrap();
+        rr.push(addr(3)).unwrap();
+        assert_eq!(rr.hops(), &[addr(1), addr(2), addr(3)]);
+        assert_eq!(rr.len(), 3);
+    }
+
+    #[test]
+    fn gateways_are_path_ends() {
+        let rr = RouteRecord::from_hops([addr(1), addr(2), addr(3), addr(4)]);
+        assert_eq!(rr.attacker_gateway(), Some(addr(1)));
+        assert_eq!(rr.victim_gateway(), Some(addr(4)));
+    }
+
+    #[test]
+    fn empty_record_has_no_gateways() {
+        let rr = RouteRecord::new();
+        assert_eq!(rr.attacker_gateway(), None);
+        assert_eq!(rr.victim_gateway(), None);
+        assert_eq!(rr.node_for_round(1), None);
+    }
+
+    #[test]
+    fn rounds_walk_away_from_attacker() {
+        let rr = RouteRecord::from_hops([addr(1), addr(2), addr(3)]);
+        assert_eq!(rr.node_for_round(0), None);
+        assert_eq!(rr.node_for_round(1), Some(addr(1)));
+        assert_eq!(rr.node_for_round(2), Some(addr(2)));
+        assert_eq!(rr.node_for_round(3), Some(addr(3)));
+        assert_eq!(rr.node_for_round(4), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut rr = RouteRecord::new();
+        for i in 0..MAX_ROUTE_RECORD {
+            rr.push(addr(i as u8)).unwrap();
+        }
+        assert!(rr.push(addr(200)).is_err());
+        assert_eq!(rr.len(), MAX_ROUTE_RECORD);
+    }
+
+    #[test]
+    fn from_hops_truncates() {
+        let rr = RouteRecord::from_hops((0..40).map(|i| addr(i as u8)));
+        assert_eq!(rr.len(), MAX_ROUTE_RECORD);
+    }
+
+    #[test]
+    fn contains_and_position() {
+        let rr = RouteRecord::from_hops([addr(1), addr(2)]);
+        assert!(rr.contains(addr(2)));
+        assert!(!rr.contains(addr(9)));
+        assert_eq!(rr.position(addr(2)), Some(1));
+        assert_eq!(rr.position(addr(9)), None);
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_path() {
+        let rr = RouteRecord::from_hops([addr(1), addr(2), addr(3)]);
+        assert_eq!(rr.wire_bytes(), 12);
+    }
+
+    #[test]
+    fn display_renders_path() {
+        let rr = RouteRecord::from_hops([addr(1), addr(2)]);
+        assert_eq!(rr.to_string(), "[10.1.0.1 > 10.2.0.1]");
+    }
+}

@@ -1,0 +1,653 @@
+//! Binary wire codec for packets.
+//!
+//! The simulator passes [`Packet`] values by ownership, so encoding is not
+//! on the forwarding fast path. The codec exists for three reasons: it fixes
+//! the *on-wire size* story (control-message sizes used in queue accounting
+//! correspond to a real encoding), it lets integration tests checkpoint
+//! traffic captures, and round-tripping under proptest pins down the exact
+//! packet semantics.
+//!
+//! Format (all integers big-endian):
+//!
+//! ```text
+//! u64 id | header (14B) | u8 rr_len | rr_len * u32 | payload
+//! header  = u32 src | u32 dst | u8 proto | u16 sport | u16 dport | u8 ttl
+//! payload = u8 tag, then tag-specific body
+//! ```
+
+use crate::addr::{Addr, Prefix};
+use crate::flow::{FlowLabel, PortPattern, ProtoPattern};
+use crate::message::{
+    AitfMessage, FilteringRequest, Nonce, PushbackRequest, RequestDestination, VerificationQuery,
+    VerificationReply,
+};
+use crate::packet::{Header, Packet, PayloadKind, Protocol, TracebackMark, TrafficClass};
+use crate::route_record::RouteRecord;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A tag byte had no defined meaning.
+    BadTag(u8),
+    /// A length field exceeded its bound.
+    BadLength(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
+            DecodeError::BadLength(n) => write!(f, "bad length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(128),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn proto_to_byte(p: Protocol) -> u8 {
+    match p {
+        Protocol::Udp => 17,
+        Protocol::Tcp => 6,
+        Protocol::Icmp => 1,
+        Protocol::Aitf => 254,
+        Protocol::Other(n) => n,
+    }
+}
+
+fn proto_from_byte(b: u8) -> Protocol {
+    match b {
+        17 => Protocol::Udp,
+        6 => Protocol::Tcp,
+        1 => Protocol::Icmp,
+        254 => Protocol::Aitf,
+        n => Protocol::Other(n),
+    }
+}
+
+fn encode_header(w: &mut Writer, h: &Header) {
+    w.u32(h.src.raw());
+    w.u32(h.dst.raw());
+    w.u8(proto_to_byte(h.proto));
+    w.u16(h.src_port);
+    w.u16(h.dst_port);
+    w.u8(h.ttl);
+}
+
+fn decode_header(r: &mut Reader<'_>) -> Result<Header, DecodeError> {
+    Ok(Header {
+        src: Addr(r.u32()?),
+        dst: Addr(r.u32()?),
+        proto: proto_from_byte(r.u8()?),
+        src_port: r.u16()?,
+        dst_port: r.u16()?,
+        ttl: r.u8()?,
+    })
+}
+
+fn encode_flow(w: &mut Writer, f: &FlowLabel) {
+    w.u32(f.src.addr().raw());
+    w.u8(f.src.len());
+    w.u32(f.dst.addr().raw());
+    w.u8(f.dst.len());
+    match f.proto {
+        ProtoPattern::Any => w.u8(0),
+        ProtoPattern::Exactly(p) => {
+            w.u8(1);
+            w.u8(proto_to_byte(p));
+        }
+    }
+    for port in [f.src_port, f.dst_port] {
+        match port {
+            PortPattern::Any => w.u8(0),
+            PortPattern::Exactly(p) => {
+                w.u8(1);
+                w.u16(p);
+            }
+        }
+    }
+}
+
+fn decode_flow(r: &mut Reader<'_>) -> Result<FlowLabel, DecodeError> {
+    let src_addr = Addr(r.u32()?);
+    let src_len = r.u8()?;
+    let dst_addr = Addr(r.u32()?);
+    let dst_len = r.u8()?;
+    if src_len > 32 {
+        return Err(DecodeError::BadLength(src_len as usize));
+    }
+    if dst_len > 32 {
+        return Err(DecodeError::BadLength(dst_len as usize));
+    }
+    let proto = match r.u8()? {
+        0 => ProtoPattern::Any,
+        1 => ProtoPattern::Exactly(proto_from_byte(r.u8()?)),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let mut ports = [PortPattern::Any; 2];
+    for slot in &mut ports {
+        *slot = match r.u8()? {
+            0 => PortPattern::Any,
+            1 => PortPattern::Exactly(r.u16()?),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+    }
+    Ok(FlowLabel {
+        src: Prefix::new(src_addr, src_len),
+        dst: Prefix::new(dst_addr, dst_len),
+        proto,
+        src_port: ports[0],
+        dst_port: ports[1],
+    })
+}
+
+fn encode_route_record(w: &mut Writer, rr: &RouteRecord) {
+    w.u8(rr.len() as u8);
+    for hop in rr.hops() {
+        w.u32(hop.raw());
+    }
+}
+
+fn decode_route_record(r: &mut Reader<'_>) -> Result<RouteRecord, DecodeError> {
+    let n = r.u8()? as usize;
+    if n > crate::route_record::MAX_ROUTE_RECORD {
+        return Err(DecodeError::BadLength(n));
+    }
+    let mut rr = RouteRecord::new();
+    for _ in 0..n {
+        rr.push(Addr(r.u32()?))
+            .expect("length checked against capacity");
+    }
+    Ok(rr)
+}
+
+fn dest_to_byte(d: RequestDestination) -> u8 {
+    match d {
+        RequestDestination::VictimGateway => 0,
+        RequestDestination::AttackerGateway => 1,
+        RequestDestination::Attacker => 2,
+    }
+}
+
+fn dest_from_byte(b: u8) -> Result<RequestDestination, DecodeError> {
+    match b {
+        0 => Ok(RequestDestination::VictimGateway),
+        1 => Ok(RequestDestination::AttackerGateway),
+        2 => Ok(RequestDestination::Attacker),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn encode_message(w: &mut Writer, m: &AitfMessage) {
+    match m {
+        AitfMessage::FilteringRequest(req) => {
+            w.u8(0);
+            w.u64(req.id);
+            encode_flow(w, &req.flow);
+            w.u8(dest_to_byte(req.dest));
+            w.u64(req.duration_ns);
+            encode_route_record(w, &req.path);
+            w.u8(req.round);
+        }
+        AitfMessage::VerificationQuery(q) => {
+            w.u8(1);
+            w.u64(q.request_id);
+            encode_flow(w, &q.flow);
+            w.u64(q.nonce.0);
+        }
+        AitfMessage::VerificationReply(rep) => {
+            w.u8(2);
+            w.u64(rep.request_id);
+            encode_flow(w, &rep.flow);
+            w.u64(rep.nonce.0);
+            w.u8(rep.confirm as u8);
+        }
+        AitfMessage::Pushback(p) => {
+            w.u8(3);
+            w.u64(p.id);
+            encode_flow(w, &p.flow);
+            w.u64(p.limit_bps);
+            w.u64(p.duration_ns);
+            w.u8(p.depth);
+        }
+    }
+}
+
+fn decode_message(r: &mut Reader<'_>) -> Result<AitfMessage, DecodeError> {
+    match r.u8()? {
+        0 => Ok(AitfMessage::FilteringRequest(FilteringRequest {
+            id: r.u64()?,
+            flow: decode_flow(r)?,
+            dest: dest_from_byte(r.u8()?)?,
+            duration_ns: r.u64()?,
+            path: decode_route_record(r)?,
+            round: r.u8()?,
+        })),
+        1 => Ok(AitfMessage::VerificationQuery(VerificationQuery {
+            request_id: r.u64()?,
+            flow: decode_flow(r)?,
+            nonce: Nonce(r.u64()?),
+        })),
+        2 => {
+            let request_id = r.u64()?;
+            let flow = decode_flow(r)?;
+            let nonce = Nonce(r.u64()?);
+            let confirm = match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            Ok(AitfMessage::VerificationReply(VerificationReply {
+                request_id,
+                flow,
+                nonce,
+                confirm,
+            }))
+        }
+        3 => Ok(AitfMessage::Pushback(PushbackRequest {
+            id: r.u64()?,
+            flow: decode_flow(r)?,
+            limit_bps: r.u64()?,
+            duration_ns: r.u64()?,
+            depth: r.u8()?,
+        })),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+/// Encodes a packet to bytes.
+pub fn encode(pkt: &Packet) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(pkt.id);
+    encode_header(&mut w, &pkt.header);
+    encode_route_record(&mut w, &pkt.route_record);
+    match pkt.mark {
+        None => w.u8(0),
+        Some(m) => {
+            w.u8(1);
+            w.u32(m.router.raw());
+            w.u8(m.distance);
+        }
+    }
+    match &pkt.payload {
+        PayloadKind::Data(class) => {
+            w.u8(0);
+            w.u8(match class {
+                TrafficClass::Legit => 0,
+                TrafficClass::Attack => 1,
+            });
+            w.u32(pkt.size_bytes);
+        }
+        PayloadKind::Aitf(msg) => {
+            w.u8(1);
+            encode_message(&mut w, msg);
+            w.u32(pkt.size_bytes);
+        }
+    }
+    w.buf
+}
+
+/// Decodes a packet from bytes produced by [`encode`].
+///
+/// Trailing bytes are rejected, so the codec is bijective on valid packets.
+pub fn decode(bytes: &[u8]) -> Result<Packet, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let id = r.u64()?;
+    let header = decode_header(&mut r)?;
+    let route_record = decode_route_record(&mut r)?;
+    let mark = match r.u8()? {
+        0 => None,
+        1 => Some(TracebackMark {
+            router: Addr(r.u32()?),
+            distance: r.u8()?,
+        }),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let payload = match r.u8()? {
+        0 => {
+            let class = match r.u8()? {
+                0 => TrafficClass::Legit,
+                1 => TrafficClass::Attack,
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            PayloadKind::Data(class)
+        }
+        1 => PayloadKind::Aitf(decode_message(&mut r)?),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    let size_bytes = r.u32()?;
+    if !r.finished() {
+        return Err(DecodeError::BadLength(bytes.len()));
+    }
+    Ok(Packet {
+        id,
+        header,
+        route_record,
+        mark,
+        payload,
+        size_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    fn sample_data_packet() -> Packet {
+        let h = Header::udp(Addr::new(10, 9, 0, 7), Addr::new(10, 1, 0, 1), 4000, 53);
+        let mut p = Packet::data(77, h, TrafficClass::Attack, 512);
+        p.route_record.push(Addr::new(10, 9, 0, 254)).unwrap();
+        p.route_record.push(Addr::new(10, 8, 0, 254)).unwrap();
+        p
+    }
+
+    fn sample_control_packet() -> Packet {
+        let flow = FlowLabel::src_dst(Addr::new(10, 9, 0, 7), Addr::new(10, 1, 0, 1));
+        let req = FilteringRequest::new(flow, RequestDestination::AttackerGateway, 60_000_000_000)
+            .with_id(5)
+            .with_round(2)
+            .with_path(RouteRecord::from_hops([Addr::new(10, 9, 0, 254)]));
+        Packet::control(
+            78,
+            Addr::new(10, 1, 0, 254),
+            Addr::new(10, 9, 0, 254),
+            AitfMessage::FilteringRequest(req),
+        )
+    }
+
+    #[test]
+    fn data_packet_roundtrip() {
+        let p = sample_data_packet();
+        assert_eq!(decode(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn control_packet_roundtrip() {
+        let p = sample_control_packet();
+        assert_eq!(decode(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn verification_messages_roundtrip() {
+        let flow = FlowLabel::src_dst(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2));
+        for msg in [
+            AitfMessage::VerificationQuery(VerificationQuery {
+                request_id: 9,
+                flow,
+                nonce: Nonce(0xdead_beef),
+            }),
+            AitfMessage::VerificationReply(VerificationReply {
+                request_id: 9,
+                flow,
+                nonce: Nonce(0xdead_beef),
+                confirm: true,
+            }),
+        ] {
+            let p = Packet::control(1, Addr::new(3, 3, 3, 3), Addr::new(4, 4, 4, 4), msg);
+            assert_eq!(decode(&encode(&p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode(&sample_data_packet());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample_data_packet());
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(DecodeError::BadLength(bytes.len())));
+    }
+
+    #[test]
+    fn bad_payload_tag_is_rejected() {
+        let p = sample_data_packet();
+        let mut bytes = encode(&p);
+        // Payload tag sits after id (8) + header (14) + rr (1 + 2*4) + mark tag (1).
+        let tag_pos = 8 + 14 + 1 + 8 + 1;
+        bytes[tag_pos] = 9;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadTag(9)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_addr() -> impl Strategy<Value = Addr> {
+        any::<u32>().prop_map(Addr)
+    }
+
+    fn arb_prefix() -> impl Strategy<Value = Prefix> {
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Addr(a), l))
+    }
+
+    fn arb_proto() -> impl Strategy<Value = Protocol> {
+        any::<u8>().prop_map(proto_from_byte)
+    }
+
+    fn arb_flow() -> impl Strategy<Value = FlowLabel> {
+        (
+            arb_prefix(),
+            arb_prefix(),
+            proptest::option::of(arb_proto()),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<u16>()),
+        )
+            .prop_map(|(src, dst, proto, sp, dp)| FlowLabel {
+                src,
+                dst,
+                proto: proto.map_or(ProtoPattern::Any, ProtoPattern::Exactly),
+                src_port: sp.map_or(PortPattern::Any, PortPattern::Exactly),
+                dst_port: dp.map_or(PortPattern::Any, PortPattern::Exactly),
+            })
+    }
+
+    fn arb_route_record() -> impl Strategy<Value = RouteRecord> {
+        proptest::collection::vec(arb_addr(), 0..=crate::route_record::MAX_ROUTE_RECORD)
+            .prop_map(RouteRecord::from_hops)
+    }
+
+    fn arb_message() -> impl Strategy<Value = AitfMessage> {
+        prop_oneof![
+            (
+                any::<u64>(),
+                arb_flow(),
+                0u8..3,
+                any::<u64>(),
+                arb_route_record(),
+                any::<u8>()
+            )
+                .prop_map(|(id, flow, dest, dur, path, round)| {
+                    AitfMessage::FilteringRequest(FilteringRequest {
+                        id,
+                        flow,
+                        dest: dest_from_byte(dest).expect("dest in range"),
+                        duration_ns: dur,
+                        path,
+                        round,
+                    })
+                }),
+            (any::<u64>(), arb_flow(), any::<u64>()).prop_map(|(id, flow, nonce)| {
+                AitfMessage::VerificationQuery(VerificationQuery {
+                    request_id: id,
+                    flow,
+                    nonce: Nonce(nonce),
+                })
+            }),
+            (any::<u64>(), arb_flow(), any::<u64>(), any::<bool>()).prop_map(
+                |(id, flow, nonce, confirm)| {
+                    AitfMessage::VerificationReply(VerificationReply {
+                        request_id: id,
+                        flow,
+                        nonce: Nonce(nonce),
+                        confirm,
+                    })
+                }
+            ),
+            (
+                any::<u64>(),
+                arb_flow(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u8>()
+            )
+                .prop_map(|(id, flow, limit, dur, depth)| {
+                    AitfMessage::Pushback(PushbackRequest {
+                        id,
+                        flow,
+                        limit_bps: limit,
+                        duration_ns: dur,
+                        depth,
+                    })
+                }),
+        ]
+    }
+
+    fn arb_packet() -> impl Strategy<Value = Packet> {
+        (
+            any::<u64>(),
+            arb_addr(),
+            arb_addr(),
+            arb_proto(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u8>(),
+            arb_route_record(),
+            proptest::option::of(
+                (arb_addr(), any::<u8>())
+                    .prop_map(|(router, distance)| TracebackMark { router, distance }),
+            ),
+            prop_oneof![
+                any::<bool>().prop_map(|a| PayloadKind::Data(if a {
+                    TrafficClass::Attack
+                } else {
+                    TrafficClass::Legit
+                })),
+                arb_message().prop_map(PayloadKind::Aitf),
+            ],
+            40u32..20_000,
+        )
+            .prop_map(
+                |(id, src, dst, proto, sp, dp, ttl, rr, mark, payload, size)| Packet {
+                    id,
+                    header: Header {
+                        src,
+                        dst,
+                        proto,
+                        src_port: sp,
+                        dst_port: dp,
+                        ttl,
+                    },
+                    route_record: rr,
+                    mark,
+                    payload,
+                    size_bytes: size,
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(pkt in arb_packet()) {
+            let decoded = decode(&encode(&pkt)).expect("valid packet must decode");
+            prop_assert_eq!(decoded, pkt);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn flow_label_roundtrip(flow in arb_flow()) {
+            let mut w = Writer::new();
+            encode_flow(&mut w, &flow);
+            let mut r = Reader::new(&w.buf);
+            let decoded = decode_flow(&mut r).expect("valid flow must decode");
+            prop_assert_eq!(decoded, flow);
+        }
+    }
+}

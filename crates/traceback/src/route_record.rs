@@ -1,0 +1,190 @@
+//! Route-record traceback: the deterministic in-packet provider.
+//!
+//! Border routers append their address to every forwarded packet (the AITF
+//! shim layer). The victim side simply remembers, per flow, the most
+//! complete record it has seen — one attack packet is enough, so
+//! "traceback time is 0" exactly as the paper's Section IV-B example
+//! assumes.
+
+use std::collections::HashMap;
+
+use aitf_packet::{Addr, FlowLabel, Packet};
+
+use crate::Traceback;
+
+/// Per-source-host cache of observed attack paths.
+///
+/// Keyed by `(src, dst)` host pair — the granularity AITF requests use.
+/// Bounded: when full, new pairs are not recorded until old ones are
+/// cleared (the protocol layer sizes this like the shadow cache).
+#[derive(Debug)]
+pub struct RouteRecordTraceback {
+    capacity: usize,
+    paths: HashMap<(Addr, Addr), Vec<Addr>>,
+    observed: u64,
+    /// Observations ignored because the cache was full.
+    pub overflow: u64,
+}
+
+impl RouteRecordTraceback {
+    /// Creates a provider remembering at most `capacity` host pairs.
+    pub fn new(capacity: usize) -> Self {
+        RouteRecordTraceback {
+            capacity,
+            paths: HashMap::new(),
+            observed: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of host pairs currently cached.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Returns `true` if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Drops the cached path for one host pair (after a request completes).
+    pub fn forget(&mut self, src: Addr, dst: Addr) {
+        self.paths.remove(&(src, dst));
+    }
+
+    /// Clears the whole cache.
+    pub fn clear(&mut self) {
+        self.paths.clear();
+    }
+}
+
+impl Traceback for RouteRecordTraceback {
+    fn observe(&mut self, packet: &Packet) {
+        self.observed += 1;
+        if packet.route_record.is_empty() {
+            return;
+        }
+        let key = (packet.header.src, packet.header.dst);
+        match self.paths.get_mut(&key) {
+            Some(existing) => {
+                // Keep the longest record seen: a packet that crossed more
+                // border routers carries strictly more information.
+                if packet.route_record.len() > existing.len() {
+                    *existing = packet.route_record.hops().to_vec();
+                }
+            }
+            None => {
+                if self.paths.len() >= self.capacity {
+                    self.overflow += 1;
+                    return;
+                }
+                self.paths.insert(key, packet.route_record.hops().to_vec());
+            }
+        }
+    }
+
+    fn attack_path(&self, flow: &FlowLabel) -> Option<Vec<Addr>> {
+        // Exact host-pair labels hit the cache directly; wildcard labels
+        // fall back to any cached pair the label matches.
+        if let (Some(src), Some(dst)) = (flow.src_host(), flow.dst_host()) {
+            return self.paths.get(&(src, dst)).cloned();
+        }
+        // Deterministic choice among matches: smallest (src, dst) key.
+        self.paths
+            .iter()
+            .filter(|((s, d), _)| flow.src.contains(*s) && flow.dst.contains(*d))
+            .min_by_key(|(&key, _)| key)
+            .map(|(_, path)| path.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "route-record"
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_packet::{Header, RouteRecord, TrafficClass};
+
+    fn attack_packet(src: Addr, dst: Addr, hops: &[Addr]) -> Packet {
+        let mut p = Packet::data(0, Header::udp(src, dst, 1, 2), TrafficClass::Attack, 100);
+        p.route_record = RouteRecord::from_hops(hops.iter().copied());
+        p
+    }
+
+    const A: Addr = Addr::new(10, 9, 0, 7);
+    const V: Addr = Addr::new(10, 1, 0, 1);
+
+    fn gw(i: u8) -> Addr {
+        Addr::new(10, i, 0, 254)
+    }
+
+    #[test]
+    fn one_packet_gives_full_path() {
+        let mut tb = RouteRecordTraceback::new(16);
+        tb.observe(&attack_packet(A, V, &[gw(9), gw(8), gw(1)]));
+        let flow = FlowLabel::src_dst(A, V);
+        assert_eq!(tb.attack_path(&flow), Some(vec![gw(9), gw(8), gw(1)]));
+        assert_eq!(tb.observed(), 1);
+    }
+
+    #[test]
+    fn longest_record_wins() {
+        let mut tb = RouteRecordTraceback::new(16);
+        tb.observe(&attack_packet(A, V, &[gw(8), gw(1)]));
+        tb.observe(&attack_packet(A, V, &[gw(9), gw(8), gw(1)]));
+        tb.observe(&attack_packet(A, V, &[gw(1)]));
+        let flow = FlowLabel::src_dst(A, V);
+        assert_eq!(tb.attack_path(&flow).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_records_are_ignored() {
+        let mut tb = RouteRecordTraceback::new(16);
+        tb.observe(&attack_packet(A, V, &[]));
+        assert!(tb.attack_path(&FlowLabel::src_dst(A, V)).is_none());
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn unknown_flow_has_no_path() {
+        let mut tb = RouteRecordTraceback::new(16);
+        tb.observe(&attack_packet(A, V, &[gw(9)]));
+        let other = FlowLabel::src_dst(Addr::new(9, 9, 9, 9), V);
+        assert!(tb.attack_path(&other).is_none());
+    }
+
+    #[test]
+    fn wildcard_label_matches_cached_pairs() {
+        let mut tb = RouteRecordTraceback::new(16);
+        tb.observe(&attack_packet(A, V, &[gw(9), gw(1)]));
+        let net_label = FlowLabel::net_to_host("10.9.0.0/16".parse().unwrap(), V);
+        assert_eq!(tb.attack_path(&net_label), Some(vec![gw(9), gw(1)]));
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut tb = RouteRecordTraceback::new(2);
+        for i in 0..5u8 {
+            tb.observe(&attack_packet(Addr::new(10, 9, 0, i), V, &[gw(9)]));
+        }
+        assert_eq!(tb.len(), 2);
+        assert_eq!(tb.overflow, 3);
+    }
+
+    #[test]
+    fn forget_releases_capacity() {
+        let mut tb = RouteRecordTraceback::new(1);
+        tb.observe(&attack_packet(A, V, &[gw(9)]));
+        tb.forget(A, V);
+        assert!(tb.is_empty());
+        tb.observe(&attack_packet(Addr::new(10, 9, 0, 8), V, &[gw(9)]));
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb.overflow, 0);
+    }
+}

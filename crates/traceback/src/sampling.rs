@@ -1,0 +1,322 @@
+//! Probabilistic node-sampling traceback (\[SWKA00\]-style).
+//!
+//! Marking side (implemented by border routers in `aitf-core`): with
+//! probability `p` a forwarding border router overwrites the packet's
+//! [`aitf_packet::TracebackMark`] with its own address and distance 0;
+//! otherwise, if a mark is present, it increments the distance. Because a
+//! downstream router may always overwrite, surviving marks from a router
+//! `d` hops upstream arrive with probability `p(1-p)^d` — the victim sees
+//! a geometric mixture and needs many packets before the far end of the
+//! path is represented.
+//!
+//! Reconstruction side (this module): per flow, collect a vote table
+//! `distance → router → count`. The path has converged when every distance
+//! from 0 to the maximum seen has at least `min_samples` votes for its
+//! winning router; the path is the winners ordered by *descending*
+//! distance (farthest router = attacker's gateway first).
+
+use std::collections::HashMap;
+
+use aitf_packet::{Addr, FlowLabel, Packet};
+
+use crate::Traceback;
+
+/// Default marking probability, the classic value from \[SWKA00\].
+pub const MARK_PROBABILITY_DEFAULT: f64 = 0.04;
+
+#[derive(Debug, Default)]
+struct FlowVotes {
+    /// `votes[distance][router] = count`.
+    votes: HashMap<u8, HashMap<Addr, u64>>,
+    max_distance: u8,
+    samples: u64,
+    /// Marked samples observed since `max_distance` last grew. Marks from
+    /// far routers are geometrically rare (`p(1-p)^d`), so the collector
+    /// must not trust a path until the maximum distance has been stable
+    /// for a while — otherwise it reports a truncated path.
+    stable: u64,
+}
+
+/// Marked samples the maximum distance must stay unchanged for before a
+/// reconstruction is trusted (see [`SamplingTraceback::with_stability`]).
+pub const STABILITY_DEFAULT: u64 = 128;
+
+/// Sampling-based traceback collector for a victim-side node.
+#[derive(Debug)]
+pub struct SamplingTraceback {
+    capacity: usize,
+    min_samples: u64,
+    stability: u64,
+    flows: HashMap<(Addr, Addr), FlowVotes>,
+    observed: u64,
+}
+
+impl SamplingTraceback {
+    /// Creates a collector for at most `capacity` host pairs, declaring
+    /// convergence once every distance has `min_samples` votes and the
+    /// maximum distance has been stable for [`STABILITY_DEFAULT`] marked
+    /// samples.
+    pub fn new(capacity: usize, min_samples: u64) -> Self {
+        assert!(min_samples > 0, "min_samples must be at least 1");
+        SamplingTraceback {
+            capacity,
+            min_samples,
+            stability: STABILITY_DEFAULT,
+            flows: HashMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// Overrides the stability window (0 trusts the vote table as-is;
+    /// tests that synthesise complete tables use this).
+    pub fn with_stability(mut self, stability: u64) -> Self {
+        self.stability = stability;
+        self
+    }
+
+    /// Number of host pairs being tracked.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Returns `true` if no marks have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Marked packets collected for one host pair.
+    pub fn samples_for(&self, src: Addr, dst: Addr) -> u64 {
+        self.flows.get(&(src, dst)).map_or(0, |f| f.samples)
+    }
+
+    /// Drops the state for one host pair.
+    pub fn forget(&mut self, src: Addr, dst: Addr) {
+        self.flows.remove(&(src, dst));
+    }
+
+    fn reconstruct(&self, votes: &FlowVotes) -> Option<Vec<Addr>> {
+        if votes.stable < self.stability {
+            return None;
+        }
+        let mut path = Vec::with_capacity(votes.max_distance as usize + 1);
+        // Farthest distance first: that router is closest to the attacker.
+        for d in (0..=votes.max_distance).rev() {
+            let dist_votes = votes.votes.get(&d)?;
+            let (&winner, &count) = dist_votes
+                .iter()
+                .max_by_key(|&(addr, count)| (*count, std::cmp::Reverse(*addr)))?;
+            if count < self.min_samples {
+                return None;
+            }
+            path.push(winner);
+        }
+        Some(path)
+    }
+}
+
+impl Traceback for SamplingTraceback {
+    fn observe(&mut self, packet: &Packet) {
+        self.observed += 1;
+        let Some(mark) = packet.mark else { return };
+        let key = (packet.header.src, packet.header.dst);
+        if !self.flows.contains_key(&key) && self.flows.len() >= self.capacity {
+            return;
+        }
+        let f = self.flows.entry(key).or_default();
+        f.samples += 1;
+        if mark.distance > f.max_distance {
+            f.max_distance = mark.distance;
+            f.stable = 0;
+        } else {
+            f.stable += 1;
+        }
+        *f.votes
+            .entry(mark.distance)
+            .or_default()
+            .entry(mark.router)
+            .or_insert(0) += 1;
+    }
+
+    fn attack_path(&self, flow: &FlowLabel) -> Option<Vec<Addr>> {
+        if let (Some(src), Some(dst)) = (flow.src_host(), flow.dst_host()) {
+            return self
+                .flows
+                .get(&(src, dst))
+                .and_then(|v| self.reconstruct(v));
+        }
+        // Deterministic choice among matches: smallest (src, dst) key.
+        self.flows
+            .iter()
+            .filter(|((s, d), _)| flow.src.contains(*s) && flow.dst.contains(*d))
+            .min_by_key(|(&key, _)| key)
+            .and_then(|(_, v)| self.reconstruct(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_packet::{Header, TracebackMark, TrafficClass};
+
+    const A: Addr = Addr::new(10, 9, 0, 7);
+    const V: Addr = Addr::new(10, 1, 0, 1);
+
+    fn gw(i: u8) -> Addr {
+        Addr::new(10, i, 0, 254)
+    }
+
+    fn marked(router: Addr, distance: u8) -> Packet {
+        let mut p = Packet::data(0, Header::udp(A, V, 1, 2), TrafficClass::Attack, 100);
+        p.mark = Some(TracebackMark { router, distance });
+        p
+    }
+
+    fn unmarked() -> Packet {
+        Packet::data(0, Header::udp(A, V, 1, 2), TrafficClass::Attack, 100)
+    }
+
+    #[test]
+    fn no_path_before_convergence() {
+        let mut tb = SamplingTraceback::new(16, 2).with_stability(0);
+        let flow = FlowLabel::src_dst(A, V);
+        // Only one sample at distance 0; min is 2.
+        tb.observe(&marked(gw(1), 0));
+        assert!(tb.attack_path(&flow).is_none());
+        tb.observe(&marked(gw(1), 0));
+        // Distance 0 converged and it is the max distance: path = [gw1].
+        assert_eq!(tb.attack_path(&flow), Some(vec![gw(1)]));
+    }
+
+    #[test]
+    fn path_ordered_attacker_first() {
+        let mut tb = SamplingTraceback::new(16, 1).with_stability(0);
+        let flow = FlowLabel::src_dst(A, V);
+        // gw9 is 2 hops upstream (attacker's gateway), gw1 adjacent.
+        tb.observe(&marked(gw(9), 2));
+        tb.observe(&marked(gw(8), 1));
+        tb.observe(&marked(gw(1), 0));
+        assert_eq!(tb.attack_path(&flow), Some(vec![gw(9), gw(8), gw(1)]));
+    }
+
+    #[test]
+    fn gap_in_distances_blocks_convergence() {
+        let mut tb = SamplingTraceback::new(16, 1).with_stability(0);
+        let flow = FlowLabel::src_dst(A, V);
+        tb.observe(&marked(gw(9), 2));
+        tb.observe(&marked(gw(1), 0));
+        // Distance 1 has no votes: the path must not be reported.
+        assert!(tb.attack_path(&flow).is_none());
+        tb.observe(&marked(gw(8), 1));
+        assert!(tb.attack_path(&flow).is_some());
+    }
+
+    #[test]
+    fn majority_vote_beats_noise() {
+        let mut tb = SamplingTraceback::new(16, 2).with_stability(0);
+        let flow = FlowLabel::src_dst(A, V);
+        for _ in 0..10 {
+            tb.observe(&marked(gw(1), 0));
+        }
+        // A burst of bogus votes for another router at the same distance.
+        for _ in 0..3 {
+            tb.observe(&marked(gw(7), 0));
+        }
+        assert_eq!(tb.attack_path(&flow), Some(vec![gw(1)]));
+    }
+
+    #[test]
+    fn unmarked_packets_carry_no_information() {
+        let mut tb = SamplingTraceback::new(16, 1);
+        for _ in 0..100 {
+            tb.observe(&unmarked());
+        }
+        assert!(tb.is_empty());
+        assert_eq!(tb.observed(), 100);
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut tb = SamplingTraceback::new(2, 1);
+        for i in 0..5u8 {
+            let mut p = marked(gw(1), 0);
+            p.header.src = Addr::new(10, 9, 0, i);
+            tb.observe(&p);
+        }
+        assert_eq!(tb.len(), 2);
+    }
+
+    #[test]
+    fn samples_counted_per_flow() {
+        let mut tb = SamplingTraceback::new(16, 1);
+        tb.observe(&marked(gw(1), 0));
+        tb.observe(&marked(gw(1), 0));
+        assert_eq!(tb.samples_for(A, V), 2);
+        tb.forget(A, V);
+        assert_eq!(tb.samples_for(A, V), 0);
+    }
+
+    /// Regression: early distance-0 marks alone must NOT convince the
+    /// collector that the path is one hop long.
+    #[test]
+    fn stability_window_prevents_truncated_paths() {
+        let mut tb = SamplingTraceback::new(16, 1); // Default stability.
+        let flow = FlowLabel::src_dst(A, V);
+        for _ in 0..10 {
+            tb.observe(&marked(gw(1), 0));
+        }
+        assert!(
+            tb.attack_path(&flow).is_none(),
+            "10 near marks must not yield a path under the default window"
+        );
+        // A far mark resets the window; after enough stable samples the
+        // full path is reported.
+        tb.observe(&marked(gw(9), 1));
+        for _ in 0..200 {
+            tb.observe(&marked(gw(1), 0));
+            tb.observe(&marked(gw(9), 1));
+        }
+        assert_eq!(tb.attack_path(&flow), Some(vec![gw(9), gw(1)]));
+    }
+
+    /// End-to-end stochastic check: simulate the actual marking process
+    /// over a 4-router path with a deterministic RNG and verify the
+    /// reconstruction matches the true path.
+    #[test]
+    fn stochastic_marking_converges_to_true_path() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let path = [gw(9), gw(8), gw(2), gw(1)]; // Attacker side first.
+        let p = 0.2;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tb = SamplingTraceback::new(16, 3).with_stability(32);
+        let flow = FlowLabel::src_dst(A, V);
+        for _ in 0..4000 {
+            let mut pkt = unmarked();
+            // The packet crosses routers attacker-side first.
+            for &router in &path {
+                if rng.gen_bool(p) {
+                    pkt.mark = Some(TracebackMark {
+                        router,
+                        distance: 0,
+                    });
+                } else if let Some(m) = &mut pkt.mark {
+                    m.distance = m.distance.saturating_add(1);
+                }
+            }
+            tb.observe(&pkt);
+            if tb.attack_path(&flow).is_some() {
+                break;
+            }
+        }
+        assert_eq!(tb.attack_path(&flow), Some(path.to_vec()));
+    }
+}

@@ -1,0 +1,87 @@
+//! A distributed attack: 64 zombies across 16 networks flood one web
+//! server while a legitimate client keeps using it.
+//!
+//! Without AITF the 10 Mbit/s tail circuit drowns (legitimate goodput
+//! collapses); with AITF every zombie flow is pushed back to its own
+//! provider and the legitimate client recovers. Run with
+//! `cargo run --example zombie_army`.
+
+use aitf_attack::army::{arm_floods, offered_bits_per_sec, ZombieArmySpec};
+use aitf_attack::scenarios::star;
+use aitf_attack::LegitClient;
+use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
+use aitf_netsim::SimDuration;
+
+fn run(defended: bool) -> (f64, f64, u64) {
+    let cfg = AitfConfig::default();
+    let mut s = star(cfg, 7, 16, 4, HostPolicy::Malicious, 10_000_000);
+    if !defended {
+        // Legacy routers: no AITF anywhere.
+        let nets: Vec<_> = (0..s.world.net_count()).map(aitf_core::NetId).collect();
+        for net in nets {
+            s.world.router_mut(net).set_policy(RouterPolicy::legacy());
+        }
+    }
+    // One honest client in the last zombie network (collateral position).
+    let client_net = *s.attacker_nets.last().expect("have nets");
+    // The victim doubles as the web server; the client talks to it.
+    let server = s.world.host_addr(s.victim);
+    let client = {
+        // Reuse a zombie slot? No — hosts are fixed at build; instead use
+        // a dedicated zombie host as the legit client by giving it a
+        // legit app and no flood.
+        s.zombies.pop().expect("at least one zombie")
+    };
+    let _ = client_net;
+    s.world
+        .add_app(client, Box::new(LegitClient::new(server, 500, 1000)));
+    s.world.host_mut(client).set_policy(HostPolicy::Compliant);
+
+    let spec = ZombieArmySpec {
+        pps: 250,
+        size: 500,
+        stagger: SimDuration::from_millis(50),
+    };
+    arm_floods(&mut s.world, &s.zombies.clone(), server, &spec);
+    let offered = offered_bits_per_sec(s.zombies.len(), &spec);
+
+    s.world.sim.run_for(SimDuration::from_secs(12));
+    let v = s.world.host(s.victim).counters();
+    let secs = 12.0;
+    let goodput = v.rx_legit_bytes as f64 * 8.0 / secs;
+    let attack_bw = v.rx_attack_bytes as f64 * 8.0 / secs;
+    let mut disconnected = 0;
+    for &net in &s.attacker_nets {
+        disconnected += s.world.router(net).counters().disconnects_client;
+    }
+    println!(
+        "  offered attack load: {:.1} Mbit/s across {} zombies",
+        offered / 1e6,
+        s.zombies.len()
+    );
+    (goodput, attack_bw, disconnected)
+}
+
+fn main() {
+    println!("=== zombie army vs a 10 Mbit/s tail circuit ===\n");
+    println!("without AITF (legacy routers):");
+    let (goodput, attack_bw, _) = run(false);
+    println!("  legitimate goodput: {:.3} Mbit/s", goodput / 1e6);
+    println!(
+        "  attack bandwidth delivered: {:.3} Mbit/s\n",
+        attack_bw / 1e6
+    );
+
+    println!("with AITF:");
+    let (goodput_d, attack_d, disconnected) = run(true);
+    println!("  legitimate goodput: {:.3} Mbit/s", goodput_d / 1e6);
+    println!("  attack bandwidth delivered: {:.3} Mbit/s", attack_d / 1e6);
+    println!("  zombies disconnected by their own providers: {disconnected}");
+
+    println!(
+        "\nAITF recovered {:.1}x of the legitimate goodput and cut the \
+         attack's effective bandwidth by {:.0}x.",
+        goodput_d / goodput.max(1.0),
+        attack_bw.max(1.0) / attack_d.max(1.0),
+    );
+}

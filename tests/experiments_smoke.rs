@@ -1,0 +1,22 @@
+//! Runs every experiment in quick mode and checks each produced a table —
+//! the experiments' own modules assert the substantive claims; this test
+//! guarantees the published binaries never bit-rot.
+
+#[test]
+fn all_experiments_run_quick() {
+    assert!(!aitf_bench::e1_escalation::run(true).is_empty());
+    assert!(!aitf_bench::e3_protection_capacity::run(true).is_empty());
+    assert!(!aitf_bench::e5_attacker_gw_resources::run(true).is_empty());
+    assert!(!aitf_bench::e6_handshake_security::run(true).is_empty());
+    assert!(!aitf_bench::e7_onoff_attacks::run(true).is_empty());
+    assert!(!aitf_bench::e9_ingress_incentive::run(true).is_empty());
+}
+
+#[test]
+fn heavy_experiments_run_quick() {
+    // Split out so the two long sweeps can run in parallel with the rest.
+    assert!(!aitf_bench::e2_effective_bandwidth::run(true).is_empty());
+    assert!(!aitf_bench::e4_victim_gw_resources::run(true).is_empty());
+    assert!(!aitf_bench::e8_vs_pushback::run(true).is_empty());
+    assert!(!aitf_bench::e10_scaling::run(true).is_empty());
+}
