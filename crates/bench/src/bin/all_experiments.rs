@@ -1,19 +1,132 @@
-//! Runs the entire experiment suite (E1–E10) in order, printing every
-//! table the paper's evaluation maps to. Pass `--quick` for the reduced
-//! sweep used in CI.
+//! Driver for the experiment suite: selects scenarios from the registry,
+//! fans every sweep point out across a thread pool, prints each table and
+//! (optionally) writes one `BENCH_<experiment>.json` per experiment.
+//!
+//! ```text
+//! all_experiments [--quick] [--filter SUBSTR]... [--threads N]
+//!                 [--json DIR] [--seed N]
+//! ```
+//!
+//! - `--quick`    reduced sweeps (the CI / smoke-test sizes)
+//! - `--filter`   select experiments (repeatable): whole id or `_`-boundary
+//!   prefix (`e1` = just e1_escalation), substring as fallback
+//! - `--threads`  worker threads (default: all cores)
+//! - `--json`     write structured run records under DIR
+//! - `--seed`     base seed all per-point seeds derive from (default 42)
+//!
+//! Results are bit-identical at any `--threads` value: every point's RNG
+//! seed derives only from `(seed, experiment id, point index)`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use aitf_engine::{available_threads, Runner, DEFAULT_BASE_SEED};
+
+struct Args {
+    quick: bool,
+    filters: Vec<String>,
+    threads: usize,
+    json_dir: Option<PathBuf>,
+    base_seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        filters: Vec::new(),
+        threads: available_threads(),
+        json_dir: None,
+        base_seed: DEFAULT_BASE_SEED,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--filter" => args.filters.push(value("--filter")),
+            "--threads" => {
+                args.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs an integer"))
+            }
+            "--json" => args.json_dir = Some(PathBuf::from(value("--json"))),
+            "--seed" => {
+                args.base_seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: all_experiments [--quick] [--filter SUBSTR]... \
+                     [--threads N] [--json DIR] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("all_experiments: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("=== AITF paper reproduction: full experiment suite ===\n");
-    let _ = aitf_bench::e1_escalation::run(quick);
-    let _ = aitf_bench::e2_effective_bandwidth::run(quick);
-    let _ = aitf_bench::e3_protection_capacity::run(quick);
-    let _ = aitf_bench::e4_victim_gw_resources::run(quick);
-    let _ = aitf_bench::e5_attacker_gw_resources::run(quick);
-    let _ = aitf_bench::e6_handshake_security::run(quick);
-    let _ = aitf_bench::e7_onoff_attacks::run(quick);
-    let _ = aitf_bench::e8_vs_pushback::run(quick);
-    let _ = aitf_bench::e9_ingress_incentive::run(quick);
-    let _ = aitf_bench::e10_scaling::run(quick);
-    let _ = aitf_bench::e11_detection::run(quick);
+    let args = parse_args();
+    let registry = aitf_bench::registry(args.quick);
+    let specs = registry.select(&args.filters);
+    if specs.is_empty() {
+        die(&format!(
+            "no experiment matches {:?}; known ids: {}",
+            args.filters,
+            registry
+                .specs()
+                .iter()
+                .map(|s| s.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+
+    println!(
+        "=== AITF paper reproduction: {} experiment(s), {} thread(s), base seed {} ===\n",
+        specs.len(),
+        args.threads,
+        args.base_seed
+    );
+    let start = Instant::now();
+    // One flat job pool across all selected experiments: points from
+    // different sweeps fill the same worker threads.
+    let grouped = Runner::new(args.threads)
+        .quick(args.quick)
+        .base_seed(args.base_seed)
+        .run_all(&specs);
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut total_points = 0usize;
+    let mut total_events = 0u64;
+    for (spec, records) in specs.iter().zip(&grouped) {
+        aitf_bench::harness::render_sweep(spec, records);
+        total_points += records.len();
+        total_events += records.iter().map(|r| r.events).sum::<u64>();
+        if let Some(dir) = &args.json_dir {
+            match aitf_engine::json::write_document(
+                dir,
+                spec,
+                records,
+                args.base_seed,
+                args.threads,
+                args.quick,
+            ) {
+                Ok(path) => println!("wrote {}\n", path.display()),
+                Err(e) => die(&format!("writing {}: {e}", spec.id)),
+            }
+        }
+    }
+    println!("=== {total_points} point(s), {total_events} simulator event(s), {wall:.2}s wall ===");
 }

@@ -16,9 +16,10 @@ use aitf_attack::army::{arm_floods, ZombieArmySpec};
 use aitf_attack::scenarios::star;
 use aitf_baseline::PushbackRouter;
 use aitf_core::{AitfConfig, HostPolicy};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// Result of one scale point.
 #[derive(Debug)]
@@ -33,6 +34,8 @@ pub struct ScalePoint {
     pub hub_filters: usize,
     /// Peak filters at the victim's gateway.
     pub victim_gw_peak: usize,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one scale point under AITF.
@@ -71,6 +74,7 @@ pub fn run_one(n_nets: usize, seed: u64) -> ScalePoint {
             .filters()
             .stats()
             .peak_occupancy,
+        events: s.world.sim.dispatched_events(),
     }
 }
 
@@ -115,41 +119,44 @@ pub fn hub_filters_pushback(n_nets: usize, seed: u64) -> u64 {
         .filters_installed
 }
 
+/// The E10 scenario spec: attacker-network count swept upward.
+pub fn spec(quick: bool) -> ScenarioSpec {
+    let scales: &[u64] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    ScenarioSpec::new(
+        "e10_scaling",
+        "E10 (§III-C): per-provider load stays flat as the world grows",
+        "§III-C",
+    )
+    .expectation(
+        "each attacker-side provider satisfies ~1 request (its own one \
+         misbehaving client) no matter how many networks exist; the AITF \
+         hub/core carries zero filters while the pushback hub's filter load \
+         grows with the attack size — the §I 'filtering bottleneck'.",
+    )
+    .points(
+        scales
+            .iter()
+            .map(|&n| Params::new().with("attacker_nets", n)),
+    )
+    .runner(|p, ctx| {
+        let n = p.usize("attacker_nets");
+        let o = run_one(n, ctx.seed);
+        let hub_pb = hub_filters_pushback(n, ctx.seed);
+        Outcome::new(
+            Params::new()
+                .with("filters_per_provider", o.per_provider_filters)
+                .with("max_provider", o.max_provider_filters)
+                .with("hub_filters_aitf", o.hub_filters)
+                .with("hub_filters_pushback", hub_pb)
+                .with("victim_gw_peak", o.victim_gw_peak),
+        )
+        .with_events(o.events)
+    })
+}
+
 /// Runs the sweep and prints the table.
 pub fn run(quick: bool) -> Table {
-    let scales: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
-    let mut table = Table::new(
-        "E10 (§III-C): per-provider load stays flat as the world grows",
-        &[
-            "attacker nets",
-            "filters/provider",
-            "max provider",
-            "hub filters AITF",
-            "hub filters pushback",
-            "victim gw peak",
-        ],
-    );
-    for &n in scales {
-        let p = run_one(n, 71);
-        let hub_pb = hub_filters_pushback(n, 71);
-        table.row_owned(vec![
-            n.to_string(),
-            fmt_f(p.per_provider_filters),
-            p.max_provider_filters.to_string(),
-            p.hub_filters.to_string(),
-            hub_pb.to_string(),
-            p.victim_gw_peak.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: each attacker-side provider satisfies ~1 request \
-         (its own one misbehaving client) no matter how many networks exist; \
-         the AITF hub/core carries zero filters while the pushback hub's \
-         filter load grows with the attack size — the §I 'filtering \
-         bottleneck'.\n"
-    );
-    table
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

@@ -10,9 +10,10 @@
 
 use aitf_attack::{FloodSource, LegitClient};
 use aitf_core::{AitfConfig, DetectionMode, HostPolicy, WorldBuilder};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::Table;
+use crate::harness::{run_spec, Table};
 
 /// Outcome of one run.
 #[derive(Debug)]
@@ -28,6 +29,8 @@ pub struct DetectionOutcome {
     pub blocked: bool,
     /// Legitimate packets delivered (false-positive damage check).
     pub legit_pkts: u64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one detection mode against a 4 Mbit/s flood plus a 0.4 Mbit/s
@@ -65,43 +68,62 @@ pub fn run_one(mode: DetectionMode, seed: u64) -> DetectionOutcome {
         detections: v.detections,
         blocked: w.router(b_net).counters().filters_installed > 0,
         legit_pkts: v.rx_legit_pkts,
+        events: w.sim.dispatched_events(),
     }
 }
 
-/// Runs both modes and prints the table.
-pub fn run(_quick: bool) -> Table {
-    let mut table = Table::new(
+/// The E11 scenario spec: oracle vs EWMA rate-threshold detection.
+pub fn spec(_quick: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "e11_detection",
         "E11 (ablation): oracle vs rate-threshold detection",
-        &[
-            "mode",
-            "leak pkts",
-            "detections",
-            "blocked",
-            "legit pkts delivered",
-        ],
-    );
-    let rate_mode = DetectionMode::RateThreshold {
-        // Flood is 500 kB/s, legit stream 50 kB/s: threshold in between.
-        bytes_per_sec: 150_000.0,
-        window: SimDuration::from_millis(100),
-    };
-    for mode in [DetectionMode::Oracle, rate_mode] {
-        let o = run_one(mode, 83);
-        table.row_owned(vec![
-            o.mode.to_string(),
-            o.leak_pkts.to_string(),
-            o.detections.to_string(),
-            o.blocked.to_string(),
-            o.legit_pkts.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "expectation: the rate detector reaches the same block with a \
-         latency comparable to the assumed Td, and never flags the \
-         below-threshold legitimate stream (its packets keep flowing).\n"
-    );
-    table
+        "§V (detection boundary)",
+    )
+    .expectation(
+        "the rate detector reaches the same block with a latency comparable \
+         to the assumed Td, and never flags the below-threshold legitimate \
+         stream (its packets keep flowing).",
+    )
+    .points([false, true].into_iter().map(|rate| {
+        Params::new()
+            .with(
+                "mode",
+                if rate {
+                    "EWMA rate threshold"
+                } else {
+                    "oracle (Td = 100 ms)"
+                },
+            )
+            .with("rate_detector", rate)
+            // Shared seed group: the expectation compares the two
+            // detectors on the same world.
+            .with("_seed_group", 0u64)
+    }))
+    .runner(|p, ctx| {
+        let mode = if p.bool("rate_detector") {
+            // Flood is 500 kB/s, legit stream 50 kB/s: threshold in between.
+            DetectionMode::RateThreshold {
+                bytes_per_sec: 150_000.0,
+                window: SimDuration::from_millis(100),
+            }
+        } else {
+            DetectionMode::Oracle
+        };
+        let o = run_one(mode, ctx.seed);
+        Outcome::new(
+            Params::new()
+                .with("leak_pkts", o.leak_pkts)
+                .with("detections", o.detections)
+                .with("blocked", o.blocked)
+                .with("legit_pkts_delivered", o.legit_pkts),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs both modes and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

@@ -14,13 +14,14 @@
 use aitf_attack::scenarios::{fig1, Fig1World};
 use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, leak_ratio, Table};
+use crate::harness::{leak_ratio, run_spec, Table};
 
 /// One sweep point's outcome.
 #[derive(Debug)]
-pub struct Outcome {
+pub struct EscalationOutcome {
     /// How many attacker-side gateways were rogue.
     pub rogues: usize,
     /// Network that ended up holding the long-term filter (name).
@@ -31,11 +32,15 @@ pub struct Outcome {
     pub peer_disconnects: u64,
     /// Measured leak ratio at the victim.
     pub leak: f64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
-fn run_one(rogues: usize, duration: SimDuration) -> Outcome {
+/// Runs one sweep point with `rogues` non-cooperating attacker-side
+/// gateways.
+pub fn run_one(rogues: usize, duration: SimDuration, seed: u64) -> EscalationOutcome {
     let cfg = AitfConfig::default();
-    let mut f: Fig1World = fig1(cfg, 42 + rogues as u64, HostPolicy::Malicious);
+    let mut f: Fig1World = fig1(cfg, seed, HostPolicy::Malicious);
     let b_side = [f.b_net, f.b_isp, f.b_wan];
     for &net in b_side.iter().take(rogues) {
         f.world
@@ -66,50 +71,53 @@ fn run_one(rogues: usize, duration: SimDuration) -> Outcome {
         .sum();
     let peer_disconnects = f.world.router(f.g_wan).counters().disconnects_peer;
     let leak = leak_ratio(&f.world, f.victim, &[f.attacker]);
-    Outcome {
+    EscalationOutcome {
         rogues,
         blocker,
         client_disconnects,
         peer_disconnects,
         leak,
+        events: f.world.sim.dispatched_events(),
     }
+}
+
+/// The E1 scenario spec: rogue-gateway count 0–3.
+pub fn spec(quick: bool) -> ScenarioSpec {
+    let duration_s: u64 = if quick { 10 } else { 30 };
+    ScenarioSpec::new(
+        "e1_escalation",
+        "E1 (Fig.1, §II-D): escalation pushes filtering to the attacker side",
+        "Fig. 1, §II-D",
+    )
+    .expectation(
+        "blocker walks B_gw1 -> B_gw2 -> B_gw3 -> peer disconnect as rogue \
+         count grows; leak stays tiny throughout.",
+    )
+    .points((0..=3u64).map(|rogues| {
+        Params::new()
+            .with("rogue_gws", rogues)
+            .with("duration_s", duration_s)
+    }))
+    .runner(|p, ctx| {
+        let o = run_one(
+            p.usize("rogue_gws"),
+            SimDuration::from_secs(p.u64("duration_s")),
+            ctx.seed,
+        );
+        Outcome::new(
+            Params::new()
+                .with("blocker", o.blocker)
+                .with("client_disconnects", o.client_disconnects)
+                .with("peer_disconnects", o.peer_disconnects)
+                .with("victim_leak_r", o.leak),
+        )
+        .with_events(o.events)
+    })
 }
 
 /// Runs the sweep and prints the table.
 pub fn run(quick: bool) -> Table {
-    let duration = if quick {
-        SimDuration::from_secs(10)
-    } else {
-        SimDuration::from_secs(30)
-    };
-    let mut table = Table::new(
-        "E1 (Fig.1, §II-D): escalation pushes filtering to the attacker side",
-        &[
-            "rogue gws",
-            "blocker",
-            "client disconnects",
-            "peer disconnects",
-            "victim leak r",
-        ],
-    );
-    let mut outcomes = Vec::new();
-    for rogues in 0..=3 {
-        let o = run_one(rogues, duration);
-        table.row_owned(vec![
-            o.rogues.to_string(),
-            o.blocker.clone(),
-            o.client_disconnects.to_string(),
-            o.peer_disconnects.to_string(),
-            fmt_f(o.leak),
-        ]);
-        outcomes.push(o);
-    }
-    table.print();
-    println!(
-        "paper expectation: blocker walks B_gw1 -> B_gw2 -> B_gw3 -> peer \
-         disconnect as rogue count grows; leak stays tiny throughout.\n"
-    );
-    table
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]
@@ -119,13 +127,13 @@ mod tests {
     #[test]
     fn escalation_walks_up_the_attacker_side() {
         let d = SimDuration::from_secs(10);
-        let o0 = run_one(0, d);
+        let o0 = run_one(0, d, 42);
         assert!(o0.blocker.contains("B_gw1"), "{:?}", o0);
-        let o1 = run_one(1, d);
+        let o1 = run_one(1, d, 43);
         assert!(o1.blocker.contains("B_gw2"), "{:?}", o1);
-        let o2 = run_one(2, d);
+        let o2 = run_one(2, d, 44);
         assert!(o2.blocker.contains("B_gw3"), "{:?}", o2);
-        let o3 = run_one(3, d);
+        let o3 = run_one(3, d, 45);
         assert_eq!(o3.peer_disconnects, 1, "{:?}", o3);
         // Every scenario keeps the leak small.
         for o in [o0, o1, o2, o3] {

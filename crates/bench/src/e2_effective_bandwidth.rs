@@ -20,9 +20,10 @@
 
 use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::{LinkParams, SimDuration};
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// Parameters of one measurement point.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +50,7 @@ impl Point {
 /// shadow-reactivation and fast-redetect optimisations (the default
 /// deployment); disabling them reproduces the formula's conservative
 /// model where every failed round costs the victim a fresh `Td + Tr`.
-pub fn measure_with_tr(p: Point, assists: bool, periods: u64) -> f64 {
+pub fn measure_with_tr(p: Point, assists: bool, periods: u64, seed: u64) -> (f64, u64) {
     let cfg = AitfConfig {
         t_long: p.t,
         detection_delay: p.td,
@@ -59,7 +60,7 @@ pub fn measure_with_tr(p: Point, assists: bool, periods: u64) -> f64 {
         ..AitfConfig::default()
     };
     // Build Fig.1 by hand so the victim's tail circuit gets delay Tr.
-    let mut b = aitf_core::WorldBuilder::new(21 + p.n as u64, cfg);
+    let mut b = aitf_core::WorldBuilder::new(seed, cfg);
     let g_wan = b.network("G_wan", "10.103.0.0/16", None);
     let g_isp = b.network("G_isp", "10.102.0.0/16", Some(g_wan));
     let g_net = b.network("G_net", "10.1.0.0/16", Some(g_isp));
@@ -90,69 +91,88 @@ pub fn measure_with_tr(p: Point, assists: bool, periods: u64) -> f64 {
     world.sim.run_for(p.t * periods);
     let offered = world.host(attacker).counters().tx_bytes;
     let received = world.host(victim).counters().rx_attack_bytes;
-    if offered == 0 {
-        return 0.0;
-    }
-    received as f64 / offered as f64
+    let events = world.sim.dispatched_events();
+    let leak = if offered == 0 {
+        0.0
+    } else {
+        received as f64 / offered as f64
+    };
+    (leak, events)
 }
 
-/// Runs the sweep and prints the table plus the paper's worked example.
-pub fn run(quick: bool) -> Table {
-    let periods = if quick { 2 } else { 3 };
+/// The E2 scenario spec: `(n, T, Tr, assists)` grid, `Td` fixed at 100 ms.
+/// The final point is the paper's worked example (`Td ≈ 0, Tr = 50 ms,
+/// T = 60 s, n = 1` → `r ≈ 0.00083`).
+pub fn spec(quick: bool) -> ScenarioSpec {
+    let periods: u64 = if quick { 2 } else { 3 };
     let t_values: &[u64] = if quick { &[10, 30] } else { &[10, 30, 60] };
     let tr_values: &[u64] = if quick { &[50] } else { &[10, 50, 100] };
-    let mut table = Table::new(
-        "E2 (§IV-A.1): effective-bandwidth reduction r vs formula n(Td+Tr)/T",
-        &[
-            "n",
-            "Td ms",
-            "Tr ms",
-            "T s",
-            "r formula",
-            "r measured",
-            "r (assists on)",
-        ],
-    );
-    for &n in &[1usize, 2, 3] {
+    let mut points = Vec::new();
+    let mut group = 0u64;
+    for n in [1u64, 2, 3] {
         for &t in t_values {
             for &tr in tr_values {
-                let p = Point {
-                    n,
-                    td: SimDuration::from_millis(100),
-                    tr: SimDuration::from_millis(tr),
-                    t: SimDuration::from_secs(t),
-                };
-                let measured = measure_with_tr(p, false, periods);
-                let assisted = measure_with_tr(p, true, periods);
-                table.row_owned(vec![
-                    n.to_string(),
-                    "100".to_string(),
-                    tr.to_string(),
-                    t.to_string(),
-                    fmt_f(p.formula()),
-                    fmt_f(measured),
-                    fmt_f(assisted),
-                ]);
+                // The assists-on/off pair shares a seed group so the two
+                // rows differ only in the knob, never in RNG noise — the
+                // expectation compares them directly.
+                for assists in [false, true] {
+                    points.push(
+                        Params::new()
+                            .with("n", n)
+                            .with("td_ms", 100u64)
+                            .with("tr_ms", tr)
+                            .with("t_s", t)
+                            .with("assists", assists)
+                            .with("_periods", periods)
+                            .with("_seed_group", group),
+                    );
+                }
+                group += 1;
             }
         }
     }
-    table.print();
-
-    // The paper's worked example: Td ≈ 0, Tr = 50 ms, T = 60 s, n = 1.
-    let example = Point {
-        n: 1,
-        td: SimDuration::ZERO,
-        tr: SimDuration::from_millis(50),
-        t: SimDuration::from_secs(60),
-    };
-    let r = measure_with_tr(example, false, if quick { 1 } else { 3 });
-    println!(
-        "paper example (n=1, Tr=50ms, T=60s): r_formula = {:.5} (paper: 0.00083), \
-         r_measured = {:.5}\n",
-        example.formula(),
-        r
+    // The paper's worked example rides along as the last sweep point.
+    points.push(
+        Params::new()
+            .with("n", 1u64)
+            .with("td_ms", 0u64)
+            .with("tr_ms", 50u64)
+            .with("t_s", 60u64)
+            .with("assists", false)
+            .with("_periods", if quick { 1u64 } else { 3 })
+            .with("_seed_group", group),
     );
-    table
+    ScenarioSpec::new(
+        "e2_effective_bandwidth",
+        "E2 (§IV-A.1): effective-bandwidth reduction r vs formula n(Td+Tr)/T",
+        "§IV-A.1",
+    )
+    .expectation(
+        "measured r tracks the formula n(Td+Tr)/T; the assisted deployment \
+         does strictly better. Final row is the paper's worked example \
+         (formula r = 0.00083).",
+    )
+    .points(points)
+    .runner(|p, ctx| {
+        let point = Point {
+            n: p.usize("n"),
+            td: SimDuration::from_millis(p.u64("td_ms")),
+            tr: SimDuration::from_millis(p.u64("tr_ms")),
+            t: SimDuration::from_secs(p.u64("t_s")),
+        };
+        let (r, events) = measure_with_tr(point, p.bool("assists"), p.u64("_periods"), ctx.seed);
+        Outcome::new(
+            Params::new()
+                .with("r_formula", point.formula())
+                .with("r_measured", r),
+        )
+        .with_events(events)
+    })
+}
+
+/// Runs the sweep and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]
@@ -167,7 +187,7 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(10),
         };
-        let r = measure_with_tr(p, false, 2);
+        let (r, _) = measure_with_tr(p, false, 2, 22);
         let formula = p.formula();
         // Same order of magnitude, never worse than 3x the bound.
         assert!(r > 0.0, "some leak must exist");
@@ -182,8 +202,8 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(10),
         };
-        let plain = measure_with_tr(p, false, 2);
-        let assisted = measure_with_tr(p, true, 2);
+        let (plain, _) = measure_with_tr(p, false, 2, 23);
+        let (assisted, _) = measure_with_tr(p, true, 2, 23);
         assert!(
             assisted <= plain,
             "assists must not hurt: plain = {plain}, assisted = {assisted}"
@@ -198,8 +218,8 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(10),
         };
-        let r1 = measure_with_tr(mk(1), false, 2);
-        let r2 = measure_with_tr(mk(2), false, 2);
+        let (r1, _) = measure_with_tr(mk(1), false, 2, 22);
+        let (r2, _) = measure_with_tr(mk(2), false, 2, 23);
         assert!(
             r2 > r1,
             "more rogue nodes must leak more: r1 = {r1}, r2 = {r2}"
@@ -214,8 +234,8 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(t),
         };
-        let r_short = measure_with_tr(mk(5), false, 2);
-        let r_long = measure_with_tr(mk(20), false, 2);
+        let (r_short, _) = measure_with_tr(mk(5), false, 2, 22);
+        let (r_long, _) = measure_with_tr(mk(20), false, 2, 22);
         assert!(
             r_long < r_short,
             "longer T must leak proportionally less: {r_short} vs {r_long}"

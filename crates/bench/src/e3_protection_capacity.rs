@@ -13,9 +13,10 @@
 use aitf_attack::army::{arm_floods, ZombieArmySpec};
 use aitf_attack::scenarios::star;
 use aitf_core::{AitfConfig, Contract, HostPolicy};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// Result of one sweep point.
 #[derive(Debug)]
@@ -32,6 +33,8 @@ pub struct CapacityPoint {
     pub blocked_flows: u64,
     /// Leak ratio over the run.
     pub leak: f64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one point: `flows` zombies, contract `r1` req/s, horizon `t`.
@@ -89,51 +92,58 @@ pub fn run_one(flows: usize, r1: f64, t: SimDuration, seed: u64) -> CapacityPoin
         self_limited: vc.requests_self_limited,
         blocked_flows: blocked,
         leak,
+        events: s.world.sim.dispatched_events(),
     }
 }
 
-/// Runs the sweep and prints the table.
-pub fn run(quick: bool) -> Table {
-    // Scaled-down contract so the capacity boundary is reachable in
-    // simulation time: R1 = 10/s, T = 10 s → Nv = 100 flows.
-    let r1 = 10.0;
-    let t = SimDuration::from_secs(10);
-    let nv = 100usize;
+/// The E3 scenario spec: offered-flow count swept across the `Nv`
+/// boundary. Scaled-down contract so the capacity boundary is reachable
+/// in simulation time: R1 = 10/s, T = 10 s → Nv = 100 flows.
+pub fn spec(quick: bool) -> ScenarioSpec {
+    let nv = 100u64;
     let fractions: &[f64] = if quick {
         &[0.5, 1.5]
     } else {
         &[0.25, 0.5, 1.0, 1.5, 2.0]
     };
-    let mut table = Table::new(
+    ScenarioSpec::new(
+        "e3_protection_capacity",
         "E3 (§IV-A.2): protection capacity Nv = R1*T (R1=10/s, T=10s, Nv=100)",
-        &[
-            "flows F",
-            "F/Nv",
-            "requests",
-            "self-limited",
-            "blocked flows",
-            "leak r",
-        ],
-    );
-    for &frac in fractions {
-        let flows = ((nv as f64) * frac) as usize;
-        let p = run_one(flows, r1, t, 31);
-        table.row_owned(vec![
-            p.flows.to_string(),
-            fmt_f(frac),
-            p.requests_sent.to_string(),
-            p.self_limited.to_string(),
-            p.blocked_flows.to_string(),
-            fmt_f(p.leak),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: below Nv all flows get blocked; above Nv the \
-         request budget saturates near R1*T = {nv} and excess flows leak.\n\
-         paper example at full scale: R1 = 100/s, T = 60 s -> Nv = 6000 flows.\n"
-    );
-    table
+        "§IV-A.2",
+    )
+    .expectation(
+        "below Nv all flows get blocked; above Nv the request budget \
+         saturates near R1*T = 100 and excess flows leak. Paper example at \
+         full scale: R1 = 100/s, T = 60 s -> Nv = 6000 flows.",
+    )
+    .points(fractions.iter().map(|&frac| {
+        Params::new()
+            .with("flows", ((nv as f64) * frac) as u64)
+            .with("f_over_nv", frac)
+            .with("_r1", 10.0)
+            .with("_t_s", 10u64)
+    }))
+    .runner(|p, ctx| {
+        let o = run_one(
+            p.usize("flows"),
+            p.f64("_r1"),
+            SimDuration::from_secs(p.u64("_t_s")),
+            ctx.seed,
+        );
+        Outcome::new(
+            Params::new()
+                .with("requests", o.requests_sent)
+                .with("self_limited", o.self_limited)
+                .with("blocked_flows", o.blocked_flows)
+                .with("leak_r", o.leak),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs the sweep and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

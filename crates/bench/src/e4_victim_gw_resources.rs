@@ -14,9 +14,10 @@
 
 use aitf_attack::SpoofingFlood;
 use aitf_core::{AitfConfig, Contract, HostPolicy, WorldBuilder};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// One sweep point's result.
 #[derive(Debug)]
@@ -35,6 +36,8 @@ pub struct ResourcePoint {
     pub mv_formula: f64,
     /// Measured peak shadow occupancy at the victim's gateway.
     pub mv_measured: usize,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one `(R1, Ttmp, T)` point.
@@ -73,6 +76,7 @@ pub fn run_one(r1: f64, t_tmp: SimDuration, t: SimDuration, seed: u64) -> Resour
     );
     w.sim.run_for(t * 2);
 
+    let events = w.sim.dispatched_events();
     let gw = w.router(g_net);
     ResourcePoint {
         r1,
@@ -82,23 +86,12 @@ pub fn run_one(r1: f64, t_tmp: SimDuration, t: SimDuration, seed: u64) -> Resour
         nv_measured: gw.filters().stats().peak_occupancy,
         mv_formula: r1 * t.as_secs_f64(),
         mv_measured: gw.shadow().stats().peak_occupancy,
+        events,
     }
 }
 
-/// Runs the sweep and prints the table.
-pub fn run(quick: bool) -> Table {
-    let mut table = Table::new(
-        "E4 (§IV-B): victim-gateway resources nv = R1*Ttmp, mv = R1*T",
-        &[
-            "R1 /s",
-            "Ttmp s",
-            "T s",
-            "nv formula",
-            "nv peak",
-            "mv formula",
-            "mv peak",
-        ],
-    );
+/// The E4 scenario spec: the `(R1, Ttmp, T)` grid.
+pub fn spec(quick: bool) -> ScenarioSpec {
     let points: &[(f64, u64, u64)] = if quick {
         &[(20.0, 1, 10), (50.0, 1, 10)]
     } else {
@@ -110,30 +103,43 @@ pub fn run(quick: bool) -> Table {
             (100.0, 2, 30),
         ]
     };
-    for &(r1, ttmp, t) in points {
-        let p = run_one(
-            r1,
-            SimDuration::from_secs(ttmp),
-            SimDuration::from_secs(t),
-            17,
+    ScenarioSpec::new(
+        "e4_victim_gw_resources",
+        "E4 (§IV-B): victim-gateway resources nv = R1*Ttmp, mv = R1*T",
+        "§IV-B",
+    )
+    .expectation(
+        "peak filters track R1*Ttmp (temporary filters recycle), peak \
+         shadows track R1*T; nv << mv, which is the whole DRAM-vs-filters \
+         economy. Paper example: 60 filters vs 6000 shadows.",
+    )
+    .points(points.iter().map(|&(r1, ttmp, t)| {
+        Params::new()
+            .with("r1_per_s", r1)
+            .with("ttmp_s", ttmp)
+            .with("t_s", t)
+    }))
+    .runner(|p, ctx| {
+        let o = run_one(
+            p.f64("r1_per_s"),
+            SimDuration::from_secs(p.u64("ttmp_s")),
+            SimDuration::from_secs(p.u64("t_s")),
+            ctx.seed,
         );
-        table.row_owned(vec![
-            fmt_f(p.r1),
-            ttmp.to_string(),
-            t.to_string(),
-            fmt_f(p.nv_formula),
-            p.nv_measured.to_string(),
-            fmt_f(p.mv_formula),
-            p.mv_measured.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: peak filters track R1*Ttmp (temporary filters \
-         recycle), peak shadows track R1*T; nv << mv, which is the whole \
-         DRAM-vs-filters economy. Paper example: 60 filters vs 6000 shadows.\n"
-    );
-    table
+        Outcome::new(
+            Params::new()
+                .with("nv_formula", o.nv_formula)
+                .with("nv_peak", o.nv_measured)
+                .with("mv_formula", o.mv_formula)
+                .with("mv_peak", o.mv_measured),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs the sweep and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

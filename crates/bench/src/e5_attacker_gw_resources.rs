@@ -14,9 +14,10 @@
 
 use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, Contract, HostPolicy, WorldBuilder};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// One sweep point's result.
 #[derive(Debug)]
@@ -33,6 +34,8 @@ pub struct AttackerSidePoint {
     pub na_clients: usize,
     /// Requests dropped by R2 policing at the gateway.
     pub policed: u64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one `(R2, T)` point with `zombies` concurrent undesired flows.
@@ -82,23 +85,13 @@ pub fn run_one(r2: f64, t: SimDuration, zombies: usize, seed: u64) -> AttackerSi
         na_gateway,
         na_clients,
         policed,
+        events: w.sim.dispatched_events(),
     }
 }
 
-/// Runs the sweep and prints the table.
-pub fn run(quick: bool) -> Table {
-    let mut table = Table::new(
-        "E5 (§IV-C/D): attacker-side filters na = R2*T",
-        &[
-            "R2 /s",
-            "T s",
-            "na formula",
-            "gw peak",
-            "clients peak",
-            "policed",
-        ],
-    );
-    let points: &[(f64, u64, usize)] = if quick {
+/// The E5 scenario spec: the `(R2, T, zombies)` grid.
+pub fn spec(quick: bool) -> ScenarioSpec {
+    let points: &[(f64, u64, u64)] = if quick {
         &[(1.0, 10, 30), (2.0, 10, 50)]
     } else {
         &[
@@ -109,25 +102,44 @@ pub fn run(quick: bool) -> Table {
             (2.0, 30, 120),
         ]
     };
-    for &(r2, t, zombies) in points {
-        let p = run_one(r2, SimDuration::from_secs(t), zombies, 23);
-        table.row_owned(vec![
-            fmt_f(p.r2),
-            t.to_string(),
-            fmt_f(p.na_formula),
-            p.na_gateway.to_string(),
-            p.na_clients.to_string(),
-            p.policed.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: the gateway never holds more than ~R2*T filters \
-         no matter how many flows are offered (the excess is policed); the \
-         compliant clients collectively hold the same bound. Paper example: \
-         R2 = 1/s, T = 60 s -> na = 60.\n"
-    );
-    table
+    ScenarioSpec::new(
+        "e5_attacker_gw_resources",
+        "E5 (§IV-C/D): attacker-side filters na = R2*T",
+        "§IV-C/D",
+    )
+    .expectation(
+        "the gateway never holds more than ~R2*T filters no matter how many \
+         flows are offered (the excess is policed); the compliant clients \
+         collectively hold the same bound. Paper example: R2 = 1/s, \
+         T = 60 s -> na = 60.",
+    )
+    .points(points.iter().map(|&(r2, t, zombies)| {
+        Params::new()
+            .with("r2_per_s", r2)
+            .with("t_s", t)
+            .with("zombies", zombies)
+    }))
+    .runner(|p, ctx| {
+        let o = run_one(
+            p.f64("r2_per_s"),
+            SimDuration::from_secs(p.u64("t_s")),
+            p.usize("zombies"),
+            ctx.seed,
+        );
+        Outcome::new(
+            Params::new()
+                .with("na_formula", o.na_formula)
+                .with("gw_peak", o.na_gateway)
+                .with("clients_peak", o.na_clients)
+                .with("policed", o.policed),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs the sweep and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

@@ -14,10 +14,11 @@
 
 use aitf_attack::{LegitClient, RequestForger};
 use aitf_core::{AitfConfig, NetId, RouterPolicy, World, WorldBuilder};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 use aitf_packet::FlowLabel;
 
-use crate::harness::Table;
+use crate::harness::{run_spec, Table};
 
 /// Outcome of one scenario.
 #[derive(Debug)]
@@ -32,6 +33,8 @@ pub struct SecurityOutcome {
     pub forged: u64,
     /// Legit packets delivered to V over the run.
     pub legit_delivered: u64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Topology: A — a_net — wan — mid — v_net — V, forger M in m_net off the
@@ -82,8 +85,13 @@ fn build(verification: bool, compromised_mid: bool, seed: u64) -> SecurityWorld 
     }
 }
 
-fn run_scenario(scenario: &'static str, verification: bool, compromised: bool) -> SecurityOutcome {
-    let mut s = build(verification, compromised, 77);
+fn run_scenario(
+    scenario: &'static str,
+    verification: bool,
+    compromised: bool,
+    seed: u64,
+) -> SecurityOutcome {
+    let mut s = build(verification, compromised, seed);
     s.world.sim.run_for(SimDuration::from_secs(5));
     let a_router = s.world.router(s.a_net).counters();
     let forged = if compromised {
@@ -97,43 +105,60 @@ fn run_scenario(scenario: &'static str, verification: bool, compromised: bool) -
         denied: a_router.handshakes_denied,
         forged,
         legit_delivered: s.world.host(s.victim_delivered).counters().rx_legit_pkts,
+        events: s.world.sim.dispatched_events(),
     }
 }
 
-/// Runs all three scenarios and prints the table.
-pub fn run(_quick: bool) -> Table {
-    let mut table = Table::new(
-        "E6 (§II-E, §III-B): 3-way handshake vs forged filtering requests",
-        &[
-            "scenario",
-            "filter installed",
-            "denied",
-            "forged replies",
-            "legit pkts delivered",
-        ],
-    );
-    let outcomes = [
-        run_scenario("off-path forger, handshake ON", true, false),
-        run_scenario("ON-path compromised router", true, true),
-        run_scenario("off-path forger, handshake OFF", false, false),
+/// The E6 scenario spec: the three forgery scenarios.
+pub fn spec(_quick: bool) -> ScenarioSpec {
+    let scenarios: [(&'static str, bool, bool); 3] = [
+        ("off-path forger, handshake ON", true, false),
+        ("ON-path compromised router", true, true),
+        ("off-path forger, handshake OFF", false, false),
     ];
-    for o in &outcomes {
-        table.row_owned(vec![
-            o.scenario.to_string(),
-            o.filter_installed.to_string(),
-            o.denied.to_string(),
-            o.forged.to_string(),
-            o.legit_delivered.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: row 1 — forgery dies (victim denies); row 2 — an \
-         on-path compromised router CAN forge the handshake, but it routes \
-         the flow and could drop it anyway (§III-B); row 3 — without the \
-         handshake, forgery cuts the legitimate flow.\n"
-    );
-    table
+    ScenarioSpec::new(
+        "e6_handshake_security",
+        "E6 (§II-E, §III-B): 3-way handshake vs forged filtering requests",
+        "§II-E, §III-B",
+    )
+    .expectation(
+        "row 1 — forgery dies (victim denies); row 2 — an on-path \
+         compromised router CAN forge the handshake, but it routes the flow \
+         and could drop it anyway (§III-B); row 3 — without the handshake, \
+         forgery cuts the legitimate flow.",
+    )
+    .points(scenarios.iter().map(|&(name, verification, compromised)| {
+        Params::new()
+            .with("scenario", name)
+            .with("verification", verification)
+            .with("compromised", compromised)
+            // One seed group: the expectation compares legit delivery
+            // across the three rows, so they must share a world.
+            .with("_seed_group", 0u64)
+    }))
+    .runner(|p, ctx| {
+        // The scenario label lives in the params; the static names are only
+        // used for the Debug outcome.
+        let o = run_scenario(
+            "engine point",
+            p.bool("verification"),
+            p.bool("compromised"),
+            ctx.seed,
+        );
+        Outcome::new(
+            Params::new()
+                .with("filter_installed", o.filter_installed)
+                .with("denied", o.denied)
+                .with("forged_replies", o.forged)
+                .with("legit_pkts_delivered", o.legit_delivered),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs all three scenarios and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]
@@ -142,7 +167,7 @@ mod tests {
 
     #[test]
     fn off_path_forgery_fails_with_handshake() {
-        let o = run_scenario("x", true, false);
+        let o = run_scenario("x", true, false, 77);
         assert!(!o.filter_installed, "{o:?}");
         assert_eq!(o.denied, 1, "{o:?}");
         assert!(o.legit_delivered > 400, "{o:?}");
@@ -150,7 +175,7 @@ mod tests {
 
     #[test]
     fn on_path_compromised_router_defeats_handshake() {
-        let o = run_scenario("x", true, true);
+        let o = run_scenario("x", true, true, 77);
         assert!(o.filter_installed, "{o:?}");
         assert!(o.forged >= 1, "{o:?}");
         // The legit flow was cut early.
@@ -159,7 +184,7 @@ mod tests {
 
     #[test]
     fn disabling_verification_lets_forgery_through() {
-        let o = run_scenario("x", false, false);
+        let o = run_scenario("x", false, false, 77);
         assert!(o.filter_installed, "{o:?}");
         assert!(o.legit_delivered < 150, "{o:?}");
     }

@@ -15,9 +15,10 @@
 use aitf_attack::scenarios::fig1;
 use aitf_attack::OnOffSource;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// Outcome of one mode.
 #[derive(Debug)]
@@ -32,6 +33,8 @@ pub struct OnOffOutcome {
     pub max_round: u8,
     /// Did a cooperating upstream gateway end up holding the long filter?
     pub escalated_block: bool,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one mode. `shadow_assist` toggles packet-triggered reactivation
@@ -74,6 +77,7 @@ pub fn run_one(shadow_assist: bool, seed: u64) -> OnOffOutcome {
     } else {
         received as f64 / offered as f64
     };
+    let events = f.world.sim.dispatched_events();
     let gw = f.world.router(f.g_net);
     let flow =
         aitf_packet::FlowLabel::src_dst(f.world.host_addr(f.attacker), f.world.host_addr(f.victim));
@@ -89,38 +93,53 @@ pub fn run_one(shadow_assist: bool, seed: u64) -> OnOffOutcome {
         reactivations: gw.counters().reactivations,
         max_round,
         escalated_block,
+        events,
     }
 }
 
-/// Runs both modes and prints the table.
-pub fn run(_quick: bool) -> Table {
-    let mut table = Table::new(
+/// The E7 scenario spec: shadow assist on / off.
+pub fn spec(_quick: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "e7_onoff_attacks",
         "E7 (§II-B fn.2): on-off attacker vs the DRAM shadow cache",
-        &[
-            "mode",
-            "leak r",
-            "reactivations",
-            "max round",
-            "escalated block",
-        ],
-    );
-    for shadow in [true, false] {
-        let o = run_one(shadow, 13);
-        table.row_owned(vec![
-            o.mode.to_string(),
-            fmt_f(o.leak),
-            o.reactivations.to_string(),
-            o.max_round.to_string(),
-            o.escalated_block.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: with the shadow the reappearing flow is caught \
-         at the gateway (reactivations > 0), escalates past the rogue \
-         gateway and leaks less than without the assist.\n"
-    );
-    table
+        "§II-B fn.2",
+    )
+    .expectation(
+        "with the shadow the reappearing flow is caught at the gateway \
+         (reactivations > 0), escalates past the rogue gateway and leaks \
+         less than without the assist.",
+    )
+    .points([true, false].into_iter().map(|assist| {
+        Params::new()
+            .with(
+                "mode",
+                if assist {
+                    "shadow assist ON"
+                } else {
+                    "shadow assist OFF"
+                },
+            )
+            .with("shadow_assist", assist)
+            // Shared seed group: the expectation compares leak across the
+            // on/off pair, so both must run the same world.
+            .with("_seed_group", 0u64)
+    }))
+    .runner(|p, ctx| {
+        let o = run_one(p.bool("shadow_assist"), ctx.seed);
+        Outcome::new(
+            Params::new()
+                .with("leak_r", o.leak)
+                .with("reactivations", o.reactivations)
+                .with("max_round", o.max_round)
+                .with("escalated_block", o.escalated_block),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs both modes and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

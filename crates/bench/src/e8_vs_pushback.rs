@@ -13,9 +13,10 @@
 
 use aitf_baseline::{build_pushback_world, PushbackRouter};
 use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy, WorldBuilder};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{render_sweep, Table};
 
 /// Result of one (protocol, depth) run.
 #[derive(Debug)]
@@ -28,6 +29,8 @@ pub struct ComparisonPoint {
     pub routers_with_filters: usize,
     /// Victim leak ratio.
     pub leak: f64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 fn build_chains(
@@ -112,6 +115,7 @@ pub fn run_aitf(depth: usize, seed: u64) -> ComparisonPoint {
         nodes_involved,
         routers_with_filters: with_filters,
         leak,
+        events: w.sim.dispatched_events(),
     }
 }
 
@@ -151,6 +155,7 @@ pub fn run_pushback(depth: usize, seed: u64) -> ComparisonPoint {
         nodes_involved,
         routers_with_filters: with_filters,
         leak,
+        events: w.sim.dispatched_events(),
     }
 }
 
@@ -164,6 +169,8 @@ pub struct RogueOutcome {
     /// Packets that still crossed the rogue's uplink wire during the last
     /// 5 seconds of the run — the bandwidth the rogue's side keeps burning.
     pub uplink_carried_late: u64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 fn uplink_sent(w: &aitf_core::World, net: NetId) -> u64 {
@@ -198,6 +205,7 @@ pub fn rogue_aitf(seed: u64) -> RogueOutcome {
     RogueOutcome {
         source_cut: disconnected,
         uplink_carried_late: after - before,
+        events: w.sim.dispatched_events(),
     }
 }
 
@@ -225,63 +233,83 @@ pub fn rogue_pushback(seed: u64) -> RogueOutcome {
     RogueOutcome {
         source_cut: edge_filtered,
         uplink_carried_late: after - before,
+        events: w.sim.dispatched_events(),
     }
+}
+
+/// The E8 scenario spec: AITF vs pushback across chain depths.
+pub fn spec(quick: bool) -> ScenarioSpec {
+    let depths: &[u64] = if quick { &[2, 3] } else { &[2, 3, 4, 5, 6] };
+    ScenarioSpec::new(
+        "e8_vs_pushback",
+        "E8 (§V): AITF vs pushback — involvement grows with path depth only for pushback",
+        "§V",
+    )
+    .expectation(
+        "AITF involves a constant number of nodes (the round's 2 gateways) \
+         regardless of depth; pushback involves every router on the path.",
+    )
+    .points(
+        depths
+            .iter()
+            .map(|&d| Params::new().with("depth_per_side", d)),
+    )
+    .runner(|p, ctx| {
+        let d = p.usize("depth_per_side");
+        let aitf = run_aitf(d, ctx.seed);
+        let pb = run_pushback(d, ctx.seed);
+        Outcome::new(
+            Params::new()
+                .with("aitf_nodes", aitf.nodes_involved)
+                .with("aitf_filters", aitf.routers_with_filters)
+                .with("pb_nodes", pb.nodes_involved)
+                .with("pb_filters", pb.routers_with_filters)
+                .with("aitf_leak", aitf.leak)
+                .with("pb_leak", pb.leak),
+        )
+        .with_events(aitf.events + pb.events)
+    })
+}
+
+/// The E8b scenario spec: one rogue hop, disconnection vs good will.
+pub fn spec_rogue(_quick: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "e8b_rogue_hop",
+        "E8b (§V): one rogue hop — disconnection vs good will",
+        "§V",
+    )
+    .expectation(
+        "with a rogue hop, AITF's disconnection still cuts the source; \
+         pushback silently stalls and the flood keeps burning upstream \
+         bandwidth.",
+    )
+    .points(["AITF", "pushback"].into_iter().map(|proto| {
+        // Shared seed group: the expectation contrasts the two protocols
+        // on the same world.
+        Params::new()
+            .with("protocol", proto)
+            .with("_seed_group", 0u64)
+    }))
+    .runner(|p, ctx| {
+        let o = match p.str("protocol") {
+            "AITF" => rogue_aitf(ctx.seed),
+            _ => rogue_pushback(ctx.seed),
+        };
+        Outcome::new(
+            Params::new()
+                .with("source_cut", o.source_cut)
+                .with("rogue_uplink_pkts_last_5s", o.uplink_carried_late),
+        )
+        .with_events(o.events)
+    })
 }
 
 /// Runs the comparison and prints both tables.
 pub fn run(quick: bool) -> Table {
-    let depths: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5, 6] };
-    let mut table = Table::new(
-        "E8 (§V): AITF vs pushback — involvement grows with path depth only for pushback",
-        &[
-            "depth/side",
-            "AITF nodes",
-            "AITF filters",
-            "PB nodes",
-            "PB filters",
-            "AITF leak",
-            "PB leak",
-        ],
-    );
-    for &d in depths {
-        let aitf = run_aitf(d, 51);
-        let pb = run_pushback(d, 51);
-        table.row_owned(vec![
-            d.to_string(),
-            aitf.nodes_involved.to_string(),
-            aitf.routers_with_filters.to_string(),
-            pb.nodes_involved.to_string(),
-            pb.routers_with_filters.to_string(),
-            fmt_f(aitf.leak),
-            fmt_f(pb.leak),
-        ]);
-    }
-    table.print();
-
-    let ra = rogue_aitf(52);
-    let rp = rogue_pushback(52);
-    let mut rogue = Table::new(
-        "E8b (§V): one rogue hop — disconnection vs good will",
-        &["protocol", "source cut?", "rogue uplink pkts (last 5 s)"],
-    );
-    rogue.row_owned(vec![
-        "AITF".to_string(),
-        ra.source_cut.to_string(),
-        ra.uplink_carried_late.to_string(),
-    ]);
-    rogue.row_owned(vec![
-        "pushback".to_string(),
-        rp.source_cut.to_string(),
-        rp.uplink_carried_late.to_string(),
-    ]);
-    rogue.print();
-    println!(
-        "paper expectation: AITF involves a constant number of nodes (the \
-         round's 2 gateways) regardless of depth; pushback involves every \
-         router on the path. With a rogue hop, AITF's disconnection still \
-         cuts the source; pushback silently stalls and the flood keeps \
-         burning upstream bandwidth.\n"
-    );
+    let specs = [spec(quick), spec_rogue(quick)];
+    let grouped = aitf_engine::Runner::default().quick(quick).run_all(&specs);
+    let table = render_sweep(&specs[0], &grouped[0]);
+    let _ = render_sweep(&specs[1], &grouped[1]);
     table
 }
 

@@ -13,9 +13,10 @@
 
 use aitf_attack::SpoofingFlood;
 use aitf_core::{AitfConfig, Contract, HostPolicy, RouterPolicy, WorldBuilder};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
-use crate::harness::{fmt_f, Table};
+use crate::harness::{run_spec, Table};
 
 /// Outcome of one mode.
 #[derive(Debug)]
@@ -30,6 +31,8 @@ pub struct IngressOutcome {
     pub provider_requests: u64,
     /// Filters the zombie's provider had to install.
     pub provider_filters: u64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
 }
 
 /// Runs one mode.
@@ -84,47 +87,54 @@ pub fn run_one(ingress_filtering: bool, seed: u64) -> IngressOutcome {
         victim_attack_pkts: w.host(victim).counters().rx_attack_pkts,
         provider_requests: gw.requests_received,
         provider_filters: gw.filters_installed,
+        events: w.sim.dispatched_events(),
     }
 }
 
-/// Runs both modes and prints the table.
-pub fn run(_quick: bool) -> Table {
-    let mut table = Table::new(
+/// The E9 scenario spec: ingress filtering on / off.
+pub fn spec(_quick: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "e9_ingress_incentive",
         "E9 (§III-A): ingress filtering pays for itself",
-        &[
-            "mode",
-            "spoofs dropped",
-            "victim attack pkts",
-            "provider requests",
-            "provider filters",
-        ],
-    );
-    let mut ratio = (0u64, 0u64);
-    for ingress in [true, false] {
-        let o = run_one(ingress, 61);
-        if ingress {
-            ratio.0 = o.provider_requests;
-        } else {
-            ratio.1 = o.provider_requests;
-        }
-        table.row_owned(vec![
-            o.mode.to_string(),
-            o.spoofed_dropped.to_string(),
-            o.victim_attack_pkts.to_string(),
-            o.provider_requests.to_string(),
-            o.provider_filters.to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "paper expectation: with ingress filtering the provider drops the \
-         spoofs at its own edge and later processes ~{} requests; without \
-         it, the same provider ends up servicing {} filtering requests for \
-         flows it let out — the §III-A economic incentive.\n",
-        fmt_f(ratio.0 as f64),
-        fmt_f(ratio.1 as f64),
-    );
-    table
+        "§III-A",
+    )
+    .expectation(
+        "with ingress filtering the provider drops the spoofs at its own \
+         edge and processes ~0 filtering requests; without it, the same \
+         provider ends up servicing every request for flows it let out — \
+         the §III-A economic incentive.",
+    )
+    .points([true, false].into_iter().map(|ingress| {
+        Params::new()
+            .with(
+                "mode",
+                if ingress {
+                    "ingress filtering ON"
+                } else {
+                    "ingress filtering OFF"
+                },
+            )
+            .with("ingress_filtering", ingress)
+            // Shared seed group: the expectation contrasts the provider's
+            // request load across the on/off pair.
+            .with("_seed_group", 0u64)
+    }))
+    .runner(|p, ctx| {
+        let o = run_one(p.bool("ingress_filtering"), ctx.seed);
+        Outcome::new(
+            Params::new()
+                .with("spoofs_dropped", o.spoofed_dropped)
+                .with("victim_attack_pkts", o.victim_attack_pkts)
+                .with("provider_requests", o.provider_requests)
+                .with("provider_filters", o.provider_filters),
+        )
+        .with_events(o.events)
+    })
+}
+
+/// Runs both modes and prints the table.
+pub fn run(quick: bool) -> Table {
+    run_spec(&spec(quick), quick)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Table formatting and measurement helpers shared by all experiments.
 
 use aitf_core::{HostId, World};
+use aitf_engine::{tabulate, RunRecord, Runner, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
 /// A printable results table with aligned columns.
@@ -87,7 +88,7 @@ impl Table {
             line
         };
         out.push_str(&fmt_row(&self.headers));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -102,18 +103,40 @@ impl Table {
     }
 }
 
-/// Formats a float compactly (6 significant-ish digits, no noise).
-pub fn fmt_f(v: f64) -> String {
-    if v == 0.0 {
-        "0".to_string()
-    } else if v.abs() >= 100.0 {
-        format!("{v:.0}")
-    } else if v.abs() >= 1.0 {
-        format!("{v:.2}")
-    } else {
-        format!("{v:.5}")
+/// Builds a [`Table`] from engine run records: parameter columns first,
+/// then metric columns (the engine's [`tabulate`] projection).
+pub fn table_from_records(title: &str, records: &[RunRecord]) -> Table {
+    let (headers, rows) = tabulate(records);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for row in rows {
+        table.row_owned(row);
     }
+    table
 }
+
+/// Runs a spec through the engine with the default thread count, prints
+/// its table and expectation prose, and returns the table — the shared
+/// body of every experiment's `run(quick)` entry point.
+pub fn run_spec(spec: &ScenarioSpec, quick: bool) -> Table {
+    let records = Runner::default().quick(quick).run(spec);
+    render_sweep(spec, &records)
+}
+
+/// Prints a finished sweep (table + expectation) and returns the table.
+pub fn render_sweep(spec: &ScenarioSpec, records: &[RunRecord]) -> Table {
+    let table = table_from_records(&spec.title, records);
+    table.print();
+    if !spec.expectation.is_empty() {
+        println!("paper expectation: {}\n", spec.expectation);
+    }
+    table
+}
+
+/// Formats a float compactly (6 significant-ish digits, no noise) — the
+/// same rules engine tables and JSON use, re-exported so hand-built tables
+/// match engine-rendered ones.
+pub use aitf_engine::params::fmt_compact as fmt_f;
 
 /// Runs `world` in fixed-size bins and samples `probe` after each bin,
 /// returning `(seconds, value)` points — how the harness generates the
@@ -173,6 +196,15 @@ mod tests {
         assert_eq!(lines.len(), 5);
         assert_eq!(t.len(), 2);
         assert_eq!(t.cell(0, 1), "22222");
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panicking() {
+        // A spec with no points tabulates to zero headers; render must not
+        // underflow the rule-width arithmetic.
+        let t = table_from_records("empty", &[]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("## empty"));
     }
 
     #[test]

@@ -38,3 +38,23 @@ pub mod figures;
 pub mod harness;
 
 pub use harness::Table;
+
+/// Builds the full experiment registry, in paper order. Every experiment
+/// registers its [`aitf_engine::ScenarioSpec`] here; the `all_experiments`
+/// driver selects from it with `--filter`.
+pub fn registry(quick: bool) -> aitf_engine::Registry {
+    let mut r = aitf_engine::Registry::new();
+    r.register(e1_escalation::spec(quick));
+    r.register(e2_effective_bandwidth::spec(quick));
+    r.register(e3_protection_capacity::spec(quick));
+    r.register(e4_victim_gw_resources::spec(quick));
+    r.register(e5_attacker_gw_resources::spec(quick));
+    r.register(e6_handshake_security::spec(quick));
+    r.register(e7_onoff_attacks::spec(quick));
+    r.register(e8_vs_pushback::spec(quick));
+    r.register(e8_vs_pushback::spec_rogue(quick));
+    r.register(e9_ingress_incentive::spec(quick));
+    r.register(e10_scaling::spec(quick));
+    r.register(e11_detection::spec(quick));
+    r
+}

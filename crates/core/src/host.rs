@@ -368,8 +368,7 @@ impl EndHost {
                 }
                 if self.cfg.fast_redetect {
                     self.send_filtering_request(flow, ctx);
-                } else if !self.detecting.contains_key(&flow) {
-                    self.detecting.insert(flow, ());
+                } else if self.detecting.insert(flow, ()).is_none() {
                     let token = self.next_token;
                     self.next_token += 1;
                     self.token_map.insert(token, HostTimer::Detect { flow });

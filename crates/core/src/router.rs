@@ -852,11 +852,12 @@ impl Node for BorderRouter {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
         match self.token_map.remove(&token) {
-            Some(TimerAction::HandshakeTimeout { nonce }) => {
-                if self.pending_handshakes.remove(&nonce).is_some() {
-                    self.counters.handshakes_timed_out += 1;
-                }
+            Some(TimerAction::HandshakeTimeout { nonce })
+                if self.pending_handshakes.remove(&nonce).is_some() =>
+            {
+                self.counters.handshakes_timed_out += 1;
             }
+            Some(TimerAction::HandshakeTimeout { .. }) => {}
             Some(TimerAction::GraceCheck { watch }) => self.on_grace_check(watch, ctx),
             None => {}
         }

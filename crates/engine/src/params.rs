@@ -1,0 +1,305 @@
+//! Typed scenario parameters and metric values.
+//!
+//! A [`Params`] is an *ordered* list of `(name, Value)` pairs: order is
+//! preserved so tables and JSON render columns in the order the scenario
+//! author declared them, and equality is structural so run records can be
+//! compared bit-for-bit across thread counts.
+
+use std::fmt;
+
+/// A parameter or metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rates, ratios, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form label.
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value for a results table: floats are compacted the way
+    /// the paper's tables print them, everything else verbatim.
+    pub fn render(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => fmt_compact(*v),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Renders the value as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => format!("{v}"),
+            Value::F64(_) => "null".to_string(),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => json_string(s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u8> for Value {
+    fn from(v: u8) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Compact float formatting (shared with the bench tables): 6-ish
+/// significant digits, no trailing noise.
+pub fn fmt_compact(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An ordered set of named values (scenario parameters or run metrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    entries: Vec<(&'static str, Value)>,
+}
+
+impl Params {
+    /// An empty set.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Builder-style insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already present — a spec bug worth failing loudly
+    /// on.
+    pub fn with(mut self, name: &'static str, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Inserts a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already present.
+    pub fn set(&mut self, name: &'static str, value: impl Into<Value>) {
+        assert!(
+            self.get(name).is_none(),
+            "duplicate parameter/metric name {name:?}"
+        );
+        self.entries.push((name, value.into()));
+    }
+
+    /// Looks a value up by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The entries in declaration order.
+    pub fn entries(&self) -> &[(&'static str, Value)] {
+        &self.entries
+    }
+
+    /// Returns `true` if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Typed accessor for `U64` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not a `U64` — scenario code reads
+    /// back parameters it declared itself, so a mismatch is a spec bug.
+    pub fn u64(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Value::U64(v)) => *v,
+            other => panic!("param {name:?}: expected U64, got {other:?}"),
+        }
+    }
+
+    /// Typed accessor for `U64` entries narrowed to `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not a `U64`.
+    pub fn usize(&self, name: &str) -> usize {
+        self.u64(name) as usize
+    }
+
+    /// Typed accessor for `F64` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not an `F64`.
+    pub fn f64(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(Value::F64(v)) => *v,
+            other => panic!("param {name:?}: expected F64, got {other:?}"),
+        }
+    }
+
+    /// Typed accessor for `Bool` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not a `Bool`.
+    pub fn bool(&self, name: &str) -> bool {
+        match self.get(name) {
+            Some(Value::Bool(v)) => *v,
+            other => panic!("param {name:?}: expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Typed accessor for `Str` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not a `Str`.
+    pub fn str(&self, name: &str) -> &str {
+        match self.get(name) {
+            Some(Value::Str(v)) => v,
+            other => panic!("param {name:?}: expected Str, got {other:?}"),
+        }
+    }
+
+    /// Renders the entries as a JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(n, v)| format!("{}:{}", json_string(n), v.to_json()))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_and_typed() {
+        let p = Params::new()
+            .with("flows", 40usize)
+            .with("r1", 10.0)
+            .with("label", "x")
+            .with("on", true);
+        assert_eq!(p.usize("flows"), 40);
+        assert_eq!(p.f64("r1"), 10.0);
+        assert_eq!(p.str("label"), "x");
+        assert!(p.bool("on"));
+        let names: Vec<&str> = p.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["flows", "r1", "label", "on"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_are_rejected() {
+        let _ = Params::new().with("a", 1u64).with("a", 2u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn type_mismatch_panics() {
+        let p = Params::new().with("a", 1u64);
+        let _ = p.f64("a");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        let p = Params::new().with("x", 1.5).with("s", "hi");
+        assert_eq!(p.to_json(), r#"{"x":1.5,"s":"hi"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::F64(1.25).to_json(), "1.25");
+    }
+}

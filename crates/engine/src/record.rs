@@ -1,0 +1,91 @@
+//! Structured run records — the engine's unit of telemetry.
+
+use crate::params::{json_string, Params};
+
+/// One completed sweep point: parameters in, metrics out, plus provenance.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The experiment id this record belongs to.
+    pub experiment: &'static str,
+    /// Index of the point in the spec's sweep order.
+    pub index: usize,
+    /// The derived RNG seed the point ran with.
+    pub seed: u64,
+    /// The point's parameters.
+    pub params: Params,
+    /// The measured metrics.
+    pub metrics: Params,
+    /// Simulator events dispatched (0 when not applicable).
+    pub events: u64,
+    /// Wall-clock seconds the point took. Excluded from
+    /// [`RunRecord::deterministic_eq`] — it is the one legitimately
+    /// nondeterministic field.
+    pub wall_secs: f64,
+}
+
+impl RunRecord {
+    /// Structural equality over everything except wall time: two runs of
+    /// the same sweep (at any thread counts) must satisfy this.
+    pub fn deterministic_eq(&self, other: &RunRecord) -> bool {
+        self.experiment == other.experiment
+            && self.index == other.index
+            && self.seed == other.seed
+            && self.params == other.params
+            && self.metrics == other.metrics
+            && self.events == other.events
+    }
+
+    /// Renders the record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{}}}",
+            json_string(self.experiment),
+            self.index,
+            self.seed,
+            self.params.to_json(),
+            self.metrics.to_json(),
+            self.events,
+            if self.wall_secs.is_finite() {
+                format!("{}", self.wall_secs)
+            } else {
+                "null".to_string()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(wall: f64) -> RunRecord {
+        RunRecord {
+            experiment: "e0",
+            index: 1,
+            seed: 7,
+            params: Params::new().with("x", 2u64),
+            metrics: Params::new().with("y", 0.5),
+            events: 10,
+            wall_secs: wall,
+        }
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_wall_time() {
+        let a = record(0.1);
+        let b = record(99.0);
+        assert!(a.deterministic_eq(&b));
+        let mut c = record(0.1);
+        c.seed = 8;
+        assert!(!a.deterministic_eq(&c));
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = record(0.25).to_json();
+        assert_eq!(
+            j,
+            r#"{"experiment":"e0","index":1,"seed":7,"params":{"x":2},"metrics":{"y":0.5},"events":10,"wall_secs":0.25}"#
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Record → table projection: one sink over the same run records the JSON
+//! emitter consumes. The engine stays presentation-agnostic — it produces
+//! headers and string rows; the bench harness owns the ASCII rendering.
+
+use crate::record::RunRecord;
+
+/// Projects records onto `(headers, rows)`: parameter columns first (in
+/// declaration order), then metric columns. Hidden columns (named with a
+/// leading `_`) are kept in the JSON but dropped from tables.
+pub fn tabulate(records: &[RunRecord]) -> (Vec<String>, Vec<Vec<String>>) {
+    let Some(first) = records.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let visible = |name: &str| !name.starts_with('_');
+    let headers: Vec<String> = first
+        .params
+        .entries()
+        .iter()
+        .chain(first.metrics.entries())
+        .map(|(n, _)| *n)
+        .filter(|n| visible(n))
+        .map(String::from)
+        .collect();
+    let rows = records
+        .iter()
+        .map(|r| {
+            r.params
+                .entries()
+                .iter()
+                .chain(r.metrics.entries())
+                .filter(|(n, _)| visible(n))
+                .map(|(_, v)| v.render())
+                .collect()
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::spec::{Outcome, ScenarioSpec};
+    use crate::Runner;
+
+    #[test]
+    fn params_then_metrics_with_hidden_columns_dropped() {
+        let spec = ScenarioSpec::new("t1", "t", "p")
+            .point(Params::new().with("x", 3u64).with("_seed_note", "hidden"))
+            .runner(|p, _| Outcome::new(Params::new().with("y", p.u64("x") as f64 / 2.0)));
+        let recs = Runner::new(1).run(&spec);
+        let (headers, rows) = tabulate(&recs);
+        assert_eq!(headers, vec!["x", "y"]);
+        assert_eq!(rows, vec![vec!["3".to_string(), "1.50".to_string()]]);
+    }
+
+    #[test]
+    fn empty_records_produce_empty_table() {
+        let (headers, rows) = tabulate(&[]);
+        assert!(headers.is_empty() && rows.is_empty());
+    }
+}

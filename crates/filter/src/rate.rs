@@ -319,7 +319,7 @@ mod proptests {
             let mut now = SimTime::ZERO;
             let mut admitted = 0u64;
             for gap in gaps_ms {
-                now = now + SimDuration::from_millis(gap);
+                now += SimDuration::from_millis(gap);
                 if tb.try_acquire(now) {
                     admitted += 1;
                 }

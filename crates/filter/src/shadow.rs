@@ -468,7 +468,7 @@ mod proptests {
                 let entry = truth.entry(i).or_insert(exp);
                 *entry = (*entry).max(exp);
                 prop_assert!(c.len() <= cap);
-                now = now + SimDuration::from_secs(advance);
+                now += SimDuration::from_secs(advance);
                 let hdr = Header::udp(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1), 1, 2);
                 if truth[&i] <= now {
                     prop_assert!(

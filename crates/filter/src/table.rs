@@ -263,6 +263,7 @@ impl FilterTable {
         self.live += 1;
         self.stats.installs += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.live);
+        debug_assert!(self.indexes_consistent(), "occupancy indexes diverged");
         Ok(if evicted {
             InstallOutcome::InstalledWithEviction
         } else {
@@ -375,14 +376,11 @@ impl FilterTable {
     }
 
     fn find_exact(&self, label: &FlowLabel) -> Option<usize> {
-        let candidates: Box<dyn Iterator<Item = usize>> = match label.dst_host() {
-            Some(dst) => match self.by_dst.get(&dst) {
-                Some(v) => Box::new(v.iter().copied()),
-                None => return None,
-            },
-            None => Box::new(self.wildcard_dst.iter().copied()),
+        let candidates: &[usize] = match label.dst_host() {
+            Some(dst) => self.by_dst.get(&dst)?,
+            None => &self.wildcard_dst,
         };
-        for i in candidates {
+        for &i in candidates {
             if let Some(e) = self.slots[i].as_ref() {
                 if e.label == *label {
                     return Some(i);
@@ -409,8 +407,7 @@ impl FilterTable {
                 }
             }
         }
-        let wildcards: Vec<usize> = self.wildcard_dst.clone();
-        wildcards.into_iter().find(|&i| check(i))
+        self.wildcard_dst.iter().copied().find(|&i| check(i))
     }
 
     fn remove_slot(&mut self, idx: usize) {
@@ -429,6 +426,26 @@ impl FilterTable {
         self.free.push(idx);
         self.live -= 1;
         let _ = entry.installed; // Kept for future age-based policies.
+        debug_assert!(self.indexes_consistent(), "occupancy indexes diverged");
+    }
+
+    /// Occupancy bookkeeping invariant: every live slot is indexed exactly
+    /// once (in `by_dst` for /32-destination labels, in `wildcard_dst`
+    /// otherwise), every index points at a live slot, and `live` equals the
+    /// number of live slots. Eviction policies — `EvictLeastSpecific` in
+    /// particular, which preferentially removes the wildcard-destination
+    /// entries the fallback scan walks — must preserve this.
+    fn indexes_consistent(&self) -> bool {
+        let live_slots = self.slots.iter().filter(|s| s.is_some()).count();
+        let indexed: usize =
+            self.by_dst.values().map(Vec::len).sum::<usize>() + self.wildcard_dst.len();
+        let all_point_at_live = self
+            .by_dst
+            .values()
+            .flatten()
+            .chain(self.wildcard_dst.iter())
+            .all(|&i| self.slots.get(i).is_some_and(Option::is_some));
+        live_slots == self.live && indexed == self.live && all_point_at_live
     }
 }
 
@@ -605,6 +622,71 @@ mod tests {
         assert_eq!(s.misses, 1);
     }
 
+    /// Regression: `EvictLeastSpecific` preferentially evicts the
+    /// wildcard-destination entries that the fallback scan in
+    /// `find_live_match` walks. Occupancy statistics (live count, peak,
+    /// and the `installs = live + evictions + expirations` identity) must
+    /// stay consistent through arbitrary interleavings of wildcard and
+    /// host-pair installs, evictions and expiries.
+    #[test]
+    fn evict_least_specific_keeps_wildcard_occupancy_consistent() {
+        let mut state: u64 = 0x5eed;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for cap in 1..8usize {
+            let mut tbl = FilterTable::with_policy(cap, EvictionPolicy::EvictLeastSpecific);
+            let mut now = SimTime::ZERO;
+            for step in 0..5000 {
+                let r = rng();
+                let i = (r % 6) as u8;
+                match (r >> 8) % 3 {
+                    0 => {
+                        // Host-pair label: indexed under by_dst.
+                        let _ =
+                            tbl.install(label(i), now, SimDuration::from_secs(1 + (r >> 16) % 60));
+                    }
+                    1 => {
+                        // Wildcard-destination label: walks the fallback scan.
+                        let lab = FlowLabel {
+                            src: Prefix::host(Addr::new(10, 9, 0, i)),
+                            dst: format!("10.{}.0.0/16", 1 + i).parse().unwrap(),
+                            ..FlowLabel::ANY
+                        };
+                        let _ = tbl.install(lab, now, SimDuration::from_secs(1 + (r >> 16) % 60));
+                    }
+                    _ => {
+                        now += SimDuration::from_secs((r >> 16) % 10);
+                        tbl.purge_expired(now);
+                    }
+                }
+                // Exercise both the indexed lookup and the wildcard fallback.
+                let hit_hdr = header(i);
+                let fb_hdr = Header::udp(Addr::new(10, 9, 0, i), Addr::new(1 + i, 0, 3, 7), 1, 2);
+                let _ = tbl.matches(&hit_hdr, now);
+                let _ = tbl.matches(&fb_hdr, now);
+
+                let s = tbl.stats();
+                let live = tbl.len();
+                assert!(live <= cap, "step {step}: occupancy {live} > cap {cap}");
+                assert!(s.peak_occupancy <= cap, "step {step}: peak beyond cap");
+                assert_eq!(
+                    live,
+                    tbl.entries().len(),
+                    "step {step}: len() disagrees with entries()"
+                );
+                assert_eq!(
+                    s.installs,
+                    live as u64 + s.evictions + s.expirations,
+                    "step {step}: install/eviction/expiry identity broken: {s:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn clear_empties_table() {
         let mut tbl = FilterTable::new(10);
@@ -689,7 +771,7 @@ mod proptests {
                         truth.remove(&i);
                     }
                     Op::Advance(s) => {
-                        now = now + SimDuration::from_secs(s);
+                        now += SimDuration::from_secs(s);
                     }
                     Op::Match(i) => {
                         let hdr = Header::udp(

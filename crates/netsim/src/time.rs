@@ -112,11 +112,11 @@ impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 == 0 {
             write!(f, "0s")
-        } else if self.0 % 1_000_000_000 == 0 {
+        } else if self.0.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", self.0 / 1_000_000_000)
-        } else if self.0 % 1_000_000 == 0 {
+        } else if self.0.is_multiple_of(1_000_000) {
             write!(f, "{}ms", self.0 / 1_000_000)
-        } else if self.0 % 1_000 == 0 {
+        } else if self.0.is_multiple_of(1_000) {
             write!(f, "{}us", self.0 / 1_000)
         } else {
             write!(f, "{}ns", self.0)

@@ -155,6 +155,8 @@ impl Prefix {
     }
 
     /// Returns the prefix length in bits.
+    // A prefix length is not a container size; `is_empty` has no meaning.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }

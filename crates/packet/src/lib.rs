@@ -37,4 +37,4 @@ pub use message::{
     VerificationReply,
 };
 pub use packet::{Header, Packet, PayloadKind, Protocol, TracebackMark, TrafficClass};
-pub use route_record::{RouteRecord, MAX_ROUTE_RECORD};
+pub use route_record::{RouteRecord, RouteRecordFull, MAX_ROUTE_RECORD};

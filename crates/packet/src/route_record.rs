@@ -23,6 +23,19 @@ use crate::addr::Addr;
 /// pre-filling the record to exhaust memory.
 pub const MAX_ROUTE_RECORD: usize = 16;
 
+/// Error returned by [`RouteRecord::push`] when the shim already holds
+/// [`MAX_ROUTE_RECORD`] hops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteRecordFull;
+
+impl std::fmt::Display for RouteRecordFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "route record full ({MAX_ROUTE_RECORD} hops)")
+    }
+}
+
+impl std::error::Error for RouteRecordFull {}
+
 /// Bytes each recorded hop adds to the on-wire packet size.
 pub const ROUTE_RECORD_ENTRY_BYTES: u32 = 4;
 
@@ -52,12 +65,12 @@ impl RouteRecord {
 
     /// Appends a border-router address.
     ///
-    /// Returns `Err(())` if the record is full; callers forward the packet
-    /// anyway (an overlong path degrades traceback, it must not break
-    /// forwarding).
-    pub fn push(&mut self, addr: Addr) -> Result<(), ()> {
+    /// Returns [`RouteRecordFull`] if the record is full; callers forward
+    /// the packet anyway (an overlong path degrades traceback, it must not
+    /// break forwarding).
+    pub fn push(&mut self, addr: Addr) -> Result<(), RouteRecordFull> {
         if self.hops.len() >= MAX_ROUTE_RECORD {
-            return Err(());
+            return Err(RouteRecordFull);
         }
         self.hops.push(addr);
         Ok(())

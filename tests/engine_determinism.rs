@@ -1,0 +1,38 @@
+//! Engine determinism over real experiments: the same spec, the same base
+//! seed, 1 worker vs 8 workers — every `RunRecord` must be identical
+//! (seeds, params, metrics, event counts; wall time is the only field
+//! allowed to differ).
+
+use aitf_engine::Runner;
+
+fn assert_thread_invariant(spec: aitf_engine::ScenarioSpec) {
+    let one = Runner::new(1).quick(true).run(&spec);
+    let eight = Runner::new(8).quick(true).run(&spec);
+    assert_eq!(one.len(), eight.len(), "{}: record count differs", spec.id);
+    assert!(!one.is_empty(), "{}: spec produced no records", spec.id);
+    for (a, b) in one.iter().zip(&eight) {
+        assert!(
+            a.deterministic_eq(b),
+            "{}: records diverged across thread counts:\n  1 thread: {a:?}\n  8 threads: {b:?}",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn e11_detection_is_thread_count_invariant() {
+    assert_thread_invariant(aitf_bench::e11_detection::spec(true));
+}
+
+#[test]
+fn e6_handshake_is_thread_count_invariant() {
+    assert_thread_invariant(aitf_bench::e6_handshake_security::spec(true));
+}
+
+#[test]
+fn base_seed_flows_into_every_record() {
+    let spec = aitf_bench::e11_detection::spec(true);
+    let a = Runner::new(2).quick(true).base_seed(1).run(&spec);
+    let b = Runner::new(2).quick(true).base_seed(2).run(&spec);
+    assert!(a.iter().zip(&b).all(|(x, y)| x.seed != y.seed));
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal benchmark harness with the same API shape:
+//! [`Criterion`], benchmark groups, `bench_function` / `bench_with_input`,
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a warm-up phase, then `sample_size`
+//! timed samples whose iteration count is chosen so each sample lasts
+//! roughly `measurement_time / sample_size`; the mean and min per-iteration
+//! times are printed. No statistics beyond that — the numbers are for
+//! trend-watching, not for publication.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// `(mean_ns, min_ns, iters)` after `iter` returns.
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then sampling.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to calibrate the per-sample batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let sample_budget = self.measurement.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let batch = ((sample_budget / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            total_iters += batch;
+            min_ns = min_ns.min(ns / batch as f64);
+        }
+        self.result = Some((total_ns / total_iters.max(1) as f64, min_ns, total_iters));
+    }
+}
+
+/// Top-level benchmark configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    fn run_one(&self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean, min, iters)) => {
+                println!(
+                    "{name:<50} mean {:>12} min {:>12} ({iters} iters)",
+                    fmt_ns(mean),
+                    fmt_ns(min)
+                );
+            }
+            None => println!("{name:<50} (no measurement)"),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        self.run_one(&id.name, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&full, f);
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&full, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn bench_function_produces_a_measurement() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_inputs_work() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        for &n in &[1u64, 8] {
+            g.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        g.bench_function("plain", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+}
