@@ -1,0 +1,68 @@
+//! Microbenchmark: link enqueue/dequeue.
+//!
+//! The drop-tail transmit queue is the other half of the packet hot path:
+//! every send enqueues, every `LinkTxDone` dequeues and schedules delivery.
+//! The ring buffers are pre-sized for their byte capacity, so steady-state
+//! churn must not grow them.
+
+use aitf_netsim::{
+    EventKind, EventQueue, Link, LinkDirection, LinkId, LinkParams, NodeId, SimDuration, SimTime,
+};
+use aitf_packet::{Addr, Header, Packet, TrafficClass};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn pkt(id: u64, size: u32) -> Packet {
+    let h = Header::udp(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), 1, 2);
+    Packet::data(id, h, TrafficClass::Legit, size)
+}
+
+/// Saturated-transmitter steady state: every `LinkTxDone` retires one
+/// packet and a fresh one replaces it, so the backlog (and therefore every
+/// buffer) stays at its high-water mark — the pattern a flooded gateway
+/// link runs millions of times per experiment.
+fn bench_enqueue_dequeue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_queue");
+    for &backlog in &[1usize, 16, 48] {
+        group.bench_with_input(
+            BenchmarkId::new("event_cycle_backlog", backlog),
+            &backlog,
+            |b, &backlog| {
+                let params = LinkParams::ethernet(1_000_000_000, SimDuration::from_micros(10));
+                let mut link = Link::new(LinkId(0), NodeId(0), NodeId(1), params);
+                let mut q = EventQueue::new();
+                // Prime: one in flight plus `backlog` queued packets.
+                for i in 0..=backlog as u64 {
+                    link.enqueue(SimTime(0), LinkDirection::AToB, pkt(i, 1000), &mut q);
+                }
+                let mut id = backlog as u64 + 1;
+                b.iter(|| {
+                    let ev = q.pop().expect("saturated link always has events");
+                    match ev.kind {
+                        EventKind::LinkTxDone { dir, .. } => {
+                            link.on_tx_done(ev.time, dir, &mut q);
+                            // Keep the transmitter saturated.
+                            link.enqueue(ev.time, LinkDirection::AToB, pkt(id, 1000), &mut q);
+                            id += 1;
+                        }
+                        EventKind::Deliver { packet, .. } => {
+                            black_box(packet.id);
+                        }
+                        EventKind::Timer { .. } => unreachable!("no timers armed"),
+                    }
+                    black_box(link.queued_bytes(LinkDirection::AToB))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config(); targets = bench_enqueue_dequeue);
+criterion_main!(benches);

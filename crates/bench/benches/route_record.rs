@@ -1,0 +1,58 @@
+//! Microbenchmark: route-record append and clone.
+//!
+//! Every AITF border router pushes one hop onto the record of every data
+//! packet it forwards, and every queued copy clones the record. The inline
+//! representation makes both operations allocation-free up to
+//! [`INLINE_ROUTE_RECORD`] hops; this pins the per-operation cost on both
+//! sides of the spill boundary.
+
+use aitf_packet::{Addr, RouteRecord, INLINE_ROUTE_RECORD, MAX_ROUTE_RECORD};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_record");
+    for &hops in &[4usize, INLINE_ROUTE_RECORD, MAX_ROUTE_RECORD] {
+        group.bench_with_input(BenchmarkId::new("append", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let mut rr = RouteRecord::new();
+                for i in 0..hops {
+                    let _ = rr.push(Addr::new(10, 0, i as u8, 254));
+                }
+                black_box(rr.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_record");
+    for &hops in &[4usize, INLINE_ROUTE_RECORD, MAX_ROUTE_RECORD] {
+        let rr = RouteRecord::from_hops((0..hops).map(|i| Addr::new(10, 0, i as u8, 254)));
+        group.bench_with_input(BenchmarkId::new("clone", hops), &rr, |b, rr| {
+            b.iter(|| black_box(rr.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_record");
+    let rr = RouteRecord::from_hops((0..MAX_ROUTE_RECORD).map(|i| Addr::new(10, 0, i as u8, 254)));
+    let probe = Addr::new(10, 0, (MAX_ROUTE_RECORD - 1) as u8, 254);
+    group.bench_function("position_worst_case", |b| {
+        b.iter(|| black_box(rr.position(black_box(probe))));
+    });
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick_config();
+    targets = bench_append, bench_clone, bench_lookup);
+criterion_main!(benches);

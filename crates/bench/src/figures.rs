@@ -3,13 +3,20 @@
 //! Where the E-experiments print tables, this module regenerates the
 //! *shapes* a systems paper plots: legitimate goodput collapsing under the
 //! flood and recovering once AITF kicks in, the victim's effective attack
-//! bandwidth over time, and filter occupancy at the two gateways. Output
-//! is gnuplot-ready two-column text.
+//! bandwidth over time, and filter occupancy at the two gateways.
+//!
+//! The runs live on the engine like every other experiment: [`spec`]
+//! registers a `figures` sweep whose records carry the per-bin series as
+//! `_series_*` JSON fields (`Value::F64List`), so
+//! `all_experiments --json` emits machine-readable plot data in
+//! `BENCH_figures.json`. The [`run`] entry point additionally prints the
+//! classic gnuplot-ready two-column text.
 
 use aitf_attack::army::ZombieArmySpec;
 use aitf_attack::scenarios::star;
 use aitf_attack::LegitClient;
 use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy};
+use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 
 use crate::harness::print_series;
@@ -23,6 +30,8 @@ pub struct AttackTrace {
     pub attack_bw: Vec<(f64, f64)>,
     /// `(seconds, filters)` live filters at the victim's gateway.
     pub victim_gw_filters: Vec<(f64, f64)>,
+    /// Simulator events the run dispatched.
+    pub events: u64,
 }
 
 /// Runs the flood-recovery timeline: zombies fire at `t = 2 s`; the series
@@ -81,19 +90,109 @@ pub fn attack_timeline(defended: bool, seed: u64) -> AttackTrace {
         goodput,
         attack_bw,
         victim_gw_filters,
+        events: s.world.sim.dispatched_events(),
     }
 }
 
-/// Prints both timelines (defended and undefended) as gnuplot series.
-pub fn run(_quick: bool) {
+/// Mean of the series values within `[from, to)` seconds.
+fn window_mean(points: &[(f64, f64)], from: f64, to: f64) -> f64 {
+    let vals: Vec<f64> = points
+        .iter()
+        .filter(|(t, _)| *t >= from && *t < to)
+        .map(|&(_, v)| v)
+        .collect();
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
+/// The engine spec for the timeline pair: one defended run, one
+/// undefended, sharing a seed (`_seed_group`) so the only difference
+/// between the rows is AITF itself. Summary means make the table; the
+/// full per-bin series travel as `_series_*` JSON arrays.
+pub fn spec(_quick: bool) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "figures",
+        "figure series: flood collapse and AITF recovery",
+        "§II-D / Fig. 1",
+    )
+    .expectation(
+        "goodput collapses at t=2s in both runs; with AITF it recovers \
+         within ~1 s while the undefended run stays on the floor; attack \
+         bandwidth under AITF returns to ~0. Full per-bin series ride in \
+         the _series_* JSON fields.",
+    )
+    .points([true, false].into_iter().map(|defended| {
+        Params::new()
+            .with("defended", defended)
+            .with("_seed_group", 0u64)
+    }))
+    .runner(|params, ctx| {
+        let tr = attack_timeline(params.bool("defended"), ctx.seed);
+        let series = |points: &[(f64, f64)]| points.iter().map(|&(_, v)| v).collect::<Vec<f64>>();
+        let time: Vec<f64> = tr.goodput.iter().map(|&(t, _)| t).collect();
+        Outcome::new(
+            Params::new()
+                .with("goodput_before_mbps", window_mean(&tr.goodput, 0.5, 2.0))
+                .with("goodput_during_mbps", window_mean(&tr.goodput, 2.3, 3.0))
+                .with("goodput_after_mbps", window_mean(&tr.goodput, 6.0, 12.0))
+                .with(
+                    "attack_bw_after_mbps",
+                    window_mean(&tr.attack_bw, 6.0, 12.0),
+                )
+                .with("_series_time_s", time)
+                .with("_series_goodput_mbps", series(&tr.goodput))
+                .with("_series_attack_bw_mbps", series(&tr.attack_bw))
+                .with("_series_victim_gw_filters", series(&tr.victim_gw_filters)),
+        )
+        .with_events(tr.events)
+    })
+}
+
+/// Prints the engine table for the timeline pair, then both timelines
+/// (defended and undefended) as gnuplot series — extracted from the same
+/// records the table came from, so table and series always agree and the
+/// pair is simulated exactly once.
+pub fn run(quick: bool) {
+    let spec = spec(quick);
+    let records = aitf_engine::Runner::default().quick(quick).run(&spec);
+    crate::harness::render_sweep(&spec, &records);
     println!("=== figure series: goodput and attack bandwidth over time ===\n");
-    let undefended = attack_timeline(false, 7);
-    print_series("goodput_undefended_mbps", &undefended.goodput);
-    print_series("attack_bw_undefended_mbps", &undefended.attack_bw);
-    let defended = attack_timeline(true, 7);
-    print_series("goodput_aitf_mbps", &defended.goodput);
-    print_series("attack_bw_aitf_mbps", &defended.attack_bw);
-    print_series("victim_gw_filters", &defended.victim_gw_filters);
+    let series = |r: &aitf_engine::RunRecord, name: &str| -> Vec<(f64, f64)> {
+        r.metrics
+            .f64_list("_series_time_s")
+            .iter()
+            .copied()
+            .zip(r.metrics.f64_list(name).iter().copied())
+            .collect()
+    };
+    // Select by the knob, not by point order, so reordering spec points
+    // can never swap the printed labels.
+    let by_knob = |want: bool| {
+        records
+            .iter()
+            .find(|r| r.params.bool("defended") == want)
+            .expect("spec declares both defended and undefended points")
+    };
+    let (defended, undefended) = (by_knob(true), by_knob(false));
+    print_series(
+        "goodput_undefended_mbps",
+        &series(undefended, "_series_goodput_mbps"),
+    );
+    print_series(
+        "attack_bw_undefended_mbps",
+        &series(undefended, "_series_attack_bw_mbps"),
+    );
+    print_series(
+        "goodput_aitf_mbps",
+        &series(defended, "_series_goodput_mbps"),
+    );
+    print_series(
+        "attack_bw_aitf_mbps",
+        &series(defended, "_series_attack_bw_mbps"),
+    );
+    print_series(
+        "victim_gw_filters",
+        &series(defended, "_series_victim_gw_filters"),
+    );
     println!(
         "expected shape: goodput collapses at t=2s in both runs; with AITF \
          it recovers within ~1 s while the undefended run stays flat on the \
@@ -105,14 +204,7 @@ pub fn run(_quick: bool) {
 mod tests {
     use super::*;
 
-    fn mean(points: &[(f64, f64)], from: f64, to: f64) -> f64 {
-        let vals: Vec<f64> = points
-            .iter()
-            .filter(|(t, _)| *t >= from && *t < to)
-            .map(|&(_, v)| v)
-            .collect();
-        vals.iter().sum::<f64>() / vals.len().max(1) as f64
-    }
+    use super::window_mean as mean;
 
     #[test]
     fn aitf_timeline_shows_dip_and_recovery() {

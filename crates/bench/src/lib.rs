@@ -56,5 +56,6 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e9_ingress_incentive::spec(quick));
     r.register(e10_scaling::spec(quick));
     r.register(e11_detection::spec(quick));
+    r.register(figures::spec(quick));
     r
 }

@@ -516,12 +516,16 @@ impl BorderRouter {
     /// top of the chain with nothing left to try — disconnects the peer.
     fn propagate_as_victim_gateway(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
         let now = ctx.now();
-        let path = req.path.hops();
-        let k = req.round.max(1) as usize;
+        // Everything the decision needs is `Copy`-cheap; pulling it out up
+        // front lets each branch *move* `req` into the outgoing message
+        // instead of cloning the whole request (route record included).
+        let flow = req.flow;
+        let round = req.round;
+        let k = round.max(1) as usize;
         let my_pos = req.path.position(self.addr);
         // The victim-side handler for round k is the k-th node from the
         // victim end of the path.
-        let handler_pos = path.len().checked_sub(k);
+        let handler_pos = req.path.len().checked_sub(k);
 
         let i_am_handler = match (my_pos, handler_pos) {
             (Some(p), Some(h)) => p == h || (p > h && self.parent_gw.is_none()),
@@ -534,19 +538,16 @@ impl BorderRouter {
                 // Defensive: treated as handler above when parent is None.
                 return;
             };
+            self.counters.escalations_sent += 1;
+            self.shadow.note_round(&flow, round);
+            self.shadow.touch_action(&flow, now);
+            self.trace(now, || {
+                format!("escalate round {round} for {flow} to parent {parent}")
+            });
             let escalated = FilteringRequest {
                 dest: RequestDestination::VictimGateway,
-                ..req.clone()
+                ..req
             };
-            self.counters.escalations_sent += 1;
-            self.shadow.note_round(&req.flow, req.round);
-            self.shadow.touch_action(&req.flow, now);
-            self.trace(now, || {
-                format!(
-                    "escalate round {} for {} to parent {}",
-                    req.round, req.flow, parent
-                )
-            });
             self.send_control(ctx, parent, AitfMessage::FilteringRequest(escalated));
             return;
         }
@@ -554,17 +555,14 @@ impl BorderRouter {
         // I am the handler: ask the round-k attacker-side node to filter.
         match req.path.node_for_round(k) {
             Some(target) if target != self.addr => {
+                self.shadow.touch_action(&flow, now);
+                self.trace(now, || {
+                    format!("round {k}: request {flow} -> attacker-side node {target}")
+                });
                 let outgoing = FilteringRequest {
                     dest: RequestDestination::AttackerGateway,
-                    ..req.clone()
+                    ..req
                 };
-                self.shadow.touch_action(&req.flow, now);
-                self.trace(now, || {
-                    format!(
-                        "round {}: request {} -> attacker-side node {}",
-                        k, req.flow, target
-                    )
-                });
                 self.send_control(ctx, target, AitfMessage::FilteringRequest(outgoing));
             }
             _ => {
@@ -717,21 +715,22 @@ impl BorderRouter {
     /// the attacker, arming the disconnection grace timer.
     fn satisfy_attacker_side(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
         let now = ctx.now();
-        match self.filters.install(req.flow, now, self.cfg.t_long) {
+        let flow = req.flow;
+        match self.filters.install(flow, now, self.cfg.t_long) {
             Ok(_) => self.counters.filters_installed += 1,
             Err(InstallError::TableFull) => {
                 self.counters.requests_unsatisfiable += 1;
                 return;
             }
         }
-        self.trace(now, || format!("attacker-gw: T-filter for {}", req.flow));
+        self.trace(now, || format!("attacker-gw: T-filter for {flow}"));
 
         // Who is my misbehaving client for this flow? Round 1: the attacker
         // host itself. Round k: the (k-1)-th node on the path — the client
         // network that failed to cooperate.
         let my_pos = req.path.position(self.addr);
         let client: Option<Addr> = match my_pos {
-            Some(0) | None => req.flow.src_host(),
+            Some(0) | None => flow.src_host(),
             Some(p) => req.path.hops().get(p - 1).copied(),
         };
         let Some(client) = client else { return };
@@ -740,9 +739,10 @@ impl BorderRouter {
         // interface of ours.
         let is_client = client_link.is_some_and(|l| self.client_links.contains_key(&l));
 
+        // Moves `req` — the notice keeps the path and id without a clone.
         let notice = FilteringRequest {
             dest: RequestDestination::Attacker,
-            ..req.clone()
+            ..req
         };
         self.counters.attacker_notices_sent += 1;
         self.send_control(ctx, client, AitfMessage::FilteringRequest(notice));
@@ -753,7 +753,7 @@ impl BorderRouter {
             self.grace_watches.insert(
                 watch_id,
                 GraceWatch {
-                    flow: req.flow,
+                    flow,
                     client_link,
                     armed_at: now,
                 },

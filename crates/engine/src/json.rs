@@ -38,6 +38,15 @@ pub fn render_document(
             "null".into()
         }
     ));
+    // Sweep-level throughput: the hot-path health number every perf PR
+    // watches (wall-derived, so excluded from determinism comparisons).
+    out.push_str(&format!(
+        "  \"events_per_sec\": {},\n",
+        match crate::record::rate_per_sec(total_events, total_wall) {
+            Some(r) => format!("{r:.0}"),
+            None => "null".into(),
+        }
+    ));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    ");
@@ -136,6 +145,8 @@ mod tests {
         assert!(doc.contains("\"records\""));
         assert!(doc.contains("ok \\\"quoted\\\""));
         assert_eq!(doc.matches("\"index\"").count(), 2);
+        // Sweep-level plus one per record.
+        assert_eq!(doc.matches("\"events_per_sec\"").count(), 3);
     }
 
     #[test]

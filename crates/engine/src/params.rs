@@ -20,6 +20,11 @@ pub enum Value {
     Bool(bool),
     /// Free-form label.
     Str(String),
+    /// A numeric series (per-bin time series and other machine-readable
+    /// vectors). Rendered as a JSON array; tables show only its length, so
+    /// series metrics are conventionally named with a leading `_` to stay
+    /// JSON-only.
+    F64List(Vec<f64>),
 }
 
 impl Value {
@@ -32,6 +37,7 @@ impl Value {
             Value::F64(v) => fmt_compact(*v),
             Value::Bool(v) => v.to_string(),
             Value::Str(s) => s.clone(),
+            Value::F64List(v) => format!("[{} pts]", v.len()),
         }
     }
 
@@ -44,6 +50,19 @@ impl Value {
             Value::F64(_) => "null".to_string(),
             Value::Bool(v) => v.to_string(),
             Value::Str(s) => json_string(s),
+            Value::F64List(v) => {
+                let body: Vec<String> = v
+                    .iter()
+                    .map(|x| {
+                        if x.is_finite() {
+                            format!("{x}")
+                        } else {
+                            "null".to_string()
+                        }
+                    })
+                    .collect();
+                format!("[{}]", body.join(","))
+            }
         }
     }
 }
@@ -93,6 +112,12 @@ impl From<&str> for Value {
 impl From<String> for Value {
     fn from(v: String) -> Self {
         Value::Str(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::F64List(v)
     }
 }
 
@@ -247,6 +272,18 @@ impl Params {
         }
     }
 
+    /// Typed accessor for `F64List` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not an `F64List`.
+    pub fn f64_list(&self, name: &str) -> &[f64] {
+        match self.get(name) {
+            Some(Value::F64List(v)) => v,
+            other => panic!("param {name:?}: expected F64List, got {other:?}"),
+        }
+    }
+
     /// Renders the entries as a JSON object.
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self
@@ -301,5 +338,15 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(Value::F64(f64::NAN).to_json(), "null");
         assert_eq!(Value::F64(1.25).to_json(), "1.25");
+    }
+
+    #[test]
+    fn f64_lists_render_as_json_arrays() {
+        let v = Value::F64List(vec![1.0, 2.5, f64::NAN]);
+        assert_eq!(v.to_json(), "[1,2.5,null]");
+        assert_eq!(v.render(), "[3 pts]");
+        let p = Params::new().with("_series_y", vec![0.5, 1.5]);
+        assert_eq!(p.f64_list("_series_y"), &[0.5, 1.5]);
+        assert_eq!(p.to_json(), r#"{"_series_y":[0.5,1.5]}"#);
     }
 }

@@ -35,10 +35,17 @@ impl RunRecord {
             && self.events == other.events
     }
 
+    /// Simulator events dispatched per wall-clock second for this point —
+    /// the perf-trajectory number. Wall-derived, so (like `wall_secs`) it
+    /// is excluded from [`RunRecord::deterministic_eq`].
+    pub fn events_per_sec(&self) -> Option<f64> {
+        rate_per_sec(self.events, self.wall_secs)
+    }
+
     /// Renders the record as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{}}}",
+            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}}}",
             json_string(self.experiment),
             self.index,
             self.seed,
@@ -50,8 +57,19 @@ impl RunRecord {
             } else {
                 "null".to_string()
             },
+            match self.events_per_sec() {
+                Some(r) => format!("{r:.0}"),
+                None => "null".to_string(),
+            },
         )
     }
+}
+
+/// `events / wall_secs` as a positive finite rate, or `None` when the wall
+/// is degenerate (zero, non-finite) or nothing ran — the one definition
+/// both the per-record and sweep-level `events_per_sec` JSON fields use.
+pub fn rate_per_sec(events: u64, wall_secs: f64) -> Option<f64> {
+    (wall_secs.is_finite() && wall_secs > 0.0 && events > 0).then(|| events as f64 / wall_secs)
 }
 
 #[cfg(test)]
@@ -85,7 +103,18 @@ mod tests {
         let j = record(0.25).to_json();
         assert_eq!(
             j,
-            r#"{"experiment":"e0","index":1,"seed":7,"params":{"x":2},"metrics":{"y":0.5},"events":10,"wall_secs":0.25}"#
+            r#"{"experiment":"e0","index":1,"seed":7,"params":{"x":2},"metrics":{"y":0.5},"events":10,"wall_secs":0.25,"events_per_sec":40}"#
         );
+    }
+
+    #[test]
+    fn events_per_sec_handles_degenerate_walls() {
+        assert_eq!(record(0.25).events_per_sec(), Some(40.0));
+        assert_eq!(record(0.0).events_per_sec(), None);
+        assert_eq!(record(f64::NAN).events_per_sec(), None);
+        let mut r = record(0.25);
+        r.events = 0;
+        assert_eq!(r.events_per_sec(), None);
+        assert!(r.to_json().contains("\"events_per_sec\":null"));
     }
 }

@@ -4,6 +4,16 @@
 //! monotonically increasing tie-breaker, so two events scheduled for the
 //! same instant fire in scheduling order. This total order is what makes
 //! the simulator deterministic.
+//!
+//! # Memory layout
+//!
+//! The queue is an index-ordered binary heap over a **slab** of event
+//! payloads. Heap entries are 24-byte `Copy` triples `(time, seq, slot)`;
+//! the [`EventKind`] payloads — which carry whole packets for `Deliver`
+//! events — live in slab slots and never move during heap sift operations.
+//! Popping recycles the slot through a free list, so in steady state the
+//! queue performs **zero heap allocations per event**: the slab and heap
+//! grow to the backlog's high-water mark once and are reused forever.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -44,7 +54,7 @@ pub enum EventKind {
     },
 }
 
-/// A scheduled event.
+/// A scheduled event, as returned by [`EventQueue::pop`].
 #[derive(Debug)]
 pub struct Event {
     /// When the event fires.
@@ -55,21 +65,31 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
+/// The heap's unit of ordering: when, in what order, and *where* the
+/// payload lives. `Copy`-small on purpose — heap sift operations move these
+/// triples, never the payloads.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl Eq for Event {}
+impl Eq for HeapEntry {}
 
-impl PartialOrd for Event {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Event {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
         other
@@ -80,26 +100,40 @@ impl Ord for Event {
 }
 
 /// Priority queue of pending events, earliest first.
+///
+/// Payloads are stored in a slab indexed by slot handles; see the module
+/// docs for the layout and its allocation behaviour.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    heap: BinaryHeap<HeapEntry>,
+    slab: Vec<Option<EventKind>>,
+    free: Vec<u32>,
     next_seq: u64,
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        EventQueue::default()
     }
 
     /// Schedules `kind` to fire at `time`.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slab[slot as usize].is_none(), "free slot occupied");
+                self.slab[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("slab exceeds u32 slots");
+                self.slab.push(Some(kind));
+                slot
+            }
+        };
+        self.heap.push(HeapEntry { time, seq, slot });
     }
 
     /// The firing time of the next event, if any.
@@ -107,9 +141,18 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event, recycling its payload slot.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let entry = self.heap.pop()?;
+        let kind = self.slab[entry.slot as usize]
+            .take()
+            .expect("heap entry points at an occupied slot");
+        self.free.push(entry.slot);
+        Some(Event {
+            time: entry.time,
+            seq: entry.seq,
+            kind,
+        })
     }
 
     /// Number of pending events.
@@ -125,6 +168,12 @@ impl EventQueue {
     /// Total number of events ever scheduled (diagnostics).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Payload slots ever created — the backlog's high-water mark
+    /// (diagnostics; steady-state operation never grows this).
+    pub fn slab_slots(&self) -> usize {
+        self.slab.len()
     }
 }
 
@@ -189,6 +238,23 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn pop_recycles_slab_slots() {
+        let mut q = EventQueue::new();
+        // Steady-state pattern: backlog of one, many schedule/pop cycles.
+        q.schedule(SimTime(0), timer(0, 0));
+        for i in 1..10_000u64 {
+            q.schedule(SimTime(i), timer(0, i));
+            q.pop();
+        }
+        assert_eq!(
+            q.slab_slots(),
+            2,
+            "slab must stay at the backlog high-water mark"
+        );
+        assert_eq!(q.scheduled_total(), 10_000);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod time;
 pub mod topology;
 
 pub use event::{Event, EventKind, EventQueue};
-pub use link::{LinkDirection, LinkId, LinkParams, LinkStats};
+pub use link::{Link, LinkDirection, LinkId, LinkParams, LinkStats};
 pub use metrics::Metrics;
 pub use node::{Context, Node, NodeId};
 pub use sim::{NetworkBuilder, Simulator};

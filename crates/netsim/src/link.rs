@@ -132,6 +132,20 @@ struct DirState {
     stats: LinkStats,
 }
 
+impl DirState {
+    /// A direction whose transmit queue is pre-sized for its byte capacity,
+    /// so steady-state enqueue/dequeue never grows the ring buffer. Sized
+    /// for ~1 KB packets and clamped: a drop-tail queue that fits more
+    /// packets than the clamp only pays the (amortised, one-off) growth.
+    fn with_params(params: &LinkParams) -> Self {
+        let pkts = (params.queue_capacity_bytes / 1024).clamp(8, 256) as usize;
+        DirState {
+            queue: VecDeque::with_capacity(pkts),
+            ..DirState::default()
+        }
+    }
+}
+
 /// A full-duplex point-to-point link.
 #[derive(Debug)]
 pub struct Link {
@@ -150,7 +164,10 @@ impl Link {
             a,
             b,
             params,
-            dirs: [DirState::default(), DirState::default()],
+            dirs: [
+                DirState::with_params(&params),
+                DirState::with_params(&params),
+            ],
         }
     }
 

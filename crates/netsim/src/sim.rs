@@ -157,6 +157,7 @@ impl NetworkBuilder {
             },
             nodes: (0..self.node_count).map(|_| None).collect(),
             started: false,
+            run_wall: std::time::Duration::ZERO,
         }
     }
 }
@@ -166,6 +167,9 @@ pub struct Simulator {
     core: SimCore,
     nodes: Vec<Option<Box<dyn Node>>>,
     started: bool,
+    /// Wall-clock time spent inside the event loop — pure telemetry, never
+    /// an input to the simulation (results stay bit-deterministic).
+    run_wall: std::time::Duration,
 }
 
 impl Simulator {
@@ -232,6 +236,22 @@ impl Simulator {
         self.core.dispatched_events
     }
 
+    /// Wall-clock seconds spent inside the event loop so far.
+    pub fn run_wall_secs(&self) -> f64 {
+        self.run_wall.as_secs_f64()
+    }
+
+    /// Events dispatched per wall-clock second of event-loop time — the
+    /// simulator's end-to-end throughput telemetry (0 before any run).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.run_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.core.dispatched_events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// Downcasts the node in slot `id` to a concrete type.
     pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
         self.nodes[id.0]
@@ -288,6 +308,7 @@ impl Simulator {
         if !self.started {
             self.start();
         }
+        let wall_start = std::time::Instant::now();
         while let Some(next) = self.core.events.peek_time() {
             if next > t {
                 break;
@@ -312,6 +333,7 @@ impl Simulator {
             }
         }
         self.core.time = t;
+        self.run_wall += wall_start.elapsed();
     }
 
     /// Runs for `d` of virtual time from the current clock.
@@ -376,8 +398,11 @@ mod tests {
     impl Node for FloodRelay {
         fn on_packet(&mut self, packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
             self.received += 1;
-            let links: Vec<LinkId> = ctx.my_links().to_vec();
-            for l in links {
+            // Borrow-safe, allocation-free link iteration: index the slice
+            // fresh each step instead of copying it to a Vec (the idiom
+            // documented in ARCHITECTURE.md).
+            for i in 0..ctx.my_links().len() {
+                let l = ctx.my_links()[i];
                 if l != link {
                     let mut p = packet.clone();
                     p.header.ttl = match p.header.ttl.checked_sub(1) {
@@ -500,6 +525,20 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn throughput_telemetry_tracks_the_event_loop() {
+        let (mut sim, ids) = line_topology(3);
+        sim.install(ids[0], Box::new(Burst { count: 10 }));
+        for &id in &ids[1..] {
+            sim.install(id, Box::new(FloodRelay { received: 0 }));
+        }
+        assert_eq!(sim.events_per_sec(), 0.0, "no run yet");
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.dispatched_events() > 0);
+        assert!(sim.run_wall_secs() > 0.0);
+        assert!(sim.events_per_sec() > 0.0);
     }
 
     #[test]

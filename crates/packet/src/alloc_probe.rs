@@ -1,0 +1,70 @@
+//! Allocation-counting global allocator for tests and benches.
+//!
+//! The hot-path work in this workspace carries "allocation-free in steady
+//! state" claims (`route_record`, the netsim event slab); this probe makes
+//! them checkable. A test or bench binary installs it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: aitf_packet::alloc_probe::CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! and brackets the region under audit with [`CountingAlloc::count`].
+//!
+//! Counting is **per thread** (a const-initialised thread-local, so the
+//! allocator never recurses through lazy TLS setup and needs no teardown):
+//! a counted region sees exactly the allocations its own thread performed,
+//! which keeps the assertions exact even when libtest runs sibling tests
+//! concurrently on other threads. `alloc` and `realloc` both count; frees
+//! do not — the steady-state question is "does this code ask the allocator
+//! for memory", not "does it balance".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `System`-backed allocator that counts every `alloc`/`realloc` made by
+/// the current thread.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Total allocations observed on the calling thread since it started.
+    pub fn total() -> u64 {
+        ALLOCS.with(|n| n.get())
+    }
+
+    /// Runs `f` and returns its result plus how many allocations the
+    /// calling thread made inside it.
+    ///
+    /// Only meaningful when the probe is installed as the global
+    /// allocator; allocations `f` delegates to *other* threads are not
+    /// attributed.
+    pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let before = Self::total();
+        let out = f();
+        (out, Self::total() - before)
+    }
+}
+
+fn bump() {
+    ALLOCS.with(|n| n.set(n.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}

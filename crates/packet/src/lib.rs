@@ -22,6 +22,7 @@
 //! all share it without cycles.
 
 pub mod addr;
+pub mod alloc_probe;
 pub mod flow;
 pub mod lpm;
 pub mod message;
@@ -37,4 +38,4 @@ pub use message::{
     VerificationReply,
 };
 pub use packet::{Header, Packet, PayloadKind, Protocol, TracebackMark, TrafficClass};
-pub use route_record::{RouteRecord, RouteRecordFull, MAX_ROUTE_RECORD};
+pub use route_record::{RouteRecord, RouteRecordFull, INLINE_ROUTE_RECORD, MAX_ROUTE_RECORD};

@@ -115,6 +115,11 @@ impl Header {
 }
 
 /// Packet payload: opaque data or an AITF control message.
+///
+/// The enum as a whole cannot be `Copy` (control messages own a route
+/// record), but the `Data` arm — the one every forwarded data packet
+/// clones — must stay built purely from `Copy` parts so cloning it is a
+/// bytewise copy. The audit below breaks the build if that regresses.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum PayloadKind {
     /// Opaque application data with an accounting class.
@@ -123,6 +128,18 @@ pub enum PayloadKind {
     /// reply).
     Aitf(AitfMessage),
 }
+
+// Compile-time audit of the data-plane clone cost: everything a data packet
+// carries besides the route record is `Copy`, and the route record itself
+// is allocation-free up to `INLINE_ROUTE_RECORD` hops (see
+// `tests/alloc_free.rs` for the dynamic check).
+const _: () = {
+    const fn assert_copy<T: Copy>() {}
+    assert_copy::<Header>();
+    assert_copy::<TrafficClass>();
+    assert_copy::<TracebackMark>();
+    assert_copy::<Protocol>();
+};
 
 /// A probabilistic traceback mark, for the sampling-based traceback
 /// alternative (\[SWKA00\]-style node sampling).

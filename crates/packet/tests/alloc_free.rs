@@ -1,0 +1,101 @@
+//! Dynamic allocation audit for the packet hot path.
+//!
+//! The simulator clones a data packet every time it fans out or queues a
+//! copy; the AITF gateways are engineered for wire-speed filtering, so the
+//! reproduction holds the same line: building, stamping and cloning a data
+//! packet with a realistic (≤ [`INLINE_ROUTE_RECORD`]-hop) path must not
+//! touch the heap. The shared counting allocator makes the claim checkable.
+
+use aitf_packet::alloc_probe::CountingAlloc;
+use aitf_packet::{
+    Addr, Header, Packet, RouteRecord, TrafficClass, INLINE_ROUTE_RECORD, MAX_ROUTE_RECORD,
+};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn data_packet(hops: usize) -> Packet {
+    let h = Header::udp(Addr::new(10, 0, 0, 7), Addr::new(10, 1, 0, 1), 4000, 53);
+    let mut p = Packet::data(1, h, TrafficClass::Attack, 600);
+    for i in 0..hops {
+        p.route_record.push(Addr::new(10, 2, i as u8, 254)).unwrap();
+    }
+    p
+}
+
+#[test]
+fn building_and_stamping_a_data_packet_is_allocation_free() {
+    let ((), n) = CountingAlloc::count(|| {
+        let mut p = data_packet(0);
+        for i in 0..INLINE_ROUTE_RECORD {
+            p.route_record.push(Addr::new(10, 3, i as u8, 254)).unwrap();
+        }
+        std::hint::black_box(&p);
+    });
+    assert_eq!(n, 0, "inline route record must not allocate");
+}
+
+#[test]
+fn cloning_a_forwarded_data_packet_is_allocation_free() {
+    let p = data_packet(INLINE_ROUTE_RECORD);
+    let (clone, n) = CountingAlloc::count(|| p.clone());
+    assert_eq!(clone, p);
+    assert_eq!(
+        n, 0,
+        "cloning a data packet with an inline record allocated"
+    );
+}
+
+#[test]
+fn spill_allocates_exactly_once_and_never_reallocates() {
+    let mut p = data_packet(INLINE_ROUTE_RECORD);
+    let ((), n) = CountingAlloc::count(|| {
+        for i in INLINE_ROUTE_RECORD..MAX_ROUTE_RECORD {
+            p.route_record.push(Addr::new(10, 4, i as u8, 254)).unwrap();
+        }
+    });
+    assert!(p.route_record.is_spilled());
+    assert_eq!(p.route_record.len(), MAX_ROUTE_RECORD);
+    assert_eq!(n, 1, "spill is one up-front allocation sized for the cap");
+}
+
+#[test]
+fn cloning_a_spilled_record_allocates_once() {
+    let p = data_packet(MAX_ROUTE_RECORD);
+    let (clone, n) = CountingAlloc::count(|| p.clone());
+    assert_eq!(clone, p);
+    assert_eq!(n, 1, "spilled records clone with a single allocation");
+}
+
+#[test]
+fn clone_of_spilled_record_keeps_full_capacity_for_later_pushes() {
+    // Clone-then-push is the forwarding pattern (fan out, then stamp).
+    // The clone must inherit the hard-cap reservation, not Vec::clone's
+    // capacity == len.
+    let p = data_packet(INLINE_ROUTE_RECORD + 2);
+    let (mut clone, clone_allocs) = CountingAlloc::count(|| p.clone());
+    assert_eq!(clone_allocs, 1);
+    let ((), push_allocs) = CountingAlloc::count(|| {
+        for i in clone.route_record.len()..MAX_ROUTE_RECORD {
+            clone
+                .route_record
+                .push(Addr::new(10, 6, i as u8, 254))
+                .unwrap();
+        }
+    });
+    assert_eq!(clone.route_record.len(), MAX_ROUTE_RECORD);
+    assert_eq!(
+        push_allocs, 0,
+        "pushing into a cloned spilled record must not reallocate"
+    );
+}
+
+#[test]
+fn from_hops_within_inline_cap_is_allocation_free() {
+    let hops: Vec<Addr> = (0..INLINE_ROUTE_RECORD as u8)
+        .map(|i| Addr::new(10, 5, i, 254))
+        .collect();
+    let (rr, n) = CountingAlloc::count(|| RouteRecord::from_hops(hops.iter().copied()));
+    assert_eq!(rr.hops(), hops.as_slice());
+    assert_eq!(n, 0);
+}

@@ -13,6 +13,25 @@ fn all_experiments_run_quick() {
 }
 
 #[test]
+fn figures_spec_emits_series_metrics() {
+    use aitf_engine::Runner;
+
+    let spec = aitf_bench::figures::spec(true);
+    let records = Runner::new(2).quick(true).run(&spec);
+    assert_eq!(records.len(), 2, "defended + undefended");
+    for r in &records {
+        assert!(r.events > 0, "figures runs must report simulator events");
+        let series = r.metrics.f64_list("_series_goodput_mbps");
+        assert!(!series.is_empty());
+        assert_eq!(series.len(), r.metrics.f64_list("_series_time_s").len());
+        // Series are JSON-only: the table keeps the summary columns.
+        assert!(r.to_json().contains("\"_series_goodput_mbps\":["));
+    }
+    // Paired seeds: the defended/undefended rows differ only in the knob.
+    assert_eq!(records[0].seed, records[1].seed);
+}
+
+#[test]
 fn heavy_experiments_run_quick() {
     // Split out so the two long sweeps can run in parallel with the rest.
     assert!(!aitf_bench::e2_effective_bandwidth::run(true).is_empty());

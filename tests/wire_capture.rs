@@ -16,8 +16,9 @@ struct Tap {
 impl Node for Tap {
     fn on_packet(&mut self, packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
         self.captured.push(packet.clone());
-        let links: Vec<LinkId> = ctx.my_links().to_vec();
-        for l in links {
+        // Borrow-safe link iteration without the Vec copy (ARCHITECTURE.md).
+        for i in 0..ctx.my_links().len() {
+            let l = ctx.my_links()[i];
             if l != link {
                 ctx.send(l, packet.clone());
             }

@@ -1,0 +1,395 @@
+//! CI perf ratchet over the experiment suite's JSON telemetry.
+//!
+//! Reads every `BENCH_<experiment>.json` in a directory (optionally
+//! producing them first by running the driver) and compares each
+//! experiment against a committed baseline:
+//!
+//! - **`total_events` must match exactly** — the sweeps are seeded and
+//!   bit-deterministic, so any drift means a semantic change to the
+//!   simulation and fails the check (refresh intentionally with
+//!   `--update`);
+//! - **`total_wall_secs` may only regress so far** — a current wall time
+//!   more than `--warn-wall-pct` percent above the baseline prints a
+//!   warning (never fails: CI machines are too noisy for a hard gate).
+//!
+//! ```text
+//! bench_compare --dir out/ --baseline tools/bench_compare/baseline.tsv
+//!               [--update] [--warn-wall-pct 50] [--run]
+//! ```
+//!
+//! The baseline is a three-column TSV (`experiment  total_events
+//! wall_secs`) so diffs stay reviewable. `--run` invokes
+//! `cargo run --release -p aitf-bench --bin all_experiments -- --quick
+//! --json <dir>` first, which is what CI does in one step.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One experiment's comparable numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Measure {
+    total_events: u64,
+    wall_secs: f64,
+}
+
+/// Finds the first `"key"` in `doc` and returns the raw token after the
+/// colon (up to `,`, `}` or newline). The emitter writes document-level
+/// fields before the `records` array, so the first occurrence is the
+/// sweep-level one.
+fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = &doc[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Extracts `(experiment, measure)` from one BENCH document.
+fn parse_bench(doc: &str) -> Result<(String, Measure), String> {
+    let experiment = json_field(doc, "experiment")
+        .ok_or("missing \"experiment\"")?
+        .trim_matches('"')
+        .to_string();
+    let total_events: u64 = json_field(doc, "total_events")
+        .ok_or("missing \"total_events\"")?
+        .parse()
+        .map_err(|e| format!("bad total_events: {e}"))?;
+    let wall_secs: f64 = json_field(doc, "total_wall_secs")
+        .ok_or("missing \"total_wall_secs\"")?
+        .parse()
+        .unwrap_or(f64::NAN);
+    Ok((
+        experiment,
+        Measure {
+            total_events,
+            wall_secs,
+        },
+    ))
+}
+
+/// Parses the committed baseline TSV.
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, Measure>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let (Some(exp), Some(events), Some(wall)) = (cols.next(), cols.next(), cols.next()) else {
+            return Err(format!(
+                "line {}: expected 3 tab-separated columns",
+                lineno + 1
+            ));
+        };
+        let measure = Measure {
+            total_events: events
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            wall_secs: wall.parse().unwrap_or(f64::NAN),
+        };
+        out.insert(exp.to_string(), measure);
+    }
+    Ok(out)
+}
+
+fn render_baseline(measures: &BTreeMap<String, Measure>) -> String {
+    let mut out = String::from(
+        "# bench_compare baseline: all_experiments --quick --json (base seed 42)\n\
+         # experiment\ttotal_events\twall_secs\n",
+    );
+    for (exp, m) in measures {
+        out.push_str(&format!("{exp}\t{}\t{:.3}\n", m.total_events, m.wall_secs));
+    }
+    out
+}
+
+/// Compares current measures against the baseline. Returns
+/// `(failures, warnings)` as printable messages.
+fn compare(
+    baseline: &BTreeMap<String, Measure>,
+    current: &BTreeMap<String, Measure>,
+    warn_wall_pct: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    for (exp, cur) in current {
+        match baseline.get(exp) {
+            None => failures.push(format!(
+                "{exp}: not in baseline (new experiment? refresh with --update)"
+            )),
+            Some(base) => {
+                if base.total_events != cur.total_events {
+                    failures.push(format!(
+                        "{exp}: total_events drifted {} -> {} (determinism break, \
+                         or an intended change needing --update)",
+                        base.total_events, cur.total_events
+                    ));
+                }
+                // Sub-50ms sweeps are pure scheduler noise; only meaningful
+                // walls participate in the regression warning.
+                const WALL_FLOOR_SECS: f64 = 0.05;
+                let limit = base.wall_secs * (1.0 + warn_wall_pct / 100.0);
+                if base.wall_secs.is_finite()
+                    && base.wall_secs >= WALL_FLOOR_SECS
+                    && cur.wall_secs.is_finite()
+                    && cur.wall_secs > limit
+                {
+                    warnings.push(format!(
+                        "{exp}: wall time {:.3}s exceeds baseline {:.3}s by more than {}%",
+                        cur.wall_secs, base.wall_secs, warn_wall_pct
+                    ));
+                }
+            }
+        }
+    }
+    for exp in baseline.keys() {
+        if !current.contains_key(exp) {
+            failures.push(format!("{exp}: in baseline but produced no BENCH json"));
+        }
+    }
+    (failures, warnings)
+}
+
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, Measure>, String> {
+    let mut out = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let doc = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (exp, m) = parse_bench(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.insert(exp, m);
+    }
+    if out.is_empty() {
+        return Err(format!("no BENCH_*.json files under {}", dir.display()));
+    }
+    Ok(out)
+}
+
+struct Args {
+    dir: PathBuf,
+    baseline: PathBuf,
+    update: bool,
+    run: bool,
+    warn_wall_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: PathBuf::from("out"),
+        baseline: PathBuf::from("tools/bench_compare/baseline.tsv"),
+        update: false,
+        run: false,
+        warn_wall_pct: 50.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--update" => args.update = true,
+            "--run" => args.run = true,
+            "--warn-wall-pct" => {
+                args.warn_wall_pct = value("--warn-wall-pct")?
+                    .parse()
+                    .map_err(|e| format!("--warn-wall-pct: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare [--dir DIR] [--baseline FILE] \
+                     [--update] [--run] [--warn-wall-pct P]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.run {
+        let status = std::process::Command::new("cargo")
+            .args([
+                "run",
+                "--release",
+                "-p",
+                "aitf-bench",
+                "--bin",
+                "all_experiments",
+                "--",
+            ])
+            .args(["--quick", "--json"])
+            .arg(&args.dir)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("bench_compare: all_experiments exited with {s}");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("bench_compare: spawning all_experiments: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let current = match load_dir(&args.dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update {
+        if let Err(e) = std::fs::write(&args.baseline, render_baseline(&current)) {
+            eprintln!("bench_compare: writing {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_compare: baseline refreshed with {} experiment(s) -> {}",
+            current.len(),
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_compare: reading {}: {e} (create it with --update)",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_baseline(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_compare: {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let (failures, warnings) = compare(&baseline, &current, args.warn_wall_pct);
+    for w in &warnings {
+        eprintln!("bench_compare: WARNING {w}");
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_compare: OK — {} experiment(s) match the baseline \
+             ({} wall-time warning(s))",
+            current.len(),
+            warnings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_compare: FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "schema": 1,
+  "experiment": "e1_escalation",
+  "title": "t",
+  "quick": true,
+  "base_seed": 42,
+  "threads": 2,
+  "total_events": 72960,
+  "total_wall_secs": 0.125,
+  "events_per_sec": 583680,
+  "records": [
+    {"experiment":"e1_escalation","index":0,"seed":7,"params":{},"metrics":{},"events":100,"wall_secs":0.1,"events_per_sec":1000}
+  ]
+}"#;
+
+    #[test]
+    fn parses_document_level_fields_not_record_fields() {
+        let (exp, m) = parse_bench(DOC).unwrap();
+        assert_eq!(exp, "e1_escalation");
+        assert_eq!(m.total_events, 72960);
+        assert_eq!(m.wall_secs, 0.125);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_tsv() {
+        let mut measures = BTreeMap::new();
+        measures.insert(
+            "e1".to_string(),
+            Measure {
+                total_events: 5,
+                wall_secs: 0.25,
+            },
+        );
+        let parsed = parse_baseline(&render_baseline(&measures)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["e1"].total_events, 5);
+        assert_eq!(parsed["e1"].wall_secs, 0.25);
+    }
+
+    #[test]
+    fn event_drift_fails_and_wall_regression_warns() {
+        let base = parse_baseline("e1\t100\t1.0\n").unwrap();
+        let mut cur = base.clone();
+        cur.get_mut("e1").unwrap().total_events = 101;
+        let (failures, _) = compare(&base, &cur, 50.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("drifted 100 -> 101"));
+
+        let mut slow = base.clone();
+        slow.get_mut("e1").unwrap().wall_secs = 2.0;
+        let (failures, warnings) = compare(&base, &slow, 50.0);
+        assert!(failures.is_empty(), "wall regressions never fail");
+        assert_eq!(warnings.len(), 1);
+
+        // Sub-floor baselines are scheduler noise: no warning however large
+        // the relative regression.
+        let tiny = parse_baseline("e1\t100\t0.001\n").unwrap();
+        let mut tiny_slow = tiny.clone();
+        tiny_slow.get_mut("e1").unwrap().wall_secs = 0.04;
+        let (_, warnings) = compare(&tiny, &tiny_slow, 50.0);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_experiments_fail() {
+        let base = parse_baseline("e1\t100\t1.0\ne2\t200\t1.0\n").unwrap();
+        let cur = parse_baseline("e1\t100\t1.0\ne3\t300\t1.0\n").unwrap();
+        let (failures, _) = compare(&base, &cur, 50.0);
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.contains("e2")));
+        assert!(failures.iter().any(|f| f.contains("e3")));
+    }
+
+    #[test]
+    fn matching_measures_pass_clean() {
+        let base = parse_baseline("e1\t100\t1.0\n").unwrap();
+        let (failures, warnings) = compare(&base, &base.clone(), 50.0);
+        assert!(failures.is_empty() && warnings.is_empty());
+    }
+}
