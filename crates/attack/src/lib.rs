@@ -9,17 +9,16 @@
 //!   and protocol hopping;
 //! - [`legit`] — legitimate foreground traffic whose goodput measures the
 //!   collateral damage of both the attack and the defense;
-//! - [`army`] — zombie armies: many attacker networks, many hosts each;
-//! - [`scenarios`] — canned topologies: the paper's Figure 1, a star of
-//!   attacker networks around one victim, and deep provider chains for the
-//!   escalation/pushback comparisons.
+//! - [`army`] — zombie armies: arming many hosts with staggered floods.
+//!
+//! Canned topologies (Figure 1, attacker stars, provider chains) moved to
+//! the `aitf-scenario` crate, which layers a fully declarative
+//! topology × workload × probes API over these traffic sources.
 
 pub mod army;
 pub mod legit;
-pub mod scenarios;
 pub mod sources;
 
 pub use army::{ArmyHandles, ZombieArmySpec};
 pub use legit::LegitClient;
-pub use scenarios::{fig1, star, Fig1World, StarWorld};
 pub use sources::{FloodSource, OnOffSource, ProtocolHopper, RequestForger, SpoofingFlood};

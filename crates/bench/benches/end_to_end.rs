@@ -5,10 +5,10 @@
 //! the 3-way handshake and the attacker-side block. This is the number
 //! that says how much AITF world a wall-clock second simulates.
 
-use aitf_attack::scenarios::fig1;
 use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, HostPolicy};
 use aitf_netsim::SimDuration;
+use aitf_scenario::fig1;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_cooperative_round(c: &mut Criterion) {

@@ -79,11 +79,12 @@ fn die(msg: &str) -> ! {
 fn main() {
     let args = parse_args();
     let registry = aitf_bench::registry(args.quick);
-    let specs = registry.select(&args.filters);
-    if specs.is_empty() {
+    // Any filter matching nothing is an error — never silently run a
+    // different selection than the one asked for.
+    let unmatched = registry.unmatched(&args.filters);
+    if !unmatched.is_empty() {
         die(&format!(
-            "no experiment matches {:?}; known ids: {}",
-            args.filters,
+            "no experiment matches {unmatched:?}; known ids: {}",
             registry
                 .specs()
                 .iter()
@@ -92,6 +93,8 @@ fn main() {
                 .join(", ")
         ));
     }
+    let specs = registry.select(&args.filters);
+    assert!(!specs.is_empty(), "matched filters cannot select nothing");
 
     println!(
         "=== AITF paper reproduction: {} experiment(s), {} thread(s), base seed {} ===\n",

@@ -12,111 +12,90 @@
 //! unlike pushback, where the hub absorbs a filter per flow whenever the
 //! edge chain stalls.
 
-use aitf_attack::army::{arm_floods, ZombieArmySpec};
-use aitf_attack::scenarios::star;
 use aitf_baseline::PushbackRouter;
 use aitf_core::{AitfConfig, HostPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{
+    Backend, HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
+};
 
 use crate::harness::{run_spec, Table};
 
-/// Result of one scale point.
-#[derive(Debug)]
-pub struct ScalePoint {
-    /// Number of attacker networks (each with one zombie).
-    pub n_nets: usize,
-    /// Mean filters installed per attacker-side gateway.
-    pub per_provider_filters: f64,
-    /// Maximum filters installed at any single attacker-side gateway.
-    pub max_provider_filters: u64,
-    /// Filters held by the hub (core) router under AITF.
-    pub hub_filters: usize,
-    /// Peak filters at the victim's gateway.
-    pub victim_gw_peak: usize,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one scale point under AITF.
-pub fn run_one(n_nets: usize, seed: u64) -> ScalePoint {
-    let cfg = AitfConfig {
+fn config() -> AitfConfig {
+    AitfConfig {
         t_long: SimDuration::from_secs(30),
         detection_delay: SimDuration::from_millis(10),
         grace: SimDuration::from_secs(3600),
         ..AitfConfig::default()
-    };
-    let mut s = star(cfg, seed, n_nets, 1, HostPolicy::Malicious, 10_000_000);
-    let target = s.world.host_addr(s.victim);
-    let spec = ZombieArmySpec {
-        pps: 100,
-        size: 300,
-        stagger: SimDuration::from_millis(20),
-    };
-    arm_floods(&mut s.world, &s.zombies, target, &spec);
-    s.world.sim.run_for(SimDuration::from_secs(10));
-
-    let mut total = 0u64;
-    let mut max = 0u64;
-    for &net in &s.attacker_nets {
-        let f = s.world.router(net).counters().filters_installed;
-        total += f;
-        max = max.max(f);
-    }
-    ScalePoint {
-        n_nets,
-        per_provider_filters: total as f64 / n_nets as f64,
-        max_provider_filters: max,
-        hub_filters: s.world.router(s.hub).filters().stats().installs as usize,
-        victim_gw_peak: s
-            .world
-            .router(s.victim_net)
-            .filters()
-            .stats()
-            .peak_occupancy,
-        events: s.world.sim.dispatched_events(),
     }
 }
 
-/// Hub filter load under pushback at the same scale (for contrast).
-pub fn hub_filters_pushback(n_nets: usize, seed: u64) -> u64 {
+/// The shared shape of both backends' runs: an `n_nets`-spoke star (one
+/// zombie per network) with a staggered 100 pps flood army.
+fn base_scenario(n_nets: usize, cfg: AitfConfig) -> Scenario {
+    Scenario::new(TopologySpec::star(
+        n_nets,
+        1,
+        HostPolicy::Malicious,
+        10_000_000,
+    ))
+    .config(cfg)
+    .duration(SimDuration::from_secs(10))
+    .traffic(
+        TrafficSpec::flood(HostSel::Role(Role::Attacker), TargetSel::Victim, 100, 300)
+            .staggered(SimDuration::from_millis(20)),
+    )
+}
+
+/// Runs one scale point under AITF; metrics `filters_per_provider`,
+/// `max_provider`, `hub_filters_aitf`, `victim_gw_peak`.
+pub fn run_one(n_nets: usize, seed: u64) -> Outcome {
+    base_scenario(n_nets, config())
+        .probes(
+            ProbeSet::new()
+                .end(move |w, m| {
+                    let mut total = 0u64;
+                    let mut max = 0u64;
+                    for net in w.nets_on(Side::Attacker) {
+                        let f = w.world.router(net).counters().filters_installed;
+                        total += f;
+                        max = max.max(f);
+                    }
+                    m.set("filters_per_provider", total as f64 / n_nets as f64);
+                    m.set("max_provider", max);
+                    m.set(
+                        "hub_filters_aitf",
+                        w.world.router(w.net("hub")).filters().stats().installs as usize,
+                    );
+                })
+                .peak_filters("victim_gw_peak", "victim_net"),
+        )
+        .run(seed)
+}
+
+/// Hub filter load under pushback at the same scale (for contrast);
+/// returns `(hub_filters, simulator_events)`.
+pub fn hub_filters_pushback(n_nets: usize, seed: u64) -> (u64, u64) {
     let cfg = AitfConfig {
         t_long: SimDuration::from_secs(30),
         detection_delay: SimDuration::from_millis(10),
         ..AitfConfig::default()
     };
-    // Rebuild the same star shape by hand on a pushback world.
-    let mut alloc = aitf_attack::scenarios::PrefixAlloc::new();
-    let mut b = aitf_core::WorldBuilder::new(seed, cfg);
-    let hub_prefix = alloc.next_slash16();
-    let hub = b.network("hub", &hub_prefix.to_string(), None);
-    let vp = alloc.next_slash16();
-    let v_net = b.network("v_net", &vp.to_string(), Some(hub));
-    let victim = b.host(v_net);
-    let mut zombies = Vec::new();
-    for i in 0..n_nets {
-        let p = alloc.next_slash16();
-        let net = b.network(&format!("z{i}"), &p.to_string(), Some(hub));
-        zombies.push(b.host_with(
-            net,
-            HostPolicy::Malicious,
-            aitf_core::WorldBuilder::default_host_link(),
-        ));
-    }
-    let mut w = aitf_baseline::build_pushback_world(b);
-    let target = w.host_addr(victim);
-    let spec = ZombieArmySpec {
-        pps: 100,
-        size: 300,
-        stagger: SimDuration::from_millis(20),
-    };
-    arm_floods(&mut w, &zombies, target, &spec);
-    w.sim.run_for(SimDuration::from_secs(10));
-    w.sim
-        .node_ref::<PushbackRouter>(w.router_node(hub))
-        .expect("pushback hub")
-        .counters()
-        .filters_installed
+    let outcome = base_scenario(n_nets, cfg)
+        .backend(Backend::Pushback)
+        .probes(ProbeSet::new().end(|w, m| {
+            let hub = w
+                .world
+                .sim
+                .node_ref::<PushbackRouter>(w.world.router_node(w.net("hub")))
+                .expect("pushback hub")
+                .counters()
+                .filters_installed;
+            m.set("hub_filters", hub);
+        }))
+        .run(seed);
+    (outcome.metrics.u64("hub_filters"), outcome.events)
 }
 
 /// The E10 scenario spec: attacker-network count swept upward.
@@ -141,14 +120,19 @@ pub fn spec(quick: bool) -> ScenarioSpec {
     .runner(|p, ctx| {
         let n = p.usize("attacker_nets");
         let o = run_one(n, ctx.seed);
-        let hub_pb = hub_filters_pushback(n, ctx.seed);
+        // The pushback contrast world's events stay out of the record, as
+        // they always have: the telemetry tracks the AITF run.
+        let (hub_pb, _pb_events) = hub_filters_pushback(n, ctx.seed);
         Outcome::new(
             Params::new()
-                .with("filters_per_provider", o.per_provider_filters)
-                .with("max_provider", o.max_provider_filters)
-                .with("hub_filters_aitf", o.hub_filters)
+                .with(
+                    "filters_per_provider",
+                    o.metrics.f64("filters_per_provider"),
+                )
+                .with("max_provider", o.metrics.u64("max_provider"))
+                .with("hub_filters_aitf", o.metrics.u64("hub_filters_aitf"))
                 .with("hub_filters_pushback", hub_pb)
-                .with("victim_gw_peak", o.victim_gw_peak),
+                .with("victim_gw_peak", o.metrics.u64("victim_gw_peak")),
         )
         .with_events(o.events)
     })
@@ -167,16 +151,19 @@ mod tests {
     fn per_provider_load_is_flat() {
         let small = run_one(8, 1);
         let large = run_one(24, 1);
-        assert!((small.per_provider_filters - 1.0).abs() < 0.5, "{small:?}");
-        assert!((large.per_provider_filters - 1.0).abs() < 0.5, "{large:?}");
-        assert_eq!(small.hub_filters, 0, "{small:?}");
-        assert_eq!(large.hub_filters, 0, "{large:?}");
+        for o in [&small, &large] {
+            assert!(
+                (o.metrics.f64("filters_per_provider") - 1.0).abs() < 0.5,
+                "{o:?}"
+            );
+            assert_eq!(o.metrics.u64("hub_filters_aitf"), 0, "{o:?}");
+        }
     }
 
     #[test]
     fn pushback_hub_load_grows_with_attack_size() {
-        let small = hub_filters_pushback(8, 2);
-        let large = hub_filters_pushback(24, 2);
+        let (small, _) = hub_filters_pushback(8, 2);
+        let (large, _) = hub_filters_pushback(24, 2);
         assert!(large > small, "hub pushback filters: {small} -> {large}");
         assert!(large >= 20, "hub must carry ~one filter per flow: {large}");
     }

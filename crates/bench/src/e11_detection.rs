@@ -8,67 +8,68 @@
 //! confirm that a flood is caught and blocked end-to-end, and that a
 //! legitimate client below the threshold is never flagged.
 
-use aitf_attack::{FloodSource, LegitClient};
-use aitf_core::{AitfConfig, DetectionMode, HostPolicy, WorldBuilder};
+use aitf_core::{AitfConfig, DetectionMode};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
-/// Outcome of one run.
-#[derive(Debug)]
-pub struct DetectionOutcome {
-    /// Mode label.
-    pub mode: &'static str,
-    /// Attack packets the victim saw before the flood was cut (proxy for
-    /// detection + response latency).
-    pub leak_pkts: u64,
-    /// Detections fired at the victim.
-    pub detections: u64,
-    /// Did the attacker's gateway end up blocking?
-    pub blocked: bool,
-    /// Legitimate packets delivered (false-positive damage check).
-    pub legit_pkts: u64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one detection mode against a 4 Mbit/s flood plus a 0.4 Mbit/s
+/// The declarative E11 scenario: a 4 Mbit/s flood plus a 0.4 Mbit/s
 /// legitimate stream from a *different* host in the same attacker
 /// network — per-source detection must separate the two.
-pub fn run_one(mode: DetectionMode, seed: u64) -> DetectionOutcome {
+pub fn scenario(mode: DetectionMode) -> Scenario {
     let cfg = AitfConfig {
         detection: mode,
         ..AitfConfig::default()
     };
-    let mut b = WorldBuilder::new(seed, cfg);
-    let wan = b.network("wan", "10.100.0.0/16", None);
-    let g_net = b.network("g_net", "10.1.0.0/16", Some(wan));
-    let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
-    let victim = b.host(g_net);
-    let attacker = b.host_with(
-        b_net,
-        HostPolicy::Compliant,
-        WorldBuilder::default_host_link(),
-    );
-    let legit = b.host(b_net);
-    let mut w = b.build();
-    let target = w.host_addr(victim);
-    w.add_app(attacker, Box::new(FloodSource::new(target, 1000, 500)));
-    w.add_app(legit, Box::new(LegitClient::new(target, 100, 500)));
-    w.sim.run_for(SimDuration::from_secs(10));
+    let mut topo = TopologySpec::new();
+    let wan = topo.net("wan", "10.100.0.0/16", None);
+    let g_net = topo.net("g_net", "10.1.0.0/16", Some(wan));
+    let b_net = topo.net("b_net", "10.9.0.0/16", Some(wan));
+    topo.host(g_net, Role::Victim);
+    // A *compliant* flooder: the experiment measures detection, not
+    // disconnection games.
+    topo.host(b_net, Role::Attacker);
+    topo.host(b_net, Role::Legit);
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(SimDuration::from_secs(10))
+        .traffic(TrafficSpec::flood(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
+            1000,
+            500,
+        ))
+        .traffic(TrafficSpec::legit(
+            HostSel::Role(Role::Legit),
+            TargetSel::Victim,
+            100,
+            500,
+        ))
+        .probes(ProbeSet::new().end(|w, m| {
+            let v = w.world.host(w.victim()).counters();
+            m.set("leak_pkts", v.rx_attack_pkts);
+            m.set("detections", v.detections);
+            m.set(
+                "blocked",
+                w.world.router(w.net("b_net")).counters().filters_installed > 0,
+            );
+            m.set("legit_pkts_delivered", v.rx_legit_pkts);
+        }))
+}
 
-    let v = w.host(victim).counters();
-    DetectionOutcome {
-        mode: match mode {
-            DetectionMode::Oracle => "oracle (Td = 100 ms)",
-            DetectionMode::RateThreshold { .. } => "EWMA rate threshold",
-        },
-        leak_pkts: v.rx_attack_pkts,
-        detections: v.detections,
-        blocked: w.router(b_net).counters().filters_installed > 0,
-        legit_pkts: v.rx_legit_pkts,
-        events: w.sim.dispatched_events(),
+/// Runs one detection mode.
+pub fn run_one(mode: DetectionMode, seed: u64) -> Outcome {
+    scenario(mode).run(seed)
+}
+
+/// The rate detector used by the sweep and tests: flood is 500 kB/s,
+/// legit stream 50 kB/s — the threshold sits in between.
+pub fn rate_detector() -> DetectionMode {
+    DetectionMode::RateThreshold {
+        bytes_per_sec: 150_000.0,
+        window: SimDuration::from_millis(100),
     }
 }
 
@@ -101,23 +102,11 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
     }))
     .runner(|p, ctx| {
         let mode = if p.bool("rate_detector") {
-            // Flood is 500 kB/s, legit stream 50 kB/s: threshold in between.
-            DetectionMode::RateThreshold {
-                bytes_per_sec: 150_000.0,
-                window: SimDuration::from_millis(100),
-            }
+            rate_detector()
         } else {
             DetectionMode::Oracle
         };
-        let o = run_one(mode, ctx.seed);
-        Outcome::new(
-            Params::new()
-                .with("leak_pkts", o.leak_pkts)
-                .with("detections", o.detections)
-                .with("blocked", o.blocked)
-                .with("legit_pkts_delivered", o.legit_pkts),
-        )
-        .with_events(o.events)
+        run_one(mode, ctx.seed)
     })
 }
 
@@ -132,31 +121,19 @@ mod tests {
 
     #[test]
     fn rate_detector_blocks_the_flood_end_to_end() {
-        let o = run_one(
-            DetectionMode::RateThreshold {
-                bytes_per_sec: 150_000.0,
-                window: SimDuration::from_millis(100),
-            },
-            3,
-        );
-        assert!(o.blocked, "{o:?}");
-        assert!(o.detections >= 1, "{o:?}");
+        let o = run_one(rate_detector(), 3);
+        assert!(o.metrics.bool("blocked"), "{o:?}");
+        assert!(o.metrics.u64("detections") >= 1, "{o:?}");
         // Emergent latency within ~5x the oracle's assumed window.
-        assert!(o.leak_pkts < 1000, "{o:?}");
+        assert!(o.metrics.u64("leak_pkts") < 1000, "{o:?}");
     }
 
     #[test]
     fn legit_stream_below_threshold_is_never_cut() {
-        let o = run_one(
-            DetectionMode::RateThreshold {
-                bytes_per_sec: 150_000.0,
-                window: SimDuration::from_millis(100),
-            },
-            4,
-        );
+        let o = run_one(rate_detector(), 4);
         // ~100 pps * 10 s offered; nearly all must arrive.
         assert!(
-            o.legit_pkts > 800,
+            o.metrics.u64("legit_pkts_delivered") > 800,
             "false positive cut the legit flow: {o:?}"
         );
     }
@@ -164,13 +141,7 @@ mod tests {
     #[test]
     fn both_modes_agree_on_the_outcome() {
         let a = run_one(DetectionMode::Oracle, 5);
-        let b = run_one(
-            DetectionMode::RateThreshold {
-                bytes_per_sec: 150_000.0,
-                window: SimDuration::from_millis(100),
-            },
-            5,
-        );
-        assert!(a.blocked && b.blocked);
+        let b = run_one(rate_detector(), 5);
+        assert!(a.metrics.bool("blocked") && b.metrics.bool("blocked"));
     }
 }

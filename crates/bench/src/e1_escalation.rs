@@ -11,74 +11,68 @@
 //! - 2 rogues → round 3, blocked at `B_gw3`, which disconnects `B_isp`;
 //! - 3 rogues → the worst case: `G_gw3` disconnects from `B_gw3`.
 
-use aitf_attack::scenarios::{fig1, Fig1World};
-use aitf_attack::FloodSource;
-use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy};
+use aitf_core::{HostPolicy, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{
+    HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
+};
 
-use crate::harness::{leak_ratio, run_spec, Table};
+use crate::harness::{run_spec, Table};
 
-/// One sweep point's outcome.
-#[derive(Debug)]
-pub struct EscalationOutcome {
-    /// How many attacker-side gateways were rogue.
-    pub rogues: usize,
-    /// Network that ended up holding the long-term filter (name).
-    pub blocker: String,
-    /// Client disconnections on the attacker side.
-    pub client_disconnects: u64,
-    /// Peer disconnections at the top (worst case).
-    pub peer_disconnects: u64,
-    /// Measured leak ratio at the victim.
-    pub leak: f64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
+/// The attacker-side gateways, leaf first, with their display labels.
+const B_SIDE: [(&str, &str); 3] = [
+    ("B_gw1 (B_net)", "B_net"),
+    ("B_gw2 (B_isp)", "B_isp"),
+    ("B_gw3 (B_wan)", "B_wan"),
+];
+
+/// The declarative E1 scenario: Figure 1 with `rogues` non-cooperating
+/// attacker-side gateways and a 1000 pps flood.
+pub fn scenario(rogues: usize, duration: SimDuration) -> Scenario {
+    let mut topo = TopologySpec::fig1(HostPolicy::Malicious);
+    for (_, net) in B_SIDE.iter().take(rogues) {
+        topo.set_net_policy(net, RouterPolicy::non_cooperating());
+    }
+    Scenario::new(topo)
+        .duration(duration)
+        .traffic(TrafficSpec::flood(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
+            1000,
+            500,
+        ))
+        .probes(
+            ProbeSet::new()
+                .end(|w, m| {
+                    // Find the attacker-side network holding a long filter.
+                    let mut blocker = "none (peer disconnected)".to_string();
+                    for (label, net) in B_SIDE {
+                        if w.world.router(w.net(net)).counters().filters_installed > 0 {
+                            blocker = label.to_string();
+                            break;
+                        }
+                    }
+                    m.set("blocker", blocker);
+                    let client_disconnects: u64 = w
+                        .nets_on(Side::Attacker)
+                        .iter()
+                        .map(|&n| w.world.router(n).counters().disconnects_client)
+                        .sum();
+                    m.set("client_disconnects", client_disconnects);
+                    m.set(
+                        "peer_disconnects",
+                        w.world.router(w.net("G_wan")).counters().disconnects_peer,
+                    );
+                })
+                .leak_ratio("victim_leak_r"),
+        )
 }
 
 /// Runs one sweep point with `rogues` non-cooperating attacker-side
 /// gateways.
-pub fn run_one(rogues: usize, duration: SimDuration, seed: u64) -> EscalationOutcome {
-    let cfg = AitfConfig::default();
-    let mut f: Fig1World = fig1(cfg, seed, HostPolicy::Malicious);
-    let b_side = [f.b_net, f.b_isp, f.b_wan];
-    for &net in b_side.iter().take(rogues) {
-        f.world
-            .router_mut(net)
-            .set_policy(RouterPolicy::non_cooperating());
-    }
-    let target = f.world.host_addr(f.victim);
-    f.world
-        .add_app(f.attacker, Box::new(FloodSource::new(target, 1000, 500)));
-    f.world.sim.run_for(duration);
-
-    // Find the attacker-side network holding a long filter (if any).
-    let names: [(&str, NetId); 3] = [
-        ("B_gw1 (B_net)", f.b_net),
-        ("B_gw2 (B_isp)", f.b_isp),
-        ("B_gw3 (B_wan)", f.b_wan),
-    ];
-    let mut blocker = "none (peer disconnected)".to_string();
-    for (name, net) in names {
-        if f.world.router(net).counters().filters_installed > 0 {
-            blocker = name.to_string();
-            break;
-        }
-    }
-    let client_disconnects: u64 = b_side
-        .iter()
-        .map(|&n| f.world.router(n).counters().disconnects_client)
-        .sum();
-    let peer_disconnects = f.world.router(f.g_wan).counters().disconnects_peer;
-    let leak = leak_ratio(&f.world, f.victim, &[f.attacker]);
-    EscalationOutcome {
-        rogues,
-        blocker,
-        client_disconnects,
-        peer_disconnects,
-        leak,
-        events: f.world.sim.dispatched_events(),
-    }
+pub fn run_one(rogues: usize, duration: SimDuration, seed: u64) -> Outcome {
+    scenario(rogues, duration).run(seed)
 }
 
 /// The E1 scenario spec: rogue-gateway count 0–3.
@@ -99,19 +93,11 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("duration_s", duration_s)
     }))
     .runner(|p, ctx| {
-        let o = run_one(
+        run_one(
             p.usize("rogue_gws"),
             SimDuration::from_secs(p.u64("duration_s")),
             ctx.seed,
-        );
-        Outcome::new(
-            Params::new()
-                .with("blocker", o.blocker)
-                .with("client_disconnects", o.client_disconnects)
-                .with("peer_disconnects", o.peer_disconnects)
-                .with("victim_leak_r", o.leak),
         )
-        .with_events(o.events)
     })
 }
 
@@ -128,16 +114,19 @@ mod tests {
     fn escalation_walks_up_the_attacker_side() {
         let d = SimDuration::from_secs(10);
         let o0 = run_one(0, d, 42);
-        assert!(o0.blocker.contains("B_gw1"), "{:?}", o0);
+        assert!(o0.metrics.str("blocker").contains("B_gw1"), "{o0:?}");
         let o1 = run_one(1, d, 43);
-        assert!(o1.blocker.contains("B_gw2"), "{:?}", o1);
+        assert!(o1.metrics.str("blocker").contains("B_gw2"), "{o1:?}");
         let o2 = run_one(2, d, 44);
-        assert!(o2.blocker.contains("B_gw3"), "{:?}", o2);
+        assert!(o2.metrics.str("blocker").contains("B_gw3"), "{o2:?}");
         let o3 = run_one(3, d, 45);
-        assert_eq!(o3.peer_disconnects, 1, "{:?}", o3);
+        assert_eq!(o3.metrics.u64("peer_disconnects"), 1, "{o3:?}");
         // Every scenario keeps the leak small.
         for o in [o0, o1, o2, o3] {
-            assert!(o.leak < 0.12, "leak too high: {:?}", o);
+            assert!(
+                o.metrics.f64("victim_leak_r") < 0.12,
+                "leak too high: {o:?}"
+            );
         }
     }
 }

@@ -18,10 +18,10 @@
 //! assist on) which does strictly better because reactivations are caught
 //! at the gateway before the victim sees a packet.
 
-use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::{LinkParams, SimDuration};
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
@@ -45,12 +45,13 @@ impl Point {
     }
 }
 
-/// Measures the leak ratio for one point, building Figure 1 by hand so
-/// the victim's tail circuit gets delay `Tr`. `assists` enables the
-/// shadow-reactivation and fast-redetect optimisations (the default
-/// deployment); disabling them reproduces the formula's conservative
-/// model where every failed round costs the victim a fresh `Td + Tr`.
-pub fn measure_with_tr(p: Point, assists: bool, periods: u64, seed: u64) -> (f64, u64) {
+/// The declarative E2 scenario: Figure 1 with the victim's tail circuit
+/// delayed by `Tr` and `n - 1` non-cooperating attacker-side gateways.
+/// `assists` enables the shadow-reactivation and fast-redetect
+/// optimisations (the default deployment); disabling them reproduces the
+/// formula's conservative model where every failed round costs the victim
+/// a fresh `Td + Tr`.
+pub fn scenario(p: Point, assists: bool, periods: u64) -> Scenario {
     let cfg = AitfConfig {
         t_long: p.t,
         detection_delay: p.td,
@@ -59,45 +60,34 @@ pub fn measure_with_tr(p: Point, assists: bool, periods: u64, seed: u64) -> (f64
         grace: p.t * (periods + 2),
         ..AitfConfig::default()
     };
-    // Build Fig.1 by hand so the victim's tail circuit gets delay Tr.
-    let mut b = aitf_core::WorldBuilder::new(seed, cfg);
-    let g_wan = b.network("G_wan", "10.103.0.0/16", None);
-    let g_isp = b.network("G_isp", "10.102.0.0/16", Some(g_wan));
-    let g_net = b.network("G_net", "10.1.0.0/16", Some(g_isp));
-    let b_wan = b.network("B_wan", "10.203.0.0/16", None);
-    let b_isp = b.network("B_isp", "10.202.0.0/16", Some(b_wan));
-    let b_net = b.network("B_net", "10.9.0.0/16", Some(b_isp));
-    b.peer(g_wan, b_wan, aitf_core::WorldBuilder::default_net_link());
-    let victim = b.host_with(
-        g_net,
-        HostPolicy::Compliant,
+    let mut topo = TopologySpec::fig1_with_victim_link(
+        HostPolicy::Malicious,
         LinkParams::ethernet(10_000_000, p.tr),
     );
-    let attacker = b.host_with(
-        b_net,
-        HostPolicy::Malicious,
-        aitf_core::WorldBuilder::default_host_link(),
-    );
-    let mut world = b.build();
-    for (i, net) in [b_net, b_isp].into_iter().enumerate() {
-        if i < p.n.saturating_sub(1) {
-            world
-                .router_mut(net)
-                .set_policy(RouterPolicy::non_cooperating());
-        }
+    for net in ["B_net", "B_isp"].iter().take(p.n.saturating_sub(1)) {
+        topo.set_net_policy(net, RouterPolicy::non_cooperating());
     }
-    let target = world.host_addr(victim);
-    world.add_app(attacker, Box::new(FloodSource::new(target, 400, 500)));
-    world.sim.run_for(p.t * periods);
-    let offered = world.host(attacker).counters().tx_bytes;
-    let received = world.host(victim).counters().rx_attack_bytes;
-    let events = world.sim.dispatched_events();
-    let leak = if offered == 0 {
-        0.0
-    } else {
-        received as f64 / offered as f64
-    };
-    (leak, events)
+    let formula = p.formula();
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(p.t * periods)
+        .traffic(TrafficSpec::flood(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
+            400,
+            500,
+        ))
+        .probes(
+            ProbeSet::new()
+                .end(move |_, m| m.set("r_formula", formula))
+                .leak_ratio("r_measured"),
+        )
+}
+
+/// Measures one point; returns the full outcome (metrics `r_formula`,
+/// `r_measured`, plus the simulator event count).
+pub fn measure_with_tr(p: Point, assists: bool, periods: u64, seed: u64) -> Outcome {
+    scenario(p, assists, periods).run(seed)
 }
 
 /// The E2 scenario spec: `(n, T, Tr, assists)` grid, `Td` fixed at 100 ms.
@@ -160,13 +150,7 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             tr: SimDuration::from_millis(p.u64("tr_ms")),
             t: SimDuration::from_secs(p.u64("t_s")),
         };
-        let (r, events) = measure_with_tr(point, p.bool("assists"), p.u64("_periods"), ctx.seed);
-        Outcome::new(
-            Params::new()
-                .with("r_formula", point.formula())
-                .with("r_measured", r),
-        )
-        .with_events(events)
+        measure_with_tr(point, p.bool("assists"), p.u64("_periods"), ctx.seed)
     })
 }
 
@@ -179,6 +163,12 @@ pub fn run(quick: bool) -> Table {
 mod tests {
     use super::*;
 
+    fn leak(p: Point, assists: bool, periods: u64, seed: u64) -> f64 {
+        measure_with_tr(p, assists, periods, seed)
+            .metrics
+            .f64("r_measured")
+    }
+
     #[test]
     fn measured_r_tracks_formula_for_n1() {
         let p = Point {
@@ -187,7 +177,7 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(10),
         };
-        let (r, _) = measure_with_tr(p, false, 2, 22);
+        let r = leak(p, false, 2, 22);
         let formula = p.formula();
         // Same order of magnitude, never worse than 3x the bound.
         assert!(r > 0.0, "some leak must exist");
@@ -202,8 +192,8 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(10),
         };
-        let (plain, _) = measure_with_tr(p, false, 2, 23);
-        let (assisted, _) = measure_with_tr(p, true, 2, 23);
+        let plain = leak(p, false, 2, 23);
+        let assisted = leak(p, true, 2, 23);
         assert!(
             assisted <= plain,
             "assists must not hurt: plain = {plain}, assisted = {assisted}"
@@ -218,8 +208,8 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(10),
         };
-        let (r1, _) = measure_with_tr(mk(1), false, 2, 22);
-        let (r2, _) = measure_with_tr(mk(2), false, 2, 23);
+        let r1 = leak(mk(1), false, 2, 22);
+        let r2 = leak(mk(2), false, 2, 23);
         assert!(
             r2 > r1,
             "more rogue nodes must leak more: r1 = {r1}, r2 = {r2}"
@@ -234,8 +224,8 @@ mod tests {
             tr: SimDuration::from_millis(50),
             t: SimDuration::from_secs(t),
         };
-        let (r_short, _) = measure_with_tr(mk(5), false, 2, 22);
-        let (r_long, _) = measure_with_tr(mk(20), false, 2, 22);
+        let r_short = leak(mk(5), false, 2, 22);
+        let r_long = leak(mk(20), false, 2, 22);
         assert!(
             r_long < r_short,
             "longer T must leak proportionally less: {r_short} vs {r_long}"

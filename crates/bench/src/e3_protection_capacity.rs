@@ -10,35 +10,18 @@
 //! the victim's own contract bucket (and the gateway's policing) caps how
 //! many requests exist at once, so the excess flows keep leaking.
 
-use aitf_attack::army::{arm_floods, ZombieArmySpec};
-use aitf_attack::scenarios::star;
 use aitf_core::{AitfConfig, Contract, HostPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{
+    HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
+};
 
 use crate::harness::{run_spec, Table};
 
-/// Result of one sweep point.
-#[derive(Debug)]
-pub struct CapacityPoint {
-    /// Offered simultaneous undesired flows.
-    pub flows: usize,
-    /// The contract capacity `Nv = R1·T`.
-    pub nv: f64,
-    /// Requests the victim actually emitted.
-    pub requests_sent: u64,
-    /// Requests the victim withheld (its own bucket empty).
-    pub self_limited: u64,
-    /// Flows blocked at the attacker side by the end of the run.
-    pub blocked_flows: u64,
-    /// Leak ratio over the run.
-    pub leak: f64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one point: `flows` zombies, contract `r1` req/s, horizon `t`.
-pub fn run_one(flows: usize, r1: f64, t: SimDuration, seed: u64) -> CapacityPoint {
+/// The declarative E3 scenario: a star of zombie networks (50 hosts each)
+/// with exactly `flows` zombies armed, contract `r1` req/s, horizon `t`.
+pub fn scenario(flows: usize, r1: f64, t: SimDuration) -> Scenario {
     let cfg = AitfConfig {
         t_long: t,
         client_contract: Contract::new(r1, (r1 as u32).max(1)),
@@ -52,48 +35,35 @@ pub fn run_one(flows: usize, r1: f64, t: SimDuration, seed: u64) -> CapacityPoin
     };
     let hosts_per_net = 50;
     let nets = flows.div_ceil(hosts_per_net);
-    let mut s = star(
-        cfg,
-        seed,
+    Scenario::new(TopologySpec::star(
         nets,
         hosts_per_net,
         HostPolicy::Malicious,
         100_000_000,
-    );
-    // Trim to exactly `flows` zombies.
-    let zombies: Vec<_> = s.zombies.iter().copied().take(flows).collect();
-    let target = s.world.host_addr(s.victim);
-    let spec = ZombieArmySpec {
-        pps: 50,
-        size: 200,
-        stagger: SimDuration::ZERO,
-    };
-    arm_floods(&mut s.world, &zombies, target, &spec);
-    s.world.sim.run_for(t);
+    ))
+    .config(cfg)
+    .duration(t)
+    .traffic(TrafficSpec::flood(
+        HostSel::RoleFirst(Role::Attacker, flows),
+        TargetSel::Victim,
+        50,
+        200,
+    ))
+    .probes(
+        ProbeSet::new()
+            .end(|w, m| {
+                let vc = w.world.host(w.victim()).counters();
+                m.set("requests", vc.requests_sent);
+                m.set("self_limited", vc.requests_self_limited);
+            })
+            .filters_installed_on("blocked_flows", Side::Attacker)
+            .leak_ratio("leak_r"),
+    )
+}
 
-    let vc = s.world.host(s.victim).counters();
-    let mut blocked = 0u64;
-    for &net in &s.attacker_nets {
-        blocked += s.world.router(net).counters().filters_installed;
-    }
-    let offered: u64 = zombies
-        .iter()
-        .map(|&z| s.world.host(z).counters().tx_bytes)
-        .sum();
-    let leak = if offered == 0 {
-        0.0
-    } else {
-        vc.rx_attack_bytes as f64 / offered as f64
-    };
-    CapacityPoint {
-        flows,
-        nv: r1 * t.as_secs_f64(),
-        requests_sent: vc.requests_sent,
-        self_limited: vc.requests_self_limited,
-        blocked_flows: blocked,
-        leak,
-        events: s.world.sim.dispatched_events(),
-    }
+/// Runs one point: `flows` zombies, contract `r1` req/s, horizon `t`.
+pub fn run_one(flows: usize, r1: f64, t: SimDuration, seed: u64) -> Outcome {
+    scenario(flows, r1, t).run(seed)
 }
 
 /// The E3 scenario spec: offered-flow count swept across the `Nv`
@@ -124,20 +94,12 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("_t_s", 10u64)
     }))
     .runner(|p, ctx| {
-        let o = run_one(
+        run_one(
             p.usize("flows"),
             p.f64("_r1"),
             SimDuration::from_secs(p.u64("_t_s")),
             ctx.seed,
-        );
-        Outcome::new(
-            Params::new()
-                .with("requests", o.requests_sent)
-                .with("self_limited", o.self_limited)
-                .with("blocked_flows", o.blocked_flows)
-                .with("leak_r", o.leak),
         )
-        .with_events(o.events)
     })
 }
 
@@ -152,24 +114,25 @@ mod tests {
 
     #[test]
     fn below_capacity_every_flow_is_blocked() {
-        let p = run_one(40, 10.0, SimDuration::from_secs(10), 5);
-        assert_eq!(p.blocked_flows, 40, "{p:?}");
-        assert!(p.leak < 0.2, "{p:?}");
+        let o = run_one(40, 10.0, SimDuration::from_secs(10), 5);
+        assert_eq!(o.metrics.u64("blocked_flows"), 40, "{o:?}");
+        assert!(o.metrics.f64("leak_r") < 0.2, "{o:?}");
     }
 
     #[test]
     fn above_capacity_requests_saturate() {
-        let p = run_one(150, 10.0, SimDuration::from_secs(10), 6);
+        let o = run_one(150, 10.0, SimDuration::from_secs(10), 6);
         // The victim cannot have emitted meaningfully more than R1*T + burst.
+        let nv = 10.0 * 10.0;
         assert!(
-            p.requests_sent as f64 <= p.nv + 10.0 + 1.0,
-            "requests beyond contract: {p:?}"
+            o.metrics.u64("requests") as f64 <= nv + 10.0 + 1.0,
+            "requests beyond contract: {o:?}"
         );
         assert!(
-            p.self_limited > 0,
-            "the bucket must have withheld some: {p:?}"
+            o.metrics.u64("self_limited") > 0,
+            "the bucket must have withheld some: {o:?}"
         );
         // Not all flows can be blocked within T.
-        assert!(p.blocked_flows < 150, "{p:?}");
+        assert!(o.metrics.u64("blocked_flows") < 150, "{o:?}");
     }
 }

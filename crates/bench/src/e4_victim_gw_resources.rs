@@ -12,36 +12,16 @@
 //! and **peak shadow occupancy** (should track `R1·T`) across a sweep of
 //! `(R1, Ttmp, T)`.
 
-use aitf_attack::SpoofingFlood;
-use aitf_core::{AitfConfig, Contract, HostPolicy, WorldBuilder};
+use aitf_core::{AitfConfig, Contract, HostPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
-/// One sweep point's result.
-#[derive(Debug)]
-pub struct ResourcePoint {
-    /// Client contract rate R1.
-    pub r1: f64,
-    /// Temporary filter lifetime Ttmp.
-    pub t_tmp: SimDuration,
-    /// Horizon T.
-    pub t: SimDuration,
-    /// Formula `nv = R1·Ttmp`.
-    pub nv_formula: f64,
-    /// Measured peak filter occupancy at the victim's gateway.
-    pub nv_measured: usize,
-    /// Formula `mv = R1·T`.
-    pub mv_formula: f64,
-    /// Measured peak shadow occupancy at the victim's gateway.
-    pub mv_measured: usize,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one `(R1, Ttmp, T)` point.
-pub fn run_one(r1: f64, t_tmp: SimDuration, t: SimDuration, seed: u64) -> ResourcePoint {
+/// The declarative E4 scenario: one spoofing zombie against one victim
+/// behind a shared `wan`, measured over `2·T`.
+pub fn scenario(r1: f64, t_tmp: SimDuration, t: SimDuration) -> Scenario {
     let cfg = AitfConfig {
         t_long: t,
         t_tmp,
@@ -52,42 +32,47 @@ pub fn run_one(r1: f64, t_tmp: SimDuration, t: SimDuration, seed: u64) -> Resour
         grace: t * 100,
         ..AitfConfig::default()
     };
-    let mut b = WorldBuilder::new(seed, cfg);
-    let wan = b.network("wan", "10.100.0.0/16", None);
-    let g_net = b.network("g_net", "10.1.0.0/16", Some(wan));
-    let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
-    let victim = b.host(g_net);
-    // The zombie's gateway does not ingress-filter, so intra-prefix spoofs
-    // stream out as an endless supply of fresh undesired flows.
-    let zombie = b.host_with(
+    let mut topo = TopologySpec::new();
+    let wan = topo.net("wan", "10.100.0.0/16", None);
+    let g_net = topo.net("g_net", "10.1.0.0/16", Some(wan));
+    let b_net = topo.net("b_net", "10.9.0.0/16", Some(wan));
+    topo.host(g_net, Role::Victim);
+    // The zombie's gateway does not ingress-filter intra-prefix spoofs, so
+    // they stream out as an endless supply of fresh undesired flows.
+    topo.host_with(
         b_net,
+        Role::Attacker,
         HostPolicy::Malicious,
-        WorldBuilder::default_host_link(),
+        aitf_core::WorldBuilder::default_host_link(),
     );
-    let mut w = b.build();
-    let target = w.host_addr(victim);
     // New flows appear at 2×R1 so the victim's bucket, not the supply, is
     // the limit; the pool is large enough never to repeat within T.
     let pool: aitf_packet::Prefix = "10.9.128.0/17".parse().expect("valid prefix");
     let pps = (2.0 * r1).max(10.0) as u64;
-    w.add_app(
-        zombie,
-        Box::new(SpoofingFlood::new(target, pps, 100, pool, 30_000)),
-    );
-    w.sim.run_for(t * 2);
+    let (nv_formula, mv_formula) = (r1 * t_tmp.as_secs_f64(), r1 * t.as_secs_f64());
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(t * 2)
+        .traffic(TrafficSpec::spoof(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
+            pps,
+            100,
+            pool,
+            30_000,
+        ))
+        .probes(
+            ProbeSet::new()
+                .end(move |_, m| m.set("nv_formula", nv_formula))
+                .peak_filters("nv_peak", "g_net")
+                .end(move |_, m| m.set("mv_formula", mv_formula))
+                .peak_shadows("mv_peak", "g_net"),
+        )
+}
 
-    let events = w.sim.dispatched_events();
-    let gw = w.router(g_net);
-    ResourcePoint {
-        r1,
-        t_tmp,
-        t,
-        nv_formula: r1 * t_tmp.as_secs_f64(),
-        nv_measured: gw.filters().stats().peak_occupancy,
-        mv_formula: r1 * t.as_secs_f64(),
-        mv_measured: gw.shadow().stats().peak_occupancy,
-        events,
-    }
+/// Runs one `(R1, Ttmp, T)` point.
+pub fn run_one(r1: f64, t_tmp: SimDuration, t: SimDuration, seed: u64) -> Outcome {
+    scenario(r1, t_tmp, t).run(seed)
 }
 
 /// The E4 scenario spec: the `(R1, Ttmp, T)` grid.
@@ -120,20 +105,12 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("t_s", t)
     }))
     .runner(|p, ctx| {
-        let o = run_one(
+        run_one(
             p.f64("r1_per_s"),
             SimDuration::from_secs(p.u64("ttmp_s")),
             SimDuration::from_secs(p.u64("t_s")),
             ctx.seed,
-        );
-        Outcome::new(
-            Params::new()
-                .with("nv_formula", o.nv_formula)
-                .with("nv_peak", o.nv_measured)
-                .with("mv_formula", o.mv_formula)
-                .with("mv_peak", o.mv_measured),
         )
-        .with_events(o.events)
     })
 }
 
@@ -146,51 +123,62 @@ pub fn run(quick: bool) -> Table {
 mod tests {
     use super::*;
 
+    fn peaks(o: &Outcome) -> (f64, f64, f64, f64) {
+        (
+            o.metrics.f64("nv_formula"),
+            o.metrics.u64("nv_peak") as f64,
+            o.metrics.f64("mv_formula"),
+            o.metrics.u64("mv_peak") as f64,
+        )
+    }
+
     #[test]
     fn filter_peak_tracks_r1_ttmp() {
-        let p = run_one(
+        let o = run_one(
             20.0,
             SimDuration::from_secs(1),
             SimDuration::from_secs(10),
             3,
         );
+        let (nv_formula, nv_peak, ..) = peaks(&o);
         // Peak occupancy within a factor ~2 of the formula and far below mv.
+        assert!(nv_peak <= nv_formula * 2.5 + 5.0, "nv peak too high: {o:?}");
         assert!(
-            (p.nv_measured as f64) <= p.nv_formula * 2.5 + 5.0,
-            "nv peak too high: {p:?}"
-        );
-        assert!(
-            (p.nv_measured as f64) >= p.nv_formula * 0.3,
-            "nv peak suspiciously low: {p:?}"
+            nv_peak >= nv_formula * 0.3,
+            "nv peak suspiciously low: {o:?}"
         );
     }
 
     #[test]
     fn shadow_peak_tracks_r1_t() {
-        let p = run_one(
+        let o = run_one(
             20.0,
             SimDuration::from_secs(1),
             SimDuration::from_secs(10),
             4,
         );
+        let (.., mv_formula, mv_peak) = peaks(&o);
         assert!(
-            (p.mv_measured as f64) <= p.mv_formula * 1.5 + 10.0,
-            "mv peak too high: {p:?}"
+            mv_peak <= mv_formula * 1.5 + 10.0,
+            "mv peak too high: {o:?}"
         );
         assert!(
-            (p.mv_measured as f64) >= p.mv_formula * 0.4,
-            "mv peak suspiciously low: {p:?}"
+            mv_peak >= mv_formula * 0.4,
+            "mv peak suspiciously low: {o:?}"
         );
     }
 
     #[test]
     fn filters_are_a_small_fraction_of_shadows() {
-        let p = run_one(
+        let o = run_one(
             50.0,
             SimDuration::from_secs(1),
             SimDuration::from_secs(20),
             5,
         );
-        assert!(p.nv_measured * 4 < p.mv_measured, "nv must be << mv: {p:?}");
+        assert!(
+            o.metrics.u64("nv_peak") * 4 < o.metrics.u64("mv_peak"),
+            "nv must be << mv: {o:?}"
+        );
     }
 }

@@ -12,34 +12,16 @@
 //! occupancy and the zombies' aggregate self-filter occupancy against
 //! `na = R2·T`.
 
-use aitf_attack::FloodSource;
-use aitf_core::{AitfConfig, Contract, HostPolicy, WorldBuilder};
+use aitf_core::{AitfConfig, Contract};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
-/// One sweep point's result.
-#[derive(Debug)]
-pub struct AttackerSidePoint {
-    /// Provider→client contract rate R2.
-    pub r2: f64,
-    /// Horizon T.
-    pub t: SimDuration,
-    /// Formula `na = R2·T`.
-    pub na_formula: f64,
-    /// Peak filter occupancy at the attacker's gateway.
-    pub na_gateway: usize,
-    /// Peak self-filter occupancy across the (compliant) zombies.
-    pub na_clients: usize,
-    /// Requests dropped by R2 policing at the gateway.
-    pub policed: u64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one `(R2, T)` point with `zombies` concurrent undesired flows.
-pub fn run_one(r2: f64, t: SimDuration, zombies: usize, seed: u64) -> AttackerSidePoint {
+/// The declarative E5 scenario: `zombies` compliant zombies in one
+/// network, each flooding its own victim, measured over `2·T`.
+pub fn scenario(r2: f64, t: SimDuration, zombies: usize) -> Scenario {
     let cfg = AitfConfig {
         t_long: t,
         peer_contract: Contract::new(r2, (r2.ceil() as u32).max(1)),
@@ -48,45 +30,50 @@ pub fn run_one(r2: f64, t: SimDuration, zombies: usize, seed: u64) -> AttackerSi
         grace: t * 100,
         ..AitfConfig::default()
     };
-    let mut b = WorldBuilder::new(seed, cfg);
-    let wan = b.network("wan", "10.100.0.0/16", None);
-    let v_net = b.network("v_net", "10.1.0.0/16", Some(wan));
-    let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
-    let victims: Vec<_> = (0..zombies).map(|_| b.host(v_net)).collect();
+    let mut topo = TopologySpec::new();
+    let wan = topo.net("wan", "10.100.0.0/16", None);
+    let v_net = topo.net("v_net", "10.1.0.0/16", Some(wan));
+    let b_net = topo.net("b_net", "10.9.0.0/16", Some(wan));
+    for _ in 0..zombies {
+        topo.host(v_net, Role::Victim);
+    }
     // Compliant zombies: they stop when asked, exercising §IV-D's client-
     // side na bound as well.
-    let zs: Vec<_> = (0..zombies)
-        .map(|_| {
-            b.host_with(
-                b_net,
-                HostPolicy::Compliant,
-                WorldBuilder::default_host_link(),
-            )
-        })
-        .collect();
-    let mut w = b.build();
-    for (i, &z) in zs.iter().enumerate() {
-        let target = w.host_addr(victims[i]);
-        w.add_app(z, Box::new(FloodSource::new(target, 50, 200)));
+    for _ in 0..zombies {
+        topo.host(b_net, Role::Attacker);
     }
-    w.sim.run_for(t * 2);
+    let na_formula = r2 * t.as_secs_f64();
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(t * 2)
+        .traffic(TrafficSpec::flood(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Paired(Role::Victim),
+            50,
+            200,
+        ))
+        .probes(
+            ProbeSet::new()
+                .end(move |_, m| m.set("na_formula", na_formula))
+                .peak_filters("gw_peak", "b_net")
+                .end(|w, m| {
+                    let clients_peak: usize = w
+                        .hosts_with(Role::Attacker)
+                        .iter()
+                        .map(|&z| w.world.host(z).self_filters().stats().peak_occupancy)
+                        .sum();
+                    m.set("clients_peak", clients_peak);
+                    m.set(
+                        "policed",
+                        w.world.router(w.net("b_net")).counters().requests_policed,
+                    );
+                }),
+        )
+}
 
-    let gw = w.router(b_net);
-    let na_gateway = gw.filters().stats().peak_occupancy;
-    let policed = gw.counters().requests_policed;
-    let na_clients = zs
-        .iter()
-        .map(|&z| w.host(z).self_filters().stats().peak_occupancy)
-        .sum();
-    AttackerSidePoint {
-        r2,
-        t,
-        na_formula: r2 * t.as_secs_f64(),
-        na_gateway,
-        na_clients,
-        policed,
-        events: w.sim.dispatched_events(),
-    }
+/// Runs one `(R2, T)` point with `zombies` concurrent undesired flows.
+pub fn run_one(r2: f64, t: SimDuration, zombies: usize, seed: u64) -> Outcome {
+    scenario(r2, t, zombies).run(seed)
 }
 
 /// The E5 scenario spec: the `(R2, T, zombies)` grid.
@@ -120,20 +107,12 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("zombies", zombies)
     }))
     .runner(|p, ctx| {
-        let o = run_one(
+        run_one(
             p.f64("r2_per_s"),
             SimDuration::from_secs(p.u64("t_s")),
             p.usize("zombies"),
             ctx.seed,
-        );
-        Outcome::new(
-            Params::new()
-                .with("na_formula", o.na_formula)
-                .with("gw_peak", o.na_gateway)
-                .with("clients_peak", o.na_clients)
-                .with("policed", o.policed),
         )
-        .with_events(o.events)
     })
 }
 
@@ -149,20 +128,25 @@ mod tests {
     #[test]
     fn gateway_filters_bounded_by_r2_t() {
         // 30 offered flows, but R2·T = 10: the gateway must stay near 10.
-        let p = run_one(1.0, SimDuration::from_secs(10), 30, 2);
+        let o = run_one(1.0, SimDuration::from_secs(10), 30, 2);
+        let na = o.metrics.f64("na_formula");
         assert!(
-            (p.na_gateway as f64) <= p.na_formula + p.r2.ceil() + 2.0,
-            "gateway exceeded na: {p:?}"
+            (o.metrics.u64("gw_peak") as f64) <= na + 1.0 + 2.0,
+            "gateway exceeded na: {o:?}"
         );
-        assert!(p.policed > 0, "excess requests must be policed: {p:?}");
+        assert!(
+            o.metrics.u64("policed") > 0,
+            "excess requests must be policed: {o:?}"
+        );
     }
 
     #[test]
     fn clients_hold_at_most_the_same_bound() {
-        let p = run_one(1.0, SimDuration::from_secs(10), 30, 3);
+        let o = run_one(1.0, SimDuration::from_secs(10), 30, 3);
+        let na = o.metrics.f64("na_formula");
         assert!(
-            (p.na_clients as f64) <= p.na_formula + p.r2.ceil() + 2.0,
-            "clients exceeded na: {p:?}"
+            (o.metrics.u64("clients_peak") as f64) <= na + 1.0 + 2.0,
+            "clients exceeded na: {o:?}"
         );
     }
 
@@ -171,7 +155,7 @@ mod tests {
         let lo = run_one(1.0, SimDuration::from_secs(10), 50, 4);
         let hi = run_one(4.0, SimDuration::from_secs(10), 50, 4);
         assert!(
-            hi.na_gateway > lo.na_gateway,
+            hi.metrics.u64("gw_peak") > lo.metrics.u64("gw_peak"),
             "R2 should scale filter admission: {lo:?} vs {hi:?}"
         );
     }

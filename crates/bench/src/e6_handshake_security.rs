@@ -12,101 +12,74 @@
 //! 3. **verification disabled** (ablation) — the off-path forgery
 //!    succeeds, demonstrating why the handshake exists.
 
-use aitf_attack::{LegitClient, RequestForger};
-use aitf_core::{AitfConfig, NetId, RouterPolicy, World, WorldBuilder};
+use aitf_attack::RequestForger;
+use aitf_core::{AitfConfig, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 use aitf_packet::FlowLabel;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
-/// Outcome of one scenario.
-#[derive(Debug)]
-pub struct SecurityOutcome {
-    /// Scenario label.
-    pub scenario: &'static str,
-    /// Was a filter installed against the legit flow at A's gateway?
-    pub filter_installed: bool,
-    /// Handshakes denied by the victim.
-    pub denied: u64,
-    /// Forged replies injected by a compromised router.
-    pub forged: u64,
-    /// Legit packets delivered to V over the run.
-    pub legit_delivered: u64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Topology: A — a_net — wan — mid — v_net — V, forger M in m_net off the
-/// A→V path. `mid` is the on-path router that may be compromised.
-struct SecurityWorld {
-    world: World,
-    a_net: NetId,
-    #[allow(dead_code)]
-    mid: NetId,
-    victim_delivered: aitf_core::HostId,
-}
-
-fn build(verification: bool, compromised_mid: bool, seed: u64) -> SecurityWorld {
+/// The declarative E6 scenario. Topology:
+/// `A — a_net — wan — mid — v_net — V`, forger M in `m_net` off the A→V
+/// path; `mid` is the on-path router that may be compromised.
+pub fn scenario(verification: bool, compromised_mid: bool) -> Scenario {
     let cfg = AitfConfig {
         verification,
         ..AitfConfig::default()
     };
-    let mut b = WorldBuilder::new(seed, cfg);
-    let wan = b.network("wan", "10.100.0.0/16", None);
-    let a_net = b.network("a_net", "10.1.0.0/16", Some(wan));
-    let mid = b.network("mid", "10.50.0.0/16", Some(wan));
-    let v_net = b.network("v_net", "10.2.0.0/16", Some(mid));
-    let m_net = b.network("m_net", "10.3.0.0/16", Some(wan));
+    let mut topo = TopologySpec::new();
+    let wan = topo.net("wan", "10.100.0.0/16", None);
+    let a_net = topo.net("a_net", "10.1.0.0/16", Some(wan));
+    let mid = topo.net("mid", "10.50.0.0/16", Some(wan));
+    let v_net = topo.net("v_net", "10.2.0.0/16", Some(mid));
+    let m_net = topo.net("m_net", "10.3.0.0/16", Some(wan));
     if compromised_mid {
-        b.set_router_policy(mid, RouterPolicy::compromised());
+        topo.set_net_policy("mid", RouterPolicy::compromised());
     }
-    let a = b.host(a_net);
-    let v = b.host(v_net);
-    let m = b.host(m_net);
-    let mut world = b.build();
-    let a_addr = world.host_addr(a);
-    let v_addr = world.host_addr(v);
-    let a_gw = world.router_addr(a_net);
-    world.add_app(a, Box::new(LegitClient::new(v_addr, 100, 500)));
-    world.add_app(
-        m,
-        Box::new(RequestForger::new(
-            a_gw,
-            FlowLabel::src_dst(a_addr, v_addr),
-            SimDuration::from_secs(1),
-        )),
-    );
-    SecurityWorld {
-        world,
-        a_net,
-        mid,
-        victim_delivered: v,
-    }
+    topo.host(a_net, Role::Legit);
+    topo.host(v_net, Role::Victim);
+    topo.host(m_net, Role::Attacker);
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(SimDuration::from_secs(5))
+        .traffic(TrafficSpec::legit(
+            HostSel::Role(Role::Legit),
+            TargetSel::Victim,
+            100,
+            500,
+        ))
+        .traffic(TrafficSpec::custom(
+            HostSel::Role(Role::Attacker),
+            |w, _| {
+                // Forge "block A→V" towards A's gateway.
+                let a = w.first_with(Role::Legit);
+                let flow = FlowLabel::src_dst(w.world.host_addr(a), w.world.host_addr(w.victim()));
+                let a_gw = w.world.router_addr(w.net("a_net"));
+                Box::new(RequestForger::new(a_gw, flow, SimDuration::from_secs(1)))
+            },
+        ))
+        .probes(ProbeSet::new().end(move |w, m| {
+            let a_router = w.world.router(w.net("a_net")).counters();
+            m.set("filter_installed", a_router.filters_installed > 0);
+            m.set("denied", a_router.handshakes_denied);
+            let forged = if compromised_mid {
+                w.world.router(w.net("mid")).counters().handshakes_forged
+            } else {
+                0
+            };
+            m.set("forged_replies", forged);
+            m.set(
+                "legit_pkts_delivered",
+                w.world.host(w.victim()).counters().rx_legit_pkts,
+            );
+        }))
 }
 
-fn run_scenario(
-    scenario: &'static str,
-    verification: bool,
-    compromised: bool,
-    seed: u64,
-) -> SecurityOutcome {
-    let mut s = build(verification, compromised, seed);
-    s.world.sim.run_for(SimDuration::from_secs(5));
-    let a_router = s.world.router(s.a_net).counters();
-    let forged = if compromised {
-        s.world.router(s.mid).counters().handshakes_forged
-    } else {
-        0
-    };
-    SecurityOutcome {
-        scenario,
-        filter_installed: a_router.filters_installed > 0,
-        denied: a_router.handshakes_denied,
-        forged,
-        legit_delivered: s.world.host(s.victim_delivered).counters().rx_legit_pkts,
-        events: s.world.sim.dispatched_events(),
-    }
+/// Runs one forgery scenario.
+pub fn run_scenario(verification: bool, compromised: bool, seed: u64) -> Outcome {
+    scenario(verification, compromised).run(seed)
 }
 
 /// The E6 scenario spec: the three forgery scenarios.
@@ -136,24 +109,7 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             // across the three rows, so they must share a world.
             .with("_seed_group", 0u64)
     }))
-    .runner(|p, ctx| {
-        // The scenario label lives in the params; the static names are only
-        // used for the Debug outcome.
-        let o = run_scenario(
-            "engine point",
-            p.bool("verification"),
-            p.bool("compromised"),
-            ctx.seed,
-        );
-        Outcome::new(
-            Params::new()
-                .with("filter_installed", o.filter_installed)
-                .with("denied", o.denied)
-                .with("forged_replies", o.forged)
-                .with("legit_pkts_delivered", o.legit_delivered),
-        )
-        .with_events(o.events)
-    })
+    .runner(|p, ctx| run_scenario(p.bool("verification"), p.bool("compromised"), ctx.seed))
 }
 
 /// Runs all three scenarios and prints the table.
@@ -167,25 +123,25 @@ mod tests {
 
     #[test]
     fn off_path_forgery_fails_with_handshake() {
-        let o = run_scenario("x", true, false, 77);
-        assert!(!o.filter_installed, "{o:?}");
-        assert_eq!(o.denied, 1, "{o:?}");
-        assert!(o.legit_delivered > 400, "{o:?}");
+        let o = run_scenario(true, false, 77);
+        assert!(!o.metrics.bool("filter_installed"), "{o:?}");
+        assert_eq!(o.metrics.u64("denied"), 1, "{o:?}");
+        assert!(o.metrics.u64("legit_pkts_delivered") > 400, "{o:?}");
     }
 
     #[test]
     fn on_path_compromised_router_defeats_handshake() {
-        let o = run_scenario("x", true, true, 77);
-        assert!(o.filter_installed, "{o:?}");
-        assert!(o.forged >= 1, "{o:?}");
+        let o = run_scenario(true, true, 77);
+        assert!(o.metrics.bool("filter_installed"), "{o:?}");
+        assert!(o.metrics.u64("forged_replies") >= 1, "{o:?}");
         // The legit flow was cut early.
-        assert!(o.legit_delivered < 150, "{o:?}");
+        assert!(o.metrics.u64("legit_pkts_delivered") < 150, "{o:?}");
     }
 
     #[test]
     fn disabling_verification_lets_forgery_through() {
-        let o = run_scenario("x", false, false, 77);
-        assert!(o.filter_installed, "{o:?}");
-        assert!(o.legit_delivered < 150, "{o:?}");
+        let o = run_scenario(false, false, 77);
+        assert!(o.metrics.bool("filter_installed"), "{o:?}");
+        assert!(o.metrics.u64("legit_pkts_delivered") < 150, "{o:?}");
     }
 }

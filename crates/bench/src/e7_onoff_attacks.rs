@@ -12,34 +12,16 @@
 //! (ablation, footnote 3: keeping real filters for `T` instead "would
 //! defeat the whole purpose").
 
-use aitf_attack::scenarios::fig1;
-use aitf_attack::OnOffSource;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
-/// Outcome of one mode.
-#[derive(Debug)]
-pub struct OnOffOutcome {
-    /// Mode label.
-    pub mode: &'static str,
-    /// Leak ratio at the victim.
-    pub leak: f64,
-    /// Shadow reactivations at the victim's gateway.
-    pub reactivations: u64,
-    /// Highest escalation round recorded.
-    pub max_round: u8,
-    /// Did a cooperating upstream gateway end up holding the long filter?
-    pub escalated_block: bool,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one mode. `shadow_assist` toggles packet-triggered reactivation
-/// and fast re-detection together.
-pub fn run_one(shadow_assist: bool, seed: u64) -> OnOffOutcome {
+/// The declarative E7 scenario. `shadow_assist` toggles packet-triggered
+/// reactivation and fast re-detection together.
+pub fn scenario(shadow_assist: bool) -> Scenario {
     let t_tmp = SimDuration::from_secs(1);
     let cfg = AitfConfig {
         t_long: SimDuration::from_secs(30),
@@ -50,51 +32,41 @@ pub fn run_one(shadow_assist: bool, seed: u64) -> OnOffOutcome {
         grace: SimDuration::from_secs(3600),
         ..AitfConfig::default()
     };
-    let mut f = fig1(cfg, seed, HostPolicy::Malicious);
+    let mut topo = TopologySpec::fig1(HostPolicy::Malicious);
     // The attacker's own gateway plays dumb, so the on-off game is worth
     // playing at all.
-    f.world
-        .router_mut(f.b_net)
-        .set_policy(RouterPolicy::non_cooperating());
-    let target = f.world.host_addr(f.victim);
-    // On for 200 ms at 1000 pps, then silent for 1.5 × Ttmp.
-    f.world.add_app(
-        f.attacker,
-        Box::new(OnOffSource::new(
-            target,
+    topo.set_net_policy("B_net", RouterPolicy::non_cooperating());
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(SimDuration::from_secs(30))
+        // On for 200 ms at 1000 pps, then silent for 1.5 × Ttmp.
+        .traffic(TrafficSpec::onoff(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
             1000,
             500,
             SimDuration::from_millis(200),
             SimDuration::from_millis(1500),
-        )),
-    );
-    f.world.sim.run_for(SimDuration::from_secs(30));
+        ))
+        .probes(ProbeSet::new().leak_ratio("leak_r").end(|w, m| {
+            let gw = w.world.router(w.net("G_net"));
+            m.set("reactivations", gw.counters().reactivations);
+            let attacker = w.first_with(Role::Attacker);
+            let flow = aitf_packet::FlowLabel::src_dst(
+                w.world.host_addr(attacker),
+                w.world.host_addr(w.victim()),
+            );
+            m.set("max_round", gw.shadow().get(&flow).map_or(0, |e| e.round));
+            m.set(
+                "escalated_block",
+                w.world.router(w.net("B_isp")).counters().filters_installed > 0,
+            );
+        }))
+}
 
-    let offered = f.world.host(f.attacker).counters().tx_bytes;
-    let received = f.world.host(f.victim).counters().rx_attack_bytes;
-    let leak = if offered == 0 {
-        0.0
-    } else {
-        received as f64 / offered as f64
-    };
-    let events = f.world.sim.dispatched_events();
-    let gw = f.world.router(f.g_net);
-    let flow =
-        aitf_packet::FlowLabel::src_dst(f.world.host_addr(f.attacker), f.world.host_addr(f.victim));
-    let max_round = gw.shadow().get(&flow).map_or(0, |e| e.round);
-    let escalated_block = f.world.router(f.b_isp).counters().filters_installed > 0;
-    OnOffOutcome {
-        mode: if shadow_assist {
-            "shadow assist ON"
-        } else {
-            "shadow assist OFF"
-        },
-        leak,
-        reactivations: gw.counters().reactivations,
-        max_round,
-        escalated_block,
-        events,
-    }
+/// Runs one mode.
+pub fn run_one(shadow_assist: bool, seed: u64) -> Outcome {
+    scenario(shadow_assist).run(seed)
 }
 
 /// The E7 scenario spec: shadow assist on / off.
@@ -124,17 +96,7 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             // on/off pair, so both must run the same world.
             .with("_seed_group", 0u64)
     }))
-    .runner(|p, ctx| {
-        let o = run_one(p.bool("shadow_assist"), ctx.seed);
-        Outcome::new(
-            Params::new()
-                .with("leak_r", o.leak)
-                .with("reactivations", o.reactivations)
-                .with("max_round", o.max_round)
-                .with("escalated_block", o.escalated_block),
-        )
-        .with_events(o.events)
-    })
+    .runner(|p, ctx| run_one(p.bool("shadow_assist"), ctx.seed))
 }
 
 /// Runs both modes and prints the table.
@@ -149,9 +111,9 @@ mod tests {
     #[test]
     fn shadow_catches_onoff_and_escalates() {
         let o = run_one(true, 3);
-        assert!(o.reactivations > 0, "{o:?}");
-        assert!(o.max_round >= 2, "{o:?}");
-        assert!(o.escalated_block, "{o:?}");
+        assert!(o.metrics.u64("reactivations") > 0, "{o:?}");
+        assert!(o.metrics.u64("max_round") >= 2, "{o:?}");
+        assert!(o.metrics.bool("escalated_block"), "{o:?}");
     }
 
     #[test]
@@ -159,7 +121,7 @@ mod tests {
         let with = run_one(true, 4);
         let without = run_one(false, 4);
         assert!(
-            with.leak <= without.leak,
+            with.metrics.f64("leak_r") <= without.metrics.f64("leak_r"),
             "shadow must not make things worse: {with:?} vs {without:?}"
         );
     }

@@ -11,152 +11,93 @@
 //!    one rogue hop and watch pushback stall while AITF escalates around
 //!    it and disconnects.
 
-use aitf_baseline::{build_pushback_world, PushbackRouter};
-use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy, WorldBuilder};
+use aitf_baseline::PushbackRouter;
+use aitf_core::{AitfConfig, NetId, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{
+    Backend, BuiltWorld, HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec,
+    TrafficSpec,
+};
 
 use crate::harness::{render_sweep, Table};
 
-/// Result of one (protocol, depth) run.
-#[derive(Debug)]
-pub struct ComparisonPoint {
-    /// Chain depth per side.
-    pub depth: usize,
-    /// Routers that processed a request or pushback message.
-    pub nodes_involved: usize,
-    /// Routers holding at least one filter at the end.
-    pub routers_with_filters: usize,
-    /// Victim leak ratio.
-    pub leak: f64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-fn build_chains(
-    depth: usize,
-    rogue_b_level: Option<usize>,
-    seed: u64,
-) -> (
-    WorldBuilder,
-    Vec<NetId>,
-    Vec<NetId>,
-    aitf_core::HostId,
-    aitf_core::HostId,
-) {
-    let cfg = AitfConfig {
+fn config() -> AitfConfig {
+    AitfConfig {
         t_long: SimDuration::from_secs(30),
         ..AitfConfig::default()
-    };
-    let mut b = WorldBuilder::new(seed, cfg);
-    let mut g_chain = Vec::new();
-    let mut b_chain = Vec::new();
-    for side in 0..2usize {
-        let mut parent = None;
-        let chain = if side == 0 {
-            &mut g_chain
-        } else {
-            &mut b_chain
-        };
-        for level in (0..depth).rev() {
-            let prefix = format!("10.{}.0.0/16", 1 + side * 100 + level);
-            let id = b.network(&format!("{side}-{level}"), &prefix, parent);
-            parent = Some(id);
-            chain.push(id);
-        }
-        chain.reverse();
     }
-    b.peer(
-        g_chain[depth - 1],
-        b_chain[depth - 1],
-        WorldBuilder::default_net_link(),
-    );
+}
+
+/// The shared chain scenario: two depth-`depth` provider chains (E8's
+/// by-level naming), a 1000 pps flood, optionally one rogue attacker-side
+/// hop at `rogue_b_level`.
+fn chain_scenario(depth: usize, rogue_b_level: Option<usize>, backend: Backend) -> Scenario {
+    let mut topo = TopologySpec::chain_pair_by_level(depth);
     if let Some(level) = rogue_b_level {
-        b.set_router_policy(b_chain[level], RouterPolicy::non_cooperating());
+        topo.set_net_policy(&format!("1-{level}"), RouterPolicy::non_cooperating());
     }
-    let v = b.host(g_chain[0]);
-    let a = b.host_with(
-        b_chain[0],
-        HostPolicy::Malicious,
-        WorldBuilder::default_host_link(),
-    );
-    (b, g_chain, b_chain, v, a)
+    Scenario::new(topo)
+        .config(config())
+        .backend(backend)
+        .duration(SimDuration::from_secs(10))
+        .traffic(TrafficSpec::flood(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
+            1000,
+            500,
+        ))
 }
 
-/// Runs AITF on a depth-`depth` chain (all routers cooperative).
-pub fn run_aitf(depth: usize, seed: u64) -> ComparisonPoint {
-    let (b, g_chain, b_chain, v, a) = build_chains(depth, None, seed);
-    let mut w = b.build();
-    let target = w.host_addr(v);
-    w.add_app(
-        a,
-        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
-    );
-    w.sim.run_for(SimDuration::from_secs(10));
-    let mut nodes_involved = 0;
-    let mut with_filters = 0;
-    for &net in g_chain.iter().chain(b_chain.iter()) {
-        let c = w.router(net).counters();
-        if c.requests_received > 0 {
-            nodes_involved += 1;
-        }
-        if w.router(net).filters().stats().installs > 0 {
-            with_filters += 1;
-        }
+/// Counts `(nodes_involved, routers_with_filters)` over every chain
+/// router, for either backend.
+fn involvement(w: &BuiltWorld, backend: Backend) -> (u64, u64) {
+    let mut nodes_involved = 0u64;
+    let mut with_filters = 0u64;
+    let mut nets = w.nets_on(Side::Victim);
+    nets.extend(w.nets_on(Side::Attacker));
+    for net in nets {
+        let (touched, installs) = match backend {
+            Backend::Aitf => {
+                let r = w.world.router(net);
+                (
+                    r.counters().requests_received > 0,
+                    r.filters().stats().installs,
+                )
+            }
+            Backend::Pushback => {
+                let r = w
+                    .world
+                    .sim
+                    .node_ref::<PushbackRouter>(w.world.router_node(net))
+                    .expect("pushback router");
+                let c = r.counters();
+                (
+                    c.requests_received > 0 || c.pushback_received > 0,
+                    r.filters().stats().installs,
+                )
+            }
+        };
+        nodes_involved += u64::from(touched);
+        with_filters += u64::from(installs > 0);
     }
-    let offered = w.host(a).counters().tx_bytes;
-    let leak = if offered == 0 {
-        0.0
-    } else {
-        w.host(v).counters().rx_attack_bytes as f64 / offered as f64
-    };
-    ComparisonPoint {
-        depth,
-        nodes_involved,
-        routers_with_filters: with_filters,
-        leak,
-        events: w.sim.dispatched_events(),
-    }
+    (nodes_involved, with_filters)
 }
 
-/// Runs pushback on the same chain.
-pub fn run_pushback(depth: usize, seed: u64) -> ComparisonPoint {
-    let (b, g_chain, b_chain, v, a) = build_chains(depth, None, seed);
-    let mut w = build_pushback_world(b);
-    let target = w.host_addr(v);
-    w.add_app(
-        a,
-        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
-    );
-    w.sim.run_for(SimDuration::from_secs(10));
-    let mut nodes_involved = 0;
-    let mut with_filters = 0;
-    for &net in g_chain.iter().chain(b_chain.iter()) {
-        let r = w
-            .sim
-            .node_ref::<PushbackRouter>(w.router_node(net))
-            .expect("pushback router");
-        let c = r.counters();
-        if c.requests_received > 0 || c.pushback_received > 0 {
-            nodes_involved += 1;
-        }
-        if r.filters().stats().installs > 0 {
-            with_filters += 1;
-        }
-    }
-    let offered = w.host(a).counters().tx_bytes;
-    let leak = if offered == 0 {
-        0.0
-    } else {
-        w.host(v).counters().rx_attack_bytes as f64 / offered as f64
-    };
-    ComparisonPoint {
-        depth,
-        nodes_involved,
-        routers_with_filters: with_filters,
-        leak,
-        events: w.sim.dispatched_events(),
-    }
+/// Runs one protocol on a depth-`depth` chain (all routers cooperative);
+/// metrics `nodes`, `filters`, `leak`.
+pub fn run_protocol(depth: usize, backend: Backend, seed: u64) -> Outcome {
+    chain_scenario(depth, None, backend)
+        .probes(
+            ProbeSet::new()
+                .end(move |w, m| {
+                    let (nodes, filters) = involvement(w, backend);
+                    m.set("nodes", nodes);
+                    m.set("filters", filters);
+                })
+                .leak_ratio("leak"),
+        )
+        .run(seed)
 }
 
 /// The rogue-hop outcome for both protocols.
@@ -182,58 +123,44 @@ fn uplink_sent(w: &aitf_core::World, net: NetId) -> u64 {
 
 /// AITF with the *attacker's gateway itself* rogue: round 2 reaches its
 /// provider, which filters AND disconnects the rogue client after the
-/// grace period — nothing crosses the rogue's uplink any more.
+/// grace period — nothing crosses the rogue's uplink any more. This is a
+/// two-phase measurement, so it drives the built scenario by hand.
 pub fn rogue_aitf(seed: u64) -> RogueOutcome {
-    let (b, _g, b_chain, v, a) = build_chains(3, Some(0), seed);
-    let mut w = b.build();
-    let target = w.host_addr(v);
-    w.add_app(
-        a,
-        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
-    );
-    w.sim.run_for(SimDuration::from_secs(10));
-    let before = uplink_sent(&w, b_chain[0]);
-    w.sim.run_for(SimDuration::from_secs(5));
-    let after = uplink_sent(&w, b_chain[0]);
-    let disconnected = w
-        .sim
-        .node_ref::<aitf_core::BorderRouter>(w.router_node(b_chain[1]))
-        .expect("router")
-        .counters()
-        .disconnects_client
-        > 0;
+    let mut w = chain_scenario(3, Some(0), Backend::Aitf).build(seed);
+    let leaf = w.net("1-0");
+    w.world.sim.run_for(SimDuration::from_secs(10));
+    let before = uplink_sent(&w.world, leaf);
+    w.world.sim.run_for(SimDuration::from_secs(5));
+    let after = uplink_sent(&w.world, leaf);
+    let disconnected = w.world.router(w.net("1-1")).counters().disconnects_client > 0;
     RogueOutcome {
         source_cut: disconnected,
         uplink_carried_late: after - before,
-        events: w.sim.dispatched_events(),
+        events: w.world.sim.dispatched_events(),
     }
 }
 
 /// Pushback with the same rogue: the chain stalls one hop above; the
 /// rogue's uplink keeps carrying the full flood forever.
 pub fn rogue_pushback(seed: u64) -> RogueOutcome {
-    let (b, _g, b_chain, v, a) = build_chains(3, Some(0), seed);
-    let mut w = build_pushback_world(b);
-    let target = w.host_addr(v);
-    w.add_app(
-        a,
-        Box::new(aitf_attack::FloodSource::new(target, 1000, 500)),
-    );
-    w.sim.run_for(SimDuration::from_secs(10));
+    let mut w = chain_scenario(3, Some(0), Backend::Pushback).build(seed);
+    let leaf = w.net("1-0");
+    w.world.sim.run_for(SimDuration::from_secs(10));
     let edge_filtered = w
+        .world
         .sim
-        .node_ref::<PushbackRouter>(w.router_node(b_chain[0]))
+        .node_ref::<PushbackRouter>(w.world.router_node(leaf))
         .expect("router")
         .counters()
         .filters_installed
         > 0;
-    let before = uplink_sent(&w, b_chain[0]);
-    w.sim.run_for(SimDuration::from_secs(5));
-    let after = uplink_sent(&w, b_chain[0]);
+    let before = uplink_sent(&w.world, leaf);
+    w.world.sim.run_for(SimDuration::from_secs(5));
+    let after = uplink_sent(&w.world, leaf);
     RogueOutcome {
         source_cut: edge_filtered,
         uplink_carried_late: after - before,
-        events: w.sim.dispatched_events(),
+        events: w.world.sim.dispatched_events(),
     }
 }
 
@@ -256,16 +183,16 @@ pub fn spec(quick: bool) -> ScenarioSpec {
     )
     .runner(|p, ctx| {
         let d = p.usize("depth_per_side");
-        let aitf = run_aitf(d, ctx.seed);
-        let pb = run_pushback(d, ctx.seed);
+        let aitf = run_protocol(d, Backend::Aitf, ctx.seed);
+        let pb = run_protocol(d, Backend::Pushback, ctx.seed);
         Outcome::new(
             Params::new()
-                .with("aitf_nodes", aitf.nodes_involved)
-                .with("aitf_filters", aitf.routers_with_filters)
-                .with("pb_nodes", pb.nodes_involved)
-                .with("pb_filters", pb.routers_with_filters)
-                .with("aitf_leak", aitf.leak)
-                .with("pb_leak", pb.leak),
+                .with("aitf_nodes", aitf.metrics.u64("nodes"))
+                .with("aitf_filters", aitf.metrics.u64("filters"))
+                .with("pb_nodes", pb.metrics.u64("nodes"))
+                .with("pb_filters", pb.metrics.u64("filters"))
+                .with("aitf_leak", aitf.metrics.f64("leak"))
+                .with("pb_leak", pb.metrics.f64("leak")),
         )
         .with_events(aitf.events + pb.events)
     })
@@ -319,24 +246,31 @@ mod tests {
 
     #[test]
     fn aitf_involvement_is_constant_pushback_grows() {
-        let a3 = run_aitf(3, 1);
-        let a5 = run_aitf(5, 1);
-        let p3 = run_pushback(3, 1);
-        let p5 = run_pushback(5, 1);
-        assert_eq!(a3.nodes_involved, a5.nodes_involved, "{a3:?} vs {a5:?}");
-        assert!(p5.nodes_involved > p3.nodes_involved, "{p3:?} vs {p5:?}");
+        let a3 = run_protocol(3, Backend::Aitf, 1);
+        let a5 = run_protocol(5, Backend::Aitf, 1);
+        let p3 = run_protocol(3, Backend::Pushback, 1);
+        let p5 = run_protocol(5, Backend::Pushback, 1);
+        assert_eq!(
+            a3.metrics.u64("nodes"),
+            a5.metrics.u64("nodes"),
+            "{a3:?} vs {a5:?}"
+        );
         assert!(
-            p5.routers_with_filters >= 2 * a5.routers_with_filters,
+            p5.metrics.u64("nodes") > p3.metrics.u64("nodes"),
+            "{p3:?} vs {p5:?}"
+        );
+        assert!(
+            p5.metrics.u64("filters") >= 2 * a5.metrics.u64("filters"),
             "{p5:?} vs {a5:?}"
         );
     }
 
     #[test]
     fn both_protect_the_victim_in_the_cooperative_case() {
-        let a = run_aitf(3, 2);
-        let p = run_pushback(3, 2);
-        assert!(a.leak < 0.1, "{a:?}");
-        assert!(p.leak < 0.1, "{p:?}");
+        let a = run_protocol(3, Backend::Aitf, 2);
+        let p = run_protocol(3, Backend::Pushback, 2);
+        assert!(a.metrics.f64("leak") < 0.1, "{a:?}");
+        assert!(p.metrics.f64("leak") < 0.1, "{p:?}");
     }
 
     #[test]

@@ -11,84 +11,69 @@
 //! come back as work (filters, handshakes, notices) for that same
 //! provider.
 
-use aitf_attack::SpoofingFlood;
-use aitf_core::{AitfConfig, Contract, HostPolicy, RouterPolicy, WorldBuilder};
+use aitf_core::{AitfConfig, Contract, HostPolicy, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::{run_spec, Table};
 
-/// Outcome of one mode.
-#[derive(Debug)]
-pub struct IngressOutcome {
-    /// Mode label.
-    pub mode: &'static str,
-    /// Spoofed packets dropped at the zombie's gateway.
-    pub spoofed_dropped: u64,
-    /// Attack packets that reached the victim.
-    pub victim_attack_pkts: u64,
-    /// Filtering requests the zombie's provider had to process.
-    pub provider_requests: u64,
-    /// Filters the zombie's provider had to install.
-    pub provider_filters: u64,
-    /// Simulator events dispatched during the run.
-    pub events: u64,
-}
-
-/// Runs one mode.
-pub fn run_one(ingress_filtering: bool, seed: u64) -> IngressOutcome {
+/// The declarative E9 scenario: one spoofing zombie, ingress filtering on
+/// or off for the whole deployment.
+pub fn scenario(ingress_filtering: bool) -> Scenario {
     let cfg = AitfConfig {
         peer_contract: Contract::new(100.0, 100),
         detection_delay: SimDuration::from_millis(10),
         grace: SimDuration::from_secs(3600),
         ..AitfConfig::default()
     };
-    let mut b = WorldBuilder::new(seed, cfg);
-    let wan = b.network("wan", "10.100.0.0/16", None);
-    let v_net = b.network("v_net", "10.1.0.0/16", Some(wan));
-    let b_net = b.network("b_net", "10.9.0.0/16", Some(wan));
+    let mut topo = TopologySpec::new();
+    let wan = topo.net("wan", "10.100.0.0/16", None);
+    let v_net = topo.net("v_net", "10.1.0.0/16", Some(wan));
+    let b_net = topo.net("b_net", "10.9.0.0/16", Some(wan));
     // Ingress filtering is a deployment decision: when it is off, it is
     // off for the zombie's whole provider chain (otherwise the provider
     // one level up catches the spoofs instead).
-    for net in [wan, v_net, b_net] {
-        b.set_router_policy(
-            net,
-            RouterPolicy {
-                ingress_filtering,
-                ..RouterPolicy::default()
-            },
-        );
-    }
-    let victim = b.host(v_net);
-    let zombie = b.host_with(
+    topo.set_all_net_policies(RouterPolicy {
+        ingress_filtering,
+        ..RouterPolicy::default()
+    });
+    topo.host(v_net, Role::Victim);
+    topo.host_with(
         b_net,
+        Role::Attacker,
         HostPolicy::Malicious,
-        WorldBuilder::default_host_link(),
+        aitf_core::WorldBuilder::default_host_link(),
     );
-    let mut w = b.build();
-    let target = w.host_addr(victim);
     // Spoof pool OUTSIDE b_net's prefix — exactly what ingress filtering
     // is meant to stop.
     let pool: aitf_packet::Prefix = "172.16.0.0/24".parse().expect("valid prefix");
-    w.add_app(
-        zombie,
-        Box::new(SpoofingFlood::new(target, 200, 200, pool, 64)),
-    );
-    w.sim.run_for(SimDuration::from_secs(10));
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(SimDuration::from_secs(10))
+        .traffic(TrafficSpec::spoof(
+            HostSel::Role(Role::Attacker),
+            TargetSel::Victim,
+            200,
+            200,
+            pool,
+            64,
+        ))
+        .probes(ProbeSet::new().end(|w, m| {
+            let gw = w.world.router(w.net("b_net")).counters();
+            m.set("spoofs_dropped", gw.spoofed_dropped);
+            m.set(
+                "victim_attack_pkts",
+                w.world.host(w.victim()).counters().rx_attack_pkts,
+            );
+            m.set("provider_requests", gw.requests_received);
+            m.set("provider_filters", gw.filters_installed);
+        }))
+}
 
-    let gw = w.router(aitf_core::NetId(2)).counters();
-    IngressOutcome {
-        mode: if ingress_filtering {
-            "ingress filtering ON"
-        } else {
-            "ingress filtering OFF"
-        },
-        spoofed_dropped: gw.spoofed_dropped,
-        victim_attack_pkts: w.host(victim).counters().rx_attack_pkts,
-        provider_requests: gw.requests_received,
-        provider_filters: gw.filters_installed,
-        events: w.sim.dispatched_events(),
-    }
+/// Runs one mode.
+pub fn run_one(ingress_filtering: bool, seed: u64) -> Outcome {
+    scenario(ingress_filtering).run(seed)
 }
 
 /// The E9 scenario spec: ingress filtering on / off.
@@ -119,17 +104,7 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             // request load across the on/off pair.
             .with("_seed_group", 0u64)
     }))
-    .runner(|p, ctx| {
-        let o = run_one(p.bool("ingress_filtering"), ctx.seed);
-        Outcome::new(
-            Params::new()
-                .with("spoofs_dropped", o.spoofed_dropped)
-                .with("victim_attack_pkts", o.victim_attack_pkts)
-                .with("provider_requests", o.provider_requests)
-                .with("provider_filters", o.provider_filters),
-        )
-        .with_events(o.events)
-    })
+    .runner(|p, ctx| run_one(p.bool("ingress_filtering"), ctx.seed))
 }
 
 /// Runs both modes and prints the table.
@@ -144,17 +119,17 @@ mod tests {
     #[test]
     fn ingress_on_stops_spoofs_at_the_edge() {
         let o = run_one(true, 2);
-        assert!(o.spoofed_dropped > 1000, "{o:?}");
-        assert_eq!(o.victim_attack_pkts, 0, "{o:?}");
-        assert_eq!(o.provider_requests, 0, "{o:?}");
+        assert!(o.metrics.u64("spoofs_dropped") > 1000, "{o:?}");
+        assert_eq!(o.metrics.u64("victim_attack_pkts"), 0, "{o:?}");
+        assert_eq!(o.metrics.u64("provider_requests"), 0, "{o:?}");
     }
 
     #[test]
     fn ingress_off_turns_into_filtering_work() {
         let o = run_one(false, 2);
-        assert_eq!(o.spoofed_dropped, 0, "{o:?}");
-        assert!(o.victim_attack_pkts > 0, "{o:?}");
-        assert!(o.provider_requests > 10, "{o:?}");
-        assert!(o.provider_filters > 10, "{o:?}");
+        assert_eq!(o.metrics.u64("spoofs_dropped"), 0, "{o:?}");
+        assert!(o.metrics.u64("victim_attack_pkts") > 0, "{o:?}");
+        assert!(o.metrics.u64("provider_requests") > 10, "{o:?}");
+        assert!(o.metrics.u64("provider_filters") > 10, "{o:?}");
     }
 }

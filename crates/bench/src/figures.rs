@@ -12,96 +12,75 @@
 //! `BENCH_figures.json`. The [`run`] entry point additionally prints the
 //! classic gnuplot-ready two-column text.
 
-use aitf_attack::army::ZombieArmySpec;
-use aitf_attack::scenarios::star;
-use aitf_attack::LegitClient;
-use aitf_core::{AitfConfig, HostPolicy, NetId, RouterPolicy};
+use aitf_core::{HostPolicy, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
+use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
 
 use crate::harness::print_series;
 
-/// One sampled trace of the attack timeline.
-#[derive(Debug)]
-pub struct AttackTrace {
-    /// `(seconds, Mbit/s)` legitimate goodput per bin.
-    pub goodput: Vec<(f64, f64)>,
-    /// `(seconds, Mbit/s)` attack bytes delivered per bin.
-    pub attack_bw: Vec<(f64, f64)>,
-    /// `(seconds, filters)` live filters at the victim's gateway.
-    pub victim_gw_filters: Vec<(f64, f64)>,
-    /// Simulator events the run dispatched.
-    pub events: u64,
-}
-
-/// Runs the flood-recovery timeline: zombies fire at `t = 2 s`; the series
-/// shows the collapse and the AITF recovery (or, with `defended = false`,
-/// no recovery at all).
-pub fn attack_timeline(defended: bool, seed: u64) -> AttackTrace {
-    let cfg = AitfConfig::default();
-    let mut s = star(cfg, seed, 8, 2, HostPolicy::Malicious, 10_000_000);
+/// The declarative timeline scenario: an 8×2 zombie star whose last spoke
+/// host is a legitimate client, zombies joining staggered from `t = 2 s`.
+/// With `defended = false` every router is a legacy (non-AITF) router and
+/// the collapse is permanent.
+pub fn scenario(defended: bool) -> Scenario {
+    let mut topo = TopologySpec::star(8, 2, HostPolicy::Malicious, 10_000_000);
     if !defended {
-        let nets: Vec<NetId> = (0..s.world.net_count()).map(NetId).collect();
-        for net in nets {
-            s.world.router_mut(net).set_policy(RouterPolicy::legacy());
-        }
+        topo.set_all_net_policies(RouterPolicy::legacy());
     }
-    let server = s.world.host_addr(s.victim);
-    // A legitimate client from the first zombie network.
-    let client = s.zombies.pop().expect("zombie slot");
-    s.world.host_mut(client).set_policy(HostPolicy::Compliant);
-    s.world
-        .add_app(client, Box::new(LegitClient::new(server, 800, 1000)));
-    let spec = ZombieArmySpec {
-        pps: 400,
-        size: 500,
-        stagger: SimDuration::from_millis(30),
-    };
-    // Zombies join from t = 2 s.
-    for (i, &z) in s.zombies.clone().iter().enumerate() {
-        let flood = aitf_attack::FloodSource::new(server, spec.pps, spec.size)
-            .starting_after(SimDuration::from_secs(2) + spec.stagger * i as u64);
-        s.world.add_app(z, Box::new(flood));
-    }
+    // The last zombie slot becomes the legitimate client.
+    let last = topo.hosts.len() - 1;
+    topo.hosts[last].policy = HostPolicy::Compliant;
+    topo.hosts[last].role = Role::Legit;
 
     let bin = SimDuration::from_millis(250);
-    let total = SimDuration::from_secs(12);
-    let mut goodput = Vec::new();
-    let mut attack_bw = Vec::new();
-    let mut victim_gw_filters = Vec::new();
-    let mut last_legit = 0u64;
-    let mut last_attack = 0u64;
-    let mut elapsed = SimDuration::ZERO;
-    while elapsed < total {
-        s.world.sim.run_for(bin);
-        elapsed = elapsed + bin;
-        let t = s.world.sim.now().as_secs_f64();
-        let c = s.world.host(s.victim).counters();
-        let legit_bits = (c.rx_legit_bytes - last_legit) as f64 * 8.0;
-        let attack_bits = (c.rx_attack_bytes - last_attack) as f64 * 8.0;
-        last_legit = c.rx_legit_bytes;
-        last_attack = c.rx_attack_bytes;
-        let secs = bin.as_secs_f64();
-        goodput.push((t, legit_bits / secs / 1e6));
-        attack_bw.push((t, attack_bits / secs / 1e6));
-        victim_gw_filters.push((t, s.world.router(s.victim_net).filters().len() as f64));
-    }
-    AttackTrace {
-        goodput,
-        attack_bw,
-        victim_gw_filters,
-        events: s.world.sim.dispatched_events(),
-    }
+    Scenario::new(topo)
+        .duration(SimDuration::from_secs(12))
+        .traffic(TrafficSpec::legit(
+            HostSel::Role(Role::Legit),
+            TargetSel::Victim,
+            800,
+            1000,
+        ))
+        .traffic(
+            TrafficSpec::flood(HostSel::Role(Role::Attacker), TargetSel::Victim, 400, 500)
+                .starting_after(SimDuration::from_secs(2))
+                .staggered(SimDuration::from_millis(30)),
+        )
+        .probes(
+            ProbeSet::new()
+                .bin(bin)
+                .summarize(|s, m| {
+                    m.set(
+                        "goodput_before_mbps",
+                        s.window_mean("_series_goodput_mbps", 0.5, 2.0),
+                    );
+                    m.set(
+                        "goodput_during_mbps",
+                        s.window_mean("_series_goodput_mbps", 2.3, 3.0),
+                    );
+                    m.set(
+                        "goodput_after_mbps",
+                        s.window_mean("_series_goodput_mbps", 6.0, 12.0),
+                    );
+                    m.set(
+                        "attack_bw_after_mbps",
+                        s.window_mean("_series_attack_bw_mbps", 6.0, 12.0),
+                    );
+                })
+                .sampled_victim_mbps("_series_goodput_mbps", true, |w| {
+                    w.world.host(w.victim()).counters().rx_legit_bytes
+                })
+                .sampled_victim_mbps("_series_attack_bw_mbps", true, |w| {
+                    w.world.host(w.victim()).counters().rx_attack_bytes
+                })
+                .sampled_filter_occupancy("_series_victim_gw_filters", "victim_net", true),
+        )
 }
 
-/// Mean of the series values within `[from, to)` seconds.
-fn window_mean(points: &[(f64, f64)], from: f64, to: f64) -> f64 {
-    let vals: Vec<f64> = points
-        .iter()
-        .filter(|(t, _)| *t >= from && *t < to)
-        .map(|&(_, v)| v)
-        .collect();
-    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+/// Runs one timeline (summary means + full `_series_*` vectors).
+pub fn attack_timeline(defended: bool, seed: u64) -> Outcome {
+    scenario(defended).run(seed)
 }
 
 /// The engine spec for the timeline pair: one defended run, one
@@ -125,26 +104,7 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             .with("defended", defended)
             .with("_seed_group", 0u64)
     }))
-    .runner(|params, ctx| {
-        let tr = attack_timeline(params.bool("defended"), ctx.seed);
-        let series = |points: &[(f64, f64)]| points.iter().map(|&(_, v)| v).collect::<Vec<f64>>();
-        let time: Vec<f64> = tr.goodput.iter().map(|&(t, _)| t).collect();
-        Outcome::new(
-            Params::new()
-                .with("goodput_before_mbps", window_mean(&tr.goodput, 0.5, 2.0))
-                .with("goodput_during_mbps", window_mean(&tr.goodput, 2.3, 3.0))
-                .with("goodput_after_mbps", window_mean(&tr.goodput, 6.0, 12.0))
-                .with(
-                    "attack_bw_after_mbps",
-                    window_mean(&tr.attack_bw, 6.0, 12.0),
-                )
-                .with("_series_time_s", time)
-                .with("_series_goodput_mbps", series(&tr.goodput))
-                .with("_series_attack_bw_mbps", series(&tr.attack_bw))
-                .with("_series_victim_gw_filters", series(&tr.victim_gw_filters)),
-        )
-        .with_events(tr.events)
-    })
+    .runner(|params, ctx| attack_timeline(params.bool("defended"), ctx.seed))
 }
 
 /// Prints the engine table for the timeline pair, then both timelines
@@ -204,14 +164,12 @@ pub fn run(quick: bool) {
 mod tests {
     use super::*;
 
-    use super::window_mean as mean;
-
     #[test]
     fn aitf_timeline_shows_dip_and_recovery() {
-        let tr = attack_timeline(true, 3);
-        let before = mean(&tr.goodput, 0.5, 2.0);
-        let during = mean(&tr.goodput, 2.3, 3.0);
-        let after = mean(&tr.goodput, 6.0, 12.0);
+        let o = attack_timeline(true, 3);
+        let before = o.metrics.f64("goodput_before_mbps");
+        let during = o.metrics.f64("goodput_during_mbps");
+        let after = o.metrics.f64("goodput_after_mbps");
         assert!(before > 5.0, "healthy goodput before the attack: {before}");
         // AITF responds within ~Td per zombie, so the dip is brief and
         // partial — but it must be visible.
@@ -225,9 +183,9 @@ mod tests {
     #[test]
     fn undefended_timeline_never_recovers() {
         let defended = attack_timeline(true, 3);
-        let tr = attack_timeline(false, 3);
-        let before = mean(&tr.goodput, 0.5, 2.0);
-        let after = mean(&tr.goodput, 6.0, 12.0);
+        let o = attack_timeline(false, 3);
+        let before = o.metrics.f64("goodput_before_mbps");
+        let after = o.metrics.f64("goodput_after_mbps");
         // Persistent loss (drop-tail is not proportionally fair, so the
         // collapse is partial; what matters is that it never recovers).
         assert!(
@@ -235,19 +193,19 @@ mod tests {
             "no defense, no recovery: before {before}, after {after}"
         );
         // The flood keeps occupying the circuit forever...
-        let attack_after = mean(&tr.attack_bw, 6.0, 12.0);
+        let attack_after = o.metrics.f64("attack_bw_after_mbps");
         assert!(
             attack_after > 3.0,
             "flood occupies the circuit: {attack_after}"
         );
         // ...while AITF returns it to (almost) zero.
-        let attack_defended = mean(&defended.attack_bw, 6.0, 12.0);
+        let attack_defended = defended.metrics.f64("attack_bw_after_mbps");
         assert!(
             attack_defended < attack_after * 0.05,
             "AITF must clear the circuit: {attack_defended} vs {attack_after}"
         );
         // And the defended goodput clearly beats the undefended one.
-        let after_defended = mean(&defended.goodput, 6.0, 12.0);
+        let after_defended = defended.metrics.f64("goodput_after_mbps");
         assert!(
             after_defended > after + 1.0,
             "defended {after_defended} vs undefended {after}"

@@ -1,8 +1,8 @@
-//! Table formatting and measurement helpers shared by all experiments.
+//! Table formatting and rendering helpers shared by all experiments.
+//! (Measurement helpers — leak ratios, binned sampling — live in
+//! `aitf_scenario::probe` now.)
 
-use aitf_core::{HostId, World};
 use aitf_engine::{tabulate, RunRecord, Runner, ScenarioSpec};
-use aitf_netsim::SimDuration;
 
 /// A printable results table with aligned columns.
 ///
@@ -138,25 +138,6 @@ pub fn render_sweep(spec: &ScenarioSpec, records: &[RunRecord]) -> Table {
 /// match engine-rendered ones.
 pub use aitf_engine::params::fmt_compact as fmt_f;
 
-/// Runs `world` in fixed-size bins and samples `probe` after each bin,
-/// returning `(seconds, value)` points — how the harness generates the
-/// paper-style time-series figures.
-pub fn sample_bins(
-    world: &mut World,
-    total: SimDuration,
-    bin: SimDuration,
-    mut probe: impl FnMut(&World) -> f64,
-) -> Vec<(f64, f64)> {
-    let mut out = Vec::new();
-    let mut elapsed = SimDuration::ZERO;
-    while elapsed < total {
-        world.sim.run_for(bin);
-        elapsed = elapsed + bin;
-        out.push((world.sim.now().as_secs_f64(), probe(world)));
-    }
-    out
-}
-
 /// Prints a series in a gnuplot-friendly two-column layout.
 pub fn print_series(name: &str, points: &[(f64, f64)]) {
     println!("# series: {name}");
@@ -164,20 +145,6 @@ pub fn print_series(name: &str, points: &[(f64, f64)]) {
         println!("{x:.3} {y:.6}");
     }
     println!();
-}
-
-/// The victim's attack-leak ratio so far: attack bytes *received* over
-/// attack bytes *offered* by the given attacker hosts — the measured
-/// counterpart of the paper's effective-bandwidth reduction factor `r`.
-pub fn leak_ratio(world: &World, victim: HostId, attackers: &[HostId]) -> f64 {
-    let offered: u64 = attackers
-        .iter()
-        .map(|&a| world.host(a).counters().tx_bytes)
-        .sum();
-    if offered == 0 {
-        return 0.0;
-    }
-    world.host(victim).counters().rx_attack_bytes as f64 / offered as f64
 }
 
 #[cfg(test)]

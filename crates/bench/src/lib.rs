@@ -22,9 +22,11 @@
 //! | [`e9_ingress_incentive`] | §III-A | ingress filtering pays for itself |
 //! | [`e10_scaling`] | §III-C | per-provider load follows its own clients |
 //! | [`e11_detection`] | §V (detection boundary) | a real rate detector reproduces the assumed `Td` |
+//! | [`e12_mixed_workload`] | §I threat model | mixed legit/attack host ratios at constant load |
 
 pub mod e10_scaling;
 pub mod e11_detection;
+pub mod e12_mixed_workload;
 pub mod e1_escalation;
 pub mod e2_effective_bandwidth;
 pub mod e3_protection_capacity;
@@ -56,6 +58,7 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e9_ingress_incentive::spec(quick));
     r.register(e10_scaling::spec(quick));
     r.register(e11_detection::spec(quick));
+    r.register(e12_mixed_workload::spec(quick));
     r.register(figures::spec(quick));
     r
 }

@@ -1,0 +1,55 @@
+//! CLI behaviour of the `all_experiments` driver: a `--filter` that
+//! matches nothing must fail loudly (listing the known experiment ids and
+//! exiting non-zero), even when other filters do match.
+
+use std::process::Command;
+
+fn driver() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_all_experiments"))
+}
+
+#[test]
+fn unmatched_filter_lists_ids_and_exits_nonzero() {
+    let out = driver()
+        .args(["--quick", "--filter", "no_such_experiment"])
+        .output()
+        .expect("run all_experiments");
+    assert!(!out.status.success(), "dead filter must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no_such_experiment"),
+        "names the dead filter: {stderr}"
+    );
+    assert!(
+        stderr.contains("known ids:") && stderr.contains("e1_escalation"),
+        "lists the known ids: {stderr}"
+    );
+}
+
+#[test]
+fn dead_filter_fails_even_next_to_a_live_one() {
+    let out = driver()
+        .args(["--quick", "--filter", "e6", "--filter", "zzz_nope"])
+        .output()
+        .expect("run all_experiments");
+    assert!(
+        !out.status.success(),
+        "a partially-dead filter set must not silently shrink"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("zzz_nope"), "{stderr}");
+}
+
+#[test]
+fn matching_filter_still_runs() {
+    let out = driver()
+        .args(["--quick", "--filter", "e6", "--threads", "2"])
+        .output()
+        .expect("run all_experiments");
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("e6_handshake_security") || stdout.contains("E6"),
+        "{stdout}"
+    );
+}

@@ -1,0 +1,82 @@
+//! Equivalence suite: pins the quick-mode `RunRecord`s of every registered
+//! experiment bit-identically against a committed fixture.
+//!
+//! The E1–E11 + figures lines were captured from the pre-`aitf-scenario`
+//! experiment code (each experiment hand-rolling its `WorldBuilder` +
+//! `aitf-attack` setup); the declarative ports must reproduce the exact
+//! same records — same params, same metrics (every f64 bit), same seeds,
+//! same simulator event counts — at any thread count. Experiments born on
+//! the new API (E12 onward) are pinned from their introduction.
+//! `deterministic_eq`'s fields are exactly what the rendered lines
+//! contain; wall time is excluded.
+//!
+//! Refresh intentionally (for a *semantic* change, never to paper over
+//! drift) with:
+//!
+//! ```text
+//! UPDATE_EQUIVALENCE_FIXTURE=1 cargo test -p aitf-bench --test equivalence
+//! ```
+
+use std::fmt::Write as _;
+
+use aitf_engine::Runner;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/quick_records.tsv"
+);
+
+/// Renders the whole quick suite as stable, diff-friendly lines. JSON
+/// float rendering is Rust's shortest round-trip form, so equal lines
+/// imply bit-equal `f64`s — string equality here is `deterministic_eq`.
+fn render_quick_suite(threads: usize) -> String {
+    let registry = aitf_bench::registry(true);
+    let grouped = Runner::new(threads)
+        .quick(true)
+        .base_seed(aitf_engine::DEFAULT_BASE_SEED)
+        .run_all(registry.specs());
+    let mut out = String::new();
+    for records in &grouped {
+        for r in records {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                r.experiment,
+                r.index,
+                r.seed,
+                r.events,
+                r.params.to_json(),
+                r.metrics.to_json(),
+            )
+            .expect("write to String cannot fail");
+        }
+    }
+    out
+}
+
+#[test]
+fn quick_suite_records_match_pre_port_baseline() {
+    let current = render_quick_suite(2);
+    if std::env::var_os("UPDATE_EQUIVALENCE_FIXTURE").is_some() {
+        std::fs::write(FIXTURE, &current).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; regenerate with UPDATE_EQUIVALENCE_FIXTURE=1");
+    let expected_lines: Vec<&str> = expected.lines().collect();
+    let current_lines: Vec<&str> = current.lines().collect();
+    for (i, (want, got)) in expected_lines.iter().zip(&current_lines).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "record {} drifted from the pre-port baseline (fixture line {})",
+            i,
+            i + 1
+        );
+    }
+    assert_eq!(
+        expected_lines.len(),
+        current_lines.len(),
+        "record count changed vs the pre-port baseline"
+    );
+}

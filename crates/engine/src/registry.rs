@@ -56,9 +56,6 @@ impl Registry {
         if filters.is_empty() {
             return self.specs.to_vec();
         }
-        let boundary = |id: &str, f: &str| {
-            id == f || (id.starts_with(f) && id.as_bytes().get(f.len()) == Some(&b'_'))
-        };
         let matches = |id: &str| {
             filters.iter().any(|f| {
                 if self.specs.iter().any(|s| boundary(s.id, f)) {
@@ -74,6 +71,29 @@ impl Registry {
             .cloned()
             .collect()
     }
+
+    /// The filters that select nothing at all (under the same matching
+    /// rules as [`Registry::select`]) — a driver should refuse these
+    /// loudly rather than silently running everything else.
+    pub fn unmatched<'a>(&self, filters: &'a [String]) -> Vec<&'a str> {
+        filters
+            .iter()
+            .filter(|f| {
+                !self
+                    .specs
+                    .iter()
+                    .any(|s| boundary(s.id, f) || s.id.contains(f.as_str()))
+            })
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// The `_`-boundary match rule shared by [`Registry::select`] and
+/// [`Registry::unmatched`]: the whole id, or a prefix ending exactly at a
+/// `_` separator.
+fn boundary(id: &str, f: &str) -> bool {
+    id == f || (id.starts_with(f) && id.as_bytes().get(f.len()) == Some(&b'_'))
 }
 
 #[cfg(test)]
@@ -105,6 +125,21 @@ mod tests {
         assert_eq!(r.select(&["e10_scaling".to_string()]).len(), 1);
         assert_eq!(r.select(&[]).len(), 3);
         assert!(r.select(&["nope".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn unmatched_reports_only_dead_filters() {
+        let mut r = Registry::new();
+        r.register(spec("e1_escalation"));
+        r.register(spec("e10_scaling"));
+        let filters = vec![
+            "e1".to_string(),
+            "scaling".to_string(),
+            "nope".to_string(),
+            "e99".to_string(),
+        ];
+        assert_eq!(r.unmatched(&filters), vec!["nope", "e99"]);
+        assert!(r.unmatched(&[]).is_empty());
     }
 
     #[test]

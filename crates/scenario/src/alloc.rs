@@ -1,0 +1,129 @@
+//! Deterministic allocation of non-overlapping /16 network prefixes.
+//!
+//! Scenario generators hand every AD a fresh /16; the allocator's sequence
+//! is part of a scenario's identity (addresses feed routing, flow labels
+//! and therefore results), so it is fixed forever: allocation `i` is
+//! `(10 + i/250).(i%250 + 1).0.0/16`. The first 12,500 allocations are
+//! identical to the historical `aitf_attack::scenarios::PrefixAlloc`
+//! sequence; the bound is now an explicit, checked [`PrefixAlloc::CAPACITY`]
+//! (60,000 networks) instead of an undocumented panic, which is what lets
+//! star/tree scenarios grow zombie armies far past 64 nets.
+
+use aitf_packet::{Addr, Prefix};
+
+/// Deterministic allocator of non-overlapping /16 prefixes.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_scenario::PrefixAlloc;
+///
+/// let mut alloc = PrefixAlloc::new();
+/// assert_eq!(alloc.next_slash16().to_string(), "10.1.0.0/16");
+/// assert_eq!(alloc.next_slash16().to_string(), "10.2.0.0/16");
+/// assert_eq!(alloc.remaining(), PrefixAlloc::CAPACITY - 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PrefixAlloc {
+    next: u32,
+}
+
+impl PrefixAlloc {
+    /// Total number of /16s the allocator can hand out: first octets
+    /// 10..=249 with 250 second octets each. The address space is purely
+    /// simulated, so reserved real-world ranges need no carve-outs.
+    pub const CAPACITY: u32 = 240 * 250;
+
+    /// Creates an allocator starting at `10.1.0.0/16`.
+    pub fn new() -> Self {
+        PrefixAlloc { next: 0 }
+    }
+
+    /// Creates an allocator that has already skipped the first `offset`
+    /// prefixes — for tests probing the capacity boundary and for sharded
+    /// world construction.
+    pub fn with_offset(offset: u32) -> Self {
+        PrefixAlloc { next: offset }
+    }
+
+    /// Number of /16s still available.
+    pub fn remaining(&self) -> u32 {
+        Self::CAPACITY.saturating_sub(self.next)
+    }
+
+    /// Returns the next free /16, or `None` once [`Self::CAPACITY`] is
+    /// exhausted.
+    pub fn try_next_slash16(&mut self) -> Option<Prefix> {
+        if self.next >= Self::CAPACITY {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let a = 10 + (i / 250) as u8;
+        let b = (i % 250 + 1) as u8;
+        Some(Prefix::new(Addr::new(a, b, 0, 0), 16))
+    }
+
+    /// Returns the next free /16.
+    ///
+    /// # Panics
+    ///
+    /// Panics once all [`Self::CAPACITY`] prefixes are spent.
+    pub fn next_slash16(&mut self) -> Prefix {
+        self.try_next_slash16().unwrap_or_else(|| {
+            panic!(
+                "prefix space exhausted: PrefixAlloc::CAPACITY = {} /16s",
+                Self::CAPACITY
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_matches_the_historical_allocator() {
+        // The first allocations must stay what `aitf_attack::scenarios`
+        // always produced: 10.1, 10.2, ..., 10.250, 11.1, ...
+        let mut alloc = PrefixAlloc::new();
+        assert_eq!(alloc.next_slash16().to_string(), "10.1.0.0/16");
+        for _ in 1..249 {
+            alloc.next_slash16();
+        }
+        assert_eq!(alloc.next_slash16().to_string(), "10.250.0.0/16");
+        assert_eq!(alloc.next_slash16().to_string(), "11.1.0.0/16");
+    }
+
+    #[test]
+    fn never_overlaps_across_a_large_run() {
+        let mut alloc = PrefixAlloc::new();
+        let mut seen = Vec::new();
+        // Far past the old ~12k ceiling's first octet rollover points.
+        for _ in 0..600 {
+            let p = alloc.next_slash16();
+            for q in &seen {
+                assert!(!p.overlaps(*q), "{p} overlaps {q}");
+            }
+            seen.push(p);
+        }
+    }
+
+    #[test]
+    fn capacity_boundary_is_checked() {
+        let mut alloc = PrefixAlloc::with_offset(PrefixAlloc::CAPACITY - 1);
+        assert_eq!(alloc.remaining(), 1);
+        let last = alloc.try_next_slash16().expect("one prefix left");
+        assert_eq!(last.to_string(), "249.250.0.0/16");
+        assert_eq!(alloc.remaining(), 0);
+        assert!(alloc.try_next_slash16().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix space exhausted")]
+    fn exhaustion_panics_with_the_documented_capacity() {
+        let mut alloc = PrefixAlloc::with_offset(PrefixAlloc::CAPACITY);
+        let _ = alloc.next_slash16();
+    }
+}

@@ -1,0 +1,44 @@
+//! # aitf-scenario — declarative AITF experiment scenarios
+//!
+//! A scenario is three composable, declarative pieces plus a config:
+//!
+//! ```text
+//! Scenario {
+//!     topology: TopologySpec,   // fig1 / chain_pair / star / tree / custom
+//!     workload: WorkloadSpec,   // floods, legit pools, on/off, spoofing
+//!     probes:   ProbeSet,       // leak ratio, filter peaks, sampled series
+//!     config:   AitfConfig,     // + duration, backend (AITF vs pushback)
+//! }
+//! ```
+//!
+//! [`Scenario::run`] builds the [`aitf_core::World`], compiles the
+//! workload onto its hosts, simulates, measures, and returns an
+//! [`aitf_engine::Outcome`] — so scenario definitions plug straight into
+//! the engine's registry/runner and their records carry metrics in probe
+//! declaration order. [`Scenario::build`] is the escape hatch for
+//! experiments that drive the simulation in custom phases.
+//!
+//! Determinism contract: a `TopologySpec` lowers onto
+//! [`aitf_core::WorldBuilder`] in one canonical order (networks,
+//! peerings, hosts — each in declaration order) and workloads install in
+//! declaration order, so equal specs produce bit-identical worlds and,
+//! under the engine's derived seeds, bit-identical run records at any
+//! thread count.
+//!
+//! The [`worlds`] module keeps the imperative canned worlds (`fig1`,
+//! `chain_pair`, `star`) for examples and integration tests; they are
+//! thin wrappers over the same generators.
+
+pub mod alloc;
+pub mod probe;
+pub mod scenario;
+pub mod topology;
+pub mod workload;
+pub mod worlds;
+
+pub use alloc::PrefixAlloc;
+pub use probe::{leak_ratio, ProbeSet, SeriesStore};
+pub use scenario::Scenario;
+pub use topology::{Backend, BuiltWorld, HostDecl, NetDecl, PeeringDecl, Role, Side, TopologySpec};
+pub use workload::{HostSel, Rate, TargetSel, TrafficKind, TrafficSpec, WorkloadSpec};
+pub use worlds::{chain_pair, fig1, star, ChainWorld, Fig1World, StarWorld};

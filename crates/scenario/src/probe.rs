@@ -1,0 +1,332 @@
+//! Declarative measurement: a `ProbeSet` names what a scenario records.
+//!
+//! Two probe families cover the paper's evaluation:
+//!
+//! - **end probes** run once after the simulation and append metrics in
+//!   declaration order — effective-bandwidth leak ratios, filter-table
+//!   peaks, router counter sums, or any bespoke extraction;
+//! - **sampled probes** run every `bin` of simulated time and accumulate
+//!   a named series (the figure-style traces); summarizers then reduce
+//!   the series store to scalar metrics (window means, first-crossing
+//!   times), and series marked for emission ride into the JSON as
+//!   `_series_*` float lists.
+//!
+//! Metric order in the final [`aitf_engine::Outcome`] is: end probes (in
+//! order), then summarizers (in order), then `_series_time_s` plus every
+//! emitted series (in order) — so a scenario's table and JSON columns are
+//! exactly the probe declaration order.
+
+use aitf_core::HostId;
+use aitf_engine::Params;
+use aitf_netsim::SimDuration;
+
+use crate::topology::{BuiltWorld, Role, Side};
+
+/// An end-of-run metric extractor. May append several related metrics.
+pub type EndProbe = Box<dyn FnOnce(&BuiltWorld, &mut Params)>;
+
+/// A per-bin series sampler.
+pub struct SampledProbe {
+    /// Metric name the series is emitted under (conventionally
+    /// `_series_*`, which keeps it JSON-only).
+    pub name: &'static str,
+    /// Whether the series itself lands in the metrics (summarizers can
+    /// read it either way).
+    pub emit: bool,
+    pub(crate) sample: Box<dyn FnMut(&BuiltWorld) -> f64>,
+}
+
+/// Reduces sampled series to scalar metrics after the run.
+pub type Summarizer = Box<dyn FnOnce(&SeriesStore, &mut Params)>;
+
+/// The sampled series of one run: a shared time axis plus one value
+/// vector per sampled probe.
+#[derive(Debug, Default)]
+pub struct SeriesStore {
+    /// Simulated seconds at the end of each bin.
+    pub time_s: Vec<f64>,
+    pub(crate) series: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl SeriesStore {
+    /// The series sampled under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sampled probe has that name.
+    pub fn series(&self, name: &str) -> &[f64] {
+        self.series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or_else(|| panic!("no sampled series named {name:?}"))
+    }
+
+    /// Mean of a series over bins whose time is in `[from, to)` seconds
+    /// (0 when the window is empty).
+    pub fn window_mean(&self, name: &str, from: f64, to: f64) -> f64 {
+        let values = self.series(name);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (&t, &v) in self.time_s.iter().zip(values) {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        sum / n.max(1) as f64
+    }
+
+    /// Simulated time of the first bin where the series satisfies `pred`,
+    /// if any.
+    pub fn first_time(&self, name: &str, mut pred: impl FnMut(f64) -> bool) -> Option<f64> {
+        let values = self.series(name);
+        self.time_s
+            .iter()
+            .zip(values)
+            .find(|&(_, &v)| pred(v))
+            .map(|(&t, _)| t)
+    }
+}
+
+/// The measurement plan of a scenario.
+#[derive(Default)]
+pub struct ProbeSet {
+    pub(crate) end: Vec<EndProbe>,
+    pub(crate) sample_bin: Option<SimDuration>,
+    pub(crate) sampled: Vec<SampledProbe>,
+    pub(crate) summarizers: Vec<Summarizer>,
+}
+
+impl ProbeSet {
+    /// An empty probe set (the scenario still reports simulator events).
+    pub fn new() -> Self {
+        ProbeSet::default()
+    }
+
+    /// Appends a bespoke end probe.
+    pub fn end(mut self, f: impl FnOnce(&BuiltWorld, &mut Params) + 'static) -> Self {
+        self.end.push(Box::new(f));
+        self
+    }
+
+    /// Standard probe: the victim's attack leak ratio — attack bytes
+    /// *received* over attack bytes *offered* by the [`Role::Attacker`]
+    /// hosts; the measured counterpart of the paper's effective-bandwidth
+    /// reduction factor `r`.
+    pub fn leak_ratio(self, name: &'static str) -> Self {
+        self.end(move |w, m| m.set(name, leak_ratio(w)))
+    }
+
+    /// Standard probe: fraction of the legitimate bytes offered by
+    /// [`Role::Legit`] hosts that reached the victim.
+    pub fn legit_delivery(self, name: &'static str) -> Self {
+        self.end(move |w, m| {
+            let offered: u64 = w
+                .hosts_with(Role::Legit)
+                .iter()
+                .map(|&h| w.world.host(h).counters().tx_bytes)
+                .sum();
+            let received = w.world.host(w.victim()).counters().rx_legit_bytes;
+            let frac = if offered == 0 {
+                0.0
+            } else {
+                received as f64 / offered as f64
+            };
+            m.set(name, frac);
+        })
+    }
+
+    /// Standard probe: peak wire-speed filter occupancy at a named
+    /// network's border router.
+    pub fn peak_filters(self, name: &'static str, net: &'static str) -> Self {
+        self.end(move |w, m| {
+            let peak = w.world.router(w.net(net)).filters().stats().peak_occupancy;
+            m.set(name, peak);
+        })
+    }
+
+    /// Standard probe: peak DRAM shadow occupancy at a named network's
+    /// border router.
+    pub fn peak_shadows(self, name: &'static str, net: &'static str) -> Self {
+        self.end(move |w, m| {
+            let peak = w.world.router(w.net(net)).shadow().stats().peak_occupancy;
+            m.set(name, peak);
+        })
+    }
+
+    /// Standard probe: long-term filters installed, summed over a side's
+    /// border routers.
+    pub fn filters_installed_on(self, name: &'static str, side: Side) -> Self {
+        self.end(move |w, m| {
+            let total: u64 = w
+                .nets_on(side)
+                .iter()
+                .map(|&n| w.world.router(n).counters().filters_installed)
+                .sum();
+            m.set(name, total);
+        })
+    }
+
+    /// Standard probe: filtering requests received, summed over a side's
+    /// border routers (the §III-C per-provider message load).
+    pub fn requests_received_on(self, name: &'static str, side: Side) -> Self {
+        self.end(move |w, m| {
+            let total: u64 = w
+                .nets_on(side)
+                .iter()
+                .map(|&n| w.world.router(n).counters().requests_received)
+                .sum();
+            m.set(name, total);
+        })
+    }
+
+    /// Enables sampling: the scenario runs in `bin`-sized steps and every
+    /// sampled probe records one value per bin.
+    pub fn bin(mut self, bin: SimDuration) -> Self {
+        self.sample_bin = Some(bin);
+        self
+    }
+
+    /// Appends a sampled series probe; `emit` controls whether the series
+    /// lands in the metrics (as an `_series_*`-style float list).
+    pub fn sampled(
+        mut self,
+        name: &'static str,
+        emit: bool,
+        f: impl FnMut(&BuiltWorld) -> f64 + 'static,
+    ) -> Self {
+        self.sampled.push(SampledProbe {
+            name,
+            emit,
+            sample: Box::new(f),
+        });
+        self
+    }
+
+    /// Standard sampled probe: live filter count at a named network's
+    /// border router.
+    pub fn sampled_filter_occupancy(
+        self,
+        name: &'static str,
+        net: &'static str,
+        emit: bool,
+    ) -> Self {
+        self.sampled(name, emit, move |w| {
+            w.world.router(w.net(net)).filters().len() as f64
+        })
+    }
+
+    /// Standard sampled probe: per-bin delivered bandwidth at the victim
+    /// in Mbit/s, from a per-class byte counter (stateful delta). The
+    /// rate divides by the simulated time since the previous sample, so
+    /// it stays correct for whatever [`ProbeSet::bin`] is in force.
+    pub fn sampled_victim_mbps(
+        self,
+        name: &'static str,
+        emit: bool,
+        counter: impl Fn(&BuiltWorld) -> u64 + 'static,
+    ) -> Self {
+        let mut last_bytes = 0u64;
+        let mut last_t = 0.0f64;
+        self.sampled(name, emit, move |w| {
+            let now_bytes = counter(w);
+            let now_t = w.world.sim.now().as_secs_f64();
+            let bits = (now_bytes - last_bytes) as f64 * 8.0;
+            let secs = now_t - last_t;
+            last_bytes = now_bytes;
+            last_t = now_t;
+            if secs > 0.0 {
+                bits / secs / 1e6
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Appends a summarizer over the sampled series.
+    pub fn summarize(mut self, f: impl FnOnce(&SeriesStore, &mut Params) + 'static) -> Self {
+        self.summarizers.push(Box::new(f));
+        self
+    }
+
+    /// Standard summarizer: time from `after` until the first sample at
+    /// or past `after` where the named series is positive — the
+    /// scenario's time-to-block when pointed at a filter-occupancy
+    /// series. Samples before `after` are ignored entirely (a filter
+    /// already live when the measured attack starts still counts from
+    /// `after`). Emits `-1` when the series never crosses.
+    pub fn time_to_block(self, name: &'static str, series: &'static str, after: f64) -> Self {
+        self.summarize(move |s, m| {
+            let t = s
+                .time_s
+                .iter()
+                .zip(s.series(series))
+                .find(|&(&t, &v)| t >= after && v > 0.0)
+                .map_or(-1.0, |(&t, _)| t - after);
+            m.set(name, t);
+        })
+    }
+}
+
+/// The victim's attack-leak ratio (see [`ProbeSet::leak_ratio`]).
+pub fn leak_ratio(w: &BuiltWorld) -> f64 {
+    let offered: u64 = w
+        .hosts_with(Role::Attacker)
+        .iter()
+        .map(|&h| w.world.host(h).counters().tx_bytes)
+        .sum();
+    if offered == 0 {
+        return 0.0;
+    }
+    w.world.host(w.victim()).counters().rx_attack_bytes as f64 / offered as f64
+}
+
+/// Offered bytes so far by one host — a building block for bespoke
+/// ratio probes.
+pub fn offered_bytes(w: &BuiltWorld, host: HostId) -> u64 {
+    w.world.host(host).counters().tx_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_store_window_mean_and_first_time() {
+        let store = SeriesStore {
+            time_s: vec![0.5, 1.0, 1.5, 2.0],
+            series: vec![("x", vec![0.0, 2.0, 4.0, 0.0])],
+        };
+        assert_eq!(store.window_mean("x", 1.0, 2.0), 3.0);
+        assert_eq!(store.window_mean("x", 5.0, 6.0), 0.0);
+        assert_eq!(store.first_time("x", |v| v > 0.0), Some(1.0));
+        assert_eq!(store.first_time("x", |v| v > 10.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sampled series")]
+    fn missing_series_panics() {
+        let store = SeriesStore::default();
+        let _ = store.series("nope");
+    }
+
+    #[test]
+    fn time_to_block_counts_from_after_even_if_already_positive() {
+        // A filter live since t=1.0 and an attack measured from t=1.5:
+        // the block time is the first sample at/past `after`, not "never".
+        let store = SeriesStore {
+            time_s: vec![1.0, 2.0, 3.0],
+            series: vec![("f", vec![1.0, 1.0, 1.0]), ("g", vec![0.0, 0.0, 0.0])],
+        };
+        let probes = ProbeSet::new()
+            .time_to_block("blocked_at", "f", 1.5)
+            .time_to_block("never", "g", 1.5);
+        let mut m = Params::new();
+        for summarize in probes.summarizers {
+            summarize(&store, &mut m);
+        }
+        assert_eq!(m.f64("blocked_at"), 0.5);
+        assert_eq!(m.f64("never"), -1.0);
+    }
+}

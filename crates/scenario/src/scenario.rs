@@ -1,0 +1,259 @@
+//! The top-level `Scenario`: topology × workload × probes × config, run
+//! end-to-end into an [`aitf_engine::Outcome`].
+//!
+//! A scenario is the declarative unit the experiment registry's runner
+//! closures construct per sweep point:
+//!
+//! ```
+//! use aitf_core::{AitfConfig, HostPolicy};
+//! use aitf_engine::Params;
+//! use aitf_netsim::SimDuration;
+//! use aitf_scenario::{HostSel, ProbeSet, Role, Scenario, TargetSel, TopologySpec, TrafficSpec};
+//!
+//! let outcome = Scenario::new(TopologySpec::fig1(HostPolicy::Malicious))
+//!     .config(AitfConfig::default())
+//!     .duration(SimDuration::from_secs(2))
+//!     .traffic(TrafficSpec::flood(
+//!         HostSel::Role(Role::Attacker),
+//!         TargetSel::Victim,
+//!         500,
+//!         500,
+//!     ))
+//!     .probes(ProbeSet::new().leak_ratio("leak_r"))
+//!     .run(42);
+//! assert!(outcome.metrics.f64("leak_r") < 1.0);
+//! assert!(outcome.events > 0);
+//! ```
+
+use aitf_core::AitfConfig;
+use aitf_engine::{Outcome, Params};
+use aitf_netsim::SimDuration;
+
+use crate::probe::{ProbeSet, SeriesStore};
+use crate::topology::{Backend, BuiltWorld, TopologySpec};
+use crate::workload::{TrafficSpec, WorkloadSpec};
+
+/// A complete declarative experiment point.
+pub struct Scenario {
+    /// Protocol configuration shared by every node.
+    pub config: AitfConfig,
+    /// The world's shape.
+    pub topology: TopologySpec,
+    /// The traffic driving it.
+    pub workload: WorkloadSpec,
+    /// What to measure.
+    pub probes: ProbeSet,
+    /// How long to simulate.
+    pub duration: SimDuration,
+    /// Which router implementation runs.
+    pub backend: Backend,
+}
+
+impl Scenario {
+    /// A scenario over `topology` with default config, an empty workload,
+    /// no probes and a 10 s horizon.
+    pub fn new(topology: TopologySpec) -> Self {
+        Scenario {
+            config: AitfConfig::default(),
+            topology,
+            workload: WorkloadSpec::new(),
+            probes: ProbeSet::new(),
+            duration: SimDuration::from_secs(10),
+            backend: Backend::Aitf,
+        }
+    }
+
+    /// Sets the protocol configuration.
+    pub fn config(mut self, cfg: AitfConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Replaces the workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Appends one traffic entry.
+    pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.workload.push(spec);
+        self
+    }
+
+    /// Sets the probe set.
+    pub fn probes(mut self, probes: ProbeSet) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Selects the router backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the world and installs the workload without running it —
+    /// the escape hatch for experiments that drive the simulation in
+    /// custom phases (mid-run snapshots, incremental sampling).
+    pub fn build(&self, seed: u64) -> BuiltWorld {
+        let mut world = self
+            .topology
+            .build_with(seed, self.config.clone(), self.backend);
+        self.workload.compile(&mut world);
+        world
+    }
+
+    /// Builds, runs and measures the scenario: the declarative path from
+    /// spec to [`Outcome`]. Metrics appear in probe declaration order
+    /// (end probes, summarizers, then emitted series); the simulator's
+    /// dispatched-event count is attached for the engine's telemetry.
+    pub fn run(self, seed: u64) -> Outcome {
+        let mut world = self.build(seed);
+        let ProbeSet {
+            end,
+            sample_bin,
+            mut sampled,
+            summarizers,
+        } = self.probes;
+
+        let mut store = SeriesStore::default();
+        match sample_bin {
+            None => {
+                assert!(
+                    sampled.is_empty() && summarizers.is_empty(),
+                    "sampled probes/summarizers need ProbeSet::bin"
+                );
+                world.world.sim.run_for(self.duration);
+            }
+            Some(bin) => {
+                for probe in &sampled {
+                    store.series.push((probe.name, Vec::new()));
+                }
+                let mut elapsed = SimDuration::ZERO;
+                while elapsed < self.duration {
+                    // Clamp the final bin so sampling never extends the
+                    // declared horizon: probes measure, they must not
+                    // change what is simulated.
+                    let remaining = self.duration - elapsed;
+                    let step = if remaining < bin { remaining } else { bin };
+                    world.world.sim.run_for(step);
+                    elapsed = elapsed + step;
+                    store.time_s.push(world.world.sim.now().as_secs_f64());
+                    for (probe, (_, values)) in sampled.iter_mut().zip(&mut store.series) {
+                        values.push((probe.sample)(&world));
+                    }
+                }
+            }
+        }
+
+        let mut metrics = Params::new();
+        for probe in end {
+            probe(&world, &mut metrics);
+        }
+        for summarize in summarizers {
+            summarize(&store, &mut metrics);
+        }
+        if !store.time_s.is_empty() && sampled.iter().any(|p| p.emit) {
+            metrics.set("_series_time_s", store.time_s.clone());
+            for (probe, (name, values)) in sampled.iter().zip(&store.series) {
+                if probe.emit {
+                    metrics.set(name, values.clone());
+                }
+            }
+        }
+        Outcome::new(metrics).with_events(world.world.sim.dispatched_events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Role;
+    use crate::workload::{HostSel, TargetSel};
+    use aitf_core::HostPolicy;
+
+    fn flood_scenario() -> Scenario {
+        Scenario::new(TopologySpec::fig1(HostPolicy::Malicious))
+            .duration(SimDuration::from_secs(3))
+            .traffic(TrafficSpec::flood(
+                HostSel::Role(Role::Attacker),
+                TargetSel::Victim,
+                500,
+                500,
+            ))
+    }
+
+    #[test]
+    fn run_reports_probe_metrics_in_declaration_order() {
+        let outcome = flood_scenario()
+            .probes(
+                ProbeSet::new()
+                    .leak_ratio("leak_r")
+                    .end(|w, m| m.set("filters", w.world.router(w.net("B_net")).filters().len())),
+            )
+            .run(11);
+        let names: Vec<&str> = outcome.metrics.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["leak_r", "filters"]);
+        assert!(outcome.events > 0);
+    }
+
+    #[test]
+    fn identical_scenarios_are_bit_identical() {
+        let probe = || ProbeSet::new().leak_ratio("leak_r");
+        let a = flood_scenario().probes(probe()).run(5);
+        let b = flood_scenario().probes(probe()).run(5);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn sampled_probes_accumulate_series_and_summaries() {
+        let bin = SimDuration::from_millis(500);
+        let outcome = flood_scenario()
+            .probes(
+                ProbeSet::new()
+                    .bin(bin)
+                    .sampled_filter_occupancy("_series_bnet_filters", "B_net", true)
+                    .time_to_block("t_block_s", "_series_bnet_filters", 0.0),
+            )
+            .run(9);
+        let series = outcome.metrics.f64_list("_series_bnet_filters");
+        assert_eq!(series.len(), 6, "3 s / 500 ms bins");
+        assert_eq!(
+            outcome.metrics.f64_list("_series_time_s").len(),
+            series.len()
+        );
+        // The flood is blocked at the attacker's gateway quickly.
+        assert!(outcome.metrics.f64("t_block_s") >= 0.0);
+    }
+
+    #[test]
+    fn sampling_never_extends_the_horizon() {
+        // 3 s horizon, 700 ms bins: the last bin clamps to 200 ms, so the
+        // sampled run simulates exactly what the unsampled one does.
+        let plain = flood_scenario().run(13);
+        let sampled = flood_scenario()
+            .probes(ProbeSet::new().bin(SimDuration::from_millis(700)).sampled(
+                "_series_zero",
+                false,
+                |_| 0.0,
+            ))
+            .run(13);
+        assert_eq!(plain.events, sampled.events);
+    }
+
+    #[test]
+    #[should_panic(expected = "need ProbeSet::bin")]
+    fn sampled_probes_without_a_bin_fail_loudly() {
+        let _ = flood_scenario()
+            .probes(ProbeSet::new().sampled("_series_x", true, |_| 0.0))
+            .run(1);
+    }
+}

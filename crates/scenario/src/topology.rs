@@ -1,0 +1,687 @@
+//! Declarative topologies: a `TopologySpec` is plain data describing the
+//! networks, hosts and peerings of an AITF world, plus generators for the
+//! canned shapes the paper's evaluation uses.
+//!
+//! - [`TopologySpec::fig1`] — the paper's Figure 1 path: two three-level
+//!   provider hierarchies peered at the top, one victim, one attacker.
+//! - [`TopologySpec::chain_pair`] — the same shape with configurable
+//!   depth, for the escalation and pushback comparisons.
+//! - [`TopologySpec::star`] — one victim network plus `M` attacker
+//!   networks around a hub, for capacity and scaling experiments.
+//! - [`TopologySpec::tree`] — a multi-level provider tree whose leaves
+//!   host the zombies; `tree(1, m, h, ..)` is exactly `star(m, h, ..)`
+//!   with one intermediate level added per extra level.
+//!
+//! Because the spec is data, experiments tweak it declaratively (flip a
+//! router policy by name, make the last spoke host a legitimate client)
+//! instead of re-rolling `WorldBuilder` calls; [`TopologySpec::build`]
+//! lowers it onto [`aitf_core::WorldBuilder`] in one canonical order, so
+//! two specs with equal data produce bit-identical worlds.
+
+use aitf_core::{AitfConfig, HostId, HostPolicy, NetId, RouterPolicy, World, WorldBuilder};
+use aitf_netsim::{LinkParams, SimDuration};
+
+use crate::alloc::PrefixAlloc;
+
+/// What a host is *for* in the scenario — workload compilation and probes
+/// select hosts by role, independent of the host's protocol
+/// [`HostPolicy`] (a compliant zombie is still [`Role::Attacker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The flood's target (and legitimate traffic's server).
+    Victim,
+    /// A source of undesired traffic (zombie, spoofer, forger).
+    Attacker,
+    /// A source of legitimate foreground traffic.
+    Legit,
+    /// Anything else (observers, idle hosts).
+    Aux,
+}
+
+/// Which side of the conflict a network sits on — probes aggregate
+/// filter/request counters over a side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Core / transit ADs (hubs, mid-tree providers).
+    Neutral,
+    /// The victim's provider chain.
+    Victim,
+    /// Networks hosting attack sources.
+    Attacker,
+}
+
+/// One declared network (AD).
+#[derive(Debug, Clone)]
+pub struct NetDecl {
+    /// Display name, unique within the spec (probes look nets up by it).
+    pub name: String,
+    /// The network prefix, in `a.b.c.d/len` form.
+    pub prefix: String,
+    /// Index of the provider network in [`TopologySpec::nets`].
+    pub parent: Option<usize>,
+    /// Border-router behaviour.
+    pub policy: RouterPolicy,
+    /// Uplink parameters towards the provider.
+    pub uplink: LinkParams,
+    /// Conflict side, for aggregate probes.
+    pub side: Side,
+}
+
+/// One declared end host.
+#[derive(Debug, Clone)]
+pub struct HostDecl {
+    /// Index of the home network in [`TopologySpec::nets`].
+    pub net: usize,
+    /// Whether the host complies with filtering requests.
+    pub policy: HostPolicy,
+    /// Tail-circuit parameters.
+    pub link: LinkParams,
+    /// Scenario role, for workload/probe selection.
+    pub role: Role,
+}
+
+/// One declared peering between (typically top-level) networks.
+#[derive(Debug, Clone)]
+pub struct PeeringDecl {
+    /// First peer's index in [`TopologySpec::nets`].
+    pub a: usize,
+    /// Second peer's index.
+    pub b: usize,
+    /// Link parameters.
+    pub link: LinkParams,
+}
+
+/// Which router implementation the world runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// AITF border routers (the paper's protocol).
+    #[default]
+    Aitf,
+    /// The hop-by-hop pushback baseline (Section V comparison).
+    Pushback,
+}
+
+/// A declarative topology: networks × hosts × peerings as plain data.
+///
+/// # Examples
+///
+/// ```
+/// use aitf_core::AitfConfig;
+/// use aitf_scenario::{Role, TopologySpec};
+///
+/// let mut t = TopologySpec::new();
+/// let wan = t.net("wan", "10.100.0.0/16", None);
+/// let g = t.net("g_net", "10.1.0.0/16", Some(wan));
+/// t.host(g, Role::Victim);
+/// let built = t.build(42, AitfConfig::default());
+/// assert_eq!(built.world.net_count(), 2);
+/// assert_eq!(built.world.host_net(built.victim()), built.net("g_net"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TopologySpec {
+    /// Declared networks, in build order.
+    pub nets: Vec<NetDecl>,
+    /// Declared hosts, in build order.
+    pub hosts: Vec<HostDecl>,
+    /// Declared peerings, in build order.
+    pub peerings: Vec<PeeringDecl>,
+}
+
+impl TopologySpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        TopologySpec::default()
+    }
+
+    /// Declares a network with the default router policy and uplink.
+    pub fn net(&mut self, name: &str, prefix: &str, parent: Option<usize>) -> usize {
+        self.net_with(
+            name,
+            prefix,
+            parent,
+            RouterPolicy::default(),
+            WorldBuilder::default_net_link(),
+            Side::Neutral,
+        )
+    }
+
+    /// Declares a network with explicit policy, uplink and side.
+    pub fn net_with(
+        &mut self,
+        name: &str,
+        prefix: &str,
+        parent: Option<usize>,
+        policy: RouterPolicy,
+        uplink: LinkParams,
+        side: Side,
+    ) -> usize {
+        assert!(
+            self.nets.iter().all(|n| n.name != name),
+            "duplicate network name {name:?}"
+        );
+        self.nets.push(NetDecl {
+            name: name.to_string(),
+            prefix: prefix.to_string(),
+            parent,
+            policy,
+            uplink,
+            side,
+        });
+        self.nets.len() - 1
+    }
+
+    /// Declares a compliant host with the default tail circuit.
+    pub fn host(&mut self, net: usize, role: Role) -> usize {
+        self.host_with(
+            net,
+            role,
+            HostPolicy::Compliant,
+            WorldBuilder::default_host_link(),
+        )
+    }
+
+    /// Declares a host with explicit policy and tail-circuit parameters.
+    pub fn host_with(
+        &mut self,
+        net: usize,
+        role: Role,
+        policy: HostPolicy,
+        link: LinkParams,
+    ) -> usize {
+        self.hosts.push(HostDecl {
+            net,
+            policy,
+            link,
+            role,
+        });
+        self.hosts.len() - 1
+    }
+
+    /// Declares a peering.
+    pub fn peer(&mut self, a: usize, b: usize, link: LinkParams) {
+        self.peerings.push(PeeringDecl { a, b, link });
+    }
+
+    /// Index of the network named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such network was declared.
+    pub fn net_index(&self, name: &str) -> usize {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no network named {name:?} in the topology"))
+    }
+
+    /// Overrides a network's router policy, by name.
+    pub fn set_net_policy(&mut self, name: &str, policy: RouterPolicy) {
+        let i = self.net_index(name);
+        self.nets[i].policy = policy;
+    }
+
+    /// Overrides every network's router policy (e.g. an undefended world
+    /// of [`RouterPolicy::legacy`] routers).
+    pub fn set_all_net_policies(&mut self, policy: RouterPolicy) {
+        for n in &mut self.nets {
+            n.policy = policy;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Generators for the canned shapes.
+    // ------------------------------------------------------------------
+
+    /// The paper's Figure 1: `G_wan ⊃ G_isp ⊃ G_net` and
+    /// `B_wan ⊃ B_isp ⊃ B_net`, peered at the top; the victim in `G_net`,
+    /// the attacker in `B_net`.
+    pub fn fig1(attacker_policy: HostPolicy) -> Self {
+        Self::fig1_with_victim_link(attacker_policy, WorldBuilder::default_host_link())
+    }
+
+    /// [`TopologySpec::fig1`] with an explicit victim tail circuit — E2
+    /// sweeps the victim→gateway delay `Tr` through it.
+    pub fn fig1_with_victim_link(attacker_policy: HostPolicy, victim_link: LinkParams) -> Self {
+        let mut t = TopologySpec::new();
+        let d = RouterPolicy::default;
+        let l = WorldBuilder::default_net_link;
+        let g_wan = t.net_with("G_wan", "10.103.0.0/16", None, d(), l(), Side::Victim);
+        let g_isp = t.net_with(
+            "G_isp",
+            "10.102.0.0/16",
+            Some(g_wan),
+            d(),
+            l(),
+            Side::Victim,
+        );
+        let g_net = t.net_with("G_net", "10.1.0.0/16", Some(g_isp), d(), l(), Side::Victim);
+        let b_wan = t.net_with("B_wan", "10.203.0.0/16", None, d(), l(), Side::Attacker);
+        let b_isp = t.net_with(
+            "B_isp",
+            "10.202.0.0/16",
+            Some(b_wan),
+            d(),
+            l(),
+            Side::Attacker,
+        );
+        let b_net = t.net_with(
+            "B_net",
+            "10.9.0.0/16",
+            Some(b_isp),
+            d(),
+            l(),
+            Side::Attacker,
+        );
+        t.peer(g_wan, b_wan, WorldBuilder::default_net_link());
+        t.host_with(g_net, Role::Victim, HostPolicy::Compliant, victim_link);
+        t.host_with(
+            b_net,
+            Role::Attacker,
+            attacker_policy,
+            WorldBuilder::default_host_link(),
+        );
+        t
+    }
+
+    /// Two provider chains of `depth` networks each, peered at the top;
+    /// `depth = 3` is [`TopologySpec::fig1`]'s shape. Networks are named
+    /// `G_<level>`/`B_<level>` with level 1 at the leaf; prefixes come
+    /// from the [`PrefixAlloc`] sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn chain_pair(depth: usize, attacker_policy: HostPolicy) -> Self {
+        Self::chains(depth, attacker_policy, |side, level, alloc| {
+            let tag = if side == 0 { "G" } else { "B" };
+            (
+                format!("{}_{}", tag, level + 1),
+                alloc.next_slash16().to_string(),
+            )
+        })
+    }
+
+    /// [`TopologySpec::chain_pair`] with the E8 naming/prefix scheme
+    /// (`<side>-<level>` over `10.{1 + 100·side + level}.0.0/16`), kept
+    /// for record compatibility with the pushback comparison.
+    pub fn chain_pair_by_level(depth: usize) -> Self {
+        Self::chains(depth, HostPolicy::Malicious, |side, level, _| {
+            (
+                format!("{side}-{level}"),
+                format!("10.{}.0.0/16", 1 + side * 100 + level),
+            )
+        })
+    }
+
+    fn chains(
+        depth: usize,
+        attacker_policy: HostPolicy,
+        mut naming: impl FnMut(usize, usize, &mut PrefixAlloc) -> (String, String),
+    ) -> Self {
+        assert!(depth > 0, "depth must be at least 1");
+        let mut alloc = PrefixAlloc::new();
+        let mut t = TopologySpec::new();
+        let mut leaves = [0usize; 2];
+        let mut tops = [0usize; 2];
+        for side in 0..2 {
+            let s = if side == 0 {
+                Side::Victim
+            } else {
+                Side::Attacker
+            };
+            let mut parent: Option<usize> = None;
+            for level in (0..depth).rev() {
+                let (name, prefix) = naming(side, level, &mut alloc);
+                let id = t.net_with(
+                    &name,
+                    &prefix,
+                    parent,
+                    RouterPolicy::default(),
+                    WorldBuilder::default_net_link(),
+                    s,
+                );
+                if level == depth - 1 {
+                    tops[side] = id;
+                }
+                parent = Some(id);
+                leaves[side] = id;
+            }
+        }
+        t.peer(tops[0], tops[1], WorldBuilder::default_net_link());
+        t.host(leaves[0], Role::Victim);
+        t.host_with(
+            leaves[1],
+            Role::Attacker,
+            attacker_policy,
+            WorldBuilder::default_host_link(),
+        );
+        t
+    }
+
+    /// One victim network plus `n_nets` attacker networks (named
+    /// `zombie_net_<i>`, `hosts_per_net` zombies each) around a `hub` AD.
+    /// The victim's tail circuit is `victim_tail_bps`; zombies get fat
+    /// links so the bottleneck is the victim side, as in the paper's
+    /// introduction.
+    pub fn star(
+        n_nets: usize,
+        hosts_per_net: usize,
+        zombie_policy: HostPolicy,
+        victim_tail_bps: u64,
+    ) -> Self {
+        Self::tree(1, n_nets, hosts_per_net, zombie_policy, victim_tail_bps)
+    }
+
+    /// A multi-level provider tree: a hub AD at the root, `branching`
+    /// children per node for `levels` levels, zombies only in the leaf
+    /// networks. `tree(1, m, h, ..)` is exactly
+    /// [`TopologySpec::star`]`(m, h, ..)` — star worlds are one-level
+    /// trees — and deeper trees exercise escalation through shared
+    /// intermediate providers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero or the tree needs more than
+    /// [`PrefixAlloc::CAPACITY`] networks.
+    pub fn tree(
+        levels: usize,
+        branching: usize,
+        hosts_per_leaf: usize,
+        zombie_policy: HostPolicy,
+        victim_tail_bps: u64,
+    ) -> Self {
+        assert!(levels > 0, "tree needs at least one level below the hub");
+        let mut alloc = PrefixAlloc::new();
+        let mut t = TopologySpec::new();
+        let hub_prefix = alloc.next_slash16().to_string();
+        let hub = t.net("hub", &hub_prefix, None);
+        let victim_prefix = alloc.next_slash16().to_string();
+        let victim_net = t.net_with(
+            "victim_net",
+            &victim_prefix,
+            Some(hub),
+            RouterPolicy::default(),
+            WorldBuilder::default_net_link(),
+            Side::Victim,
+        );
+        t.host_with(
+            victim_net,
+            Role::Victim,
+            HostPolicy::Compliant,
+            LinkParams::ethernet(victim_tail_bps, SimDuration::from_millis(5)),
+        );
+        // Leaf naming matches the historical star generator at depth 1
+        // (`zombie_net_<i>`); deeper trees label intermediate providers
+        // `ad_<path>` and leaves by their leaf ordinal.
+        let mut leaf_ordinal = 0usize;
+        let mut stack: Vec<(usize, usize, String)> = (0..branching)
+            .rev()
+            .map(|i| (hub, 1, i.to_string()))
+            .collect();
+        while let Some((parent, level, path)) = stack.pop() {
+            let prefix = alloc.next_slash16().to_string();
+            if level == levels {
+                let name = format!("zombie_net_{leaf_ordinal}");
+                leaf_ordinal += 1;
+                let net = t.net_with(
+                    &name,
+                    &prefix,
+                    Some(parent),
+                    RouterPolicy::default(),
+                    WorldBuilder::default_net_link(),
+                    Side::Attacker,
+                );
+                for _ in 0..hosts_per_leaf {
+                    t.host_with(
+                        net,
+                        Role::Attacker,
+                        zombie_policy,
+                        WorldBuilder::default_host_link(),
+                    );
+                }
+            } else {
+                let net = t.net(&format!("ad_{path}"), &prefix, Some(parent));
+                for i in (0..branching).rev() {
+                    stack.push((net, level + 1, format!("{path}_{i}")));
+                }
+            }
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Lowering.
+    // ------------------------------------------------------------------
+
+    /// Builds the world with AITF border routers.
+    pub fn build(&self, seed: u64, cfg: AitfConfig) -> BuiltWorld {
+        self.build_with(seed, cfg, Backend::Aitf)
+    }
+
+    /// Builds the world with the chosen router backend.
+    pub fn build_with(&self, seed: u64, cfg: AitfConfig, backend: Backend) -> BuiltWorld {
+        let mut b = WorldBuilder::new(seed, cfg);
+        let mut ids: Vec<NetId> = Vec::with_capacity(self.nets.len());
+        for n in &self.nets {
+            let parent = n.parent.map(|p| {
+                assert!(
+                    p < ids.len(),
+                    "network {:?} declared before its parent",
+                    n.name
+                );
+                ids[p]
+            });
+            ids.push(b.network_with(&n.name, &n.prefix, parent, n.policy, n.uplink));
+        }
+        for p in &self.peerings {
+            b.peer(ids[p.a], ids[p.b], p.link);
+        }
+        let host_ids: Vec<HostId> = self
+            .hosts
+            .iter()
+            .map(|h| b.host_with(ids[h.net], h.policy, h.link))
+            .collect();
+        let world = match backend {
+            Backend::Aitf => b.build(),
+            Backend::Pushback => aitf_baseline::build_pushback_world(b),
+        };
+        BuiltWorld {
+            world,
+            net_ids: ids,
+            host_ids,
+            net_names: self.nets.iter().map(|n| n.name.clone()).collect(),
+            net_sides: self.nets.iter().map(|n| n.side).collect(),
+            host_roles: self.hosts.iter().map(|h| h.role).collect(),
+        }
+    }
+}
+
+/// A built world plus the role/name bookkeeping workloads and probes
+/// select by. Net/host handles are the ones the builder actually
+/// returned, indexed by declaration position — lookups never assume
+/// anything about how `WorldBuilder` allocates ids.
+pub struct BuiltWorld {
+    /// The runnable world.
+    pub world: World,
+    net_ids: Vec<NetId>,
+    host_ids: Vec<HostId>,
+    net_names: Vec<String>,
+    net_sides: Vec<Side>,
+    host_roles: Vec<Role>,
+}
+
+impl BuiltWorld {
+    /// The network named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such network exists.
+    pub fn net(&self, name: &str) -> NetId {
+        let i = self
+            .net_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no network named {name:?} in the world"));
+        self.net_ids[i]
+    }
+
+    /// All networks on a side, in declaration order.
+    pub fn nets_on(&self, side: Side) -> Vec<NetId> {
+        self.net_sides
+            .iter()
+            .zip(&self.net_ids)
+            .filter(|&(s, _)| *s == side)
+            .map(|(_, &id)| id)
+            .collect()
+    }
+
+    /// All hosts with a role, in declaration order.
+    pub fn hosts_with(&self, role: Role) -> Vec<HostId> {
+        self.host_roles
+            .iter()
+            .zip(&self.host_ids)
+            .filter(|&(r, _)| *r == role)
+            .map(|(_, &id)| id)
+            .collect()
+    }
+
+    /// The first host with `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no host has the role.
+    pub fn first_with(&self, role: Role) -> HostId {
+        let i = self
+            .host_roles
+            .iter()
+            .position(|&r| r == role)
+            .unwrap_or_else(|| panic!("no host with role {role:?} in the world"));
+        self.host_ids[i]
+    }
+
+    /// The victim (first [`Role::Victim`] host).
+    pub fn victim(&self) -> HostId {
+        self.first_with(Role::Victim)
+    }
+
+    /// A host by declaration index.
+    pub fn host_id(&self, index: usize) -> HostId {
+        assert!(index < self.host_ids.len(), "host index out of range");
+        self.host_ids[index]
+    }
+
+    /// The role a host was declared with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle that did not come from this world.
+    pub fn role_of(&self, host: HostId) -> Role {
+        let i = self
+            .host_ids
+            .iter()
+            .position(|&h| h == host)
+            .unwrap_or_else(|| panic!("host handle {host:?} is not from this world"));
+        self.host_roles[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_paper_shape() {
+        let t = TopologySpec::fig1(HostPolicy::Malicious);
+        let f = t.build(1, AitfConfig::default());
+        assert_eq!(f.world.net_count(), 6);
+        assert_eq!(f.world.host_count(), 2);
+        assert_eq!(f.world.net_name(f.net("G_net")), "G_net");
+        assert!(f.world.uplink(f.net("G_net")).is_some());
+        assert!(f.world.uplink(f.net("G_wan")).is_none());
+        assert_eq!(f.role_of(f.victim()), Role::Victim);
+    }
+
+    #[test]
+    fn chain_pair_depth_one_is_minimal() {
+        let c = TopologySpec::chain_pair(1, HostPolicy::Compliant).build(1, AitfConfig::default());
+        assert_eq!(c.world.net_count(), 2);
+        assert_eq!(c.nets_on(Side::Victim).len(), 1);
+    }
+
+    #[test]
+    fn chain_pair_depth_three_equals_fig1_shape() {
+        let c = TopologySpec::chain_pair(3, HostPolicy::Compliant).build(1, AitfConfig::default());
+        assert_eq!(c.world.net_count(), 6);
+        // G_1 is the leaf (has an uplink), G_3 the top (peered, no uplink).
+        assert!(c.world.uplink(c.net("G_1")).is_some());
+        assert!(c.world.uplink(c.net("G_3")).is_none());
+    }
+
+    #[test]
+    fn star_world_counts() {
+        let s = TopologySpec::star(8, 3, HostPolicy::Malicious, 10_000_000)
+            .build(1, AitfConfig::default());
+        assert_eq!(s.nets_on(Side::Attacker).len(), 8);
+        assert_eq!(s.hosts_with(Role::Attacker).len(), 24);
+        assert_eq!(s.world.net_count(), 10);
+        assert_eq!(s.world.host_count(), 25);
+    }
+
+    #[test]
+    fn tree_level_one_is_a_star() {
+        let star = TopologySpec::star(4, 2, HostPolicy::Malicious, 10_000_000);
+        let tree = TopologySpec::tree(1, 4, 2, HostPolicy::Malicious, 10_000_000);
+        assert_eq!(star.nets.len(), tree.nets.len());
+        for (a, b) in star.nets.iter().zip(&tree.nets) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(a.parent, b.parent);
+        }
+        assert_eq!(star.hosts.len(), tree.hosts.len());
+    }
+
+    #[test]
+    fn deep_tree_hangs_zombies_off_intermediate_providers() {
+        let t = TopologySpec::tree(2, 3, 2, HostPolicy::Malicious, 10_000_000);
+        // hub + victim_net + 3 mid ADs + 9 leaves.
+        assert_eq!(t.nets.len(), 14);
+        let b = t.build(1, AitfConfig::default());
+        assert_eq!(b.nets_on(Side::Attacker).len(), 9);
+        assert_eq!(b.hosts_with(Role::Attacker).len(), 18);
+        // Leaves are two hops below the hub.
+        let leaf = b.net("zombie_net_0");
+        let mid = b.net("ad_0");
+        assert!(b.world.uplink(leaf).is_some());
+        assert!(b.world.uplink(mid).is_some());
+        assert!(b.world.uplink(b.net("hub")).is_none());
+    }
+
+    #[test]
+    fn star_scales_past_256_nets() {
+        // The checked PrefixAlloc bound exists for armies beyond the old
+        // 64-net sweeps: building a 300-net star must not exhaust it.
+        let t = TopologySpec::star(300, 1, HostPolicy::Malicious, 10_000_000);
+        assert_eq!(t.nets.len(), 302);
+        let b = t.build(7, AitfConfig::default());
+        assert_eq!(b.world.net_count(), 302);
+        assert_eq!(b.world.host_count(), 301);
+        assert_eq!(b.hosts_with(Role::Attacker).len(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate network name")]
+    fn duplicate_net_names_are_rejected() {
+        let mut t = TopologySpec::new();
+        t.net("a", "10.1.0.0/16", None);
+        t.net("a", "10.2.0.0/16", None);
+    }
+
+    #[test]
+    fn policy_overrides_by_name() {
+        let mut t = TopologySpec::fig1(HostPolicy::Malicious);
+        t.set_net_policy("B_net", RouterPolicy::non_cooperating());
+        assert!(!t.nets[t.net_index("B_net")].policy.cooperating);
+        t.set_all_net_policies(RouterPolicy::legacy());
+        assert!(t.nets.iter().all(|n| !n.policy.aitf_enabled));
+    }
+}

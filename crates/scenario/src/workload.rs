@@ -1,0 +1,464 @@
+//! Declarative workloads: a `WorkloadSpec` is an ordered list of
+//! [`TrafficSpec`] entries — flood armies, legitimate flow pools, on/off
+//! phases, spoofing floods — each selecting its source hosts by
+//! [`Role`] and compiling onto them via the existing
+//! [`aitf_core::TrafficApp`] machinery.
+//!
+//! Compilation order is part of a scenario's identity (it fixes timer
+//! sequence numbers and therefore event ordering), so entries install in
+//! declaration order and each entry arms its selected hosts in host
+//! declaration order.
+
+use std::sync::Arc;
+
+use aitf_attack::{FloodSource, LegitClient, OnOffSource, SpoofingFlood};
+use aitf_core::{HostId, TrafficApp};
+use aitf_netsim::{SimDuration, SimTime};
+use aitf_packet::{Addr, Prefix};
+
+use crate::topology::{BuiltWorld, Role};
+
+/// Selects the source hosts of a traffic entry.
+#[derive(Debug, Clone)]
+pub enum HostSel {
+    /// One host, by declaration index.
+    Index(usize),
+    /// Every host with the role, in declaration order.
+    Role(Role),
+    /// The first `n` hosts with the role, in declaration order.
+    RoleFirst(Role, usize),
+}
+
+impl HostSel {
+    /// Resolves the selection against a built world.
+    pub fn resolve(&self, world: &BuiltWorld) -> Vec<HostId> {
+        match *self {
+            HostSel::Index(i) => vec![world.host_id(i)],
+            HostSel::Role(role) => world.hosts_with(role),
+            HostSel::RoleFirst(role, n) => {
+                let mut hosts = world.hosts_with(role);
+                hosts.truncate(n);
+                hosts
+            }
+        }
+    }
+}
+
+/// Selects where a traffic entry's packets go.
+#[derive(Debug, Clone, Copy)]
+pub enum TargetSel {
+    /// The world's victim (first [`Role::Victim`] host).
+    Victim,
+    /// A fixed host, by declaration index.
+    Host(usize),
+    /// The `i`-th selected source targets the `i`-th host of this role —
+    /// distinct zombie→victim pairs (E5's per-flow layout).
+    Paired(Role),
+}
+
+impl TargetSel {
+    /// Resolves the target address for each of `n` sources, looking any
+    /// role pool up once (not per source).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a paired role has fewer hosts than there are sources.
+    fn resolve_all(&self, world: &BuiltWorld, n: usize) -> Vec<Addr> {
+        match *self {
+            TargetSel::Victim => vec![world.world.host_addr(world.victim()); n],
+            TargetSel::Host(i) => vec![world.world.host_addr(world.host_id(i)); n],
+            TargetSel::Paired(role) => {
+                let pool = world.hosts_with(role);
+                assert!(
+                    pool.len() >= n,
+                    "paired target: {} sources but only {} {:?} hosts",
+                    n,
+                    pool.len(),
+                    role
+                );
+                pool[..n]
+                    .iter()
+                    .map(|&h| world.world.host_addr(h))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A traffic rate: either per selected host, or an aggregate split across
+/// them.
+#[derive(Debug, Clone, Copy)]
+pub enum Rate {
+    /// Each selected host sends at this rate (packets/second).
+    PerHost(u64),
+    /// The selected hosts share this total rate: each gets `total / n`
+    /// packets/second, with the remainder distributed one packet/second
+    /// to the first `total % n` hosts.
+    Aggregate(u64),
+}
+
+impl Rate {
+    /// Splits the rate over `n` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if an aggregate rate is too low to give
+    /// every host at least one packet/second.
+    pub fn split(&self, n: usize) -> Vec<u64> {
+        assert!(n > 0, "rate split over zero hosts");
+        match *self {
+            Rate::PerHost(pps) => vec![pps; n],
+            Rate::Aggregate(total) => {
+                let base = total / n as u64;
+                let extra = (total % n as u64) as usize;
+                assert!(
+                    base > 0,
+                    "aggregate rate {total} pps cannot cover {n} hosts"
+                );
+                (0..n).map(|i| base + u64::from(i < extra)).collect()
+            }
+        }
+    }
+}
+
+/// Factory closure for bespoke traffic applications (forgers, protocol
+/// hoppers) that need world addresses at install time.
+pub type AppFactory = Arc<dyn Fn(&BuiltWorld, HostId) -> Box<dyn TrafficApp> + Send + Sync>;
+
+/// What kind of traffic an entry generates.
+pub enum TrafficKind {
+    /// A constant-rate flood ([`FloodSource`]).
+    Flood {
+        /// Flood rate.
+        rate: Rate,
+        /// Packet size in bytes.
+        size: u32,
+    },
+    /// The on-off evasion pattern ([`OnOffSource`]).
+    OnOff {
+        /// Rate during on-phases, packets/second.
+        pps: u64,
+        /// Packet size in bytes.
+        size: u32,
+        /// On-phase length.
+        on_period: SimDuration,
+        /// Off-phase length.
+        off_period: SimDuration,
+    },
+    /// A source-address spoofing flood ([`SpoofingFlood`]).
+    Spoof {
+        /// Rate, packets/second.
+        pps: u64,
+        /// Packet size in bytes.
+        size: u32,
+        /// Prefix the spoofed sources are drawn from.
+        pool: Prefix,
+        /// Number of distinct spoofed sources.
+        pool_size: u32,
+        /// Draw randomly instead of round-robin.
+        random: bool,
+    },
+    /// Legitimate foreground traffic ([`LegitClient`]).
+    Legit {
+        /// Rate, packets/second.
+        pps: u64,
+        /// Packet size in bytes.
+        size: u32,
+        /// Poisson inter-arrivals instead of CBR.
+        poisson: bool,
+    },
+    /// A bespoke [`TrafficApp`] built at install time.
+    Custom(AppFactory),
+}
+
+impl std::fmt::Debug for TrafficKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficKind::Flood { rate, size } => f
+                .debug_struct("Flood")
+                .field("rate", rate)
+                .field("size", size)
+                .finish(),
+            TrafficKind::OnOff { pps, .. } => f.debug_struct("OnOff").field("pps", pps).finish(),
+            TrafficKind::Spoof { pps, .. } => f.debug_struct("Spoof").field("pps", pps).finish(),
+            TrafficKind::Legit { pps, .. } => f.debug_struct("Legit").field("pps", pps).finish(),
+            TrafficKind::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// One workload entry: a kind of traffic, its sources, its target and its
+/// activation window.
+#[derive(Debug)]
+pub struct TrafficSpec {
+    /// Source hosts.
+    pub on: HostSel,
+    /// Destination (ignored by [`TrafficKind::Custom`]).
+    pub to: TargetSel,
+    /// Traffic shape.
+    pub kind: TrafficKind,
+    /// Delay before the first selected host starts.
+    pub start_after: SimDuration,
+    /// Extra delay per selected host (`i`-th host starts at
+    /// `start_after + i · stagger`) — staggered zombie armies.
+    pub stagger: SimDuration,
+    /// Absolute stop time, if any.
+    pub stop_at: Option<SimTime>,
+}
+
+impl TrafficSpec {
+    fn new(on: HostSel, to: TargetSel, kind: TrafficKind) -> Self {
+        TrafficSpec {
+            on,
+            to,
+            kind,
+            start_after: SimDuration::ZERO,
+            stagger: SimDuration::ZERO,
+            stop_at: None,
+        }
+    }
+
+    /// A constant-rate flood at `pps` packets/second per host.
+    pub fn flood(on: HostSel, to: TargetSel, pps: u64, size: u32) -> Self {
+        Self::new(
+            on,
+            to,
+            TrafficKind::Flood {
+                rate: Rate::PerHost(pps),
+                size,
+            },
+        )
+    }
+
+    /// A flood whose `total_pps` is split across the selected hosts.
+    pub fn flood_aggregate(on: HostSel, to: TargetSel, total_pps: u64, size: u32) -> Self {
+        Self::new(
+            on,
+            to,
+            TrafficKind::Flood {
+                rate: Rate::Aggregate(total_pps),
+                size,
+            },
+        )
+    }
+
+    /// An on-off flood.
+    pub fn onoff(
+        on: HostSel,
+        to: TargetSel,
+        pps: u64,
+        size: u32,
+        on_period: SimDuration,
+        off_period: SimDuration,
+    ) -> Self {
+        Self::new(
+            on,
+            to,
+            TrafficKind::OnOff {
+                pps,
+                size,
+                on_period,
+                off_period,
+            },
+        )
+    }
+
+    /// A round-robin spoofing flood.
+    pub fn spoof(
+        on: HostSel,
+        to: TargetSel,
+        pps: u64,
+        size: u32,
+        pool: Prefix,
+        pool_size: u32,
+    ) -> Self {
+        Self::new(
+            on,
+            to,
+            TrafficKind::Spoof {
+                pps,
+                size,
+                pool,
+                pool_size,
+                random: false,
+            },
+        )
+    }
+
+    /// A legitimate CBR client.
+    pub fn legit(on: HostSel, to: TargetSel, pps: u64, size: u32) -> Self {
+        Self::new(
+            on,
+            to,
+            TrafficKind::Legit {
+                pps,
+                size,
+                poisson: false,
+            },
+        )
+    }
+
+    /// A bespoke app per selected host.
+    pub fn custom(
+        on: HostSel,
+        make: impl Fn(&BuiltWorld, HostId) -> Box<dyn TrafficApp> + Send + Sync + 'static,
+    ) -> Self {
+        Self::new(on, TargetSel::Victim, TrafficKind::Custom(Arc::new(make)))
+    }
+
+    /// Delays the entry's start.
+    pub fn starting_after(mut self, delay: SimDuration) -> Self {
+        self.start_after = delay;
+        self
+    }
+
+    /// Staggers consecutive hosts' starts.
+    pub fn staggered(mut self, stagger: SimDuration) -> Self {
+        self.stagger = stagger;
+        self
+    }
+
+    /// Stops the entry at an absolute time.
+    pub fn stopping_at(mut self, t: SimTime) -> Self {
+        self.stop_at = Some(t);
+        self
+    }
+}
+
+/// An ordered list of traffic entries.
+#[derive(Debug, Default)]
+pub struct WorkloadSpec {
+    /// The entries, in installation order.
+    pub traffic: Vec<TrafficSpec>,
+}
+
+impl WorkloadSpec {
+    /// An empty workload.
+    pub fn new() -> Self {
+        WorkloadSpec::default()
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, spec: TrafficSpec) -> Self {
+        self.traffic.push(spec);
+        self
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, spec: TrafficSpec) {
+        self.traffic.push(spec);
+    }
+
+    /// Installs every entry's apps onto the built world, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on specs the underlying sources cannot express (start/stop
+    /// windows on kinds without them) and on entries that select no
+    /// hosts — either way a scenario-authoring bug, and a silently empty
+    /// workload would masquerade as a perfectly defended run.
+    pub fn compile(&self, world: &mut BuiltWorld) {
+        for spec in &self.traffic {
+            let sources = spec.on.resolve(world);
+            assert!(
+                !sources.is_empty(),
+                "traffic entry {:?} selects no hosts",
+                spec.on
+            );
+            let rates = match &spec.kind {
+                TrafficKind::Flood { rate, size: _ } => Some(rate.split(sources.len())),
+                _ => None,
+            };
+            let targets = spec.to.resolve_all(world, sources.len());
+            for (i, &host) in sources.iter().enumerate() {
+                let start = spec.start_after + spec.stagger * i as u64;
+                let windowless = |what: &str| {
+                    assert!(
+                        start.is_zero() && spec.stop_at.is_none(),
+                        "{what} traffic does not support start/stop windows"
+                    );
+                };
+                let app: Box<dyn TrafficApp> = match &spec.kind {
+                    TrafficKind::Flood { size, .. } => {
+                        let pps = rates.as_ref().expect("rates computed for floods")[i];
+                        let mut flood =
+                            FloodSource::new(targets[i], pps, *size).starting_after(start);
+                        if let Some(stop) = spec.stop_at {
+                            flood = flood.stopping_at(stop);
+                        }
+                        Box::new(flood)
+                    }
+                    TrafficKind::OnOff {
+                        pps,
+                        size,
+                        on_period,
+                        off_period,
+                    } => {
+                        windowless("on-off");
+                        Box::new(OnOffSource::new(
+                            targets[i],
+                            *pps,
+                            *size,
+                            *on_period,
+                            *off_period,
+                        ))
+                    }
+                    TrafficKind::Spoof {
+                        pps,
+                        size,
+                        pool,
+                        pool_size,
+                        random,
+                    } => {
+                        windowless("spoofing");
+                        let mut s = SpoofingFlood::new(targets[i], *pps, *size, *pool, *pool_size);
+                        if *random {
+                            s = s.randomised();
+                        }
+                        Box::new(s)
+                    }
+                    TrafficKind::Legit { pps, size, poisson } => {
+                        windowless("legitimate");
+                        let mut c = LegitClient::new(targets[i], *pps, *size);
+                        if *poisson {
+                            c = c.poisson();
+                        }
+                        Box::new(c)
+                    }
+                    TrafficKind::Custom(make) => {
+                        windowless("custom");
+                        make(&*world, host)
+                    }
+                };
+                world.world.add_app(host, app);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_host_rate_split_is_even_with_remainder_up_front() {
+        assert_eq!(Rate::PerHost(50).split(3), vec![50, 50, 50]);
+        assert_eq!(Rate::Aggregate(1000).split(4), vec![250, 250, 250, 250]);
+        assert_eq!(Rate::Aggregate(10).split(3), vec![4, 3, 3]);
+        let split = Rate::Aggregate(1001).split(4);
+        assert_eq!(split, vec![251, 250, 250, 250]);
+        assert_eq!(split.iter().sum::<u64>(), 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn aggregate_rate_must_cover_every_host() {
+        let _ = Rate::Aggregate(3).split(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero hosts")]
+    fn rate_split_rejects_zero_hosts() {
+        let _ = Rate::PerHost(10).split(0);
+    }
+}

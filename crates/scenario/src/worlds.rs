@@ -1,0 +1,185 @@
+//! Pre-built canned worlds: the imperative face of the topology
+//! generators, for examples, integration tests and code that drives the
+//! simulation by hand. Each function lowers the corresponding
+//! [`TopologySpec`] generator and returns the built world with named
+//! handles — the API `aitf_attack::scenarios` used to provide, now backed
+//! by the declarative layer so the two can never drift apart.
+
+use aitf_core::{AitfConfig, HostId, HostPolicy, NetId, World};
+
+use crate::topology::{Role, Side, TopologySpec};
+
+/// The paper's Figure 1 world.
+pub struct Fig1World {
+    /// The built world.
+    pub world: World,
+    /// `G_net` (victim's enterprise network; its router is G_gw1).
+    pub g_net: NetId,
+    /// `G_isp` (router G_gw2).
+    pub g_isp: NetId,
+    /// `G_wan` (router G_gw3).
+    pub g_wan: NetId,
+    /// `B_net` (attacker's network; router B_gw1 is the attacker's gateway).
+    pub b_net: NetId,
+    /// `B_isp` (router B_gw2).
+    pub b_isp: NetId,
+    /// `B_wan` (router B_gw3).
+    pub b_wan: NetId,
+    /// `G_host`, the victim.
+    pub victim: HostId,
+    /// `B_host`, the attacker.
+    pub attacker: HostId,
+}
+
+/// Builds the Figure 1 topology with the given attacker host policy.
+pub fn fig1(cfg: AitfConfig, seed: u64, attacker_policy: HostPolicy) -> Fig1World {
+    let built = TopologySpec::fig1(attacker_policy).build(seed, cfg);
+    Fig1World {
+        g_net: built.net("G_net"),
+        g_isp: built.net("G_isp"),
+        g_wan: built.net("G_wan"),
+        b_net: built.net("B_net"),
+        b_isp: built.net("B_isp"),
+        b_wan: built.net("B_wan"),
+        victim: built.victim(),
+        attacker: built.first_with(Role::Attacker),
+        world: built.world,
+    }
+}
+
+/// A Figure-1-like world with configurable chain depth.
+pub struct ChainWorld {
+    /// The built world.
+    pub world: World,
+    /// Victim-side networks, leaf (victim's gateway) first.
+    pub g_chain: Vec<NetId>,
+    /// Attacker-side networks, leaf (attacker's gateway) first.
+    pub b_chain: Vec<NetId>,
+    /// The victim host.
+    pub victim: HostId,
+    /// The attacker host.
+    pub attacker: HostId,
+}
+
+/// Builds two provider chains of `depth` networks each, peered at the
+/// top; `depth = 3` is exactly [`fig1`]'s shape.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn chain_pair(
+    cfg: AitfConfig,
+    seed: u64,
+    depth: usize,
+    attacker_policy: HostPolicy,
+) -> ChainWorld {
+    let built = TopologySpec::chain_pair(depth, attacker_policy).build(seed, cfg);
+    // Generators declare each chain top-down; leaf-first is the reverse.
+    let chain = |side: Side| {
+        let mut nets = built.nets_on(side);
+        nets.reverse();
+        nets
+    };
+    ChainWorld {
+        g_chain: chain(Side::Victim),
+        b_chain: chain(Side::Attacker),
+        victim: built.victim(),
+        attacker: built.first_with(Role::Attacker),
+        world: built.world,
+    }
+}
+
+/// One victim network and `M` attacker networks around a hub.
+pub struct StarWorld {
+    /// The built world.
+    pub world: World,
+    /// The hub (top-level AD).
+    pub hub: NetId,
+    /// The victim's network.
+    pub victim_net: NetId,
+    /// The victim host.
+    pub victim: HostId,
+    /// Attacker networks.
+    pub attacker_nets: Vec<NetId>,
+    /// Zombie hosts, grouped by network in order.
+    pub zombies: Vec<HostId>,
+}
+
+/// Builds a star: `n_nets` attacker networks with `hosts_per_net` zombies
+/// each, all clients of one hub AD that also serves the victim's network.
+pub fn star(
+    cfg: AitfConfig,
+    seed: u64,
+    n_nets: usize,
+    hosts_per_net: usize,
+    zombie_policy: HostPolicy,
+    victim_tail_bps: u64,
+) -> StarWorld {
+    let built =
+        TopologySpec::star(n_nets, hosts_per_net, zombie_policy, victim_tail_bps).build(seed, cfg);
+    StarWorld {
+        hub: built.net("hub"),
+        victim_net: built.net("victim_net"),
+        victim: built.victim(),
+        attacker_nets: built.nets_on(Side::Attacker),
+        zombies: built.hosts_with(Role::Attacker),
+        world: built.world,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_netsim::SimDuration;
+
+    #[test]
+    fn fig1_handles_name_the_right_nets() {
+        let f = fig1(AitfConfig::default(), 1, HostPolicy::Malicious);
+        assert_eq!(f.world.net_name(f.g_net), "G_net");
+        assert_eq!(f.world.net_name(f.b_wan), "B_wan");
+        assert!(f.world.uplink(f.g_net).is_some());
+        assert!(f.world.uplink(f.g_wan).is_none());
+        assert!(f
+            .world
+            .net_prefix(f.b_net)
+            .contains(f.world.host_addr(f.attacker)));
+    }
+
+    #[test]
+    fn chain_world_is_leaf_first() {
+        let c = chain_pair(AitfConfig::default(), 1, 3, HostPolicy::Compliant);
+        assert_eq!(c.g_chain.len(), 3);
+        assert!(c.world.uplink(c.g_chain[0]).is_some(), "leaf has an uplink");
+        assert!(c.world.uplink(c.g_chain[2]).is_none(), "top is peered");
+        assert_eq!(c.world.host_net(c.victim), c.g_chain[0]);
+    }
+
+    #[test]
+    fn deep_chain_routes_end_to_end() {
+        let mut c = chain_pair(AitfConfig::default(), 1, 6, HostPolicy::Compliant);
+        let target = c.world.host_addr(c.victim);
+        c.world.add_app(
+            c.attacker,
+            Box::new(aitf_attack::LegitClient::new(target, 50, 500)),
+        );
+        c.world.sim.run_for(SimDuration::from_secs(2));
+        assert!(c.world.host(c.victim).counters().rx_legit_pkts > 80);
+    }
+
+    #[test]
+    fn star_world_handles() {
+        let s = star(
+            AitfConfig::default(),
+            1,
+            8,
+            3,
+            HostPolicy::Malicious,
+            10_000_000,
+        );
+        assert_eq!(s.attacker_nets.len(), 8);
+        assert_eq!(s.zombies.len(), 24);
+        assert_eq!(s.world.net_count(), 10);
+        assert_eq!(s.world.host_count(), 25);
+        assert_eq!(s.world.host_net(s.zombies[0]), s.attacker_nets[0]);
+    }
+}

@@ -7,10 +7,10 @@
 //!
 //! Run with `cargo run --example escalation_walkthrough`.
 
-use aitf_attack::scenarios::fig1;
 use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
 use aitf_netsim::SimDuration;
+use aitf_scenario::fig1;
 
 fn main() {
     println!("=== escalation walkthrough (Fig. 1, Section II-D) ===");

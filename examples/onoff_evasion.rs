@@ -8,11 +8,11 @@
 //!
 //! Run with `cargo run --example onoff_evasion`.
 
-use aitf_attack::scenarios::fig1;
 use aitf_attack::OnOffSource;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
 use aitf_netsim::SimDuration;
 use aitf_packet::FlowLabel;
+use aitf_scenario::fig1;
 
 fn main() {
     let cfg = AitfConfig {

@@ -7,10 +7,10 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use aitf_attack::scenarios::fig1;
 use aitf_attack::FloodSource;
 use aitf_core::{AitfConfig, HostPolicy};
 use aitf_netsim::SimDuration;
+use aitf_scenario::fig1;
 
 fn main() {
     // Paper defaults: T = 60 s, Ttmp = 1 s, R1 = 100/s, R2 = 1/s.

@@ -7,10 +7,10 @@
 //! `cargo run --example zombie_army`.
 
 use aitf_attack::army::{arm_floods, offered_bits_per_sec, ZombieArmySpec};
-use aitf_attack::scenarios::star;
 use aitf_attack::LegitClient;
 use aitf_core::{AitfConfig, HostPolicy, RouterPolicy};
 use aitf_netsim::SimDuration;
+use aitf_scenario::star;
 
 fn run(defended: bool) -> (f64, f64, u64) {
     let cfg = AitfConfig::default();

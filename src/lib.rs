@@ -15,8 +15,11 @@
 //!   cache and contract rate limiters.
 //! - [`traceback`] (`aitf-traceback`) — route-record and sampling
 //!   traceback providers.
-//! - [`attack`] (`aitf-attack`) — attack workloads and canned scenarios.
+//! - [`attack`] (`aitf-attack`) — attack and legitimate traffic sources.
 //! - [`baseline`] (`aitf-baseline`) — the hop-by-hop pushback baseline.
+//! - [`scenario`] (`aitf-scenario`) — the declarative scenario API:
+//!   topology × workload × probes, plus the canned worlds (Figure 1,
+//!   stars, chains, provider trees).
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end run and the
 //! `aitf-bench` crate for the experiment suite that regenerates the
@@ -28,4 +31,5 @@ pub use aitf_core as core;
 pub use aitf_filter as filter;
 pub use aitf_netsim as netsim;
 pub use aitf_packet as packet;
+pub use aitf_scenario as scenario;
 pub use aitf_traceback as traceback;

@@ -2,10 +2,10 @@
 //! traceback → core → attack) driven through the umbrella crate.
 
 use aitf::attack::army::{arm_floods, ZombieArmySpec};
-use aitf::attack::scenarios::{chain_pair, fig1, star};
 use aitf::attack::{FloodSource, LegitClient, OnOffSource};
 use aitf::core::{AitfConfig, HostPolicy, RouterPolicy, TracebackMode};
 use aitf::netsim::SimDuration;
+use aitf::scenario::{chain_pair, fig1, star};
 
 #[test]
 fn cooperative_world_bounds_the_leak_by_detection_time() {

@@ -30,6 +30,13 @@ fn e6_handshake_is_thread_count_invariant() {
 }
 
 #[test]
+fn e12_mixed_workload_is_thread_count_invariant() {
+    // The declarative-API-native experiment: sampled probes, aggregate
+    // rate splits and tree topologies must all stay schedule-independent.
+    assert_thread_invariant(aitf_bench::e12_mixed_workload::spec(true));
+}
+
+#[test]
 fn base_seed_flows_into_every_record() {
     let spec = aitf_bench::e11_detection::spec(true);
     let a = Runner::new(2).quick(true).base_seed(1).run(&spec);

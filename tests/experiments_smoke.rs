@@ -10,6 +10,7 @@ fn all_experiments_run_quick() {
     assert!(!aitf_bench::e6_handshake_security::run(true).is_empty());
     assert!(!aitf_bench::e7_onoff_attacks::run(true).is_empty());
     assert!(!aitf_bench::e9_ingress_incentive::run(true).is_empty());
+    assert!(!aitf_bench::e12_mixed_workload::run(true).is_empty());
 }
 
 #[test]
