@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e14_td_tr_grid` experiment; see the library
+//! module for the full description.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e14_td_tr_grid::run(quick);
+}

@@ -98,9 +98,16 @@ pub fn hub_filters_pushback(n_nets: usize, seed: u64) -> (u64, u64) {
     (outcome.metrics.u64("hub_filters"), outcome.events)
 }
 
-/// The E10 scenario spec: attacker-network count swept upward.
+/// The E10 scenario spec: attacker-network count swept upward. Full mode
+/// runs past the historical 64-net ceiling to 256 networks — the checked
+/// 60k-prefix [`aitf_scenario::PrefixAlloc`] makes armies at that scale
+/// routine to build.
 pub fn spec(quick: bool) -> ScenarioSpec {
-    let scales: &[u64] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let scales: &[u64] = if quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
     ScenarioSpec::new(
         "e10_scaling",
         "E10 (§III-C): per-provider load stays flat as the world grows",
@@ -166,5 +173,30 @@ mod tests {
         let (large, _) = hub_filters_pushback(24, 2);
         assert!(large > small, "hub pushback filters: {small} -> {large}");
         assert!(large >= 20, "hub must carry ~one filter per flow: {large}");
+    }
+
+    #[test]
+    fn full_mode_sweeps_past_64_nets_to_256() {
+        let full = spec(false);
+        let scales: Vec<u64> = full.points.iter().map(|p| p.u64("attacker_nets")).collect();
+        assert!(scales.contains(&128) && scales.contains(&256), "{scales:?}");
+        // Quick mode stays CI-sized.
+        assert!(spec(true)
+            .points
+            .iter()
+            .all(|p| p.u64("attacker_nets") <= 16));
+    }
+
+    #[test]
+    fn star_world_at_256_nets_builds() {
+        // The full sweep's largest point, as a build-only regression test:
+        // 256 spoke networks + hub + victim net, prefixes drawn from the
+        // checked 60k-/16 PrefixAlloc, routing tables computed.
+        use aitf_core::AitfConfig;
+        use aitf_scenario::TopologySpec;
+        let b = TopologySpec::star(256, 1, HostPolicy::Malicious, 10_000_000)
+            .build(3, AitfConfig::default());
+        assert_eq!(b.world.net_count(), 258);
+        assert_eq!(b.world.host_count(), 257);
     }
 }

@@ -23,10 +23,16 @@
 //! | [`e10_scaling`] | §III-C | per-provider load follows its own clients |
 //! | [`e11_detection`] | §V (detection boundary) | a real rate detector reproduces the assumed `Td` |
 //! | [`e12_mixed_workload`] | §I threat model | mixed legit/attack host ratios at constant load |
+//! | [`e13_filter_pressure`] | §IV-B sizing, stressed | leak degrades once capacity drops below filter demand |
+//! | [`e14_td_tr_grid`] | §IV-A.1 | the full `Td × Tr` grid tracks `(Td+Tr)/T` |
+//! | [`e15_host_churn`] | §III-C under churn | leak recovers after every mid-attack host wave |
 
 pub mod e10_scaling;
 pub mod e11_detection;
 pub mod e12_mixed_workload;
+pub mod e13_filter_pressure;
+pub mod e14_td_tr_grid;
+pub mod e15_host_churn;
 pub mod e1_escalation;
 pub mod e2_effective_bandwidth;
 pub mod e3_protection_capacity;
@@ -59,6 +65,9 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e10_scaling::spec(quick));
     r.register(e11_detection::spec(quick));
     r.register(e12_mixed_workload::spec(quick));
+    r.register(e13_filter_pressure::spec(quick));
+    r.register(e14_td_tr_grid::spec(quick));
+    r.register(e15_host_churn::spec(quick));
     r.register(figures::spec(quick));
     r
 }

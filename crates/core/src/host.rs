@@ -73,6 +73,10 @@ pub struct HostApi<'a, 'b> {
     gateway: Addr,
     uplink: LinkId,
     app_index: usize,
+    /// The host's attachment generation at arming time; timers from an
+    /// older generation are stale (their chain was superseded by a
+    /// detach) and are dropped on delivery.
+    epoch: u16,
     suppress: bool,
     self_filters: &'a mut FilterTable,
     counters: &'a mut HostCounters,
@@ -101,8 +105,18 @@ impl HostApi<'_, '_> {
 
     /// Arms a one-shot timer delivered back to this app's
     /// [`TrafficApp::on_timer`] with `app_token`.
+    ///
+    /// The token carries the app index and the host's current attachment
+    /// epoch; a timer armed before a detach is stale afterwards and never
+    /// delivered, so a detach→attach cycle can never leave two concurrent
+    /// timer chains running (the double-rate hazard of dynamic worlds).
     pub fn set_timer(&mut self, delay: SimDuration, app_token: u32) {
-        let token = ((self.app_index as u64 + 1) << 32) | app_token as u64;
+        assert!(
+            self.app_index + 1 < 1 << 16,
+            "more than 65534 apps on one host"
+        );
+        let token =
+            ((self.epoch as u64) << 48) | ((self.app_index as u64 + 1) << 32) | app_token as u64;
         self.ctx.set_timer(delay, token);
     }
 
@@ -227,6 +241,16 @@ pub struct EndHost {
     next_token: u64,
     counters: HostCounters,
     timeline: Vec<(SimTime, String)>,
+    /// Dynamic-world state: a detached host is off the network — its tail
+    /// circuit is blocked by the world layer and this flag silences its
+    /// traffic apps (timer chains are dropped, so nothing is even offered
+    /// to the dead link).
+    attached: bool,
+    /// Attachment generation, bumped on every detach. App timer tokens
+    /// are stamped with it, so chains armed before a detach stay dead
+    /// even if their events fire after a (possibly same-instant)
+    /// reattach.
+    attach_epoch: u16,
 }
 
 impl EndHost {
@@ -274,6 +298,8 @@ impl EndHost {
             next_token: 0,
             counters: HostCounters::default(),
             timeline: Vec::new(),
+            attached: true,
+            attach_epoch: 0,
         }
     }
 
@@ -313,6 +339,45 @@ impl EndHost {
         self.policy = policy;
     }
 
+    /// Whether the host is attached to the network (dynamic worlds detach
+    /// and reattach hosts mid-run).
+    pub fn is_attached(&self) -> bool {
+        self.attached
+    }
+
+    /// Flips the attachment flag. While detached every timer event is
+    /// dropped — app timer chains die, so a retired host stops *offering*
+    /// traffic instead of uselessly hammering its blocked tail circuit —
+    /// and received packets are ignored. Detaching also bumps the
+    /// attachment epoch, instantly staling every pending app timer: even
+    /// a same-instant detach→attach cannot resurrect the old chains. The
+    /// world layer pairs this with blocking the tail link itself.
+    pub fn set_attached(&mut self, attached: bool) {
+        if self.attached && !attached {
+            self.attach_epoch = self.attach_epoch.wrapping_add(1);
+        }
+        self.attached = attached;
+    }
+
+    /// Re-runs every installed app's `on_start` — the reattachment hook:
+    /// timer chains broken by a detach period restart from the current
+    /// time (an app's `starting_after` delay now counts from reattachment).
+    pub fn restart_apps(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..self.apps.len() {
+            self.with_api(i, ctx, |app, api| app.on_start(api));
+        }
+    }
+
+    /// Installs a traffic app *mid-run* and starts it immediately — the
+    /// runtime-activation hook dynamic worlds compile late-arriving
+    /// traffic onto. (Before the simulation starts, [`EndHost::add_app`]
+    /// plus the normal `on_start` pass is equivalent.)
+    pub fn install_app_now(&mut self, app: Box<dyn TrafficApp>, ctx: &mut Context<'_>) {
+        self.apps.push(Some(app));
+        let i = self.apps.len() - 1;
+        self.with_api(i, ctx, |app, api| app.on_start(api));
+    }
+
     fn trace(&mut self, now: SimTime, msg: impl FnOnce() -> String) {
         if self.cfg.trace {
             self.timeline.push((now, msg()));
@@ -332,6 +397,7 @@ impl EndHost {
             gateway: self.gateway,
             uplink: self.uplink,
             app_index,
+            epoch: self.attach_epoch,
             suppress: self.policy == HostPolicy::Compliant,
             self_filters: &mut self.self_filters,
             counters: &mut self.counters,
@@ -532,12 +598,21 @@ impl EndHost {
 
 impl Node for EndHost {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // A host detached before the run starts (an "arrives later" world)
+        // keeps its apps dormant; reattachment restarts them.
+        if !self.attached {
+            return;
+        }
         for i in 0..self.apps.len() {
             self.with_api(i, ctx, |app, api| app.on_start(api));
         }
     }
 
     fn on_packet(&mut self, packet: Packet, _link: LinkId, ctx: &mut Context<'_>) {
+        if !self.attached {
+            // A packet already in flight when the host detached: gone.
+            return;
+        }
         // Feed traceback with everything we receive.
         self.traceback.as_traceback().observe(&packet);
 
@@ -578,8 +653,25 @@ impl Node for EndHost {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
-        let app_ns = token >> 32;
+        if !self.attached {
+            // Dropping the event breaks self-rearming timer chains, which
+            // is the point: a detached host goes fully quiet. Host-level
+            // detection state is unwound so the flow can be re-detected
+            // fresh after reattachment.
+            if let Some(HostTimer::Detect { flow }) = self.token_map.remove(&token) {
+                self.detecting.remove(&flow);
+            }
+            return;
+        }
+        let epoch = (token >> 48) as u16;
+        let app_ns = (token >> 32) & 0xffff;
         if app_ns > 0 {
+            if epoch != self.attach_epoch {
+                // A chain armed before a detach: stale, superseded by
+                // restart_apps — dropping it is what keeps a brief
+                // detach→attach from doubling the send rate.
+                return;
+            }
             let app_index = (app_ns - 1) as usize;
             let app_token = (token & 0xffff_ffff) as u32;
             self.with_api(app_index, ctx, |app, api| app.on_timer(app_token, api));

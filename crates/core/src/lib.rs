@@ -51,6 +51,9 @@ pub mod router;
 pub mod world;
 
 pub use config::{AitfConfig, Contract, HostPolicy, RouterPolicy, TracebackMode};
+// Re-exported so capacity-sweeping layers can name the policy without a
+// direct aitf-filter dependency.
+pub use aitf_filter::EvictionPolicy;
 pub use detector::{DetectionMode, RateDetector};
 pub use host::{EndHost, HostApi, HostCounters, TrafficApp};
 pub use router::{BorderRouter, RouterCounters, RouterSpec};

@@ -25,7 +25,9 @@
 
 use std::collections::HashMap;
 
-use aitf_netsim::{LinkId, LinkParams, NetworkBuilder, NodeId, SimDuration, Simulator};
+use aitf_netsim::{
+    LinkDirection, LinkId, LinkParams, NetworkBuilder, NodeId, SimDuration, Simulator,
+};
 use aitf_packet::{Addr, LpmTable, Prefix};
 
 use crate::config::{AitfConfig, HostPolicy, RouterPolicy};
@@ -436,6 +438,75 @@ impl World {
         self.host_mut(host).add_app(app);
     }
 
+    // ------------------------------------------------------------------
+    // Dynamic-world hooks: runtime attach / detach / activate.
+    //
+    // These are the mutation points churn layers drive between `run_*`
+    // segments. All of them act at the current virtual time and touch only
+    // schedule-independent state, so a run that interleaves them at fixed
+    // times stays bit-deterministic.
+    // ------------------------------------------------------------------
+
+    /// Installs a traffic application on a host at any time. Before the
+    /// simulation starts this is [`World::add_app`]; after, the app is
+    /// installed *and started immediately* (its `starting_after` window
+    /// counts from now) — how late-arriving hosts begin sending mid-run.
+    pub fn activate_app(&mut self, host: HostId, app: Box<dyn TrafficApp>) {
+        if !self.sim.is_started() {
+            self.add_app(host, app);
+            return;
+        }
+        let node = self.host_nodes[host.0];
+        self.sim.with_node_ctx(node, |n, ctx| {
+            n.as_any_mut()
+                .downcast_mut::<EndHost>()
+                .expect("host node")
+                .install_app_now(app, ctx);
+        });
+    }
+
+    /// Detaches a host from the network: its tail circuit is blocked in
+    /// both directions and its traffic apps go quiet (timer chains are
+    /// dropped, so a retired attacker stops *offering* traffic). Safe to
+    /// call before the run starts — the host then begins the simulation
+    /// offline.
+    pub fn detach_host(&mut self, host: HostId) {
+        let link = self.tail_links[host.0];
+        self.sim.set_link_blocked(link, LinkDirection::AToB, true);
+        self.sim.set_link_blocked(link, LinkDirection::BToA, true);
+        self.host_mut(host).set_attached(false);
+    }
+
+    /// Reattaches a previously detached host: unblocks the tail circuit
+    /// and restarts every installed app (their `starting_after` delays now
+    /// count from the reattachment instant). Attaching an already-attached
+    /// host is a no-op — its running apps are left untouched, so an
+    /// overlapping churn selection cannot restart (and thereby duplicate)
+    /// live traffic.
+    pub fn attach_host(&mut self, host: HostId) {
+        if self.host(host).is_attached() {
+            return;
+        }
+        let link = self.tail_links[host.0];
+        self.sim.set_link_blocked(link, LinkDirection::AToB, false);
+        self.sim.set_link_blocked(link, LinkDirection::BToA, false);
+        self.host_mut(host).set_attached(true);
+        if self.sim.is_started() {
+            let node = self.host_nodes[host.0];
+            self.sim.with_node_ctx(node, |n, ctx| {
+                n.as_any_mut()
+                    .downcast_mut::<EndHost>()
+                    .expect("host node")
+                    .restart_apps(ctx);
+            });
+        }
+    }
+
+    /// Whether a host is currently attached.
+    pub fn host_attached(&self, host: HostId) -> bool {
+        self.host(host).is_attached()
+    }
+
     /// Attack bytes delivered to a host so far (the victim's effective
     /// bandwidth numerator).
     pub fn attack_bytes_at(&self, host: HostId) -> u64 {
@@ -498,5 +569,114 @@ mod tests {
         let (mut w, ..) = two_level_world();
         w.sim.run_for(SimDuration::from_secs(1));
         assert_eq!(w.sim.now().as_secs_f64(), 1.0);
+    }
+
+    /// A minimal constant-rate sender for the dynamic-world tests (the
+    /// real sources live in `aitf-attack`, which this crate cannot
+    /// depend on).
+    struct TestTicker {
+        to: Addr,
+    }
+
+    impl crate::TrafficApp for TestTicker {
+        fn on_start(&mut self, api: &mut crate::HostApi<'_, '_>) {
+            api.set_timer(SimDuration::from_millis(10), 0);
+        }
+
+        fn on_timer(&mut self, _token: u32, api: &mut crate::HostApi<'_, '_>) {
+            api.send_from_self(
+                self.to,
+                aitf_packet::Protocol::Udp,
+                80,
+                aitf_packet::TrafficClass::Legit,
+                100,
+            );
+            api.set_timer(SimDuration::from_millis(10), 0);
+        }
+    }
+
+    #[test]
+    fn detach_silences_a_host_and_attach_revives_it() {
+        let (mut w, _, _, v, a) = two_level_world();
+        let victim_addr = w.host_addr(v);
+        w.add_app(a, Box::new(TestTicker { to: victim_addr }));
+        w.sim.run_for(SimDuration::from_secs(1));
+        let tx_before = w.host(a).counters().tx_pkts;
+        let rx_before = w.host(v).counters().rx_legit_pkts;
+        assert!(tx_before > 50, "sender must be running");
+        assert!(rx_before > 50, "victim must be receiving");
+
+        w.detach_host(a);
+        assert!(!w.host_attached(a));
+        w.sim.run_for(SimDuration::from_secs(1));
+        // Fully quiet: the app's timer chain died, nothing was offered.
+        assert_eq!(w.host(a).counters().tx_pkts, tx_before);
+
+        w.attach_host(a);
+        assert!(w.host_attached(a));
+        w.sim.run_for(SimDuration::from_secs(1));
+        assert!(
+            w.host(a).counters().tx_pkts > tx_before + 50,
+            "reattached host must resume sending"
+        );
+        assert!(w.host(v).counters().rx_legit_pkts > rx_before + 50);
+    }
+
+    #[test]
+    fn host_detached_before_start_joins_on_attach() {
+        let (mut w, _, _, v, a) = two_level_world();
+        let victim_addr = w.host_addr(v);
+        w.add_app(a, Box::new(TestTicker { to: victim_addr }));
+        w.detach_host(a);
+        w.sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(w.host(a).counters().tx_pkts, 0, "dormant until attach");
+        w.attach_host(a);
+        w.sim.run_for(SimDuration::from_secs(1));
+        assert!(w.host(a).counters().tx_pkts > 50);
+    }
+
+    #[test]
+    fn same_instant_detach_attach_does_not_double_the_rate() {
+        // The stale-chain hazard: a detach→attach with no simulated time
+        // in between leaves the pre-detach timer still queued. The epoch
+        // stamp must kill it, or restart_apps doubles the send rate.
+        let (mut w, _, _, v, a) = two_level_world();
+        let victim_addr = w.host_addr(v);
+        w.add_app(a, Box::new(TestTicker { to: victim_addr }));
+        w.sim.run_for(SimDuration::from_secs(1));
+        let tx_before = w.host(a).counters().tx_pkts;
+        w.detach_host(a);
+        w.attach_host(a); // same instant: old timer chain still pending
+        w.sim.run_for(SimDuration::from_secs(1));
+        let delta = w.host(a).counters().tx_pkts - tx_before;
+        // One 10 ms chain ≈ 100 pkts/s; a resurrected second chain ≈ 200.
+        assert!((90..=101).contains(&delta), "rate doubled? delta = {delta}");
+    }
+
+    #[test]
+    fn attaching_an_attached_host_is_a_no_op() {
+        let (mut w, _, _, v, a) = two_level_world();
+        let victim_addr = w.host_addr(v);
+        w.add_app(a, Box::new(TestTicker { to: victim_addr }));
+        w.sim.run_for(SimDuration::from_secs(1));
+        let tx_before = w.host(a).counters().tx_pkts;
+        // Never detached: attach must not restart (and duplicate) the
+        // live app chains of an overlapping churn selection.
+        w.attach_host(a);
+        w.sim.run_for(SimDuration::from_secs(1));
+        let delta = w.host(a).counters().tx_pkts - tx_before;
+        assert!((90..=101).contains(&delta), "rate doubled? delta = {delta}");
+    }
+
+    #[test]
+    fn activate_app_mid_run_starts_immediately() {
+        let (mut w, _, _, v, a) = two_level_world();
+        let victim_addr = w.host_addr(v);
+        w.sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(w.host(a).counters().tx_pkts, 0);
+        w.activate_app(a, Box::new(TestTicker { to: victim_addr }));
+        w.sim.run_for(SimDuration::from_secs(1));
+        let tx = w.host(a).counters().tx_pkts;
+        assert!((90..=101).contains(&tx), "tx = {tx}");
     }
 }

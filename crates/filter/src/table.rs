@@ -795,4 +795,123 @@ mod proptests {
             }
         }
     }
+
+    #[derive(Debug, Clone)]
+    enum TinyOp {
+        /// Install a host-pair label (indexed under `by_dst`).
+        InstallPair(u8, u64),
+        /// Install a wildcard-destination label (walks the fallback scan).
+        InstallWild(u8, u64),
+        RemovePair(u8),
+        RemoveWild(u8),
+        Advance(u64),
+        Lookup(u8),
+    }
+
+    fn arb_tiny_op() -> impl Strategy<Value = TinyOp> {
+        prop_oneof![
+            (0u8..6, 1u64..90).prop_map(|(i, d)| TinyOp::InstallPair(i, d)),
+            (0u8..6, 1u64..90).prop_map(|(i, d)| TinyOp::InstallWild(i, d)),
+            (0u8..6).prop_map(TinyOp::RemovePair),
+            (0u8..6).prop_map(TinyOp::RemoveWild),
+            (1u64..30).prop_map(TinyOp::Advance),
+            (0u8..6).prop_map(TinyOp::Lookup),
+        ]
+    }
+
+    fn pair_label(i: u8) -> FlowLabel {
+        FlowLabel::src_dst(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1))
+    }
+
+    fn wild_label(i: u8) -> FlowLabel {
+        FlowLabel {
+            src: aitf_packet::Prefix::host(Addr::new(10, 9, 0, i)),
+            dst: format!("10.{}.0.0/16", 100 + i).parse().unwrap(),
+            ..FlowLabel::ANY
+        }
+    }
+
+    proptest! {
+        /// Tiny-capacity hammering under `EvictLeastSpecific` — the policy
+        /// that preferentially evicts exactly the wildcard-destination
+        /// entries the fallback scan depends on. Invariants after every
+        /// operation:
+        ///
+        /// - occupancy never exceeds the capacity;
+        /// - the `by_dst`/`wildcard_dst` indexes stay consistent with the
+        ///   slab (every live slot indexed exactly once);
+        /// - `lookup` agrees with a plain scan of `entries()` — a dropped
+        ///   index entry would silently stop matching a live filter, the
+        ///   wildcard-dst fallback in particular;
+        /// - the `installs = live + evictions + expirations + removes`
+        ///   lifecycle identity holds.
+        #[test]
+        fn tiny_capacity_evict_least_specific_invariants(
+            ops in proptest::collection::vec(arb_tiny_op(), 1..120),
+            cap in 1usize..5,
+        ) {
+            let mut tbl = FilterTable::with_policy(cap, EvictionPolicy::EvictLeastSpecific);
+            let mut now = SimTime::ZERO;
+            let mut removes = 0u64;
+            for op in ops {
+                match op {
+                    TinyOp::InstallPair(i, d) => {
+                        let _ = tbl.install(pair_label(i), now, SimDuration::from_secs(d));
+                    }
+                    TinyOp::InstallWild(i, d) => {
+                        let _ = tbl.install(wild_label(i), now, SimDuration::from_secs(d));
+                    }
+                    TinyOp::RemovePair(i) => {
+                        if tbl.remove(&pair_label(i)) {
+                            removes += 1;
+                        }
+                    }
+                    TinyOp::RemoveWild(i) => {
+                        if tbl.remove(&wild_label(i)) {
+                            removes += 1;
+                        }
+                    }
+                    TinyOp::Advance(s) => {
+                        now += SimDuration::from_secs(s);
+                        tbl.purge_expired(now);
+                    }
+                    TinyOp::Lookup(i) => {
+                        // One header served by the dst index, one only by the
+                        // wildcard fallback.
+                        for hdr in [
+                            Header::udp(Addr::new(10, 9, 0, i), Addr::new(10, 1, 0, 1), 1, 2),
+                            Header::udp(
+                                Addr::new(10, 9, 0, i),
+                                Addr::new(10, 100 + i, 3, 7),
+                                1,
+                                2,
+                            ),
+                        ] {
+                            let via_index = tbl.lookup(&hdr, now);
+                            let via_scan = tbl
+                                .entries()
+                                .into_iter()
+                                .find(|(label, exp)| *exp > now && label.matches(&hdr));
+                            prop_assert_eq!(
+                                via_index.is_some(),
+                                via_scan.is_some(),
+                                "index lookup and slab scan disagree for {:?}",
+                                hdr
+                            );
+                            let _ = tbl.matches(&hdr, now);
+                        }
+                    }
+                }
+                prop_assert!(tbl.len() <= cap, "occupancy {} > cap {cap}", tbl.len());
+                prop_assert!(tbl.indexes_consistent(), "occupancy indexes diverged");
+                let s = tbl.stats();
+                prop_assert!(s.peak_occupancy <= cap, "peak beyond capacity");
+                prop_assert_eq!(
+                    s.installs,
+                    tbl.len() as u64 + s.evictions + s.expirations + removes,
+                    "lifecycle identity broken: {:?} (removes = {})", s, removes
+                );
+            }
+        }
+    }
 }

@@ -227,6 +227,17 @@ impl Link {
         self.dirs[dir.index()].queued_bytes
     }
 
+    /// Packets currently waiting in one direction's queue (excluding the
+    /// in-flight packet) — conservation checks read this.
+    pub fn queued_pkts(&self, dir: LinkDirection) -> usize {
+        self.dirs[dir.index()].queue.len()
+    }
+
+    /// Returns `true` if a packet is being serialised in `dir` right now.
+    pub fn has_in_flight(&self, dir: LinkDirection) -> bool {
+        self.dirs[dir.index()].in_flight.is_some()
+    }
+
     /// Administratively blocks or unblocks one direction. Blocked traffic
     /// is counted in [`LinkStats::admin_drop_pkts`]. This models AITF
     /// disconnection: a provider stops carrying a client's packets.

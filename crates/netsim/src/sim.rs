@@ -221,6 +221,11 @@ impl Simulator {
         self.core.links_of(node)
     }
 
+    /// Read access to a link (queue depths, in-flight state, stats).
+    pub fn link(&self, id: LinkId) -> &Link {
+        self.core.link(id)
+    }
+
     /// The metrics sink.
     pub fn metrics(&self) -> &Metrics {
         &self.core.metrics
@@ -234,6 +239,65 @@ impl Simulator {
     /// Number of events dispatched so far (diagnostics / benches).
     pub fn dispatched_events(&self) -> u64 {
         self.core.dispatched_events
+    }
+
+    /// Returns `true` once [`Simulator::start`] has run (explicitly or via
+    /// the first `run_*` call) — dynamic-world layers use this to decide
+    /// between build-time installation and runtime activation.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.core.events.len()
+    }
+
+    /// The firing time of the earliest pending event, if any. Never less
+    /// than [`Simulator::now`]: the event loop dispatches in time order, so
+    /// a stale event would be a scheduling bug.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.core.events.peek_time()
+    }
+
+    /// Administratively blocks or unblocks one direction of `link` from
+    /// *outside* the event loop — the runtime detach/attach hook dynamic
+    /// worlds use to retire and revive endpoints mid-run. Identical in
+    /// effect to a node calling [`Context::set_incoming_blocked`]; takes
+    /// effect for every packet enqueued after the call.
+    pub fn set_link_blocked(&mut self, link: LinkId, dir: LinkDirection, blocked: bool) {
+        self.core.links[link.0].set_blocked(dir, blocked);
+    }
+
+    /// Returns `true` if the direction of `link` is administratively
+    /// blocked.
+    pub fn is_link_blocked(&self, link: LinkId, dir: LinkDirection) -> bool {
+        self.core.links[link.0].is_blocked(dir)
+    }
+
+    /// Runs `f` with the node in slot `id` and a live [`Context`] —
+    /// the runtime activation hook: higher layers use it between `run_*`
+    /// segments to drive a node outside event dispatch (install a traffic
+    /// app mid-run, restart a reattached host's apps). The mutation happens
+    /// at the current virtual time, so determinism is preserved as long as
+    /// callers invoke it at schedule-independent times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never installed.
+    pub fn with_node_ctx<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn Node, &mut Context<'_>) -> R,
+    ) -> R {
+        let mut n = self.nodes[id.0].take().expect("installed node");
+        let mut ctx = Context {
+            node: id,
+            core: &mut self.core,
+        };
+        let r = f(n.as_mut(), &mut ctx);
+        self.nodes[id.0] = Some(n);
+        r
     }
 
     /// Wall-clock seconds spent inside the event loop so far.

@@ -6,6 +6,7 @@
 //! Scenario {
 //!     topology: TopologySpec,   // fig1 / chain_pair / star / tree / custom
 //!     workload: WorkloadSpec,   // floods, legit pools, on/off, spoofing
+//!     churn:    ChurnSpec,      // scheduled mid-run mutations (dynamic worlds)
 //!     probes:   ProbeSet,       // leak ratio, filter peaks, sampled series
 //!     config:   AitfConfig,     // + duration, backend (AITF vs pushback)
 //! }
@@ -30,6 +31,7 @@
 //! thin wrappers over the same generators.
 
 pub mod alloc;
+pub mod churn;
 pub mod probe;
 pub mod scenario;
 pub mod topology;
@@ -37,6 +39,7 @@ pub mod workload;
 pub mod worlds;
 
 pub use alloc::PrefixAlloc;
+pub use churn::{ChurnAction, ChurnSpec, EventSpec};
 pub use probe::{leak_ratio, ProbeSet, SeriesStore};
 pub use scenario::Scenario;
 pub use topology::{Backend, BuiltWorld, HostDecl, NetDecl, PeeringDecl, Role, Side, TopologySpec};

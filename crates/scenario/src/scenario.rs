@@ -25,12 +25,13 @@
 //! assert!(outcome.events > 0);
 //! ```
 
-use aitf_core::AitfConfig;
+use aitf_core::{AitfConfig, EvictionPolicy};
 use aitf_engine::{Outcome, Params};
 use aitf_netsim::SimDuration;
 
+use crate::churn::{ChurnAction, ChurnSpec};
 use crate::probe::{ProbeSet, SeriesStore};
-use crate::topology::{Backend, BuiltWorld, TopologySpec};
+use crate::topology::{Backend, BuiltWorld, Role, TopologySpec};
 use crate::workload::{TrafficSpec, WorkloadSpec};
 
 /// A complete declarative experiment point.
@@ -41,6 +42,8 @@ pub struct Scenario {
     pub topology: TopologySpec,
     /// The traffic driving it.
     pub workload: WorkloadSpec,
+    /// Scheduled mid-run world mutations (empty = a static world).
+    pub churn: ChurnSpec,
     /// What to measure.
     pub probes: ProbeSet,
     /// How long to simulate.
@@ -57,6 +60,7 @@ impl Scenario {
             config: AitfConfig::default(),
             topology,
             workload: WorkloadSpec::new(),
+            churn: ChurnSpec::new(),
             probes: ProbeSet::new(),
             duration: SimDuration::from_secs(10),
             backend: Backend::Aitf,
@@ -78,6 +82,69 @@ impl Scenario {
     /// Appends one traffic entry.
     pub fn traffic(mut self, spec: TrafficSpec) -> Self {
         self.workload.push(spec);
+        self
+    }
+
+    /// Replaces the churn timeline.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Appends one churn event at `at` (relative to the scenario start).
+    pub fn event(mut self, at: SimDuration, action: ChurnAction) -> Self {
+        self.churn.push(at, action);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // First-class sweep axes. Each of these is a plain field tweak —
+    // they exist so the quantities of the paper's sizing formulas
+    // (`r ≈ n(Td+Tr)/T`, `nv = R1·Ttmp`) are one-call sweepable from an
+    // experiment's point runner.
+    // ------------------------------------------------------------------
+
+    /// Sets every border router's wire-speed filter-table capacity
+    /// (§IV-B: sized `nv = R1·Ttmp` at the victim's gateway).
+    pub fn filter_capacity(mut self, capacity: usize) -> Self {
+        self.config.filter_capacity = capacity;
+        self
+    }
+
+    /// Sets every border router's DRAM shadow-cache capacity (§IV-B:
+    /// sized `mv = R1·T`).
+    pub fn shadow_capacity(mut self, capacity: usize) -> Self {
+        self.config.shadow_capacity = capacity;
+        self
+    }
+
+    /// Sets what a full filter table does.
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.config.eviction = policy;
+        self
+    }
+
+    /// Sets `Td`, the victim's detection delay for a new undesired flow.
+    pub fn td(mut self, td: SimDuration) -> Self {
+        self.config.detection_delay = td;
+        self
+    }
+
+    /// Sets `Tr`, the one-way victim→gateway delay, by rewriting the
+    /// victim host's tail-circuit propagation delay (bandwidth and queue
+    /// are untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology declares no [`Role::Victim`] host.
+    pub fn tr(mut self, tr: SimDuration) -> Self {
+        let i = self
+            .topology
+            .hosts
+            .iter()
+            .position(|h| h.role == Role::Victim)
+            .expect("tr() needs a Role::Victim host in the topology");
+        self.topology.hosts[i].link.delay = tr;
         self
     }
 
@@ -114,6 +181,19 @@ impl Scenario {
     /// spec to [`Outcome`]. Metrics appear in probe declaration order
     /// (end probes, summarizers, then emitted series); the simulator's
     /// dispatched-event count is attached for the engine's telemetry.
+    ///
+    /// Churn events fire at their declared virtual times, between event-
+    /// loop segments: the run advances to the earlier of the next sample
+    /// boundary and the next churn instant, samples (if at a boundary —
+    /// a sample coinciding with churn reads the pre-mutation world), then
+    /// applies every event due at that instant in declaration order.
+    /// Events at `t = 0` apply before the simulation starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a churn event is scheduled at or past the scenario
+    /// duration — no simulated time would remain for it to take effect,
+    /// and probes and churn must not extend the declared horizon.
     pub fn run(self, seed: u64) -> Outcome {
         let mut world = self.build(seed);
         let ProbeSet {
@@ -122,34 +202,81 @@ impl Scenario {
             mut sampled,
             summarizers,
         } = self.probes;
+        if sample_bin.is_none() {
+            assert!(
+                sampled.is_empty() && summarizers.is_empty(),
+                "sampled probes/summarizers need ProbeSet::bin"
+            );
+        }
 
         let mut store = SeriesStore::default();
-        match sample_bin {
-            None => {
-                assert!(
-                    sampled.is_empty() && summarizers.is_empty(),
-                    "sampled probes/summarizers need ProbeSet::bin"
-                );
-                world.world.sim.run_for(self.duration);
+        for probe in &sampled {
+            store.series.push((probe.name, Vec::new()));
+        }
+        let schedule = self.churn.into_schedule();
+        // An event at (or past) the horizon could never take effect — no
+        // simulated time remains for it to act on; a silent no-op would
+        // masquerade as "the late wave changed nothing", so fail loudly.
+        if let Some(event) = schedule.iter().find(|e| e.at >= self.duration) {
+            panic!(
+                "churn event at {:?} is at or past the scenario horizon {:?}",
+                event.at, self.duration
+            );
+        }
+        let mut churn = schedule.into_iter().peekable();
+        let mut elapsed = SimDuration::ZERO;
+        let mut next_sample = sample_bin.map(|bin| {
+            if bin < self.duration {
+                bin
+            } else {
+                self.duration
             }
-            Some(bin) => {
-                for probe in &sampled {
-                    store.series.push((probe.name, Vec::new()));
+        });
+        loop {
+            // Apply every event due at the current instant, in declaration
+            // order (events at ZERO run before the simulation starts, so
+            // hosts detached at zero begin the run offline).
+            while churn.peek().is_some_and(|e| e.at <= elapsed) {
+                let event = churn.next().expect("peeked event exists");
+                assert!(
+                    event.at == elapsed,
+                    "churn schedule fell behind the clock (event at {:?}, now {:?})",
+                    event.at,
+                    elapsed
+                );
+                event.action.apply(&mut world);
+            }
+            if elapsed >= self.duration {
+                debug_assert!(
+                    churn.peek().is_none(),
+                    "events validated against the horizon"
+                );
+                break;
+            }
+            // Next stop: the earlier of the next sample boundary (or the
+            // horizon when not sampling) and the next churn instant. The
+            // final bin clamps to the horizon either way: probes and churn
+            // measure/mutate, they must not change how long is simulated.
+            let sample_at = next_sample.unwrap_or(self.duration);
+            let stop = match churn.peek() {
+                Some(e) if e.at < sample_at => e.at,
+                _ => sample_at,
+            };
+            world.world.sim.run_for(stop - elapsed);
+            elapsed = stop;
+            if Some(stop) == next_sample {
+                store.time_s.push(world.world.sim.now().as_secs_f64());
+                for (probe, (_, values)) in sampled.iter_mut().zip(&mut store.series) {
+                    values.push((probe.sample)(&world));
                 }
-                let mut elapsed = SimDuration::ZERO;
-                while elapsed < self.duration {
-                    // Clamp the final bin so sampling never extends the
-                    // declared horizon: probes measure, they must not
-                    // change what is simulated.
-                    let remaining = self.duration - elapsed;
-                    let step = if remaining < bin { remaining } else { bin };
-                    world.world.sim.run_for(step);
-                    elapsed = elapsed + step;
-                    store.time_s.push(world.world.sim.now().as_secs_f64());
-                    for (probe, (_, values)) in sampled.iter_mut().zip(&mut store.series) {
-                        values.push((probe.sample)(&world));
+                next_sample = sample_bin.map(|bin| {
+                    let next = stop + bin;
+                    if next < self.duration {
+                        next
+                    } else {
+                        self.duration
                     }
-                }
+                });
             }
         }
 
@@ -254,6 +381,131 @@ mod tests {
     fn sampled_probes_without_a_bin_fail_loudly() {
         let _ = flood_scenario()
             .probes(ProbeSet::new().sampled("_series_x", true, |_| 0.0))
+            .run(1);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic worlds.
+    // ------------------------------------------------------------------
+
+    use crate::churn::ChurnAction;
+    use crate::topology::Side;
+
+    fn churn_star() -> Scenario {
+        Scenario::new(TopologySpec::star(4, 1, HostPolicy::Malicious, 10_000_000))
+            .duration(SimDuration::from_secs(4))
+            .traffic(TrafficSpec::flood(
+                HostSel::RoleSlice(Role::Attacker, 0, 2),
+                TargetSel::Victim,
+                200,
+                500,
+            ))
+    }
+
+    #[test]
+    fn detach_at_zero_keeps_hosts_offline_until_attached() {
+        // Hosts 2..4 are declared but detached at t=0 and never attached:
+        // they must contribute nothing, and the world must behave exactly
+        // like one where they were never selected by any workload.
+        let outcome = churn_star()
+            .event(
+                SimDuration::ZERO,
+                ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 2, 2)),
+            )
+            .probes(
+                ProbeSet::new()
+                    .leak_ratio("leak_r")
+                    .filters_installed_on("blocked", Side::Attacker),
+            )
+            .run(3);
+        // Only the two flooding zombies get blocked; the detached pair
+        // never sent a packet, so never triggered a filter.
+        assert_eq!(outcome.metrics.u64("blocked"), 2, "{outcome:?}");
+    }
+
+    #[test]
+    fn churn_wave_restarts_detection_and_recovers() {
+        // Wave 1 floods from t=0; at t=2 s it retires and wave 2 (fresh
+        // hosts, fresh flows) joins. Every zombie must end up blocked.
+        let outcome = churn_star()
+            .event(
+                SimDuration::from_secs(2),
+                ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 0, 2)),
+            )
+            .event(
+                SimDuration::from_secs(2),
+                ChurnAction::StartTraffic(TrafficSpec::flood(
+                    HostSel::RoleSlice(Role::Attacker, 2, 2),
+                    TargetSel::Victim,
+                    200,
+                    500,
+                )),
+            )
+            .probes(
+                ProbeSet::new()
+                    .leak_ratio("leak_r")
+                    .filters_installed_on("blocked", Side::Attacker),
+            )
+            .run(5);
+        assert_eq!(outcome.metrics.u64("blocked"), 4, "{outcome:?}");
+        assert!(outcome.metrics.f64("leak_r") < 0.2, "{outcome:?}");
+    }
+
+    #[test]
+    fn churning_scenarios_are_bit_identical_across_runs() {
+        let build = || {
+            churn_star()
+                .event(
+                    SimDuration::from_secs(2),
+                    ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 0, 2)),
+                )
+                .event(
+                    SimDuration::from_secs(2),
+                    ChurnAction::StartTraffic(TrafficSpec::flood(
+                        HostSel::RoleSlice(Role::Attacker, 2, 2),
+                        TargetSel::Victim,
+                        200,
+                        500,
+                    )),
+                )
+                .probes(ProbeSet::new().leak_ratio("leak_r"))
+        };
+        let a = build().run(11);
+        let b = build().run(11);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn churn_events_do_not_disturb_bin_alignment() {
+        // A churn event mid-bin must split the run segment without moving
+        // the sample boundaries: the series still has one sample per bin.
+        let outcome = churn_star()
+            .event(
+                SimDuration::from_millis(700),
+                ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 2, 2)),
+            )
+            .probes(ProbeSet::new().bin(SimDuration::from_millis(500)).sampled(
+                "_series_x",
+                true,
+                |_| 1.0,
+            ))
+            .run(2);
+        assert_eq!(
+            outcome.metrics.f64_list("_series_x").len(),
+            8,
+            "4 s / 500 ms"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "past the scenario horizon")]
+    fn churn_past_the_horizon_fails_loudly() {
+        let _ = churn_star()
+            .event(
+                SimDuration::from_secs(10),
+                ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 0, 1)),
+            )
             .run(1);
     }
 }

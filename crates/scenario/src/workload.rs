@@ -27,10 +27,18 @@ pub enum HostSel {
     Role(Role),
     /// The first `n` hosts with the role, in declaration order.
     RoleFirst(Role, usize),
+    /// `count` hosts with the role starting at offset `start` (declaration
+    /// order) — churn waves address disjoint groups of one role with this.
+    RoleSlice(Role, usize, usize),
 }
 
 impl HostSel {
     /// Resolves the selection against a built world.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`HostSel::RoleSlice`] reaches past the role's pool —
+    /// a mis-sized wave is a scenario-authoring bug.
     pub fn resolve(&self, world: &BuiltWorld) -> Vec<HostId> {
         match *self {
             HostSel::Index(i) => vec![world.host_id(i)],
@@ -39,6 +47,15 @@ impl HostSel {
                 let mut hosts = world.hosts_with(role);
                 hosts.truncate(n);
                 hosts
+            }
+            HostSel::RoleSlice(role, start, count) => {
+                let hosts = world.hosts_with(role);
+                assert!(
+                    start + count <= hosts.len(),
+                    "RoleSlice({role:?}, {start}, {count}) reaches past the {} hosts of that role",
+                    hosts.len()
+                );
+                hosts[start..start + count].to_vec()
             }
         }
     }
@@ -323,6 +340,93 @@ impl TrafficSpec {
         self.stop_at = Some(t);
         self
     }
+
+    /// Installs this entry's apps onto the built world — before the run
+    /// starts (the [`WorkloadSpec::compile`] path) or *mid-run*, where the
+    /// apps activate immediately at the current virtual time (the churn
+    /// `StartTraffic` path; `starting_after`/`stagger` then count from
+    /// now).
+    ///
+    /// # Panics
+    ///
+    /// Panics on specs the underlying sources cannot express (start/stop
+    /// windows on kinds without them) and on entries that select no
+    /// hosts — either way a scenario-authoring bug, and a silently empty
+    /// entry would masquerade as a perfectly defended run.
+    pub fn install(&self, world: &mut BuiltWorld) {
+        let sources = self.on.resolve(world);
+        assert!(
+            !sources.is_empty(),
+            "traffic entry {:?} selects no hosts",
+            self.on
+        );
+        let rates = match &self.kind {
+            TrafficKind::Flood { rate, size: _ } => Some(rate.split(sources.len())),
+            _ => None,
+        };
+        let targets = self.to.resolve_all(world, sources.len());
+        for (i, &host) in sources.iter().enumerate() {
+            let start = self.start_after + self.stagger * i as u64;
+            let windowless = |what: &str| {
+                assert!(
+                    start.is_zero() && self.stop_at.is_none(),
+                    "{what} traffic does not support start/stop windows"
+                );
+            };
+            let app: Box<dyn TrafficApp> = match &self.kind {
+                TrafficKind::Flood { size, .. } => {
+                    let pps = rates.as_ref().expect("rates computed for floods")[i];
+                    let mut flood = FloodSource::new(targets[i], pps, *size).starting_after(start);
+                    if let Some(stop) = self.stop_at {
+                        flood = flood.stopping_at(stop);
+                    }
+                    Box::new(flood)
+                }
+                TrafficKind::OnOff {
+                    pps,
+                    size,
+                    on_period,
+                    off_period,
+                } => {
+                    windowless("on-off");
+                    Box::new(OnOffSource::new(
+                        targets[i],
+                        *pps,
+                        *size,
+                        *on_period,
+                        *off_period,
+                    ))
+                }
+                TrafficKind::Spoof {
+                    pps,
+                    size,
+                    pool,
+                    pool_size,
+                    random,
+                } => {
+                    windowless("spoofing");
+                    let mut s = SpoofingFlood::new(targets[i], *pps, *size, *pool, *pool_size);
+                    if *random {
+                        s = s.randomised();
+                    }
+                    Box::new(s)
+                }
+                TrafficKind::Legit { pps, size, poisson } => {
+                    windowless("legitimate");
+                    let mut c = LegitClient::new(targets[i], *pps, *size);
+                    if *poisson {
+                        c = c.poisson();
+                    }
+                    Box::new(c)
+                }
+                TrafficKind::Custom(make) => {
+                    windowless("custom");
+                    make(&*world, host)
+                }
+            };
+            world.world.activate_app(host, app);
+        }
+    }
 }
 
 /// An ordered list of traffic entries.
@@ -349,89 +453,11 @@ impl WorkloadSpec {
         self.traffic.push(spec);
     }
 
-    /// Installs every entry's apps onto the built world, in order.
-    ///
-    /// # Panics
-    ///
-    /// Panics on specs the underlying sources cannot express (start/stop
-    /// windows on kinds without them) and on entries that select no
-    /// hosts — either way a scenario-authoring bug, and a silently empty
-    /// workload would masquerade as a perfectly defended run.
+    /// Installs every entry's apps onto the built world, in order (see
+    /// [`TrafficSpec::install`] for the per-entry semantics and panics).
     pub fn compile(&self, world: &mut BuiltWorld) {
         for spec in &self.traffic {
-            let sources = spec.on.resolve(world);
-            assert!(
-                !sources.is_empty(),
-                "traffic entry {:?} selects no hosts",
-                spec.on
-            );
-            let rates = match &spec.kind {
-                TrafficKind::Flood { rate, size: _ } => Some(rate.split(sources.len())),
-                _ => None,
-            };
-            let targets = spec.to.resolve_all(world, sources.len());
-            for (i, &host) in sources.iter().enumerate() {
-                let start = spec.start_after + spec.stagger * i as u64;
-                let windowless = |what: &str| {
-                    assert!(
-                        start.is_zero() && spec.stop_at.is_none(),
-                        "{what} traffic does not support start/stop windows"
-                    );
-                };
-                let app: Box<dyn TrafficApp> = match &spec.kind {
-                    TrafficKind::Flood { size, .. } => {
-                        let pps = rates.as_ref().expect("rates computed for floods")[i];
-                        let mut flood =
-                            FloodSource::new(targets[i], pps, *size).starting_after(start);
-                        if let Some(stop) = spec.stop_at {
-                            flood = flood.stopping_at(stop);
-                        }
-                        Box::new(flood)
-                    }
-                    TrafficKind::OnOff {
-                        pps,
-                        size,
-                        on_period,
-                        off_period,
-                    } => {
-                        windowless("on-off");
-                        Box::new(OnOffSource::new(
-                            targets[i],
-                            *pps,
-                            *size,
-                            *on_period,
-                            *off_period,
-                        ))
-                    }
-                    TrafficKind::Spoof {
-                        pps,
-                        size,
-                        pool,
-                        pool_size,
-                        random,
-                    } => {
-                        windowless("spoofing");
-                        let mut s = SpoofingFlood::new(targets[i], *pps, *size, *pool, *pool_size);
-                        if *random {
-                            s = s.randomised();
-                        }
-                        Box::new(s)
-                    }
-                    TrafficKind::Legit { pps, size, poisson } => {
-                        windowless("legitimate");
-                        let mut c = LegitClient::new(targets[i], *pps, *size);
-                        if *poisson {
-                            c = c.poisson();
-                        }
-                        Box::new(c)
-                    }
-                    TrafficKind::Custom(make) => {
-                        windowless("custom");
-                        make(&*world, host)
-                    }
-                };
-                world.world.add_app(host, app);
-            }
+            spec.install(world);
         }
     }
 }

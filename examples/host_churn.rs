@@ -1,0 +1,75 @@
+//! A dynamic world in a few declarative lines: host churn mid-attack.
+//!
+//! This is the `ChurnSpec` quickstart: a star of six zombie networks
+//! where only the first three flood from the start; at `t = 4 s` that
+//! wave retires ([`ChurnAction::Detach`]) and three fresh zombies —
+//! declared up front but detached at `t = 0` — join and open fire
+//! ([`ChurnAction::Attach`] + [`ChurnAction::StartTraffic`]). The victim
+//! pays a fresh detection for every new flow, then AITF blocks the new
+//! wave at its own providers exactly like the first: leak-ratio recovery
+//! after churn. The E15 experiment sweeps exactly this shape over the
+//! two-level provider tree.
+//!
+//! Run with `cargo run --release --example host_churn`.
+
+use aitf_core::HostPolicy;
+use aitf_netsim::SimDuration;
+use aitf_scenario::{
+    ChurnAction, HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
+};
+
+fn main() {
+    let wave = SimDuration::from_secs(4);
+    let first = HostSel::RoleSlice(Role::Attacker, 0, 3);
+    let second = HostSel::RoleSlice(Role::Attacker, 3, 3);
+
+    let outcome = Scenario::new(TopologySpec::star(6, 1, HostPolicy::Malicious, 10_000_000))
+        .duration(wave * 2)
+        // Wave 1 floods from the start.
+        .traffic(TrafficSpec::flood(
+            first.clone(),
+            TargetSel::Victim,
+            400,
+            500,
+        ))
+        // Wave 2 exists but has not joined the network yet.
+        .event(SimDuration::ZERO, ChurnAction::Detach(second.clone()))
+        // At the boundary: wave 1 retires, wave 2 joins and opens fire.
+        .event(wave, ChurnAction::Detach(first))
+        .event(wave, ChurnAction::Attach(second.clone()))
+        .event(
+            wave,
+            ChurnAction::StartTraffic(TrafficSpec::flood(second, TargetSel::Victim, 400, 500)),
+        )
+        .probes(
+            ProbeSet::new()
+                .leak_ratio("leak_r")
+                .filters_installed_on("blocked_flows", Side::Attacker)
+                .bin(SimDuration::from_millis(250))
+                .sampled_victim_mbps("_series_attack_mbps", true, |w| {
+                    w.world.host(w.victim()).counters().rx_attack_bytes
+                }),
+        )
+        .run(42);
+
+    println!("=== host churn: 3 zombies retire at t=4s, 3 fresh ones join ===\n");
+    for (name, value) in outcome.metrics.entries() {
+        if !name.starts_with("_series") {
+            println!("  {name:>14}  {value}");
+        }
+    }
+    let t = outcome.metrics.f64_list("_series_time_s");
+    let mbps = outcome.metrics.f64_list("_series_attack_mbps");
+    println!("\n  attack bandwidth at the victim (Mbit/s):");
+    for (t, v) in t.iter().zip(mbps) {
+        println!(
+            "    t={t:>5.2}s  {:<40} {v:.2}",
+            "#".repeat((v * 4.0) as usize)
+        );
+    }
+    println!(
+        "\nBoth spikes collapse within a fraction of a second: every churned-in\n\
+         flow costs one fresh Td, then is blocked at its own provider — the\n\
+         leak-ratio recovery E15 measures."
+    );
+}

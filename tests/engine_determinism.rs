@@ -37,6 +37,28 @@ fn e12_mixed_workload_is_thread_count_invariant() {
 }
 
 #[test]
+fn e13_filter_pressure_is_thread_count_invariant() {
+    // Capacity/eviction sweeps: full-table retry dynamics must be a pure
+    // function of the derived seed, never of worker scheduling.
+    assert_thread_invariant(aitf_bench::e13_filter_pressure::spec(true));
+}
+
+#[test]
+fn e14_td_tr_grid_is_thread_count_invariant() {
+    // The Td/Tr first-class axes rebuild config and topology per point;
+    // the grid must stay bit-identical at any thread count.
+    assert_thread_invariant(aitf_bench::e14_td_tr_grid::spec(true));
+}
+
+#[test]
+fn e15_host_churn_is_thread_count_invariant() {
+    // The dynamic-world experiment: churn events fire at fixed virtual
+    // times between event-loop segments, so attach/detach/activate must
+    // not introduce any schedule dependence.
+    assert_thread_invariant(aitf_bench::e15_host_churn::spec(true));
+}
+
+#[test]
 fn base_seed_flows_into_every_record() {
     let spec = aitf_bench::e11_detection::spec(true);
     let a = Runner::new(2).quick(true).base_seed(1).run(&spec);

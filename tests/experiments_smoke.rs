@@ -11,6 +11,8 @@ fn all_experiments_run_quick() {
     assert!(!aitf_bench::e7_onoff_attacks::run(true).is_empty());
     assert!(!aitf_bench::e9_ingress_incentive::run(true).is_empty());
     assert!(!aitf_bench::e12_mixed_workload::run(true).is_empty());
+    assert!(!aitf_bench::e14_td_tr_grid::run(true).is_empty());
+    assert!(!aitf_bench::e15_host_churn::run(true).is_empty());
 }
 
 #[test]
@@ -39,4 +41,5 @@ fn heavy_experiments_run_quick() {
     assert!(!aitf_bench::e4_victim_gw_resources::run(true).is_empty());
     assert!(!aitf_bench::e8_vs_pushback::run(true).is_empty());
     assert!(!aitf_bench::e10_scaling::run(true).is_empty());
+    assert!(!aitf_bench::e13_filter_pressure::run(true).is_empty());
 }
