@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e16_deployment_incentive` experiment; see the
+//! library module for the full description.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e16_deployment_incentive::run(quick);
+}

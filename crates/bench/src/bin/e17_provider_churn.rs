@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e17_provider_churn` experiment; see the
+//! library module for the full description.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e17_provider_churn::run(quick);
+}

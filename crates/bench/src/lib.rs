@@ -26,6 +26,8 @@
 //! | [`e13_filter_pressure`] | §IV-B sizing, stressed | leak degrades once capacity drops below filter demand |
 //! | [`e14_td_tr_grid`] | §IV-A.1 | the full `Td × Tr` grid tracks `(Td+Tr)/T` |
 //! | [`e15_host_churn`] | §III-C under churn | leak recovers after every mid-attack host wave |
+//! | [`e16_deployment_incentive`] | §III, §IV-B | every additional AITF provider pays off for the victim |
+//! | [`e17_provider_churn`] | §III under network churn | leak recovers as providers leave/rejoin AITF mid-attack |
 
 pub mod e10_scaling;
 pub mod e11_detection;
@@ -33,6 +35,8 @@ pub mod e12_mixed_workload;
 pub mod e13_filter_pressure;
 pub mod e14_td_tr_grid;
 pub mod e15_host_churn;
+pub mod e16_deployment_incentive;
+pub mod e17_provider_churn;
 pub mod e1_escalation;
 pub mod e2_effective_bandwidth;
 pub mod e3_protection_capacity;
@@ -68,6 +72,8 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e13_filter_pressure::spec(quick));
     r.register(e14_td_tr_grid::spec(quick));
     r.register(e15_host_churn::spec(quick));
+    r.register(e16_deployment_incentive::spec(quick));
+    r.register(e17_provider_churn::spec(quick));
     r.register(figures::spec(quick));
     r
 }

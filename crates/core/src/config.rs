@@ -146,7 +146,7 @@ impl AitfConfig {
 }
 
 /// Per-border-router behaviour knobs (experiments flip these).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RouterPolicy {
     /// Participates in AITF at all. Non-AITF routers forward blindly (the
     /// "no defense" baseline) and do not stamp route records.

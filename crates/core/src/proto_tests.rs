@@ -388,6 +388,129 @@ fn victim_gateway_filter_is_temporary_not_long() {
     assert!(shadow.expires > exp);
 }
 
+// ----------------------------------------------------------------------
+// Partial deployment: deployment-aware escalation.
+// ----------------------------------------------------------------------
+
+#[test]
+fn escalation_skips_legacy_hop_to_nearest_aitf_node() {
+    // G_isp never runs AITF and B_gw1 refuses to cooperate. Round 2's
+    // escalation must skip the legacy G_isp straight to G_wan (instead of
+    // being silently eaten), and G_wan's round-2 request lands on B_isp —
+    // the nearest participating node — so the flood still dies on the
+    // attacker's side.
+    let cfg = AitfConfig::default();
+    let mut f = fig1(cfg, HostPolicy::Malicious);
+    f.world.set_router_policy(f.g_isp, RouterPolicy::legacy());
+    f.world
+        .set_router_policy(f.b_net, RouterPolicy::non_cooperating());
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(10));
+
+    // The legacy hop was never asked anything: no requests reached (or
+    // were wasted on) G_isp.
+    let g_gw2 = f.world.router(f.g_isp).counters();
+    assert_eq!(g_gw2.requests_received, 0, "legacy G_isp must be skipped");
+    assert_eq!(g_gw2.requests_ignored, 0);
+    // The victim's gateway escalated directly to G_wan...
+    assert!(f.world.router(f.g_net).counters().escalations_sent >= 1);
+    assert!(f.world.router(f.g_wan).counters().requests_received >= 1);
+    // ...and the round-2 filter landed at B_gw2.
+    let b_gw2 = f.world.router(f.b_isp).counters();
+    assert!(
+        b_gw2.filters_installed >= 1,
+        "round 2 must block at B_isp: {b_gw2:?}"
+    );
+    // Nothing fell into the void.
+    for net in [f.g_net, f.g_isp, f.g_wan, f.b_net, f.b_isp, f.b_wan] {
+        assert_eq!(f.world.router(net).counters().escalations_dropped, 0);
+    }
+    let v = f.world.host(f.victim).counters();
+    assert!(v.rx_attack_pkts < 3000, "victim leak: {}", v.rx_attack_pkts);
+}
+
+#[test]
+fn provider_leaving_aitf_mid_attack_reescalates_around_it() {
+    // The E17 mechanics at protocol level: the flood is blocked at B_gw1
+    // in round 1; then B_net *and* B_isp leave AITF mid-attack
+    // (`World::set_router_policy` broadcasts the change). Their filters
+    // go dormant, the flow reappears, and the victim gateway's round-2
+    // re-escalation must route around both dropped-out providers to
+    // B_wan, which re-blocks the flow and holds its own client (B_isp's
+    // network) accountable. Grace is pushed past the horizon so the
+    // zombie is not simply unplugged before the churn happens.
+    let cfg = AitfConfig {
+        grace: SimDuration::from_secs(3600),
+        ..AitfConfig::default()
+    };
+    let mut f = fig1(cfg, HostPolicy::Malicious);
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(f.world.router(f.b_net).counters().filters_installed, 1);
+    assert_eq!(f.world.router(f.b_wan).counters().filters_installed, 0);
+    let leak_before_flip = f.world.host(f.victim).counters().rx_attack_pkts;
+
+    f.world.set_router_policy(f.b_net, RouterPolicy::legacy());
+    f.world.set_router_policy(f.b_isp, RouterPolicy::legacy());
+    f.world.sim.run_for(SimDuration::from_secs(2));
+
+    // Re-blocked at the nearest still-participating node: B_wan started
+    // the verification handshake and installed the long filter; the
+    // dropped-out B_isp was never asked to filter.
+    let b_gw3 = f.world.router(f.b_wan).counters();
+    assert!(b_gw3.handshakes_started >= 1, "{b_gw3:?}");
+    assert!(b_gw3.filters_installed >= 1, "{b_gw3:?}");
+    assert_eq!(f.world.router(f.b_isp).counters().handshakes_started, 0);
+    assert_eq!(f.world.router(f.b_isp).counters().filters_installed, 0);
+
+    // B_wan's misbehaving client is B_isp's network; the accountability
+    // notice goes there and is ignored (it left AITF) — the §II-D
+    // pressure that would get it disconnected after the grace period.
+    assert!(f.world.router(f.b_isp).counters().requests_ignored >= 1);
+    assert!(b_gw3.attacker_notices_sent >= 1, "{b_gw3:?}");
+
+    // The re-escalation spike is bounded: once re-blocked, the leak
+    // stops growing.
+    let leak_after_settle = f.world.host(f.victim).counters().rx_attack_pkts;
+    f.world.sim.run_for(SimDuration::from_secs(4));
+    let leak_end = f.world.host(f.victim).counters().rx_attack_pkts;
+    assert!(
+        leak_end - leak_after_settle < 50,
+        "leak must stop after re-escalation: {leak_before_flip} -> \
+         {leak_after_settle} -> {leak_end}"
+    );
+}
+
+#[test]
+fn rejoining_provider_is_escalated_through_again() {
+    // The flip is reversible: after B_net leaves and the flow re-blocks
+    // upstream, B_net rejoining AITF restores its dormant filter — new
+    // flows block at B_net again, round 1, exactly as at full deployment.
+    let cfg = AitfConfig {
+        grace: SimDuration::from_secs(3600),
+        ..AitfConfig::default()
+    };
+    let mut f = fig1(cfg, HostPolicy::Malicious);
+    flood(&mut f, 1000, 500);
+    f.world.sim.run_for(SimDuration::from_secs(2));
+    f.world.set_router_policy(f.b_net, RouterPolicy::legacy());
+    f.world.sim.run_for(SimDuration::from_secs(2));
+    // Re-blocked at B_isp while B_net is out.
+    assert!(f.world.router(f.b_isp).counters().filters_installed >= 1);
+
+    f.world.set_router_policy(f.b_net, RouterPolicy::default());
+    // B_net's long filter (60 s) is live again the moment it rejoins:
+    // its data-plane drop counter resumes climbing.
+    let dropped_at_rejoin = f.world.router(f.b_net).counters().data_filtered_pkts;
+    f.world.sim.run_for(SimDuration::from_secs(2));
+    let dropped_end = f.world.router(f.b_net).counters().data_filtered_pkts;
+    assert!(
+        dropped_end > dropped_at_rejoin + 500,
+        "rejoined provider must filter at wire speed again: \
+         {dropped_at_rejoin} -> {dropped_end}"
+    );
+}
+
 #[test]
 fn deterministic_end_to_end() {
     let run = |seed: u64| {

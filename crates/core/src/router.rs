@@ -50,10 +50,25 @@ pub struct RouterCounters {
     /// Victim-gateway-role requests rejected as invalid (wrong direction,
     /// destination not behind the requesting client).
     pub requests_invalid: u64,
+    /// Damped duplicate requests whose temporary filter was refreshed in
+    /// place.
+    pub requests_refreshed: u64,
+    /// Requests this router accepted and committed work to (temporary
+    /// filter installed, handshake started, or long filter attempted) —
+    /// together with the policed/ignored/invalid/refreshed/unsatisfiable
+    /// counters, every received request lands in exactly one bucket.
+    pub requests_accepted: u64,
     /// Requests this router satisfied by installing a filter.
     pub filters_installed: u64,
     /// Requests that failed because the filter table was full.
     pub requests_unsatisfiable: u64,
+    /// Escalations that could not go anywhere: no AITF-enabled ancestor
+    /// to forward to, or no identifiable neighbour to disconnect.
+    pub escalations_dropped: u64,
+    /// Escalations that dead-ended at this router's own uplink: severing
+    /// it would disconnect this network, not the attacker, so the flow is
+    /// filtered locally instead.
+    pub local_filter_fallbacks: u64,
     /// Verification handshakes started.
     pub handshakes_started: u64,
     /// Handshakes that confirmed the request.
@@ -114,8 +129,14 @@ pub struct RouterSpec {
     pub fwd: LpmTable<LinkId>,
     /// Link towards this router's provider; `None` at the top level.
     pub uplink: Option<LinkId>,
-    /// Address of the provider's gateway (escalation target).
-    pub parent_gw: Option<Addr>,
+    /// Addresses of this router's ancestor gateways, nearest first —
+    /// escalation walks this chain, skipping ancestors known not to run
+    /// AITF. Empty at the top level.
+    pub ancestors: Vec<Addr>,
+    /// Border routers known (via capability advertisement at build time)
+    /// not to participate in AITF. Kept current at runtime through
+    /// [`BorderRouter::set_peer_aitf_enabled`].
+    pub legacy_peers: Vec<Addr>,
     /// Client links (to end-hosts and client networks) with the set of
     /// prefixes legitimately sourced behind each.
     pub client_links: HashMap<LinkId, Vec<Prefix>>,
@@ -132,7 +153,9 @@ pub struct BorderRouter {
     policy: RouterPolicy,
     fwd: LpmTable<LinkId>,
     uplink: Option<LinkId>,
-    parent_gw: Option<Addr>,
+    ancestors: Vec<Addr>,
+    /// The deployment view: peers currently known not to run AITF.
+    disabled_peers: std::collections::HashSet<Addr>,
     client_links: HashMap<LinkId, Vec<Prefix>>,
     filters: FilterTable,
     shadow: ShadowCache,
@@ -161,7 +184,6 @@ impl BorderRouter {
             );
         }
         BorderRouter {
-            addr: spec.addr,
             filters: FilterTable::with_policy(cfg.filter_capacity, cfg.eviction),
             shadow: ShadowCache::new(cfg.shadow_capacity),
             limiter,
@@ -169,7 +191,15 @@ impl BorderRouter {
             policy: spec.policy,
             fwd: spec.fwd,
             uplink: spec.uplink,
-            parent_gw: spec.parent_gw,
+            ancestors: spec.ancestors,
+            // A router never lists itself: its own participation is its
+            // `policy`, and the view only answers "can this *peer* act?".
+            disabled_peers: spec
+                .legacy_peers
+                .into_iter()
+                .filter(|&a| a != spec.addr)
+                .collect(),
+            addr: spec.addr,
             client_links: spec.client_links,
             pending_handshakes: HashMap::new(),
             pending_paths: Vec::new(),
@@ -216,10 +246,49 @@ impl BorderRouter {
         &self.timeline
     }
 
+    /// The current behaviour policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
     /// Replaces the behaviour policy (experiments flip cooperation at
-    /// runtime).
+    /// runtime). Prefer [`crate::World::set_router_policy`], which also
+    /// updates every other router's deployment view.
     pub fn set_policy(&mut self, policy: RouterPolicy) {
         self.policy = policy;
+    }
+
+    /// Updates the deployment view: records whether the border router at
+    /// `addr` currently participates in AITF. The world-level
+    /// [`crate::World::set_router_policy`] hook broadcasts this to every
+    /// router when a provider joins or leaves AITF — the simulation's
+    /// stand-in for a BGP-style capability advertisement.
+    pub fn set_peer_aitf_enabled(&mut self, addr: Addr, enabled: bool) {
+        if addr == self.addr {
+            return;
+        }
+        if enabled {
+            self.disabled_peers.remove(&addr);
+        } else {
+            self.disabled_peers.insert(addr);
+        }
+    }
+
+    /// Whether `addr` is believed to run AITF (this router itself always
+    /// answers yes — its own participation is its policy).
+    fn peer_participates(&self, addr: Addr) -> bool {
+        !self.disabled_peers.contains(&addr)
+    }
+
+    /// The nearest ancestor gateway that participates in AITF — the
+    /// escalation target. A legacy parent is skipped, so the request
+    /// lands on the nearest cooperating node instead of being silently
+    /// eaten by a router that will only count it as ignored.
+    fn escalation_parent(&self) -> Option<Addr> {
+        self.ancestors
+            .iter()
+            .copied()
+            .find(|&a| self.peer_participates(a))
     }
 
     fn trace(&mut self, now: SimTime, msg: impl FnOnce() -> String) {
@@ -465,7 +534,14 @@ impl BorderRouter {
             if entry.round >= req.round {
                 if now.saturating_since(entry.last_action) < cooldown {
                     // Duplicate within the damping window: refresh only.
-                    let _ = self.filters.install(req.flow, now, self.cfg.t_tmp);
+                    // A full table means even the refresh failed — the
+                    // client is unprotected and must not look served.
+                    match self.filters.install(req.flow, now, self.cfg.t_tmp) {
+                        Ok(_) => self.counters.requests_refreshed += 1,
+                        Err(InstallError::TableFull) => {
+                            self.counters.requests_unsatisfiable += 1;
+                        }
+                    }
                     return;
                 }
                 req.round = entry.round.saturating_add(1).min(self.cfg.max_round);
@@ -483,6 +559,7 @@ impl BorderRouter {
                 return;
             }
         }
+        self.counters.requests_accepted += 1;
         self.shadow.insert_with_path(
             req.flow,
             req.id,
@@ -514,6 +591,12 @@ impl BorderRouter {
     /// Decides, for round `k`, whether this router propagates to the
     /// attacker side, forwards the escalation to its parent, or — at the
     /// top of the chain with nothing left to try — disconnects the peer.
+    ///
+    /// Under partial deployment both selections are *deployment-aware*:
+    /// path hops known to have left AITF are skipped, so the round-k
+    /// request lands on the nearest participating node instead of being
+    /// eaten by a legacy router, and escalation forwards to the nearest
+    /// AITF-enabled ancestor rather than blindly to the parent.
     fn propagate_as_victim_gateway(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
         let now = ctx.now();
         // Everything the decision needs is `Copy`-cheap; pulling it out up
@@ -522,20 +605,36 @@ impl BorderRouter {
         let flow = req.flow;
         let round = req.round;
         let k = round.max(1) as usize;
+        let len = req.path.len();
         let my_pos = req.path.position(self.addr);
         // The victim-side handler for round k is the k-th node from the
-        // victim end of the path.
-        let handler_pos = req.path.len().checked_sub(k);
+        // victim end of the path — or, when that hop no longer runs AITF,
+        // the nearest participating node on the victim side of it.
+        let handler_pos = len
+            .checked_sub(k)
+            .and_then(|ideal| (ideal..len).find(|&i| self.peer_participates(req.path.hops()[i])));
+        // The attacker-side node asked to filter at round k, skipping
+        // hops that have left AITF since they stamped the record.
+        let target = req.path.hops()[(k - 1).min(len)..]
+            .iter()
+            .copied()
+            .find(|&a| self.peer_participates(a));
+        let parent = self.escalation_parent();
 
         let i_am_handler = match (my_pos, handler_pos) {
-            (Some(p), Some(h)) => p == h || (p > h && self.parent_gw.is_none()),
+            (Some(p), Some(h)) => p == h || (p > h && parent.is_none()),
             // Not on the recorded path (or path exhausted): handle locally.
             _ => true,
         };
 
         if !i_am_handler {
-            let Some(parent) = self.parent_gw else {
-                // Defensive: treated as handler above when parent is None.
+            let Some(parent) = parent else {
+                // No AITF-enabled ancestor left to escalate through; the
+                // request would otherwise vanish without a trace.
+                self.counters.escalations_dropped += 1;
+                self.trace(now, || {
+                    format!("escalation round {round} for {flow} dropped: no AITF-enabled ancestor")
+                });
                 return;
             };
             self.counters.escalations_sent += 1;
@@ -553,7 +652,7 @@ impl BorderRouter {
         }
 
         // I am the handler: ask the round-k attacker-side node to filter.
-        match req.path.node_for_round(k) {
+        match target {
             Some(target) if target != self.addr => {
                 self.shadow.touch_action(&flow, now);
                 self.trace(now, || {
@@ -576,7 +675,12 @@ impl BorderRouter {
     }
 
     /// Blocks the incoming direction of the link the attack path enters
-    /// through.
+    /// through — unless that link is this router's own uplink, in which
+    /// case severing it would disconnect this network (and every client
+    /// behind it) from the world rather than the attacker; the flow is
+    /// then kept filtered locally instead. That is the partial-deployment
+    /// endgame: a victim's gateway with no cooperating node upstream
+    /// still protects its client with its own table.
     fn disconnect_flow_neighbor(&mut self, req: &FilteringRequest, ctx: &mut Context<'_>) {
         let now = ctx.now();
         let my_pos = req.path.position(self.addr);
@@ -586,10 +690,41 @@ impl BorderRouter {
             .and_then(|p| p.checked_sub(1))
             .and_then(|i| req.path.hops().get(i).copied())
             .or_else(|| req.flow.src_host());
-        let Some(neighbor) = neighbor else { return };
-        let Some(&link) = self.fwd.lookup(neighbor).copied().as_ref() else {
+        let Some(neighbor) = neighbor else {
+            // Nobody identifiable to disconnect: the escalation dead-ends
+            // here, which must be observable.
+            self.counters.escalations_dropped += 1;
+            self.trace(now, || {
+                format!(
+                    "escalation for {} dropped: no neighbour to disconnect",
+                    req.flow
+                )
+            });
             return;
         };
+        let Some(&link) = self.fwd.lookup(neighbor).copied().as_ref() else {
+            self.counters.escalations_dropped += 1;
+            self.trace(now, || {
+                format!(
+                    "escalation for {} dropped: no route to neighbour {neighbor}",
+                    req.flow
+                )
+            });
+            return;
+        };
+        if Some(link) == self.uplink {
+            self.counters.local_filter_fallbacks += 1;
+            // Extend the temporary filter to the full horizon `T`; a full
+            // table leaves the existing temporary protection in place.
+            let _ = self.filters.install(req.flow, now, self.cfg.t_long);
+            self.trace(now, || {
+                format!(
+                    "round exhausted for {}: keeping local filter (refusing to sever own uplink)",
+                    req.flow
+                )
+            });
+            return;
+        }
         self.counters.disconnects_peer += 1;
         self.trace(now, || {
             format!(
@@ -655,7 +790,7 @@ impl BorderRouter {
         if self.cfg.verification {
             self.start_handshake(req, ctx);
         } else {
-            self.satisfy_attacker_side(req, ctx);
+            self.satisfy_attacker_side(req, ctx, true);
         }
     }
 
@@ -668,6 +803,7 @@ impl BorderRouter {
         };
         let nonce = Nonce(ctx.rng().gen());
         self.counters.handshakes_started += 1;
+        self.counters.requests_accepted += 1;
         let query = VerificationQuery {
             request_id: req.id,
             flow: req.flow,
@@ -704,7 +840,7 @@ impl BorderRouter {
         if rep.confirm {
             self.counters.handshakes_confirmed += 1;
             self.trace(now, || format!("handshake confirmed for {}", rep.flow));
-            self.satisfy_attacker_side(pending.request, ctx);
+            self.satisfy_attacker_side(pending.request, ctx, false);
         } else {
             self.counters.handshakes_denied += 1;
             self.trace(now, || format!("handshake DENIED for {}", rep.flow));
@@ -712,12 +848,25 @@ impl BorderRouter {
     }
 
     /// Installs the long filter and pushes the request one step closer to
-    /// the attacker, arming the disconnection grace timer.
-    fn satisfy_attacker_side(&mut self, req: FilteringRequest, ctx: &mut Context<'_>) {
+    /// the attacker, arming the disconnection grace timer. `from_request`
+    /// marks calls made synchronously while handling a received request
+    /// (as opposed to a verification reply arriving later), so the
+    /// request-accounting buckets stay exact.
+    fn satisfy_attacker_side(
+        &mut self,
+        req: FilteringRequest,
+        ctx: &mut Context<'_>,
+        from_request: bool,
+    ) {
         let now = ctx.now();
         let flow = req.flow;
         match self.filters.install(flow, now, self.cfg.t_long) {
-            Ok(_) => self.counters.filters_installed += 1,
+            Ok(_) => {
+                self.counters.filters_installed += 1;
+                if from_request {
+                    self.counters.requests_accepted += 1;
+                }
+            }
             Err(InstallError::TableFull) => {
                 self.counters.requests_unsatisfiable += 1;
                 return;
@@ -777,7 +926,7 @@ impl BorderRouter {
         });
         // Block the flow ourselves and relay one step closer to the true
         // attacker, with the same grace-watch policing of our own client.
-        self.satisfy_attacker_side(req, ctx);
+        self.satisfy_attacker_side(req, ctx, true);
     }
 
     // ------------------------------------------------------------------

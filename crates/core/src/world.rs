@@ -270,6 +270,27 @@ impl WorldBuilder {
             })
             .collect();
 
+        // Deployment view seeded at build time: which border routers do
+        // not participate in AITF (the capability "advertisement" every
+        // router sees), plus each router's full ancestor chain so
+        // escalation can skip legacy parents to the nearest AITF node.
+        let legacy_peers: Vec<Addr> = self
+            .nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.policy.aitf_enabled)
+            .map(|(i, _)| router_addr[i])
+            .collect();
+        let ancestors_of = |i: usize| -> Vec<Addr> {
+            let mut chain = Vec::new();
+            let mut cur = self.nets[i].parent;
+            while let Some(p) = cur {
+                chain.push(router_addr[p]);
+                cur = self.nets[p].parent;
+            }
+            chain
+        };
+
         // Install routers.
         for (i, net) in self.nets.iter().enumerate() {
             let mut client_links: HashMap<LinkId, Vec<Prefix>> = HashMap::new();
@@ -290,7 +311,8 @@ impl WorldBuilder {
                 addr: router_addr[i],
                 fwd: fwd_for(router_nodes[i]),
                 uplink: uplinks[i],
-                parent_gw: net.parent.map(|p| router_addr[p]),
+                ancestors: ancestors_of(i),
+                legacy_peers: legacy_peers.clone(),
                 client_links,
                 config: self.cfg.clone(),
                 policy: net.policy,
@@ -505,6 +527,38 @@ impl World {
     /// Whether a host is currently attached.
     pub fn host_attached(&self, host: HostId) -> bool {
         self.host(host).is_attached()
+    }
+
+    /// Replaces a network's router policy at any time — before the run
+    /// starts or mid-simulation — and broadcasts the AITF-participation
+    /// change to every other border router's deployment view, so
+    /// escalation immediately routes around a provider that just left
+    /// AITF (and back through one that rejoined). This is the network
+    /// counterpart of [`World::detach_host`] / [`World::attach_host`]:
+    /// the runtime hook `ChurnAction::SetRouterPolicy` compiles onto.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was built with a non-AITF router backend.
+    pub fn set_router_policy(&mut self, net: NetId, policy: RouterPolicy) {
+        let addr = self.router_addr[net.0];
+        let enabled = policy.aitf_enabled;
+        self.router_mut(net).set_policy(policy);
+        for (i, &node) in self.router_nodes.iter().enumerate() {
+            if i == net.0 {
+                continue;
+            }
+            let router = self
+                .sim
+                .node_mut::<BorderRouter>(node)
+                .expect("router node");
+            router.set_peer_aitf_enabled(addr, enabled);
+        }
+    }
+
+    /// A network's current router policy.
+    pub fn router_policy(&self, net: NetId) -> RouterPolicy {
+        self.router(net).policy()
     }
 
     /// Attack bytes delivered to a host so far (the victim's effective

@@ -37,5 +37,5 @@ pub use params::{Params, Value};
 pub use record::RunRecord;
 pub use registry::Registry;
 pub use runner::{available_threads, Runner, DEFAULT_BASE_SEED};
-pub use spec::{Outcome, RunCtx, ScenarioSpec};
+pub use spec::{splitmix, Outcome, RunCtx, ScenarioSpec};
 pub use tabulate::tabulate;

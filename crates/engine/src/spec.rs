@@ -156,8 +156,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// SplitMix64 finalizer — bijective, well-mixed.
-fn splitmix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer — bijective, well-mixed. Public because it is the
+/// engine family's standard dependency-free mixer: derived sweep seeds
+/// here, seed-derived deployment assignment in `aitf-scenario`.
+pub fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

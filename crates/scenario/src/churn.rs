@@ -58,10 +58,10 @@
 //! assert!(outcome.events > 0);
 //! ```
 
-use aitf_core::HostPolicy;
+use aitf_core::{HostPolicy, RouterPolicy};
 use aitf_netsim::SimDuration;
 
-use crate::topology::BuiltWorld;
+use crate::topology::{BuiltWorld, NetSel};
 use crate::workload::{HostSel, TrafficSpec};
 
 /// A bespoke mutation closure (the churn escape hatch).
@@ -78,6 +78,13 @@ pub enum ChurnAction {
     /// Flip hosts' compliance policy mid-run (a zombie "cleaned up", a
     /// client compromised).
     SetHostPolicy(HostSel, HostPolicy),
+    /// Flip networks' router policy mid-run — providers joining or
+    /// leaving AITF mid-attack. Compiles onto
+    /// [`aitf_core::World::set_router_policy`], which also broadcasts the
+    /// participation change to every other router's deployment view, so
+    /// escalation immediately re-routes around (or back through) the
+    /// flipped provider.
+    SetRouterPolicy(NetSel, RouterPolicy),
     /// Compile a traffic entry onto the (already running) world — army
     /// growth waves, legitimate arrivals. The entry's `starting_after` /
     /// `stagger` windows are relative to the event time.
@@ -94,6 +101,11 @@ impl std::fmt::Debug for ChurnAction {
             ChurnAction::SetHostPolicy(sel, p) => {
                 f.debug_tuple("SetHostPolicy").field(sel).field(p).finish()
             }
+            ChurnAction::SetRouterPolicy(sel, p) => f
+                .debug_tuple("SetRouterPolicy")
+                .field(sel)
+                .field(p)
+                .finish(),
             ChurnAction::StartTraffic(spec) => f.debug_tuple("StartTraffic").field(spec).finish(),
             ChurnAction::Custom(_) => f.write_str("Custom(..)"),
         }
@@ -123,6 +135,16 @@ impl ChurnAction {
             ChurnAction::SetHostPolicy(sel, policy) => {
                 for host in resolve_nonempty(&sel, world, "SetHostPolicy") {
                     world.world.host_mut(host).set_policy(policy);
+                }
+            }
+            ChurnAction::SetRouterPolicy(sel, policy) => {
+                let nets = sel.resolve(world);
+                assert!(
+                    !nets.is_empty(),
+                    "churn SetRouterPolicy event selects no networks"
+                );
+                for net in nets {
+                    world.world.set_router_policy(net, policy);
                 }
             }
             ChurnAction::StartTraffic(spec) => spec.install(world),

@@ -1,0 +1,252 @@
+//! Partial deployment as a declarative, sweepable scenario dimension.
+//!
+//! AITF's deployment claim (Section III of the paper) is that the protocol
+//! pays off *before* everyone runs it: a victim whose provider deploys is
+//! protected immediately, and every additional participating provider
+//! moves filtering closer to the attackers. A [`DeploymentSpec`] makes
+//! "who participates" a first-class property of a [`crate::Scenario`]:
+//!
+//! - [`DeploymentSpec::full`] — everyone runs AITF (the default; scenarios
+//!   without a deployment spec are byte-identical to before this layer
+//!   existed);
+//! - [`DeploymentSpec::legacy_nets`] — an explicit list of networks that
+//!   do not participate;
+//! - [`DeploymentSpec::fraction`] — a seed-derived fraction of the
+//!   eligible networks participates. Assignment is **nested**: for a fixed
+//!   seed, the networks deployed at fraction `f1 < f2` are a subset of
+//!   those deployed at `f2`, so a fraction sweep isolates the deployment
+//!   axis (E16's monotone-incentive claim rests on this). Victim-side
+//!   networks ([`Side::Victim`]) always participate — the victim's own
+//!   provider is the first adopter, which is exactly the paper's incentive
+//!   ordering.
+//!
+//! Non-participating networks get [`RouterPolicy::legacy`] by default
+//! (no stamping, no filtering, requests ignored); override with
+//! [`DeploymentSpec::with_policy`] to model e.g. non-cooperating-but-
+//! stamping providers instead.
+
+use aitf_core::RouterPolicy;
+// The seed-derived ranking behind fractional assignment is the engine
+// family's SplitMix64 mixer, shared with derived sweep seeds.
+use aitf_engine::splitmix as splitmix64;
+
+use crate::topology::{Side, TopologySpec};
+
+/// How the non-participating networks are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentChoice {
+    /// Every network participates.
+    Full,
+    /// The named networks do not participate.
+    LegacyNets(Vec<String>),
+    /// This fraction of the eligible (non-victim-side) networks
+    /// participates; the rest are legacy. Seed-derived, nested across
+    /// fractions for a fixed seed.
+    Fraction(f64),
+}
+
+/// The deployment dimension of a scenario: which networks run AITF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSpec {
+    /// Who participates.
+    pub choice: DeploymentChoice,
+    /// The policy non-participating networks run.
+    pub policy: RouterPolicy,
+}
+
+impl Default for DeploymentSpec {
+    fn default() -> Self {
+        DeploymentSpec::full()
+    }
+}
+
+impl DeploymentSpec {
+    /// Full deployment (the default).
+    pub fn full() -> Self {
+        DeploymentSpec {
+            choice: DeploymentChoice::Full,
+            policy: RouterPolicy::legacy(),
+        }
+    }
+
+    /// The named networks are legacy; everyone else participates.
+    pub fn legacy_nets(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        DeploymentSpec {
+            choice: DeploymentChoice::LegacyNets(names.into_iter().map(Into::into).collect()),
+            policy: RouterPolicy::legacy(),
+        }
+    }
+
+    /// A seed-derived `aitf_fraction` of the eligible networks
+    /// participates (victim-side networks always do).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= aitf_fraction <= 1.0`.
+    pub fn fraction(aitf_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&aitf_fraction),
+            "aitf_fraction must be in [0, 1], got {aitf_fraction}"
+        );
+        DeploymentSpec {
+            choice: DeploymentChoice::Fraction(aitf_fraction),
+            policy: RouterPolicy::legacy(),
+        }
+    }
+
+    /// Overrides the policy non-participating networks run (e.g.
+    /// [`RouterPolicy::non_cooperating`] for providers that stamp but
+    /// ignore requests).
+    pub fn with_policy(mut self, policy: RouterPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns `true` when the spec changes nothing (full deployment).
+    pub fn is_full(&self) -> bool {
+        matches!(self.choice, DeploymentChoice::Full)
+    }
+
+    /// The indices (into `topo.nets`) of the networks this spec marks as
+    /// non-participating, for `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit legacy net name does not exist in the
+    /// topology — a misspelled deployment list must not silently mean
+    /// "everyone deployed".
+    pub fn legacy_indices(&self, topo: &TopologySpec, seed: u64) -> Vec<usize> {
+        match &self.choice {
+            DeploymentChoice::Full => Vec::new(),
+            DeploymentChoice::LegacyNets(names) => {
+                names.iter().map(|n| topo.net_index(n)).collect()
+            }
+            DeploymentChoice::Fraction(f) => {
+                // Eligible: everything but the victim's own provider
+                // chain (and nets already declared legacy stay legacy).
+                let eligible: Vec<usize> = topo
+                    .nets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.side != Side::Victim && n.policy.aitf_enabled)
+                    .map(|(i, _)| i)
+                    .collect();
+                let deployed = (f * eligible.len() as f64).round() as usize;
+                // Rank by a seed-derived key; the first `deployed` in rank
+                // order participate. Fixed seed ⇒ nested deployments
+                // across fractions.
+                let mut ranked = eligible;
+                ranked.sort_by_key(|&i| (splitmix64(seed ^ (i as u64 + 1)), i));
+                ranked.split_off(deployed.min(ranked.len()))
+            }
+        }
+    }
+
+    /// Applies the spec to a topology: returns a copy whose
+    /// non-participating networks run [`DeploymentSpec::policy`].
+    pub fn apply(&self, topo: &TopologySpec, seed: u64) -> TopologySpec {
+        let mut patched = topo.clone();
+        for i in self.legacy_indices(topo, seed) {
+            patched.nets[i].policy = self.policy;
+        }
+        patched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aitf_core::HostPolicy;
+
+    fn tree() -> TopologySpec {
+        TopologySpec::tree(2, 3, 2, HostPolicy::Malicious, 10_000_000)
+    }
+
+    #[test]
+    fn full_deployment_changes_nothing() {
+        let topo = tree();
+        let spec = DeploymentSpec::full();
+        assert!(spec.is_full());
+        assert!(spec.legacy_indices(&topo, 7).is_empty());
+        let patched = spec.apply(&topo, 7);
+        assert!(patched.nets.iter().all(|n| n.policy.aitf_enabled));
+    }
+
+    #[test]
+    fn explicit_legacy_nets_resolve_by_name() {
+        let topo = tree();
+        let spec = DeploymentSpec::legacy_nets(["ad_0", "zombie_net_4"]);
+        let patched = spec.apply(&topo, 1);
+        for n in &patched.nets {
+            let expect_legacy = n.name == "ad_0" || n.name == "zombie_net_4";
+            assert_eq!(!n.policy.aitf_enabled, expect_legacy, "{}", n.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no network named")]
+    fn misspelled_legacy_net_fails_loudly() {
+        let _ = DeploymentSpec::legacy_nets(["nope"]).legacy_indices(&tree(), 1);
+    }
+
+    #[test]
+    fn fraction_is_nested_across_sweeps_and_spares_the_victim_side() {
+        let topo = tree();
+        let seed = 42;
+        let mut previous: Option<std::collections::HashSet<usize>> = None;
+        for f in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let legacy: std::collections::HashSet<usize> = DeploymentSpec::fraction(f)
+                .legacy_indices(&topo, seed)
+                .into_iter()
+                .collect();
+            for &i in &legacy {
+                assert_ne!(
+                    topo.nets[i].side,
+                    Side::Victim,
+                    "victim side always deploys"
+                );
+            }
+            if let Some(prev) = &previous {
+                // Higher fraction ⇒ fewer legacy nets, and a subset of the
+                // previous legacy set (nested deployment).
+                assert!(legacy.is_subset(prev), "assignment must be nested");
+            }
+            previous = Some(legacy);
+        }
+        // f = 1 means everyone deploys; f = 0 means every eligible net is
+        // legacy (13 of the 14 tree nets — all but victim_net).
+        assert!(previous.expect("loop ran").is_empty());
+        assert_eq!(
+            DeploymentSpec::fraction(0.0)
+                .legacy_indices(&topo, seed)
+                .len(),
+            topo.nets.len() - 1
+        );
+    }
+
+    #[test]
+    fn fraction_assignment_depends_on_seed() {
+        let topo = tree();
+        let a = DeploymentSpec::fraction(0.5).legacy_indices(&topo, 1);
+        let b = DeploymentSpec::fraction(0.5).legacy_indices(&topo, 2);
+        assert_eq!(a, DeploymentSpec::fraction(0.5).legacy_indices(&topo, 1));
+        assert_ne!(a, b, "different seeds should shuffle the assignment");
+    }
+
+    #[test]
+    #[should_panic(expected = "aitf_fraction must be in")]
+    fn fraction_out_of_range_is_rejected() {
+        let _ = DeploymentSpec::fraction(1.5);
+    }
+
+    #[test]
+    fn custom_policy_applies_to_legacy_nets() {
+        let topo = tree();
+        let spec =
+            DeploymentSpec::legacy_nets(["ad_1"]).with_policy(RouterPolicy::non_cooperating());
+        let patched = spec.apply(&topo, 1);
+        let i = patched.net_index("ad_1");
+        assert!(patched.nets[i].policy.aitf_enabled);
+        assert!(!patched.nets[i].policy.cooperating);
+    }
+}

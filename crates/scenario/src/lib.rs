@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! Scenario {
-//!     topology: TopologySpec,   // fig1 / chain_pair / star / tree / custom
-//!     workload: WorkloadSpec,   // floods, legit pools, on/off, spoofing
-//!     churn:    ChurnSpec,      // scheduled mid-run mutations (dynamic worlds)
-//!     probes:   ProbeSet,       // leak ratio, filter peaks, sampled series
-//!     config:   AitfConfig,     // + duration, backend (AITF vs pushback)
+//!     topology:   TopologySpec,   // fig1 / chain_pair / star / tree / custom
+//!     deployment: DeploymentSpec, // which networks run AITF (partial deployment)
+//!     workload:   WorkloadSpec,   // floods, legit pools, on/off, spoofing
+//!     churn:      ChurnSpec,      // scheduled mid-run mutations (dynamic worlds)
+//!     probes:     ProbeSet,       // leak ratio, filter peaks, sampled series
+//!     config:     AitfConfig,     // + duration, backend (AITF vs pushback)
 //! }
 //! ```
 //!
@@ -32,6 +33,7 @@
 
 pub mod alloc;
 pub mod churn;
+pub mod deploy;
 pub mod probe;
 pub mod scenario;
 pub mod topology;
@@ -40,8 +42,11 @@ pub mod worlds;
 
 pub use alloc::PrefixAlloc;
 pub use churn::{ChurnAction, ChurnSpec, EventSpec};
+pub use deploy::{DeploymentChoice, DeploymentSpec};
 pub use probe::{leak_ratio, ProbeSet, SeriesStore};
-pub use scenario::Scenario;
-pub use topology::{Backend, BuiltWorld, HostDecl, NetDecl, PeeringDecl, Role, Side, TopologySpec};
+pub use scenario::{Scenario, ScenarioError};
+pub use topology::{
+    Backend, BuiltWorld, HostDecl, NetDecl, NetSel, PeeringDecl, Role, Side, TopologySpec,
+};
 pub use workload::{HostSel, Rate, TargetSel, TrafficKind, TrafficSpec, WorkloadSpec};
 pub use worlds::{chain_pair, fig1, star, ChainWorld, Fig1World, StarWorld};

@@ -30,9 +30,23 @@ use aitf_engine::{Outcome, Params};
 use aitf_netsim::SimDuration;
 
 use crate::churn::{ChurnAction, ChurnSpec};
+use crate::deploy::DeploymentSpec;
 use crate::probe::{ProbeSet, SeriesStore};
 use crate::topology::{Backend, BuiltWorld, Role, TopologySpec};
 use crate::workload::{TrafficSpec, WorkloadSpec};
+
+/// A scenario-specification error, detected by [`Scenario::validate`]
+/// before any world is built or simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// A complete declarative experiment point.
 pub struct Scenario {
@@ -40,6 +54,8 @@ pub struct Scenario {
     pub config: AitfConfig,
     /// The world's shape.
     pub topology: TopologySpec,
+    /// Which networks participate in AITF (default: all of them).
+    pub deployment: DeploymentSpec,
     /// The traffic driving it.
     pub workload: WorkloadSpec,
     /// Scheduled mid-run world mutations (empty = a static world).
@@ -59,6 +75,7 @@ impl Scenario {
         Scenario {
             config: AitfConfig::default(),
             topology,
+            deployment: DeploymentSpec::full(),
             workload: WorkloadSpec::new(),
             churn: ChurnSpec::new(),
             probes: ProbeSet::new(),
@@ -130,6 +147,20 @@ impl Scenario {
         self
     }
 
+    /// Sets the deployment dimension: which networks participate in AITF
+    /// (§III — the partial-deployment incentive E16 sweeps).
+    pub fn deployment(mut self, deployment: DeploymentSpec) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// First-class sweep axis over [`DeploymentSpec::fraction`]: this
+    /// seed-derived fraction of the eligible networks runs AITF, nested
+    /// across fractions for a fixed seed.
+    pub fn aitf_fraction(self, fraction: f64) -> Self {
+        self.deployment(DeploymentSpec::fraction(fraction))
+    }
+
     /// Sets `Tr`, the one-way victim→gateway delay, by rewriting the
     /// victim host's tail-circuit propagation delay (bandwidth and queue
     /// are untouched).
@@ -166,13 +197,36 @@ impl Scenario {
         self
     }
 
+    /// Checks the scenario for specification errors before anything is
+    /// built or simulated. Currently validated: every churn event must
+    /// fire strictly before the scenario horizon — an event at or past it
+    /// could never take effect, and a silent no-op would masquerade as
+    /// "the late wave changed nothing".
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if let Some(event) = self.churn.events.iter().find(|e| e.at >= self.duration) {
+            return Err(ScenarioError(format!(
+                "churn event {:?} at {:?} is at or past the scenario horizon \
+                 {:?}; events must fire strictly before the horizon",
+                event.action, event.at, self.duration
+            )));
+        }
+        Ok(())
+    }
+
     /// Builds the world and installs the workload without running it —
     /// the escape hatch for experiments that drive the simulation in
-    /// custom phases (mid-run snapshots, incremental sampling).
+    /// custom phases (mid-run snapshots, incremental sampling). The
+    /// deployment spec is applied first, so non-participating networks
+    /// are legacy from the moment their routers exist.
     pub fn build(&self, seed: u64) -> BuiltWorld {
-        let mut world = self
-            .topology
-            .build_with(seed, self.config.clone(), self.backend);
+        let cfg = self.config.clone();
+        let mut world = if self.deployment.is_full() {
+            self.topology.build_with(seed, cfg, self.backend)
+        } else {
+            self.deployment
+                .apply(&self.topology, seed)
+                .build_with(seed, cfg, self.backend)
+        };
         self.workload.compile(&mut world);
         world
     }
@@ -191,10 +245,14 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if a churn event is scheduled at or past the scenario
-    /// duration — no simulated time would remain for it to take effect,
-    /// and probes and churn must not extend the declared horizon.
+    /// Panics if [`Scenario::validate`] rejects the spec — e.g. a churn
+    /// event scheduled at or past the scenario duration: no simulated
+    /// time would remain for it to take effect, and probes and churn
+    /// must not extend the declared horizon.
     pub fn run(self, seed: u64) -> Outcome {
+        if let Err(e) = self.validate() {
+            panic!("invalid scenario: {e}");
+        }
         let mut world = self.build(seed);
         let ProbeSet {
             end,
@@ -213,16 +271,9 @@ impl Scenario {
         for probe in &sampled {
             store.series.push((probe.name, Vec::new()));
         }
+        // The horizon check ran in `validate` above, before the world was
+        // built — a bad spec fails at compile time, not mid-run.
         let schedule = self.churn.into_schedule();
-        // An event at (or past) the horizon could never take effect — no
-        // simulated time remains for it to act on; a silent no-op would
-        // masquerade as "the late wave changed nothing", so fail loudly.
-        if let Some(event) = schedule.iter().find(|e| e.at >= self.duration) {
-            panic!(
-                "churn event at {:?} is at or past the scenario horizon {:?}",
-                event.at, self.duration
-            );
-        }
         let mut churn = schedule.into_iter().peekable();
         let mut elapsed = SimDuration::ZERO;
         let mut next_sample = sample_bin.map(|bin| {
@@ -507,5 +558,62 @@ mod tests {
                 ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 0, 1)),
             )
             .run(1);
+    }
+
+    #[test]
+    fn validate_names_the_offending_event_and_the_horizon() {
+        let bad = churn_star().event(
+            SimDuration::from_secs(10),
+            ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 0, 1)),
+        );
+        let err = bad.validate().expect_err("event past horizon").to_string();
+        assert!(err.contains("Detach"), "names the action: {err}");
+        assert!(err.contains("10s"), "names the event time: {err}");
+        assert!(err.contains("4s"), "names the horizon: {err}");
+        assert!(churn_star().validate().is_ok());
+    }
+
+    // ------------------------------------------------------------------
+    // Partial deployment & provider churn.
+    // ------------------------------------------------------------------
+
+    use crate::topology::NetSel;
+    use aitf_core::RouterPolicy;
+
+    #[test]
+    fn set_router_policy_event_flips_a_provider_mid_run() {
+        let outcome = churn_star()
+            .event(
+                SimDuration::from_secs(1),
+                ChurnAction::SetRouterPolicy(
+                    NetSel::Name("zombie_net_0".into()),
+                    RouterPolicy::legacy(),
+                ),
+            )
+            .probes(ProbeSet::new().leak_ratio("leak_r").end(|w, m| {
+                m.set(
+                    "z0_aitf",
+                    w.world.router_policy(w.net("zombie_net_0")).aitf_enabled,
+                );
+                m.set("hub_aitf", w.world.router_policy(w.net("hub")).aitf_enabled);
+            }))
+            .run(5);
+        assert!(!outcome.metrics.bool("z0_aitf"));
+        assert!(outcome.metrics.bool("hub_aitf"));
+    }
+
+    #[test]
+    fn deployment_spec_builds_legacy_routers_from_the_start() {
+        let outcome = churn_star()
+            .deployment(crate::deploy::DeploymentSpec::legacy_nets(["zombie_net_1"]))
+            .probes(ProbeSet::new().end(|w, m| {
+                let aitf = (0..w.world.net_count())
+                    .filter(|&i| w.world.router_policy(aitf_core::NetId(i)).aitf_enabled)
+                    .count();
+                m.set("aitf_nets", aitf as u64);
+            }))
+            .run(5);
+        // star(4, ..): hub + victim_net + 4 zombie nets = 6, one legacy.
+        assert_eq!(outcome.metrics.u64("aitf_nets"), 5);
     }
 }

@@ -496,6 +496,38 @@ impl TopologySpec {
     }
 }
 
+/// Selects networks — the network counterpart of
+/// [`crate::workload::HostSel`], used by churn actions that mutate
+/// providers (e.g. `ChurnAction::SetRouterPolicy`).
+#[derive(Debug, Clone)]
+pub enum NetSel {
+    /// One network, by name.
+    Name(String),
+    /// Several networks, by name, in the given order.
+    Names(Vec<String>),
+    /// Every network on a side, in declaration order.
+    Side(Side),
+    /// Every network, in declaration order.
+    All,
+}
+
+impl NetSel {
+    /// Resolves the selection against a built world, in declaration
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name that does not exist in the world.
+    pub fn resolve(&self, world: &BuiltWorld) -> Vec<NetId> {
+        match self {
+            NetSel::Name(name) => vec![world.net(name)],
+            NetSel::Names(names) => names.iter().map(|n| world.net(n)).collect(),
+            NetSel::Side(side) => world.nets_on(*side),
+            NetSel::All => world.net_ids.clone(),
+        }
+    }
+}
+
 /// A built world plus the role/name bookkeeping workloads and probes
 /// select by. Net/host handles are the ones the builder actually
 /// returned, indexed by declaration position — lookups never assume

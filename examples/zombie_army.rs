@@ -16,10 +16,11 @@ fn run(defended: bool) -> (f64, f64, u64) {
     let cfg = AitfConfig::default();
     let mut s = star(cfg, 7, 16, 4, HostPolicy::Malicious, 10_000_000);
     if !defended {
-        // Legacy routers: no AITF anywhere.
+        // Legacy routers: no AITF anywhere. The world-level hook keeps
+        // every router's deployment view in sync with the flip.
         let nets: Vec<_> = (0..s.world.net_count()).map(aitf_core::NetId).collect();
         for net in nets {
-            s.world.router_mut(net).set_policy(RouterPolicy::legacy());
+            s.world.set_router_policy(net, RouterPolicy::legacy());
         }
     }
     // One honest client in the last zombie network (collateral position).

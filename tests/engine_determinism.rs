@@ -59,6 +59,22 @@ fn e15_host_churn_is_thread_count_invariant() {
 }
 
 #[test]
+fn e16_deployment_incentive_is_thread_count_invariant() {
+    // Partial deployment: the seed-derived nested assignment and the
+    // deployment-aware escalation paths must be pure functions of the
+    // derived seed at any worker count.
+    assert_thread_invariant(aitf_bench::e16_deployment_incentive::spec(true));
+}
+
+#[test]
+fn e17_provider_churn_is_thread_count_invariant() {
+    // Network churn: SetRouterPolicy events broadcast deployment-view
+    // updates between event-loop segments; re-escalation must stay
+    // schedule-independent.
+    assert_thread_invariant(aitf_bench::e17_provider_churn::spec(true));
+}
+
+#[test]
 fn base_seed_flows_into_every_record() {
     let spec = aitf_bench::e11_detection::spec(true);
     let a = Runner::new(2).quick(true).base_seed(1).run(&spec);

@@ -13,6 +13,8 @@ fn all_experiments_run_quick() {
     assert!(!aitf_bench::e12_mixed_workload::run(true).is_empty());
     assert!(!aitf_bench::e14_td_tr_grid::run(true).is_empty());
     assert!(!aitf_bench::e15_host_churn::run(true).is_empty());
+    assert!(!aitf_bench::e16_deployment_incentive::run(true).is_empty());
+    assert!(!aitf_bench::e17_provider_churn::run(true).is_empty());
 }
 
 #[test]
