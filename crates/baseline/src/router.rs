@@ -190,6 +190,10 @@ impl Node for PushbackRouter {
         self.forward_data(packet, link, ctx);
     }
 
+    fn subsystem(&self) -> aitf_netsim::Subsystem {
+        aitf_netsim::Subsystem::RouterData
+    }
+
     impl_node_any!();
 }
 

@@ -130,7 +130,7 @@ pub fn spec(quick: bool) -> ScenarioSpec {
         // The pushback contrast world's events stay out of the record, as
         // they always have: the telemetry tracks the AITF run.
         let (hub_pb, _pb_events) = hub_filters_pushback(n, ctx.seed);
-        Outcome::new(
+        let mut out = Outcome::new(
             Params::new()
                 .with(
                     "filters_per_provider",
@@ -141,7 +141,11 @@ pub fn spec(quick: bool) -> ScenarioSpec {
                 .with("hub_filters_pushback", hub_pb)
                 .with("victim_gw_peak", o.metrics.u64("victim_gw_peak")),
         )
-        .with_events(o.events)
+        .with_events(o.events);
+        // Keep the AITF run's trace payload too (pushback contrast stays
+        // out, matching the event accounting above).
+        out.trace = o.trace;
+        out
     })
 }
 

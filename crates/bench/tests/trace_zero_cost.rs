@@ -1,0 +1,143 @@
+//! Zero-cost guarantee for the tracing facade with the feature **off**.
+//!
+//! The instrumented call sites (router spans, subsystem classification,
+//! loop wall buckets) are compiled against no-op stubs in default builds.
+//! This test pins the strong half of that claim on the same chain world
+//! as the `event_dispatch` microbench: **zero heap allocations per
+//! dispatched event** in steady state, and bit-identical event counts run
+//! to run. The throughput half (events/sec within noise of the untraced
+//! seed) is ratcheted by `tools/bench_compare`'s variance-aware wall gate
+//! against the committed baseline, which was refreshed on this build.
+//!
+//! Compiled out under `--features trace` — with recording on, spans do
+//! allocate by design.
+
+#![cfg(not(feature = "trace"))]
+
+use aitf_netsim::{
+    impl_node_any, Context, LinkId, LinkParams, NetworkBuilder, Node, SimDuration, Simulator,
+};
+use aitf_packet::alloc_probe::CountingAlloc;
+use aitf_packet::{Addr, Header, Packet, TrafficClass};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Steady packet source, re-armed by timer (the suite's traffic shape).
+struct Source {
+    dst: Addr,
+    gap: SimDuration,
+}
+
+impl Node for Source {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.gap, 0);
+    }
+
+    fn on_packet(&mut self, _p: Packet, _l: LinkId, _ctx: &mut Context<'_>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+        let id = ctx.next_packet_id();
+        let h = Header::udp(Addr::new(10, 0, 0, 1), self.dst, 7, 9);
+        let link = ctx.my_links()[0];
+        ctx.send(link, Packet::data(id, h, TrafficClass::Attack, 600));
+        ctx.set_timer(self.gap, 0);
+    }
+
+    impl_node_any!();
+}
+
+/// Forwards every arrival out of its other link, stamping the route
+/// record like a border router's data plane.
+struct Relay {
+    addr: Addr,
+}
+
+impl Node for Relay {
+    fn on_packet(&mut self, mut packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
+        packet.header.ttl = match packet.header.ttl.checked_sub(1) {
+            Some(t) if t > 0 => t,
+            _ => return,
+        };
+        let _ = packet.route_record.push(self.addr);
+        for i in 0..ctx.my_links().len() {
+            let l = ctx.my_links()[i];
+            if l != link {
+                ctx.send(l, packet);
+                return;
+            }
+        }
+    }
+
+    impl_node_any!();
+}
+
+struct Sink;
+
+impl Node for Sink {
+    fn on_packet(&mut self, _p: Packet, _l: LinkId, _ctx: &mut Context<'_>) {}
+
+    impl_node_any!();
+}
+
+/// Source → relay × `hops` → sink over finite links, as in the bench.
+fn chain(hops: usize) -> Simulator {
+    let mut b = NetworkBuilder::new(0xD15);
+    let src = b.add_node();
+    let relays: Vec<_> = (0..hops).map(|_| b.add_node()).collect();
+    let sink = b.add_node();
+    let params = LinkParams::ethernet(100_000_000, SimDuration::from_micros(50));
+    let mut prev = src;
+    for &r in &relays {
+        b.connect(prev, r, params);
+        prev = r;
+    }
+    b.connect(prev, sink, params);
+    let mut sim = b.build();
+    sim.install(
+        src,
+        Box::new(Source {
+            dst: Addr::new(10, 0, 0, 99),
+            gap: SimDuration::from_micros(100),
+        }),
+    );
+    for (i, &r) in relays.iter().enumerate() {
+        sim.install(
+            r,
+            Box::new(Relay {
+                addr: Addr::new(10, 1, i as u8, 254),
+            }),
+        );
+    }
+    sim.install(sink, Box::new(Sink));
+    sim
+}
+
+#[test]
+fn disabled_tracing_dispatches_with_zero_allocations_per_event() {
+    let mut sim = chain(8);
+    // Warm-up: queues, slabs and heap reach their high-water capacity.
+    sim.run_for(SimDuration::from_secs(2));
+    let ev0 = sim.dispatched_events();
+    let ((), allocs) = CountingAlloc::count(|| sim.run_for(SimDuration::from_secs(8)));
+    let events = sim.dispatched_events() - ev0;
+    assert!(events > 100_000, "the probe window must be non-trivial");
+    assert_eq!(
+        allocs, 0,
+        "steady-state dispatch allocated with tracing compiled out \
+         ({allocs} allocs over {events} events)"
+    );
+    // And the profile accessor confirms nothing was recorded.
+    assert_eq!(sim.subsystem_profile().total_events(), 0);
+    assert_eq!(sim.subsystem_profile().loop_nanos(), 0);
+}
+
+#[test]
+fn disabled_tracing_leaves_dispatch_deterministic() {
+    let run = || {
+        let mut sim = chain(8);
+        sim.run_for(SimDuration::from_secs(3));
+        sim.dispatched_events()
+    };
+    assert_eq!(run(), run(), "event counts must be bit-stable run to run");
+}

@@ -455,6 +455,7 @@ impl EndHost {
     }
 
     fn on_detect(&mut self, flow: FlowLabel, ctx: &mut Context<'_>) {
+        ctx.profile_subsystem(aitf_netsim::Subsystem::Detector);
         let now = ctx.now();
         // Under sampling traceback the attack path may not have converged
         // yet; a request without a path cannot be propagated, so wait.
@@ -478,6 +479,7 @@ impl EndHost {
     /// The rate detector flagged `src`: request a block immediately
     /// (detection latency already elapsed inside the estimator).
     fn on_rate_trip(&mut self, src: aitf_packet::Addr, ctx: &mut Context<'_>) {
+        ctx.profile_subsystem(aitf_netsim::Subsystem::Detector);
         let now = ctx.now();
         let flow = FlowLabel::src_dst(src, self.addr);
         self.purge_request_log(now);
@@ -549,6 +551,7 @@ impl EndHost {
         let Some(msg) = packet.aitf_message() else {
             return;
         };
+        ctx.profile_subsystem(aitf_netsim::Subsystem::Escalation);
         let now = ctx.now();
         match msg {
             AitfMessage::VerificationQuery(q) => {

@@ -19,11 +19,12 @@
 use std::collections::HashMap;
 
 use aitf_filter::{FilterTable, InstallError, RateLimiterBank, ShadowCache};
-use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimTime};
+use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimTime, Subsystem};
 use aitf_packet::{
     Addr, AitfMessage, FilteringRequest, FlowLabel, LpmTable, Nonce, Packet, PayloadKind, Prefix,
     RequestDestination, TracebackMark, VerificationQuery, VerificationReply,
 };
+use aitf_trace::{Cause, SpanId, SpanKind, Tracer};
 use rand::Rng;
 
 use crate::config::{AitfConfig, RouterPolicy, TracebackMode};
@@ -90,6 +91,11 @@ pub struct RouterCounters {
     pub attacker_notices_sent: u64,
     /// Verification queries snooped and forged (compromised router only).
     pub handshakes_forged: u64,
+    /// Deferred handshake-confirm installs that found the table full. The
+    /// request was already counted `accepted` when its handshake started,
+    /// so this is *outside* the received-request identity — it records
+    /// committed work that could not be completed.
+    pub deferred_unsatisfied: u64,
 }
 
 /// Timer meanings, keyed by token through `token_map`.
@@ -103,11 +109,14 @@ enum TimerAction {
 struct PendingHandshake {
     request: FilteringRequest,
     nonce: Nonce,
+    /// The open handshake span ([`SpanId::NONE`] when tracing is off).
+    span: SpanId,
 }
 
 #[derive(Debug)]
 struct GraceWatch {
     flow: FlowLabel,
+    round: u8,
     client_link: Option<LinkId>,
     armed_at: SimTime,
 }
@@ -167,6 +176,19 @@ pub struct BorderRouter {
     next_id: u64,
     counters: RouterCounters,
     timeline: Vec<(SimTime, String)>,
+    /// Structured span recorder (a zero-sized no-op unless the `trace`
+    /// feature is on); shared with every other router in the world so
+    /// escalation chains parent across routers.
+    tracer: Tracer,
+}
+
+/// Compact span key for a flow: `src_host << 32 | dst_host` (0 for a
+/// wildcard end). Escalation flows are host-to-host labels, so the key is
+/// unique within a world.
+fn flow_key(flow: &FlowLabel) -> u64 {
+    let src = flow.src_host().map(|a| a.0).unwrap_or(0) as u64;
+    let dst = flow.dst_host().map(|a| a.0).unwrap_or(0) as u64;
+    (src << 32) | dst
 }
 
 impl BorderRouter {
@@ -208,7 +230,15 @@ impl BorderRouter {
             next_id: 0,
             counters: RouterCounters::default(),
             timeline: Vec::new(),
+            tracer: Tracer::new(),
         }
+    }
+
+    /// Replaces the span recorder. The world builder calls this on every
+    /// router with clones of one shared [`Tracer`], so round spans parent
+    /// across routers; a router keeps its private (inert) tracer otherwise.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This router's address.
@@ -454,6 +484,8 @@ impl BorderRouter {
     // ------------------------------------------------------------------
 
     fn handle_control(&mut self, packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
+        // Control handling is AITF escalation work, not datapath work.
+        ctx.profile_subsystem(Subsystem::Escalation);
         let PayloadKind::Aitf(msg) = packet.payload else {
             return;
         };
@@ -536,10 +568,29 @@ impl BorderRouter {
                     // Duplicate within the damping window: refresh only.
                     // A full table means even the refresh failed — the
                     // client is unprotected and must not look served.
+                    let key = flow_key(&req.flow);
                     match self.filters.install(req.flow, now, self.cfg.t_tmp) {
-                        Ok(_) => self.counters.requests_refreshed += 1,
+                        Ok(_) => {
+                            self.counters.requests_refreshed += 1;
+                            self.tracer.instant(
+                                SpanKind::Refresh,
+                                Cause::Duplicate,
+                                key,
+                                entry.round,
+                                self.addr.0,
+                                now.0,
+                            );
+                        }
                         Err(InstallError::TableFull) => {
                             self.counters.requests_unsatisfiable += 1;
+                            self.tracer.instant(
+                                SpanKind::Drop,
+                                Cause::TableFull,
+                                key,
+                                entry.round,
+                                self.addr.0,
+                                now.0,
+                            );
                         }
                     }
                     return;
@@ -552,14 +603,47 @@ impl BorderRouter {
         }
 
         // Temporary filter for Ttmp; shadow for T.
+        let key = flow_key(&req.flow);
         match self.filters.install(req.flow, now, self.cfg.t_tmp) {
             Ok(_) => {}
             Err(InstallError::TableFull) => {
                 self.counters.requests_unsatisfiable += 1;
+                self.tracer.instant(
+                    SpanKind::Drop,
+                    Cause::TableFull,
+                    key,
+                    req.round,
+                    self.addr.0,
+                    now.0,
+                );
                 return;
             }
         }
         self.counters.requests_accepted += 1;
+        // One span per escalation round, opened where the round is
+        // handled; everything the round causes (handshake, long filter,
+        // disconnect — wherever it happens) parents under it.
+        let round_cause = if req.round > 1 {
+            Cause::Escalated
+        } else {
+            Cause::Detection
+        };
+        self.tracer.start(
+            SpanKind::Round,
+            round_cause,
+            key,
+            req.round,
+            self.addr.0,
+            now.0,
+        );
+        self.tracer.instant(
+            SpanKind::TempFilter,
+            Cause::Protocol,
+            key,
+            req.round,
+            self.addr.0,
+            now.0,
+        );
         self.shadow.insert_with_path(
             req.flow,
             req.id,
@@ -627,11 +711,21 @@ impl BorderRouter {
             _ => true,
         };
 
+        let key = flow_key(&flow);
         if !i_am_handler {
             let Some(parent) = parent else {
                 // No AITF-enabled ancestor left to escalate through; the
                 // request would otherwise vanish without a trace.
                 self.counters.escalations_dropped += 1;
+                self.tracer.instant(
+                    SpanKind::Drop,
+                    Cause::NoAncestor,
+                    key,
+                    round,
+                    self.addr.0,
+                    now.0,
+                );
+                self.tracer.close_round(key, round, now.0);
                 self.trace(now, || {
                     format!("escalation round {round} for {flow} dropped: no AITF-enabled ancestor")
                 });
@@ -640,6 +734,14 @@ impl BorderRouter {
             self.counters.escalations_sent += 1;
             self.shadow.note_round(&flow, round);
             self.shadow.touch_action(&flow, now);
+            self.tracer.instant(
+                SpanKind::Escalate,
+                Cause::Escalated,
+                key,
+                round,
+                self.addr.0,
+                now.0,
+            );
             self.trace(now, || {
                 format!("escalate round {round} for {flow} to parent {parent}")
             });
@@ -683,6 +785,7 @@ impl BorderRouter {
     /// still protects its client with its own table.
     fn disconnect_flow_neighbor(&mut self, req: &FilteringRequest, ctx: &mut Context<'_>) {
         let now = ctx.now();
+        let key = flow_key(&req.flow);
         let my_pos = req.path.position(self.addr);
         // The neighbour towards the attacker: previous hop on the path, or
         // the route towards the flow source as a fallback.
@@ -694,6 +797,15 @@ impl BorderRouter {
             // Nobody identifiable to disconnect: the escalation dead-ends
             // here, which must be observable.
             self.counters.escalations_dropped += 1;
+            self.tracer.instant(
+                SpanKind::Drop,
+                Cause::NoNeighbor,
+                key,
+                req.round,
+                self.addr.0,
+                now.0,
+            );
+            self.tracer.close_round(key, req.round, now.0);
             self.trace(now, || {
                 format!(
                     "escalation for {} dropped: no neighbour to disconnect",
@@ -704,6 +816,15 @@ impl BorderRouter {
         };
         let Some(&link) = self.fwd.lookup(neighbor).copied().as_ref() else {
             self.counters.escalations_dropped += 1;
+            self.tracer.instant(
+                SpanKind::Drop,
+                Cause::NoNeighbor,
+                key,
+                req.round,
+                self.addr.0,
+                now.0,
+            );
+            self.tracer.close_round(key, req.round, now.0);
             self.trace(now, || {
                 format!(
                     "escalation for {} dropped: no route to neighbour {neighbor}",
@@ -717,6 +838,15 @@ impl BorderRouter {
             // Extend the temporary filter to the full horizon `T`; a full
             // table leaves the existing temporary protection in place.
             let _ = self.filters.install(req.flow, now, self.cfg.t_long);
+            self.tracer.instant(
+                SpanKind::LocalFilter,
+                Cause::Protocol,
+                key,
+                req.round,
+                self.addr.0,
+                now.0,
+            );
+            self.tracer.close_round(key, req.round, now.0);
             self.trace(now, || {
                 format!(
                     "round exhausted for {}: keeping local filter (refusing to sever own uplink)",
@@ -726,6 +856,15 @@ impl BorderRouter {
             return;
         }
         self.counters.disconnects_peer += 1;
+        self.tracer.instant(
+            SpanKind::Disconnect,
+            Cause::Protocol,
+            key,
+            req.round,
+            self.addr.0,
+            now.0,
+        );
+        self.tracer.close_round(key, req.round, now.0);
         self.trace(now, || {
             format!(
                 "disconnecting peer {} (link {:?}) over {}",
@@ -752,6 +891,16 @@ impl BorderRouter {
         let round = entry.round.saturating_add(1).min(self.cfg.max_round);
         self.shadow.note_round(&entry.label, round);
         self.shadow.touch_action(&entry.label, now);
+        // The temporary filter expired and the shadowed flow came back:
+        // that expiry is the cause of this whole round.
+        self.tracer.start(
+            SpanKind::Round,
+            Cause::TempFilterExpired,
+            flow_key(&entry.label),
+            round,
+            self.addr.0,
+            now.0,
+        );
         // Prefer the stored path; fall back to the triggering packet's
         // route record (plus our own hop).
         let path = if entry.path.is_empty() {
@@ -804,6 +953,14 @@ impl BorderRouter {
         let nonce = Nonce(ctx.rng().gen());
         self.counters.handshakes_started += 1;
         self.counters.requests_accepted += 1;
+        let span = self.tracer.start(
+            SpanKind::Handshake,
+            Cause::Protocol,
+            flow_key(&req.flow),
+            req.round,
+            self.addr.0,
+            now.0,
+        );
         let query = VerificationQuery {
             request_id: req.id,
             flow: req.flow,
@@ -814,6 +971,7 @@ impl BorderRouter {
             PendingHandshake {
                 request: req,
                 nonce,
+                span,
             },
         );
         let token = self.alloc_token(TimerAction::HandshakeTimeout { nonce: nonce.0 });
@@ -837,12 +995,23 @@ impl BorderRouter {
             self.pending_handshakes.insert(rep.nonce.0, pending);
             return;
         }
+        self.tracer.end(pending.span, now.0);
         if rep.confirm {
             self.counters.handshakes_confirmed += 1;
             self.trace(now, || format!("handshake confirmed for {}", rep.flow));
             self.satisfy_attacker_side(pending.request, ctx, false);
         } else {
             self.counters.handshakes_denied += 1;
+            let key = flow_key(&pending.request.flow);
+            self.tracer.instant(
+                SpanKind::Drop,
+                Cause::HandshakeDenied,
+                key,
+                pending.request.round,
+                self.addr.0,
+                now.0,
+            );
+            self.tracer.close_round(key, pending.request.round, now.0);
             self.trace(now, || format!("handshake DENIED for {}", rep.flow));
         }
     }
@@ -860,15 +1029,49 @@ impl BorderRouter {
     ) {
         let now = ctx.now();
         let flow = req.flow;
+        let key = flow_key(&flow);
+        let round = req.round;
         match self.filters.install(flow, now, self.cfg.t_long) {
             Ok(_) => {
                 self.counters.filters_installed += 1;
                 if from_request {
                     self.counters.requests_accepted += 1;
                 }
+                let cause = if from_request {
+                    Cause::Protocol
+                } else {
+                    Cause::HandshakeConfirmed
+                };
+                self.tracer.instant(
+                    SpanKind::LongFilter,
+                    cause,
+                    key,
+                    req.round,
+                    self.addr.0,
+                    now.0,
+                );
+                self.tracer.close_round(key, req.round, now.0);
             }
             Err(InstallError::TableFull) => {
-                self.counters.requests_unsatisfiable += 1;
+                // Only a synchronously handled request may count towards
+                // `requests_unsatisfiable`: the deferred handshake-confirm
+                // path already counted this request as accepted when the
+                // handshake started, so counting it again here would break
+                // the received-request conservation identity.
+                if from_request {
+                    self.counters.requests_unsatisfiable += 1;
+                } else {
+                    self.counters.deferred_unsatisfied += 1;
+                }
+                self.tracer.instant(
+                    SpanKind::Drop,
+                    Cause::TableFull,
+                    key,
+                    req.round,
+                    self.addr.0,
+                    now.0,
+                );
+                self.tracer.close_round(key, req.round, now.0);
                 return;
             }
         }
@@ -905,6 +1108,7 @@ impl BorderRouter {
                     flow,
                     client_link,
                     armed_at: now,
+                    round,
                 },
             );
             let token = self.alloc_token(TimerAction::GraceCheck { watch: watch_id });
@@ -947,6 +1151,14 @@ impl BorderRouter {
         if still_flowing {
             if let Some(link) = watch.client_link {
                 self.counters.disconnects_client += 1;
+                self.tracer.instant(
+                    SpanKind::Disconnect,
+                    Cause::GraceExpired,
+                    flow_key(&watch.flow),
+                    watch.round,
+                    self.addr.0,
+                    now.0,
+                );
                 self.trace(now, || {
                     format!(
                         "grace expired: disconnecting client link {:?} over {}",
@@ -1000,16 +1212,32 @@ impl Node for BorderRouter {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        ctx.profile_subsystem(Subsystem::Escalation);
         match self.token_map.remove(&token) {
-            Some(TimerAction::HandshakeTimeout { nonce })
-                if self.pending_handshakes.remove(&nonce).is_some() =>
-            {
-                self.counters.handshakes_timed_out += 1;
+            Some(TimerAction::HandshakeTimeout { nonce }) => {
+                if let Some(pending) = self.pending_handshakes.remove(&nonce) {
+                    self.counters.handshakes_timed_out += 1;
+                    let now = ctx.now();
+                    let key = flow_key(&pending.request.flow);
+                    self.tracer.end(pending.span, now.0);
+                    self.tracer.instant(
+                        SpanKind::Drop,
+                        Cause::HandshakeTimeout,
+                        key,
+                        pending.request.round,
+                        self.addr.0,
+                        now.0,
+                    );
+                    self.tracer.close_round(key, pending.request.round, now.0);
+                }
             }
-            Some(TimerAction::HandshakeTimeout { .. }) => {}
             Some(TimerAction::GraceCheck { watch }) => self.on_grace_check(watch, ctx),
             None => {}
         }
+    }
+
+    fn subsystem(&self) -> Subsystem {
+        Subsystem::RouterData
     }
 
     impl_node_any!();

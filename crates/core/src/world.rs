@@ -320,6 +320,19 @@ impl WorldBuilder {
             sim.install(router_nodes[i], make_router(spec));
         }
 
+        // Hand every AITF router a clone of one shared tracer so escalation
+        // spans parent across routers. Non-AITF backends (e.g. pushback)
+        // fail the downcast and simply stay untraced.
+        let tracer = aitf_trace::Tracer::new();
+        for &node in &router_nodes {
+            if let Some(r) = sim.node_mut::<BorderRouter>(node) {
+                // With tracing off the Tracer is zero-sized Copy and this
+                // clone is free; with it on, it is the sharing Rc clone.
+                #[allow(clippy::clone_on_copy)]
+                r.set_tracer(tracer.clone());
+            }
+        }
+
         // Install hosts.
         for (h, hspec) in self.hosts.iter().enumerate() {
             let host = EndHost::new(
@@ -344,6 +357,7 @@ impl WorldBuilder {
             host_net: self.hosts.iter().map(|h| h.net).collect(),
             tail_links,
             uplinks,
+            tracer,
         }
     }
 }
@@ -364,6 +378,8 @@ pub struct World {
     host_net: Vec<usize>,
     tail_links: Vec<LinkId>,
     uplinks: Vec<Option<LinkId>>,
+    /// Shared across all AITF routers; zero-sized unless `trace` is on.
+    tracer: aitf_trace::Tracer,
 }
 
 impl World {
@@ -415,6 +431,19 @@ impl World {
     /// A host's tail-circuit link.
     pub fn tail_link(&self, host: HostId) -> LinkId {
         self.tail_links[host.0]
+    }
+
+    /// The world-wide escalation tracer (a no-op handle unless the `trace`
+    /// feature is enabled).
+    pub fn tracer(&self) -> &aitf_trace::Tracer {
+        &self.tracer
+    }
+
+    /// Closes any still-open spans at the current sim time and returns every
+    /// recorded escalation span. Always empty without the `trace` feature.
+    pub fn trace_spans(&self) -> Vec<aitf_trace::SpanRecord> {
+        self.tracer.finish(self.sim.now().0);
+        self.tracer.spans()
     }
 
     /// A network's uplink towards its provider.

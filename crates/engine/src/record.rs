@@ -21,6 +21,10 @@ pub struct RunRecord {
     /// [`RunRecord::deterministic_eq`] — it is the one legitimately
     /// nondeterministic field.
     pub wall_secs: f64,
+    /// Optional observability payload from a trace-enabled build. Wall
+    /// buckets inside are nondeterministic, so (like `wall_secs`) it is
+    /// excluded from [`RunRecord::deterministic_eq`].
+    pub trace: Option<Box<aitf_trace::TraceReport>>,
 }
 
 impl RunRecord {
@@ -42,10 +46,16 @@ impl RunRecord {
         rate_per_sec(self.events, self.wall_secs)
     }
 
-    /// Renders the record as one JSON object.
+    /// Renders the record as one JSON object. Trace-enabled runs gain a
+    /// `subsystems` block (per-subsystem event counts and wall nanos);
+    /// ordinary runs emit exactly the historical shape.
     pub fn to_json(&self) -> String {
+        let subsystems = match &self.trace {
+            Some(t) => format!(",\"subsystems\":{}", t.subsystems.finalized().to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}}}",
+            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}{}}}",
             json_string(self.experiment),
             self.index,
             self.seed,
@@ -61,6 +71,7 @@ impl RunRecord {
                 Some(r) => format!("{r:.0}"),
                 None => "null".to_string(),
             },
+            subsystems,
         )
     }
 }
@@ -85,6 +96,7 @@ mod tests {
             metrics: Params::new().with("y", 0.5),
             events: 10,
             wall_secs: wall,
+            trace: None,
         }
     }
 
@@ -105,6 +117,20 @@ mod tests {
             j,
             r#"{"experiment":"e0","index":1,"seed":7,"params":{"x":2},"metrics":{"y":0.5},"events":10,"wall_secs":0.25,"events_per_sec":40}"#
         );
+    }
+
+    #[test]
+    fn subsystems_block_appears_only_with_a_trace_payload() {
+        let mut r = record(0.25);
+        assert!(!r.to_json().contains("subsystems"));
+        let mut report = aitf_trace::TraceReport::default();
+        report.subsystems.record(aitf_trace::Subsystem::Link, 100);
+        r.trace = Some(Box::new(report));
+        let j = r.to_json();
+        assert!(j.contains("\"subsystems\":{"), "{j}");
+        assert!(j.contains("\"link\""), "{j}");
+        // And the payload never disturbs determinism comparisons.
+        assert!(r.deterministic_eq(&record(0.25)));
     }
 
     #[test]

@@ -105,6 +105,7 @@ impl Runner {
                         metrics: outcome.metrics,
                         events: outcome.events,
                         wall_secs: start.elapsed().as_secs_f64(),
+                        trace: outcome.trace,
                     };
                     *slots[i].lock().expect("result slot poisoned") = Some(record);
                 });

@@ -23,17 +23,31 @@ pub struct Outcome {
     pub metrics: Params,
     /// Simulator events dispatched during the run (0 when not applicable).
     pub events: u64,
+    /// Optional observability payload (subsystem profile + spans). `None`
+    /// in ordinary builds; populated by scenarios compiled with their
+    /// `trace` feature. Never part of determinism comparisons.
+    pub trace: Option<Box<aitf_trace::TraceReport>>,
 }
 
 impl Outcome {
     /// An outcome with the given metrics and no event count.
     pub fn new(metrics: Params) -> Self {
-        Outcome { metrics, events: 0 }
+        Outcome {
+            metrics,
+            events: 0,
+            trace: None,
+        }
     }
 
     /// Attaches the simulator event count.
     pub fn with_events(mut self, events: u64) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Attaches an observability payload.
+    pub fn with_trace(mut self, trace: aitf_trace::TraceReport) -> Self {
+        self.trace = Some(Box::new(trace));
         self
     }
 }

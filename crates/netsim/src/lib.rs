@@ -61,4 +61,8 @@ pub use metrics::Metrics;
 pub use node::{Context, Node, NodeId};
 pub use sim::{NetworkBuilder, Simulator};
 pub use time::{SimDuration, SimTime};
+
+// Re-exported so node implementations can classify their dispatches for
+// subsystem profiling without depending on aitf-trace directly.
+pub use aitf_trace::{Subsystem, SubsystemProfile};
 pub use topology::NextHops;

@@ -36,6 +36,15 @@ pub trait Node: 'static {
     /// A timer armed with [`Context::set_timer`] fired.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_>) {}
 
+    /// The profiling subsystem this node's dispatches are attributed to by
+    /// default. Only consulted when the simulator is built with the
+    /// `trace` feature; handlers can refine the class mid-dispatch through
+    /// [`Context::profile_subsystem`]. Hosts and generic nodes default to
+    /// [`aitf_trace::Subsystem::HostApp`]; router nodes override this.
+    fn subsystem(&self) -> aitf_trace::Subsystem {
+        aitf_trace::Subsystem::HostApp
+    }
+
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
 
@@ -137,6 +146,21 @@ impl Context<'_> {
     /// Global metrics sink.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.core.metrics
+    }
+
+    /// Reclassifies the event currently being dispatched for subsystem
+    /// profiling — e.g. a border router attributing control-plane work to
+    /// [`aitf_trace::Subsystem::Escalation`], or an end host attributing a
+    /// detection timer to [`aitf_trace::Subsystem::Detector`]. Compiles to
+    /// nothing unless the `trace` feature is on.
+    #[inline]
+    pub fn profile_subsystem(&mut self, subsystem: aitf_trace::Subsystem) {
+        #[cfg(feature = "trace")]
+        {
+            self.core.dispatch_class = subsystem;
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = subsystem;
     }
 
     /// Administratively blocks or unblocks the *incoming* direction of

@@ -32,6 +32,14 @@ pub struct SimCore {
     pub(crate) rng: StdRng,
     next_pkt_id: u64,
     dispatched_events: u64,
+    /// Per-subsystem wall-time buckets (pure telemetry, like `run_wall`).
+    #[cfg(feature = "trace")]
+    pub(crate) profile: aitf_trace::SubsystemProfile,
+    /// The subsystem the event currently being dispatched is attributed
+    /// to; seeded from the event kind / node class, refined by handlers
+    /// through [`Context::profile_subsystem`].
+    #[cfg(feature = "trace")]
+    pub(crate) dispatch_class: aitf_trace::Subsystem,
 }
 
 impl SimCore {
@@ -154,6 +162,10 @@ impl NetworkBuilder {
                 rng: StdRng::seed_from_u64(self.seed),
                 next_pkt_id: 0,
                 dispatched_events: 0,
+                #[cfg(feature = "trace")]
+                profile: aitf_trace::SubsystemProfile::default(),
+                #[cfg(feature = "trace")]
+                dispatch_class: aitf_trace::Subsystem::Queue,
             },
             nodes: (0..self.node_count).map(|_| None).collect(),
             started: false,
@@ -305,6 +317,20 @@ impl Simulator {
         self.run_wall.as_secs_f64()
     }
 
+    /// The per-subsystem wall-time profile accumulated so far. Empty (all
+    /// zeros) unless the crate is built with the `trace` feature — the
+    /// default build carries no per-event instrumentation at all.
+    pub fn subsystem_profile(&self) -> aitf_trace::SubsystemProfile {
+        #[cfg(feature = "trace")]
+        {
+            self.core.profile
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            aitf_trace::SubsystemProfile::default()
+        }
+    }
+
     /// Events dispatched per wall-clock second of event-loop time — the
     /// simulator's end-to-end throughput telemetry (0 before any run).
     pub fn events_per_sec(&self) -> f64 {
@@ -380,11 +406,17 @@ impl Simulator {
             let ev = self.core.events.pop().expect("peeked event exists");
             self.core.time = ev.time;
             self.core.dispatched_events += 1;
+            #[cfg(feature = "trace")]
+            let ev_start = std::time::Instant::now();
             match ev.kind {
                 EventKind::Deliver { node, link, packet } => {
                     self.dispatch_packet(node, link, packet);
                 }
                 EventKind::LinkTxDone { link, dir } => {
+                    #[cfg(feature = "trace")]
+                    {
+                        self.core.dispatch_class = aitf_trace::Subsystem::Link;
+                    }
                     let now = self.core.time;
                     // Split borrow: the link mutates itself and schedules
                     // follow-up events; nodes are not involved.
@@ -395,9 +427,17 @@ impl Simulator {
                     self.dispatch_timer(node, token);
                 }
             }
+            #[cfg(feature = "trace")]
+            self.core.profile.record(
+                self.core.dispatch_class,
+                ev_start.elapsed().as_nanos() as u64,
+            );
         }
         self.core.time = t;
-        self.run_wall += wall_start.elapsed();
+        let elapsed = wall_start.elapsed();
+        self.run_wall += elapsed;
+        #[cfg(feature = "trace")]
+        self.core.profile.add_loop_nanos(elapsed.as_nanos() as u64);
     }
 
     /// Runs for `d` of virtual time from the current clock.
@@ -429,6 +469,10 @@ impl Simulator {
 
     fn dispatch_packet(&mut self, node: NodeId, link: LinkId, packet: Packet) {
         let mut n = self.nodes[node.0].take().expect("installed node");
+        #[cfg(feature = "trace")]
+        {
+            self.core.dispatch_class = n.subsystem();
+        }
         let mut ctx = Context {
             node,
             core: &mut self.core,
@@ -439,6 +483,10 @@ impl Simulator {
 
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
         let mut n = self.nodes[node.0].take().expect("installed node");
+        #[cfg(feature = "trace")]
+        {
+            self.core.dispatch_class = n.subsystem();
+        }
         let mut ctx = Context {
             node,
             core: &mut self.core,
@@ -603,6 +651,34 @@ mod tests {
         assert!(sim.dispatched_events() > 0);
         assert!(sim.run_wall_secs() > 0.0);
         assert!(sim.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn subsystem_profile_accounts_every_dispatched_event() {
+        let (mut sim, ids) = line_topology(3);
+        sim.install(ids[0], Box::new(Burst { count: 10 }));
+        for &id in &ids[1..] {
+            sim.install(id, Box::new(FloodRelay { received: 0 }));
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        let p = sim.subsystem_profile();
+        assert_eq!(p.total_events(), sim.dispatched_events());
+        use aitf_trace::Subsystem;
+        assert!(p.bucket(Subsystem::Link).events > 0, "tx completions");
+        assert!(p.bucket(Subsystem::HostApp).events > 0, "node dispatches");
+        let f = p.finalized();
+        assert_eq!(f.bucket(Subsystem::Queue).events, p.total_events());
+    }
+
+    #[test]
+    #[cfg(not(feature = "trace"))]
+    fn subsystem_profile_is_empty_without_the_trace_feature() {
+        let (mut sim, ids) = line_topology(2);
+        sim.install(ids[0], Box::new(Burst { count: 5 }));
+        sim.install(ids[1], Box::new(FloodRelay { received: 0 }));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.subsystem_profile().total_events(), 0);
     }
 
     #[test]

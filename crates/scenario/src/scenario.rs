@@ -346,7 +346,13 @@ impl Scenario {
                 }
             }
         }
-        Outcome::new(metrics).with_events(world.world.sim.dispatched_events())
+        let outcome = Outcome::new(metrics).with_events(world.world.sim.dispatched_events());
+        #[cfg(feature = "trace")]
+        let outcome = outcome.with_trace(aitf_trace::TraceReport {
+            subsystems: world.world.sim.subsystem_profile(),
+            spans: world.world.trace_spans(),
+        });
+        outcome
     }
 }
 

@@ -8,29 +8,46 @@
 //!   bit-deterministic, so any drift means a semantic change to the
 //!   simulation and fails the check (refresh intentionally with
 //!   `--update`);
-//! - **`total_wall_secs` may only regress so far** — a current wall time
-//!   more than `--warn-wall-pct` percent above the baseline prints a
-//!   warning (never fails: CI machines are too noisy for a hard gate).
+//! - **`total_wall_secs` is gated variance-aware** — the baseline stores a
+//!   per-experiment wall **mean and spread** measured over `--repeats N`
+//!   runs. A current wall above `mean × (1 + warn%)` warns; a wall above
+//!   `mean + max(gate_sigma × spread, mean × warn%)` is statistically
+//!   attributable to the change under test and **fails**, with a pointer
+//!   at the profiling runner. Legacy three-column baselines carry no
+//!   spread and degrade to warn-only.
 //!
 //! ```text
 //! bench_compare --dir out/ --baseline tools/bench_compare/baseline.tsv
-//!               [--update] [--warn-wall-pct 50] [--run]
+//!               [--update] [--repeats N] [--warn-wall-pct 50]
+//!               [--gate-sigma 4] [--run]
 //! ```
 //!
-//! The baseline is a three-column TSV (`experiment  total_events
-//! wall_secs`) so diffs stay reviewable. `--run` invokes
-//! `cargo run --release -p aitf-bench --bin all_experiments -- --quick
-//! --json <dir>` first, which is what CI does in one step.
+//! The baseline is a four-column TSV (`experiment  total_events
+//! wall_mean_secs  wall_spread_secs`) so diffs stay reviewable. `--run`
+//! invokes `cargo run --release -p aitf-bench --bin all_experiments --
+//! --quick --json <dir>` first (N times under `--update --repeats N`),
+//! which is what CI does in one step.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// One experiment's comparable numbers.
+/// One experiment's numbers from a single suite run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Measure {
     total_events: u64,
     wall_secs: f64,
+}
+
+/// One committed baseline row: the deterministic event count plus the
+/// wall-time distribution over the update's repeats. `wall_spread` is the
+/// sample standard deviation; `None` for legacy three-column rows, which
+/// therefore cannot support a statistical gate and only ever warn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BaselineEntry {
+    total_events: u64,
+    wall_mean: f64,
+    wall_spread: Option<f64>,
 }
 
 /// Finds the first `"key"` in `doc` and returns the raw token after the
@@ -46,7 +63,8 @@ fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
-/// Extracts `(experiment, measure)` from one BENCH document.
+/// Extracts `(experiment, measure)` from one BENCH document. Corrupt
+/// numeric fields are named errors, never silently NaN.
 fn parse_bench(doc: &str) -> Result<(String, Measure), String> {
     let experiment = json_field(doc, "experiment")
         .ok_or("missing \"experiment\"")?
@@ -56,10 +74,14 @@ fn parse_bench(doc: &str) -> Result<(String, Measure), String> {
         .ok_or("missing \"total_events\"")?
         .parse()
         .map_err(|e| format!("bad total_events: {e}"))?;
-    let wall_secs: f64 = json_field(doc, "total_wall_secs")
-        .ok_or("missing \"total_wall_secs\"")?
-        .parse()
-        .unwrap_or(f64::NAN);
+    let raw_wall = json_field(doc, "total_wall_secs").ok_or("missing \"total_wall_secs\"")?;
+    let wall_secs: f64 = if raw_wall == "null" {
+        f64::NAN
+    } else {
+        raw_wall
+            .parse()
+            .map_err(|e| format!("bad total_wall_secs {raw_wall:?}: {e}"))?
+    };
     Ok((
         experiment,
         Measure {
@@ -69,49 +91,128 @@ fn parse_bench(doc: &str) -> Result<(String, Measure), String> {
     ))
 }
 
-/// Parses the committed baseline TSV.
-fn parse_baseline(text: &str) -> Result<BTreeMap<String, Measure>, String> {
+/// Parses the committed baseline TSV. Accepts the current four-column
+/// format and the legacy three-column one (no spread → warn-only rows);
+/// anything unparsable is a named error, never a silent NaN.
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineEntry>, String> {
     let mut out = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut cols = line.split('\t');
-        let (Some(exp), Some(events), Some(wall)) = (cols.next(), cols.next(), cols.next()) else {
+        let cols: Vec<&str> = line.split('\t').collect();
+        let [exp, events, wall_mean, spread @ ..] = cols.as_slice() else {
             return Err(format!(
-                "line {}: expected 3 tab-separated columns",
-                lineno + 1
+                "line {}: expected 3 or 4 tab-separated columns, got {}",
+                lineno + 1,
+                cols.len()
             ));
         };
-        let measure = Measure {
-            total_events: events
-                .parse()
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
-            wall_secs: wall.parse().unwrap_or(f64::NAN),
+        if spread.len() > 1 {
+            return Err(format!(
+                "line {}: expected 3 or 4 tab-separated columns, got {}",
+                lineno + 1,
+                cols.len()
+            ));
+        }
+        let total_events: u64 = events
+            .parse()
+            .map_err(|e| format!("line {}: bad total_events {events:?}: {e}", lineno + 1))?;
+        let wall_mean: f64 = wall_mean
+            .parse()
+            .map_err(|e| format!("line {}: bad wall_mean {wall_mean:?}: {e}", lineno + 1))?;
+        let wall_spread: Option<f64> = match spread.first() {
+            None => None,
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|e| format!("line {}: bad wall_spread {s:?}: {e}", lineno + 1))?,
+            ),
         };
-        out.insert(exp.to_string(), measure);
+        out.insert(
+            exp.to_string(),
+            BaselineEntry {
+                total_events,
+                wall_mean,
+                wall_spread,
+            },
+        );
     }
     Ok(out)
 }
 
-fn render_baseline(measures: &BTreeMap<String, Measure>) -> String {
+fn render_baseline(entries: &BTreeMap<String, BaselineEntry>) -> String {
     let mut out = String::from(
         "# bench_compare baseline: all_experiments --quick --json (base seed 42)\n\
-         # experiment\ttotal_events\twall_secs\n",
+         # wall_mean/wall_spread over --repeats runs (spread = sample std dev)\n\
+         # experiment\ttotal_events\twall_mean_secs\twall_spread_secs\n",
     );
-    for (exp, m) in measures {
-        out.push_str(&format!("{exp}\t{}\t{:.3}\n", m.total_events, m.wall_secs));
+    for (exp, e) in entries {
+        out.push_str(&format!(
+            "{exp}\t{}\t{:.3}\t{:.4}\n",
+            e.total_events,
+            e.wall_mean,
+            e.wall_spread.unwrap_or(0.0)
+        ));
     }
     out
 }
 
+/// Folds `repeats` per-run measures into baseline rows: events must agree
+/// across repeats (they are deterministic), walls become mean ± spread.
+fn aggregate_repeats(
+    repeats: &[BTreeMap<String, Measure>],
+) -> Result<BTreeMap<String, BaselineEntry>, String> {
+    let mut out = BTreeMap::new();
+    let Some(first) = repeats.first() else {
+        return Err("no runs to aggregate".into());
+    };
+    for (exp, m0) in first {
+        let mut walls = Vec::with_capacity(repeats.len());
+        for (i, rep) in repeats.iter().enumerate() {
+            let m = rep.get(exp).ok_or(format!(
+                "{exp}: present in repeat 1 but missing from repeat {}",
+                i + 1
+            ))?;
+            if m.total_events != m0.total_events {
+                return Err(format!(
+                    "{exp}: total_events differ across repeats ({} vs {}) — \
+                     the sweep is not deterministic",
+                    m0.total_events, m.total_events
+                ));
+            }
+            walls.push(m.wall_secs);
+        }
+        let n = walls.len() as f64;
+        let mean = walls.iter().sum::<f64>() / n;
+        let spread = if walls.len() > 1 {
+            (walls.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        out.insert(
+            exp.clone(),
+            BaselineEntry {
+                total_events: m0.total_events,
+                wall_mean: mean,
+                wall_spread: Some(spread),
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Sub-50ms sweeps are pure scheduler noise; only meaningful walls
+/// participate in the regression warning/gate.
+const WALL_FLOOR_SECS: f64 = 0.05;
+
 /// Compares current measures against the baseline. Returns
 /// `(failures, warnings)` as printable messages.
 fn compare(
-    baseline: &BTreeMap<String, Measure>,
+    baseline: &BTreeMap<String, BaselineEntry>,
     current: &BTreeMap<String, Measure>,
     warn_wall_pct: f64,
+    gate_sigma: f64,
 ) -> (Vec<String>, Vec<String>) {
     let mut failures = Vec::new();
     let mut warnings = Vec::new();
@@ -128,19 +229,43 @@ fn compare(
                         base.total_events, cur.total_events
                     ));
                 }
-                // Sub-50ms sweeps are pure scheduler noise; only meaningful
-                // walls participate in the regression warning.
-                const WALL_FLOOR_SECS: f64 = 0.05;
-                let limit = base.wall_secs * (1.0 + warn_wall_pct / 100.0);
-                if base.wall_secs.is_finite()
-                    && base.wall_secs >= WALL_FLOOR_SECS
-                    && cur.wall_secs.is_finite()
-                    && cur.wall_secs > limit
+                if !(base.wall_mean.is_finite()
+                    && base.wall_mean >= WALL_FLOOR_SECS
+                    && cur.wall_secs.is_finite())
                 {
-                    warnings.push(format!(
-                        "{exp}: wall time {:.3}s exceeds baseline {:.3}s by more than {}%",
-                        cur.wall_secs, base.wall_secs, warn_wall_pct
-                    ));
+                    continue;
+                }
+                let warn_limit = base.wall_mean * (1.0 + warn_wall_pct / 100.0);
+                // The hard gate needs a measured spread: regressions beyond
+                // gate_sigma spreads (and beyond the warn margin, so a
+                // near-zero spread cannot make the gate hair-triggered)
+                // are attributable to the change under test, not CI noise.
+                let fail_limit = base.wall_spread.map(|s| {
+                    base.wall_mean + (gate_sigma * s).max(base.wall_mean * warn_wall_pct / 100.0)
+                });
+                match fail_limit {
+                    Some(limit) if cur.wall_secs > limit => failures.push(format!(
+                        "{exp}: wall time {:.3}s exceeds baseline {:.3}s ± {:.4}s by more \
+                         than {gate_sigma}σ and {warn_wall_pct}% — statistically \
+                         attributable regression; break it down with: cargo run \
+                         --release -p aitf-bench --features trace --bin \
+                         profiling_runner -- --quick --filter {exp}",
+                        cur.wall_secs,
+                        base.wall_mean,
+                        base.wall_spread.unwrap_or(0.0)
+                    )),
+                    _ if cur.wall_secs > warn_limit => warnings.push(format!(
+                        "{exp}: wall time {:.3}s exceeds baseline {:.3}s by more than \
+                         {warn_wall_pct}%{}",
+                        cur.wall_secs,
+                        base.wall_mean,
+                        if base.wall_spread.is_none() {
+                            " (legacy baseline row has no spread; warn-only)"
+                        } else {
+                            ""
+                        }
+                    )),
+                    _ => {}
                 }
             }
         }
@@ -172,12 +297,35 @@ fn load_dir(dir: &Path) -> Result<BTreeMap<String, Measure>, String> {
     Ok(out)
 }
 
+fn run_suite(dir: &Path) -> Result<(), String> {
+    let status = std::process::Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "aitf-bench",
+            "--bin",
+            "all_experiments",
+            "--",
+        ])
+        .args(["--quick", "--json"])
+        .arg(dir)
+        .status();
+    match status {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => Err(format!("all_experiments exited with {s}")),
+        Err(e) => Err(format!("spawning all_experiments: {e}")),
+    }
+}
+
 struct Args {
     dir: PathBuf,
     baseline: PathBuf,
     update: bool,
     run: bool,
+    repeats: usize,
     warn_wall_pct: f64,
+    gate_sigma: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -186,7 +334,9 @@ fn parse_args() -> Result<Args, String> {
         baseline: PathBuf::from("tools/bench_compare/baseline.tsv"),
         update: false,
         run: false,
+        repeats: 3,
         warn_wall_pct: 50.0,
+        gate_sigma: 4.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -196,15 +346,29 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
             "--update" => args.update = true,
             "--run" => args.run = true,
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if args.repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
             "--warn-wall-pct" => {
                 args.warn_wall_pct = value("--warn-wall-pct")?
                     .parse()
                     .map_err(|e| format!("--warn-wall-pct: {e}"))?
             }
+            "--gate-sigma" => {
+                args.gate_sigma = value("--gate-sigma")?
+                    .parse()
+                    .map_err(|e| format!("--gate-sigma: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_compare [--dir DIR] [--baseline FILE] \
-                     [--update] [--run] [--warn-wall-pct P]"
+                     [--update] [--repeats N] [--run] [--warn-wall-pct P] \
+                     [--gate-sigma K]"
                 );
                 std::process::exit(0);
             }
@@ -223,30 +387,52 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.run {
-        let status = std::process::Command::new("cargo")
-            .args([
-                "run",
-                "--release",
-                "-p",
-                "aitf-bench",
-                "--bin",
-                "all_experiments",
-                "--",
-            ])
-            .args(["--quick", "--json"])
-            .arg(&args.dir)
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("bench_compare: all_experiments exited with {s}");
-                return ExitCode::from(2);
+    if args.update {
+        // Refresh: measure `repeats` full runs (when --run) so the
+        // committed rows carry a real spread; without --run a single
+        // already-produced directory is aggregated with zero spread.
+        let reps = if args.run { args.repeats } else { 1 };
+        let mut measured = Vec::with_capacity(reps);
+        for i in 0..reps {
+            if args.run {
+                println!("bench_compare: measuring repeat {}/{reps}", i + 1);
+                if let Err(e) = run_suite(&args.dir) {
+                    eprintln!("bench_compare: {e}");
+                    return ExitCode::from(2);
+                }
             }
+            match load_dir(&args.dir) {
+                Ok(c) => measured.push(c),
+                Err(e) => {
+                    eprintln!("bench_compare: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let entries = match aggregate_repeats(&measured) {
+            Ok(e) => e,
             Err(e) => {
-                eprintln!("bench_compare: spawning all_experiments: {e}");
+                eprintln!("bench_compare: {e}");
                 return ExitCode::from(2);
             }
+        };
+        if let Err(e) = std::fs::write(&args.baseline, render_baseline(&entries)) {
+            eprintln!("bench_compare: writing {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_compare: baseline refreshed with {} experiment(s) over {} run(s) -> {}",
+            entries.len(),
+            reps,
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.run {
+        if let Err(e) = run_suite(&args.dir) {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
         }
     }
 
@@ -257,19 +443,6 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-
-    if args.update {
-        if let Err(e) = std::fs::write(&args.baseline, render_baseline(&current)) {
-            eprintln!("bench_compare: writing {}: {e}", args.baseline.display());
-            return ExitCode::from(2);
-        }
-        println!(
-            "bench_compare: baseline refreshed with {} experiment(s) -> {}",
-            current.len(),
-            args.baseline.display()
-        );
-        return ExitCode::SUCCESS;
-    }
 
     let baseline_text = match std::fs::read_to_string(&args.baseline) {
         Ok(t) => t,
@@ -289,7 +462,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (failures, warnings) = compare(&baseline, &current, args.warn_wall_pct);
+    let (failures, warnings) = compare(&baseline, &current, args.warn_wall_pct, args.gate_sigma);
     for w in &warnings {
         eprintln!("bench_compare: WARNING {w}");
     }
@@ -337,59 +510,138 @@ mod tests {
     }
 
     #[test]
-    fn baseline_roundtrips_through_tsv() {
-        let mut measures = BTreeMap::new();
-        measures.insert(
-            "e1".to_string(),
-            Measure {
-                total_events: 5,
-                wall_secs: 0.25,
-            },
-        );
-        let parsed = parse_baseline(&render_baseline(&measures)).unwrap();
-        assert_eq!(parsed.len(), 1);
-        assert_eq!(parsed["e1"].total_events, 5);
-        assert_eq!(parsed["e1"].wall_secs, 0.25);
+    fn corrupt_wall_in_bench_doc_is_a_named_error() {
+        let doc = DOC.replace("0.125", "0.1x25");
+        let err = parse_bench(&doc).unwrap_err();
+        assert!(err.contains("bad total_wall_secs"), "{err}");
+        assert!(err.contains("0.1x25"), "{err}");
     }
 
     #[test]
-    fn event_drift_fails_and_wall_regression_warns() {
-        let base = parse_baseline("e1\t100\t1.0\n").unwrap();
-        let mut cur = base.clone();
-        cur.get_mut("e1").unwrap().total_events = 101;
-        let (failures, _) = compare(&base, &cur, 50.0);
+    fn baseline_roundtrips_through_tsv() {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "e1".to_string(),
+            BaselineEntry {
+                total_events: 5,
+                wall_mean: 0.25,
+                wall_spread: Some(0.01),
+            },
+        );
+        let parsed = parse_baseline(&render_baseline(&entries)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["e1"].total_events, 5);
+        assert_eq!(parsed["e1"].wall_mean, 0.25);
+        assert_eq!(parsed["e1"].wall_spread, Some(0.01));
+    }
+
+    #[test]
+    fn legacy_three_column_rows_parse_without_a_spread() {
+        let parsed = parse_baseline("e1\t100\t1.0\n").unwrap();
+        assert_eq!(parsed["e1"].wall_spread, None);
+    }
+
+    #[test]
+    fn corrupt_baseline_rows_are_named_errors() {
+        for (row, field) in [
+            ("e1\tx100\t1.0\t0.1\n", "total_events"),
+            ("e1\t100\t1.x\t0.1\n", "wall_mean"),
+            ("e1\t100\t1.0\t0.x\n", "wall_spread"),
+        ] {
+            let err = parse_baseline(row).unwrap_err();
+            assert!(err.contains("line 1"), "{err}");
+            assert!(err.contains(field), "{err}");
+        }
+        let err = parse_baseline("e1\t100\t1.0\t0.1\textra\n").unwrap_err();
+        assert!(err.contains("3 or 4"), "{err}");
+    }
+
+    fn cur(events: u64, wall: f64) -> BTreeMap<String, Measure> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "e1".to_string(),
+            Measure {
+                total_events: events,
+                wall_secs: wall,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn event_drift_fails() {
+        let base = parse_baseline("e1\t100\t1.0\t0.05\n").unwrap();
+        let (failures, _) = compare(&base, &cur(101, 1.0), 50.0, 4.0);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("drifted 100 -> 101"));
+    }
 
-        let mut slow = base.clone();
-        slow.get_mut("e1").unwrap().wall_secs = 2.0;
-        let (failures, warnings) = compare(&base, &slow, 50.0);
-        assert!(failures.is_empty(), "wall regressions never fail");
+    #[test]
+    fn wall_gate_is_variance_aware() {
+        let base = parse_baseline("e1\t100\t1.0\t0.05\n").unwrap();
+        // Within both margins: clean.
+        let (f, w) = compare(&base, &cur(100, 1.1), 50.0, 4.0);
+        assert!(f.is_empty() && w.is_empty());
+        // Beyond 4σ (0.2s) but within the 50% warn margin: still clean —
+        // the gate never undercuts the warn threshold.
+        let (f, w) = compare(&base, &cur(100, 1.3), 50.0, 4.0);
+        assert!(f.is_empty() && w.is_empty());
+        // Beyond both: statistically attributable — fails, and the message
+        // points at the profiling runner.
+        let (f, _) = compare(&base, &cur(100, 1.6), 50.0, 4.0);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("profiling_runner"), "{}", f[0]);
+        // A wide spread widens the gate: same 1.6s passes with σ = 0.2.
+        let wide = parse_baseline("e1\t100\t1.0\t0.2\n").unwrap();
+        let (f, w) = compare(&wide, &cur(100, 1.6), 50.0, 4.0);
+        assert!(f.is_empty());
+        assert_eq!(w.len(), 1, "still past the warn margin");
+    }
+
+    #[test]
+    fn legacy_rows_without_spread_warn_but_never_fail() {
+        let base = parse_baseline("e1\t100\t1.0\n").unwrap();
+        let (failures, warnings) = compare(&base, &cur(100, 9.0), 50.0, 4.0);
+        assert!(failures.is_empty(), "no spread, no hard gate");
         assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("warn-only"), "{}", warnings[0]);
+    }
 
-        // Sub-floor baselines are scheduler noise: no warning however large
-        // the relative regression.
-        let tiny = parse_baseline("e1\t100\t0.001\n").unwrap();
-        let mut tiny_slow = tiny.clone();
-        tiny_slow.get_mut("e1").unwrap().wall_secs = 0.04;
-        let (_, warnings) = compare(&tiny, &tiny_slow, 50.0);
-        assert!(warnings.is_empty());
+    #[test]
+    fn sub_floor_walls_are_ignored() {
+        let base = parse_baseline("e1\t100\t0.001\t0.0\n").unwrap();
+        let (failures, warnings) = compare(&base, &cur(100, 0.04), 50.0, 4.0);
+        assert!(failures.is_empty() && warnings.is_empty());
     }
 
     #[test]
     fn missing_and_extra_experiments_fail() {
-        let base = parse_baseline("e1\t100\t1.0\ne2\t200\t1.0\n").unwrap();
-        let cur = parse_baseline("e1\t100\t1.0\ne3\t300\t1.0\n").unwrap();
-        let (failures, _) = compare(&base, &cur, 50.0);
+        let base = parse_baseline("e1\t100\t1.0\t0.0\ne2\t200\t1.0\t0.0\n").unwrap();
+        let mut current = cur(100, 1.0);
+        current.insert(
+            "e3".to_string(),
+            Measure {
+                total_events: 300,
+                wall_secs: 1.0,
+            },
+        );
+        let (failures, _) = compare(&base, &current, 50.0, 4.0);
         assert_eq!(failures.len(), 2);
         assert!(failures.iter().any(|f| f.contains("e2")));
         assert!(failures.iter().any(|f| f.contains("e3")));
     }
 
     #[test]
-    fn matching_measures_pass_clean() {
-        let base = parse_baseline("e1\t100\t1.0\n").unwrap();
-        let (failures, warnings) = compare(&base, &base.clone(), 50.0);
-        assert!(failures.is_empty() && warnings.is_empty());
+    fn aggregate_repeats_computes_mean_and_spread() {
+        let reps = vec![cur(100, 1.0), cur(100, 1.2), cur(100, 0.8)];
+        let agg = aggregate_repeats(&reps).unwrap();
+        let e = agg["e1"];
+        assert_eq!(e.total_events, 100);
+        assert!((e.wall_mean - 1.0).abs() < 1e-9);
+        assert!((e.wall_spread.unwrap() - 0.2).abs() < 1e-9);
+        // Deterministic events must agree across repeats.
+        let bad = vec![cur(100, 1.0), cur(101, 1.0)];
+        let err = aggregate_repeats(&bad).unwrap_err();
+        assert!(err.contains("not deterministic"), "{err}");
     }
 }
