@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! all_experiments [--quick] [--filter SUBSTR]... [--threads N]
-//!                 [--json DIR] [--seed N]
+//!                 [--json DIR] [--seed N] [--shards K]
 //! ```
 //!
 //! - `--quick`    reduced sweeps (the CI / smoke-test sizes)
@@ -13,9 +13,12 @@
 //! - `--threads`  worker threads (default: all cores)
 //! - `--json`     write structured run records under DIR
 //! - `--seed`     base seed all per-point seeds derive from (default 42)
+//! - `--shards`   event-loop shards per simulated world (default 1)
 //!
-//! Results are bit-identical at any `--threads` value: every point's RNG
-//! seed derives only from `(seed, experiment id, point index)`.
+//! Results are bit-identical at any `--threads` or `--shards` value: every
+//! point's RNG seed derives only from `(seed, experiment id, point index)`,
+//! and the sharded event loop's window protocol never consults thread
+//! interleaving.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -28,6 +31,7 @@ struct Args {
     threads: usize,
     json_dir: Option<PathBuf>,
     base_seed: u64,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +41,7 @@ fn parse_args() -> Args {
         threads: available_threads(),
         json_dir: None,
         base_seed: DEFAULT_BASE_SEED,
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -58,10 +63,15 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| die("--seed needs an integer"))
             }
+            "--shards" => {
+                args.shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| die("--shards needs an integer"))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: all_experiments [--quick] [--filter SUBSTR]... \
-                     [--threads N] [--json DIR] [--seed N]"
+                     [--threads N] [--json DIR] [--seed N] [--shards K]"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +118,7 @@ fn main() {
     let grouped = Runner::new(args.threads)
         .quick(args.quick)
         .base_seed(args.base_seed)
+        .shards(args.shards)
         .run_all(&specs);
     let wall = start.elapsed().as_secs_f64();
 

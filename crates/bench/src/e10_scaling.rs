@@ -50,8 +50,9 @@ fn base_scenario(n_nets: usize, cfg: AitfConfig) -> Scenario {
 
 /// Runs one scale point under AITF; metrics `filters_per_provider`,
 /// `max_provider`, `hub_filters_aitf`, `victim_gw_peak`.
-pub fn run_one(n_nets: usize, seed: u64) -> Outcome {
+pub fn run_one(n_nets: usize, seed: u64, shards: usize) -> Outcome {
     base_scenario(n_nets, config())
+        .shards(shards)
         .probes(
             ProbeSet::new()
                 .end(move |w, m| {
@@ -76,7 +77,7 @@ pub fn run_one(n_nets: usize, seed: u64) -> Outcome {
 
 /// Hub filter load under pushback at the same scale (for contrast);
 /// returns `(hub_filters, simulator_events)`.
-pub fn hub_filters_pushback(n_nets: usize, seed: u64) -> (u64, u64) {
+pub fn hub_filters_pushback(n_nets: usize, seed: u64, shards: usize) -> (u64, u64) {
     let cfg = AitfConfig {
         t_long: SimDuration::from_secs(30),
         detection_delay: SimDuration::from_millis(10),
@@ -84,6 +85,7 @@ pub fn hub_filters_pushback(n_nets: usize, seed: u64) -> (u64, u64) {
     };
     let outcome = base_scenario(n_nets, cfg)
         .backend(Backend::Pushback)
+        .shards(shards)
         .probes(ProbeSet::new().end(|w, m| {
             let hub = w
                 .world
@@ -126,10 +128,10 @@ pub fn spec(quick: bool) -> ScenarioSpec {
     )
     .runner(|p, ctx| {
         let n = p.usize("attacker_nets");
-        let o = run_one(n, ctx.seed);
+        let o = run_one(n, ctx.seed, ctx.shards);
         // The pushback contrast world's events stay out of the record, as
         // they always have: the telemetry tracks the AITF run.
-        let (hub_pb, _pb_events) = hub_filters_pushback(n, ctx.seed);
+        let (hub_pb, _pb_events) = hub_filters_pushback(n, ctx.seed, ctx.shards);
         let mut out = Outcome::new(
             Params::new()
                 .with(
@@ -160,8 +162,8 @@ mod tests {
 
     #[test]
     fn per_provider_load_is_flat() {
-        let small = run_one(8, 1);
-        let large = run_one(24, 1);
+        let small = run_one(8, 1, 1);
+        let large = run_one(24, 1, 4);
         for o in [&small, &large] {
             assert!(
                 (o.metrics.f64("filters_per_provider") - 1.0).abs() < 0.5,
@@ -173,8 +175,8 @@ mod tests {
 
     #[test]
     fn pushback_hub_load_grows_with_attack_size() {
-        let (small, _) = hub_filters_pushback(8, 2);
-        let (large, _) = hub_filters_pushback(24, 2);
+        let (small, _) = hub_filters_pushback(8, 2, 1);
+        let (large, _) = hub_filters_pushback(24, 2, 2);
         assert!(large > small, "hub pushback filters: {small} -> {large}");
         assert!(large >= 20, "hub must carry ~one filter per flow: {large}");
     }

@@ -106,7 +106,7 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
         } else {
             DetectionMode::Oracle
         };
-        run_one(mode, ctx.seed)
+        scenario(mode).shards(ctx.shards).run(ctx.seed)
     })
 }
 

@@ -122,11 +122,12 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("duration_s", duration_s)
     }))
     .runner(|p, ctx| {
-        run_one(
+        scenario(
             p.usize("attack_hosts"),
             SimDuration::from_secs(p.u64("duration_s")),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

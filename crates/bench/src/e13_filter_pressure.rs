@@ -130,12 +130,13 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             "evict" => EvictionPolicy::EvictSoonestExpiring,
             other => panic!("unknown policy {other:?}"),
         };
-        run_one(
+        scenario(
             p.usize("filter_cap"),
             policy,
             SimDuration::from_secs(p.u64("duration_s")),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

@@ -88,13 +88,14 @@ pub fn spec(quick: bool) -> ScenarioSpec {
     )
     .points(points)
     .runner(|p, ctx| {
-        run_one(
+        scenario(
             SimDuration::from_millis(p.u64("td_ms")),
             SimDuration::from_millis(p.u64("tr_ms")),
             SimDuration::from_secs(p.u64("t_s")),
             p.u64("_periods"),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

@@ -140,7 +140,11 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("waves", WAVES as u64)
             .with("wave_hosts", WAVE_HOSTS as u64)
     }))
-    .runner(|p, ctx| run_one(SimDuration::from_millis(p.u64("wave_ms")), ctx.seed))
+    .runner(|p, ctx| {
+        scenario(SimDuration::from_millis(p.u64("wave_ms")))
+            .shards(ctx.shards)
+            .run(ctx.seed)
+    })
 }
 
 /// Runs the sweep and prints the table.

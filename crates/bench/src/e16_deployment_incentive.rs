@@ -153,11 +153,12 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("_seed_group", 0u64)
     }))
     .runner(|p, ctx| {
-        run_one(
+        scenario(
             p.f64("aitf_fraction"),
             SimDuration::from_secs(p.u64("duration_s")),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

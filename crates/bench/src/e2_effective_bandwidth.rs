@@ -150,7 +150,9 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             tr: SimDuration::from_millis(p.u64("tr_ms")),
             t: SimDuration::from_secs(p.u64("t_s")),
         };
-        measure_with_tr(point, p.bool("assists"), p.u64("_periods"), ctx.seed)
+        scenario(point, p.bool("assists"), p.u64("_periods"))
+            .shards(ctx.shards)
+            .run(ctx.seed)
     })
 }
 

@@ -94,12 +94,13 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("_t_s", 10u64)
     }))
     .runner(|p, ctx| {
-        run_one(
+        scenario(
             p.usize("flows"),
             p.f64("_r1"),
             SimDuration::from_secs(p.u64("_t_s")),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

@@ -105,12 +105,13 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("t_s", t)
     }))
     .runner(|p, ctx| {
-        run_one(
+        scenario(
             p.f64("r1_per_s"),
             SimDuration::from_secs(p.u64("ttmp_s")),
             SimDuration::from_secs(p.u64("t_s")),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

@@ -107,12 +107,13 @@ pub fn spec(quick: bool) -> ScenarioSpec {
             .with("zombies", zombies)
     }))
     .runner(|p, ctx| {
-        run_one(
+        scenario(
             p.f64("r2_per_s"),
             SimDuration::from_secs(p.u64("t_s")),
             p.usize("zombies"),
-            ctx.seed,
         )
+        .shards(ctx.shards)
+        .run(ctx.seed)
     })
 }
 

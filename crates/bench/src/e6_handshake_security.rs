@@ -109,7 +109,11 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             // across the three rows, so they must share a world.
             .with("_seed_group", 0u64)
     }))
-    .runner(|p, ctx| run_scenario(p.bool("verification"), p.bool("compromised"), ctx.seed))
+    .runner(|p, ctx| {
+        scenario(p.bool("verification"), p.bool("compromised"))
+            .shards(ctx.shards)
+            .run(ctx.seed)
+    })
 }
 
 /// Runs all three scenarios and prints the table.

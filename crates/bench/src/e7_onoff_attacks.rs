@@ -96,7 +96,11 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             // on/off pair, so both must run the same world.
             .with("_seed_group", 0u64)
     }))
-    .runner(|p, ctx| run_one(p.bool("shadow_assist"), ctx.seed))
+    .runner(|p, ctx| {
+        scenario(p.bool("shadow_assist"))
+            .shards(ctx.shards)
+            .run(ctx.seed)
+    })
 }
 
 /// Runs both modes and prints the table.

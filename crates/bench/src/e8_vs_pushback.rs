@@ -86,8 +86,9 @@ fn involvement(w: &BuiltWorld, backend: Backend) -> (u64, u64) {
 
 /// Runs one protocol on a depth-`depth` chain (all routers cooperative);
 /// metrics `nodes`, `filters`, `leak`.
-pub fn run_protocol(depth: usize, backend: Backend, seed: u64) -> Outcome {
+pub fn run_protocol(depth: usize, backend: Backend, seed: u64, shards: usize) -> Outcome {
     chain_scenario(depth, None, backend)
+        .shards(shards)
         .probes(
             ProbeSet::new()
                 .end(move |w, m| {
@@ -125,8 +126,10 @@ fn uplink_sent(w: &aitf_core::World, net: NetId) -> u64 {
 /// provider, which filters AND disconnects the rogue client after the
 /// grace period — nothing crosses the rogue's uplink any more. This is a
 /// two-phase measurement, so it drives the built scenario by hand.
-pub fn rogue_aitf(seed: u64) -> RogueOutcome {
-    let mut w = chain_scenario(3, Some(0), Backend::Aitf).build(seed);
+pub fn rogue_aitf(seed: u64, shards: usize) -> RogueOutcome {
+    let mut w = chain_scenario(3, Some(0), Backend::Aitf)
+        .shards(shards)
+        .build(seed);
     let leaf = w.net("1-0");
     w.world.sim.run_for(SimDuration::from_secs(10));
     let before = uplink_sent(&w.world, leaf);
@@ -142,8 +145,10 @@ pub fn rogue_aitf(seed: u64) -> RogueOutcome {
 
 /// Pushback with the same rogue: the chain stalls one hop above; the
 /// rogue's uplink keeps carrying the full flood forever.
-pub fn rogue_pushback(seed: u64) -> RogueOutcome {
-    let mut w = chain_scenario(3, Some(0), Backend::Pushback).build(seed);
+pub fn rogue_pushback(seed: u64, shards: usize) -> RogueOutcome {
+    let mut w = chain_scenario(3, Some(0), Backend::Pushback)
+        .shards(shards)
+        .build(seed);
     let leaf = w.net("1-0");
     w.world.sim.run_for(SimDuration::from_secs(10));
     let edge_filtered = w
@@ -183,8 +188,8 @@ pub fn spec(quick: bool) -> ScenarioSpec {
     )
     .runner(|p, ctx| {
         let d = p.usize("depth_per_side");
-        let aitf = run_protocol(d, Backend::Aitf, ctx.seed);
-        let pb = run_protocol(d, Backend::Pushback, ctx.seed);
+        let aitf = run_protocol(d, Backend::Aitf, ctx.seed, ctx.shards);
+        let pb = run_protocol(d, Backend::Pushback, ctx.seed, ctx.shards);
         Outcome::new(
             Params::new()
                 .with("aitf_nodes", aitf.metrics.u64("nodes"))
@@ -219,8 +224,8 @@ pub fn spec_rogue(_quick: bool) -> ScenarioSpec {
     }))
     .runner(|p, ctx| {
         let o = match p.str("protocol") {
-            "AITF" => rogue_aitf(ctx.seed),
-            _ => rogue_pushback(ctx.seed),
+            "AITF" => rogue_aitf(ctx.seed, ctx.shards),
+            _ => rogue_pushback(ctx.seed, ctx.shards),
         };
         Outcome::new(
             Params::new()
@@ -246,10 +251,10 @@ mod tests {
 
     #[test]
     fn aitf_involvement_is_constant_pushback_grows() {
-        let a3 = run_protocol(3, Backend::Aitf, 1);
-        let a5 = run_protocol(5, Backend::Aitf, 1);
-        let p3 = run_protocol(3, Backend::Pushback, 1);
-        let p5 = run_protocol(5, Backend::Pushback, 1);
+        let a3 = run_protocol(3, Backend::Aitf, 1, 1);
+        let a5 = run_protocol(5, Backend::Aitf, 1, 1);
+        let p3 = run_protocol(3, Backend::Pushback, 1, 1);
+        let p5 = run_protocol(5, Backend::Pushback, 1, 1);
         assert_eq!(
             a3.metrics.u64("nodes"),
             a5.metrics.u64("nodes"),
@@ -267,16 +272,16 @@ mod tests {
 
     #[test]
     fn both_protect_the_victim_in_the_cooperative_case() {
-        let a = run_protocol(3, Backend::Aitf, 2);
-        let p = run_protocol(3, Backend::Pushback, 2);
+        let a = run_protocol(3, Backend::Aitf, 2, 1);
+        let p = run_protocol(3, Backend::Pushback, 2, 1);
         assert!(a.metrics.f64("leak") < 0.1, "{a:?}");
         assert!(p.metrics.f64("leak") < 0.1, "{p:?}");
     }
 
     #[test]
     fn rogue_hop_distinguishes_the_protocols() {
-        let ra = rogue_aitf(3);
-        let rp = rogue_pushback(3);
+        let ra = rogue_aitf(3, 2);
+        let rp = rogue_pushback(3, 1);
         assert!(ra.source_cut, "{ra:?}");
         assert_eq!(ra.uplink_carried_late, 0, "{ra:?}");
         assert!(!rp.source_cut, "{rp:?}");

@@ -104,7 +104,11 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             // request load across the on/off pair.
             .with("_seed_group", 0u64)
     }))
-    .runner(|p, ctx| run_one(p.bool("ingress_filtering"), ctx.seed))
+    .runner(|p, ctx| {
+        scenario(p.bool("ingress_filtering"))
+            .shards(ctx.shards)
+            .run(ctx.seed)
+    })
 }
 
 /// Runs both modes and prints the table.

@@ -104,7 +104,11 @@ pub fn spec(_quick: bool) -> ScenarioSpec {
             .with("defended", defended)
             .with("_seed_group", 0u64)
     }))
-    .runner(|params, ctx| attack_timeline(params.bool("defended"), ctx.seed))
+    .runner(|params, ctx| {
+        scenario(params.bool("defended"))
+            .shards(ctx.shards)
+            .run(ctx.seed)
+    })
 }
 
 /// Prints the engine table for the timeline pair, then both timelines

@@ -28,6 +28,7 @@
 //! | [`e15_host_churn`] | §III-C under churn | leak recovers after every mid-attack host wave |
 //! | [`e16_deployment_incentive`] | §III, §IV-B | every additional AITF provider pays off for the victim |
 //! | [`e17_provider_churn`] | §III under network churn | leak recovers as providers leave/rejoin AITF mid-attack |
+//! | [`e18_megatree`] | §III-C at scale | a 105,800-host tree behaves like E10's world, 100× larger |
 
 pub mod e10_scaling;
 pub mod e11_detection;
@@ -37,6 +38,7 @@ pub mod e14_td_tr_grid;
 pub mod e15_host_churn;
 pub mod e16_deployment_incentive;
 pub mod e17_provider_churn;
+pub mod e18_megatree;
 pub mod e1_escalation;
 pub mod e2_effective_bandwidth;
 pub mod e3_protection_capacity;
@@ -74,6 +76,7 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e15_host_churn::spec(quick));
     r.register(e16_deployment_incentive::spec(quick));
     r.register(e17_provider_churn::spec(quick));
+    r.register(e18_megatree::spec(quick));
     r.register(figures::spec(quick));
     r
 }

@@ -16,6 +16,11 @@
 //! ```text
 //! UPDATE_EQUIVALENCE_FIXTURE=1 cargo test -p aitf-bench --test equivalence
 //! ```
+//!
+//! Setting `AITF_EQUIV_SHARDS=K` runs every scenario on a K-shard event
+//! loop against the *same* fixture: sharding is a pure execution strategy,
+//! so the records must stay byte-identical. CI runs the suite once plain
+//! and once at `AITF_EQUIV_SHARDS=4`.
 
 use std::fmt::Write as _;
 
@@ -30,10 +35,15 @@ const FIXTURE: &str = concat!(
 /// float rendering is Rust's shortest round-trip form, so equal lines
 /// imply bit-equal `f64`s — string equality here is `deterministic_eq`.
 fn render_quick_suite(threads: usize) -> String {
+    let shards: usize = std::env::var("AITF_EQUIV_SHARDS")
+        .ok()
+        .map(|v| v.parse().expect("AITF_EQUIV_SHARDS must be an integer"))
+        .unwrap_or(1);
     let registry = aitf_bench::registry(true);
     let grouped = Runner::new(threads)
         .quick(true)
         .base_seed(aitf_engine::DEFAULT_BASE_SEED)
+        .shards(shards)
         .run_all(registry.specs());
     let mut out = String::new();
     for records in &grouped {

@@ -1,0 +1,58 @@
+//! Shard-count equivalence: the sharded conservative-lookahead event loop
+//! is a pure execution strategy, so a scenario run at any shard count must
+//! produce `RunRecord`s that are `deterministic_eq` to the classic
+//! single-threaded loop — every metric f64 bit, every event count.
+//!
+//! Three representative experiments cover the partitioner's regimes:
+//!
+//! - **E1** (Figure 1 chain pair): deep chains with rogue (non-cooperating)
+//!   gateways, which the shard hints merge into their provider's group;
+//! - **E10** (scaling star): many single-host networks around a hub, plus
+//!   the pushback backend's hint fallback (no `BorderRouter` to downcast);
+//! - **E16** (deployment mix): seed-derived cooperating/legacy assignment,
+//!   so group merging changes per point.
+
+use aitf_engine::{Runner, ScenarioSpec};
+
+fn assert_shard_invariant(spec: &ScenarioSpec) {
+    let run = |shards: usize| {
+        Runner::new(1)
+            .quick(true)
+            .base_seed(aitf_engine::DEFAULT_BASE_SEED)
+            .shards(shards)
+            .run(spec)
+    };
+    let single = run(1);
+    for shards in [2, 4] {
+        let sharded = run(shards);
+        assert_eq!(single.len(), sharded.len());
+        for (s, k) in single.iter().zip(&sharded) {
+            assert!(
+                s.deterministic_eq(k),
+                "{} point {} drifted at {} shards:\n  1 shard : {}\n  {} shards: {}",
+                spec.id,
+                s.index,
+                shards,
+                s.to_json(),
+                shards,
+                k.to_json(),
+            );
+            assert_eq!(k.shards, shards, "record must carry its shard count");
+        }
+    }
+}
+
+#[test]
+fn e1_escalation_is_shard_invariant() {
+    assert_shard_invariant(&aitf_bench::e1_escalation::spec(true));
+}
+
+#[test]
+fn e10_scaling_is_shard_invariant() {
+    assert_shard_invariant(&aitf_bench::e10_scaling::spec(true));
+}
+
+#[test]
+fn e16_deployment_incentive_is_shard_invariant() {
+    assert_shard_invariant(&aitf_bench::e16_deployment_incentive::spec(true));
+}

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use aitf_filter::{FilterTable, TokenBucket};
-use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimDuration, SimTime};
+use aitf_netsim::{impl_node_any, Context, LinkId, MaybeSend, Node, SimDuration, SimTime};
 use aitf_packet::{
     Addr, AitfMessage, FilteringRequest, FlowLabel, Header, Packet, Protocol, RequestDestination,
     TrafficClass, VerificationReply,
@@ -178,7 +178,7 @@ impl HostApi<'_, '_> {
 ///
 /// Implementations live in the `aitf-attack` crate (floods, on-off
 /// attackers, legitimate clients and echo servers).
-pub trait TrafficApp: 'static {
+pub trait TrafficApp: MaybeSend + 'static {
     /// Called once when the simulation starts.
     fn on_start(&mut self, api: &mut HostApi<'_, '_>);
 

@@ -26,7 +26,8 @@
 use std::collections::HashMap;
 
 use aitf_netsim::{
-    LinkDirection, LinkId, LinkParams, NetworkBuilder, NodeId, SimDuration, Simulator,
+    LinkDirection, LinkId, LinkParams, NetworkBuilder, NextHops, NodeId, PartitionSpec,
+    SimDuration, Simulator,
 };
 use aitf_packet::{Addr, LpmTable, Prefix};
 
@@ -194,12 +195,39 @@ impl WorldBuilder {
             .enumerate()
             .map(|(i, h)| nb.connect(host_nodes[i], router_nodes[h.net], h.link_params))
             .collect();
-        for &(a, b, params) in &self.peerings {
-            nb.connect(router_nodes[a], router_nodes[b], params);
-        }
+        let peer_links: Vec<LinkId> = self
+            .peerings
+            .iter()
+            .map(|&(a, b, params)| nb.connect(router_nodes[a], router_nodes[b], params))
+            .collect();
 
         let mut sim = nb.build();
-        let next_hops = sim.compute_next_hops(|_| 1);
+
+        // Routing runs over the router backbone only. Hosts are leaves on
+        // their tail circuit — they can never be transit — so an all-pairs
+        // computation over every node would produce the same router paths
+        // at O((routers+hosts)²) cost, which is prohibitive at 100k hosts.
+        debug_assert!(router_nodes.iter().enumerate().all(|(i, n)| n.0 == i));
+        let mut router_links: Vec<(NodeId, NodeId, LinkId, u64)> = Vec::new();
+        for (i, net) in self.nets.iter().enumerate() {
+            if let Some(p) = net.parent {
+                router_links.push((
+                    router_nodes[i],
+                    router_nodes[p],
+                    uplinks[i].expect("child has an uplink"),
+                    1,
+                ));
+            }
+        }
+        for (k, &(a, b, _)) in self.peerings.iter().enumerate() {
+            router_links.push((router_nodes[a], router_nodes[b], peer_links[k], 1));
+        }
+        let next_hops = NextHops::compute(self.nets.len(), &router_links);
+
+        let mut hosts_of_net: Vec<Vec<usize>> = vec![Vec::new(); self.nets.len()];
+        for (h, hspec) in self.hosts.iter().enumerate() {
+            hosts_of_net[hspec.net].push(h);
+        }
 
         // Address assignment: router = .254 of the first /24, hosts from 1.
         let router_addr: Vec<Addr> = self.nets.iter().map(|n| n.prefix.host_at(254)).collect();
@@ -218,28 +246,22 @@ impl WorldBuilder {
         // Longest-prefix-match forwarding: one route per remote network
         // prefix (towards its border router) plus /32 routes for the hosts
         // of a router's own network — the aggregation a real AS-level
-        // forwarding table has.
-        let fwd_for = |node: NodeId| -> LpmTable<LinkId> {
+        // forwarding table has. Only the gateway carries its clients' /32s:
+        // remote routers reach a host through its network's prefix route
+        // along the same path, so the tables stay O(nets + own hosts).
+        let fwd_for = |n_idx: usize| -> LpmTable<LinkId> {
+            let node = router_nodes[n_idx];
             let mut table = LpmTable::new();
             for (n, net) in self.nets.iter().enumerate() {
-                if router_nodes[n] == node {
+                if n == n_idx {
                     continue;
                 }
                 if let Some(link) = next_hops.next_hop(node, router_nodes[n]) {
                     table.insert(net.prefix, link);
                 }
             }
-            for (h, _) in self.hosts.iter().enumerate() {
-                if host_nodes[h] == node {
-                    continue;
-                }
-                if let Some(link) = next_hops.next_hop(node, host_nodes[h]) {
-                    // Only the host's own gateway needs the /32 (remote
-                    // nodes reach it through the prefix route), but adding
-                    // it everywhere is harmless and keeps the closure
-                    // simple; LPM prefers the /32 exactly where it differs.
-                    table.insert(Prefix::host(host_addr[h]), link);
-                }
+            for &h in &hosts_of_net[n_idx] {
+                table.insert(Prefix::host(host_addr[h]), tail_links[h]);
             }
             table
         };
@@ -298,18 +320,16 @@ impl WorldBuilder {
                 let link = uplinks[c].expect("child has an uplink");
                 client_links.insert(link, subtree[c].clone());
             }
-            for (h, hspec) in self.hosts.iter().enumerate() {
-                if hspec.net == i {
-                    // Ingress filtering is at network granularity (Section
-                    // III-A: a provider keeps spoofed flows from *exiting
-                    // its network*); spoofing inside one's own prefix is
-                    // exactly what ingress filtering cannot catch.
-                    client_links.insert(tail_links[h], vec![net.prefix]);
-                }
+            for &h in &hosts_of_net[i] {
+                // Ingress filtering is at network granularity (Section
+                // III-A: a provider keeps spoofed flows from *exiting
+                // its network*); spoofing inside one's own prefix is
+                // exactly what ingress filtering cannot catch.
+                client_links.insert(tail_links[h], vec![net.prefix]);
             }
             let spec = RouterSpec {
                 addr: router_addr[i],
-                fwd: fwd_for(router_nodes[i]),
+                fwd: fwd_for(i),
                 uplink: uplinks[i],
                 ancestors: ancestors_of(i),
                 legacy_peers: legacy_peers.clone(),
@@ -355,6 +375,12 @@ impl WorldBuilder {
             host_nodes,
             host_addr,
             host_net: self.hosts.iter().map(|h| h.net).collect(),
+            net_parent: self.nets.iter().map(|n| n.parent).collect(),
+            net_cooperating: self
+                .nets
+                .iter()
+                .map(|n| n.policy.aitf_enabled && n.policy.cooperating)
+                .collect(),
             tail_links,
             uplinks,
             tracer,
@@ -376,6 +402,10 @@ pub struct World {
     host_nodes: Vec<NodeId>,
     host_addr: Vec<Addr>,
     host_net: Vec<usize>,
+    net_parent: Vec<Option<usize>>,
+    /// Build-time `aitf_enabled && cooperating` per network; drives the
+    /// shard-hint merging of [`World::shard_hints`].
+    net_cooperating: Vec<bool>,
     tail_links: Vec<LinkId>,
     uplinks: Vec<Option<LinkId>>,
     /// Shared across all AITF routers; zero-sized unless `trace` is on.
@@ -449,6 +479,60 @@ impl World {
     /// A network's uplink towards its provider.
     pub fn uplink(&self, net: NetId) -> Option<LinkId> {
         self.uplinks[net.0]
+    }
+
+    /// Shard hints for [`aitf_netsim::Simulator::apply_shards`]: one group
+    /// per network (its border router plus its hosts), parented along the
+    /// provider tree, so the partitioner only ever cuts inter-network
+    /// links — whose propagation delay provides the conservative
+    /// lookahead.
+    ///
+    /// A network that does not fully participate in AITF (legacy or
+    /// non-cooperating gateway) is merged into its provider's group:
+    /// escalation disconnects such children at the provider's side of the
+    /// uplink, and keeping that uplink intra-shard keeps the blocking
+    /// action local. Non-AITF router backends (the pushback baseline) have
+    /// no escalation, so every network keeps its own group there.
+    pub fn shard_hints(&self) -> PartitionSpec {
+        let n = self.net_count();
+        let aitf_backend = self
+            .sim
+            .node_ref::<BorderRouter>(self.router_nodes[0])
+            .is_some();
+        // Resolve each net to its merge target. Parents are declared
+        // before children in WorldBuilder, so target[parent] is final by
+        // the time a child reads it.
+        let mut target: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            if aitf_backend && !self.net_cooperating[i] {
+                if let Some(p) = self.net_parent[i] {
+                    target[i] = target[p];
+                }
+            }
+        }
+        let mut group_of: Vec<usize> = vec![usize::MAX; n];
+        let mut roots: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if target[i] == i {
+                group_of[i] = roots.len();
+                roots.push(i);
+            }
+        }
+        for i in 0..n {
+            group_of[i] = group_of[target[i]];
+        }
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); roots.len()];
+        for i in 0..n {
+            groups[group_of[i]].push(self.router_nodes[i]);
+        }
+        for (h, &net) in self.host_net.iter().enumerate() {
+            groups[group_of[net]].push(self.host_nodes[h]);
+        }
+        let parents: Vec<Option<usize>> = roots
+            .iter()
+            .map(|&r| self.net_parent[r].map(|p| group_of[p]))
+            .collect();
+        PartitionSpec::new(groups, parents)
     }
 
     /// Read access to a border router.
@@ -749,6 +833,74 @@ mod tests {
         w.sim.run_for(SimDuration::from_secs(1));
         let delta = w.host(a).counters().tx_pkts - tx_before;
         assert!((90..=101).contains(&delta), "rate doubled? delta = {delta}");
+    }
+
+    #[test]
+    fn shard_hints_group_each_net_with_its_hosts() {
+        let (w, g_net, b_net, v, a) = two_level_world();
+        let spec = w.shard_hints();
+        assert_eq!(spec.groups().len(), 3, "one group per network");
+        // wan is the root; both leaf nets parent to it.
+        assert_eq!(spec.parents()[0], None);
+        assert_eq!(spec.parents()[g_net.0], Some(0));
+        assert_eq!(spec.parents()[b_net.0], Some(0));
+        assert!(spec.groups()[g_net.0].contains(&w.host_node(v)));
+        assert!(spec.groups()[b_net.0].contains(&w.host_node(a)));
+        // Every node lands in exactly one group.
+        let total: usize = spec.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, w.sim.node_count());
+    }
+
+    #[test]
+    fn shard_hints_merge_non_cooperating_nets_into_their_provider() {
+        let mut b = WorldBuilder::new(1, AitfConfig::default());
+        let wan = b.network("wan", "10.100.0.0/16", None);
+        let coop = b.network("coop", "10.1.0.0/16", Some(wan));
+        let legacy = b.network_with(
+            "legacy",
+            "10.9.0.0/16",
+            Some(wan),
+            RouterPolicy {
+                aitf_enabled: false,
+                ..RouterPolicy::default()
+            },
+            WorldBuilder::default_net_link(),
+        );
+        let h = b.host(legacy);
+        let w = b.build();
+        let spec = w.shard_hints();
+        assert_eq!(spec.groups().len(), 2, "legacy merges into wan's group");
+        // Group 0 is wan's: it holds both wan and legacy routers plus the
+        // legacy host; coop keeps its own group.
+        assert!(spec.groups()[0].contains(&w.router_node(wan)));
+        assert!(spec.groups()[0].contains(&w.router_node(legacy)));
+        assert!(spec.groups()[0].contains(&w.host_node(h)));
+        assert!(spec.groups()[1].contains(&w.router_node(coop)));
+        assert_eq!(spec.parents(), &[None, Some(0)]);
+    }
+
+    #[test]
+    fn shard_hints_partition_and_run() {
+        // End-to-end: hints → partition → sharded run matches single.
+        let run = |shards: usize| {
+            let (mut w, _, _, v, a) = two_level_world();
+            let victim_addr = w.host_addr(v);
+            w.add_app(a, Box::new(TestTicker { to: victim_addr }));
+            if shards > 1 {
+                let spec = w.shard_hints();
+                let part = w.sim.apply_shards(shards, &spec).expect("partition");
+                assert_eq!(part.shards, shards);
+            }
+            w.sim.run_for(SimDuration::from_secs(2));
+            (
+                w.sim.dispatched_events(),
+                w.host(v).counters().rx_legit_pkts,
+                w.host(a).counters().tx_pkts,
+            )
+        };
+        let single = run(1);
+        assert_eq!(run(2), single);
+        assert_eq!(run(3), single);
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct RunRecord {
     /// [`RunRecord::deterministic_eq`] — it is the one legitimately
     /// nondeterministic field.
     pub wall_secs: f64,
+    /// Event-loop shards the point's simulations ran as. Execution
+    /// strategy, not an input: excluded from
+    /// [`RunRecord::deterministic_eq`] (sharded and single runs of the
+    /// same point must compare equal), and emitted in JSON only when > 1
+    /// so single-loop records keep the historical shape.
+    pub shards: usize,
     /// Optional observability payload from a trace-enabled build. Wall
     /// buckets inside are nondeterministic, so (like `wall_secs`) it is
     /// excluded from [`RunRecord::deterministic_eq`].
@@ -54,8 +60,13 @@ impl RunRecord {
             Some(t) => format!(",\"subsystems\":{}", t.subsystems.finalized().to_json()),
             None => String::new(),
         };
+        let shards = if self.shards > 1 {
+            format!(",\"shards\":{}", self.shards)
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}{}}}",
+            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}{}{}}}",
             json_string(self.experiment),
             self.index,
             self.seed,
@@ -71,6 +82,7 @@ impl RunRecord {
                 Some(r) => format!("{r:.0}"),
                 None => "null".to_string(),
             },
+            shards,
             subsystems,
         )
     }
@@ -96,6 +108,7 @@ mod tests {
             metrics: Params::new().with("y", 0.5),
             events: 10,
             wall_secs: wall,
+            shards: 1,
             trace: None,
         }
     }
@@ -130,6 +143,16 @@ mod tests {
         assert!(j.contains("\"subsystems\":{"), "{j}");
         assert!(j.contains("\"link\""), "{j}");
         // And the payload never disturbs determinism comparisons.
+        assert!(r.deterministic_eq(&record(0.25)));
+    }
+
+    #[test]
+    fn shards_field_appears_only_when_sharded() {
+        let mut r = record(0.25);
+        assert!(!r.to_json().contains("shards"));
+        r.shards = 4;
+        assert!(r.to_json().contains("\"shards\":4"), "{}", r.to_json());
+        // Execution strategy never disturbs determinism comparisons.
         assert!(r.deterministic_eq(&record(0.25)));
     }
 

@@ -19,6 +19,7 @@ pub struct Runner {
     threads: usize,
     quick: bool,
     base_seed: u64,
+    shards: usize,
 }
 
 /// The default base seed for sweeps (`--seed` overrides it in the driver).
@@ -44,6 +45,7 @@ impl Runner {
             threads: threads.max(1),
             quick: false,
             base_seed: DEFAULT_BASE_SEED,
+            shards: 1,
         }
     }
 
@@ -56,6 +58,14 @@ impl Runner {
     /// Sets the base seed all point seeds derive from.
     pub fn base_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
+        self
+    }
+
+    /// Asks every point's scenarios to run as `shards` event-loop shards
+    /// (clamped to at least 1). Like the thread count, this is pure
+    /// execution strategy — records are bit-identical at any value.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -94,6 +104,7 @@ impl Runner {
                     let ctx = RunCtx {
                         seed: spec.seed_for(self.base_seed, p),
                         quick: self.quick,
+                        shards: self.shards,
                     };
                     let start = Instant::now();
                     let outcome = (spec.run)(&spec.points[p], &ctx);
@@ -105,6 +116,7 @@ impl Runner {
                         metrics: outcome.metrics,
                         events: outcome.events,
                         wall_secs: start.elapsed().as_secs_f64(),
+                        shards: self.shards,
                         trace: outcome.trace,
                     };
                     *slots[i].lock().expect("result slot poisoned") = Some(record);

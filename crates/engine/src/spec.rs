@@ -14,6 +14,10 @@ pub struct RunCtx {
     pub seed: u64,
     /// Reduced-size mode (CI / integration tests).
     pub quick: bool,
+    /// Event-loop shards each scenario should split into (1 = classic
+    /// single-threaded loop). Pure execution strategy: results are
+    /// bit-identical at any value.
+    pub shards: usize,
 }
 
 /// What one sweep point produced.
@@ -211,6 +215,7 @@ mod tests {
         let ctx = RunCtx {
             seed: 1,
             quick: true,
+            shards: 1,
         };
         let _ = (spec.run)(&spec.points[0], &ctx);
     }

@@ -1,22 +1,48 @@
 //! The event queue at the heart of the simulator.
 //!
-//! Events are ordered by `(time, sequence)`: the sequence number is a
-//! monotonically increasing tie-breaker, so two events scheduled for the
-//! same instant fire in scheduling order. This total order is what makes
-//! the simulator deterministic.
+//! Events are ordered by `(time, produce time, chain descending,
+//! sequence)`:
+//!
+//! - the **produce time** is the simulation instant the scheduling call
+//!   ran at;
+//! - the **chain** key identifies the causal chain the event descends
+//!   from: an event scheduled outside any dispatch (`on_start`, external
+//!   context calls, build time) roots a new chain keyed by its own firing
+//!   time, and every event scheduled during a dispatch inherits the
+//!   dispatched event's chain;
+//! - the **sequence** number is a monotonically increasing per-queue
+//!   tie-breaker, so remaining ties fire in scheduling order.
+//!
+//! In a classic single-threaded run the produce-time and chain components
+//! are redundant: dispatch order is monotone in time, so among events
+//! with equal firing times scheduling order *is* produce-time order, and
+//! among phase-locked periodic chains (equal firing and produce times,
+//! e.g. same-rate flood sources ticking on one nanosecond grid) the
+//! sequence order resolves exactly like comparing the chains' ancestor
+//! times lexicographically — the *younger* chain reaches its root (whose
+//! own produce time is the earliest) first and therefore dispatches
+//! first, which is precisely `chain` descending. Carrying both keys
+//! explicitly lets a sharded run reproduce the single-threaded
+//! interleave: a cross-shard delivery materialises in the destination
+//! queue at a window barrier, later in wall-clock terms than any
+//! same-instant local event, yet sorts exactly where its producing
+//! dispatch would have put it. This total order is what makes the
+//! simulator deterministic.
 //!
 //! # Memory layout
 //!
 //! The queue is an index-ordered binary heap over a **slab** of event
-//! payloads. Heap entries are 24-byte `Copy` triples `(time, seq, slot)`;
-//! the [`EventKind`] payloads — which carry whole packets for `Deliver`
-//! events — live in slab slots and never move during heap sift operations.
+//! payloads. Heap entries are 40-byte `Copy` tuples `(time, ptime, chain,
+//! seq, slot)`; the [`EventKind`] payloads — which carry whole packets
+//! for `Deliver` events — live in slab slots and never move during heap
+//! sift operations.
 //! Popping recycles the slot through a free list, so in steady state the
 //! queue performs **zero heap allocations per event**: the slab and heap
 //! grow to the backlog's high-water mark once and are reused forever.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use aitf_packet::Packet;
 
@@ -59,6 +85,13 @@ pub enum EventKind {
 pub struct Event {
     /// When the event fires.
     pub time: SimTime,
+    /// The simulation instant the event was produced at (see the module
+    /// docs for why equal firing times order by this first).
+    pub ptime: SimTime,
+    /// Root firing time of the causal chain this event descends from;
+    /// equal `(time, ptime)` ties order by this *descending* (see the
+    /// module docs).
+    pub chain: u64,
     /// Scheduling-order tie breaker.
     pub seq: u64,
     /// What fires.
@@ -67,17 +100,22 @@ pub struct Event {
 
 /// The heap's unit of ordering: when, in what order, and *where* the
 /// payload lives. `Copy`-small on purpose — heap sift operations move these
-/// triples, never the payloads.
+/// entries, never the payloads.
 #[derive(Clone, Copy, Debug)]
 struct HeapEntry {
     time: SimTime,
+    ptime: SimTime,
+    chain: u64,
     seq: u64,
     slot: u32,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time
+            && self.ptime == other.ptime
+            && self.chain == other.chain
+            && self.seq == other.seq
     }
 }
 
@@ -91,12 +129,30 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // on top. Note `chain` compares descending (younger chain first),
+        // so it is NOT flipped here.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.ptime.cmp(&self.ptime))
+            .then_with(|| self.chain.cmp(&other.chain))
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// Shard-ownership guard for a queue that belongs to one shard of a
+/// partitioned simulation. Every queue is purely local — shard code only
+/// ever schedules events for nodes it owns, because the only cross-shard
+/// paths (cut links) are owned by the coordinator, which replays their
+/// operations at window barriers and schedules the resulting `Deliver`s
+/// directly into the destination shard's queue. The guard turns any
+/// violation of that invariant into an immediate panic instead of a silent
+/// determinism bug.
+#[derive(Debug)]
+pub(crate) struct ShardGuard {
+    my_shard: u16,
+    shard_of: Arc<Vec<u16>>,
 }
 
 /// Priority queue of pending events, earliest first.
@@ -109,6 +165,15 @@ pub struct EventQueue {
     slab: Vec<Option<EventKind>>,
     free: Vec<u32>,
     next_seq: u64,
+    /// The current simulation instant, recorded as the produce time of
+    /// every [`EventQueue::schedule`] call. The event loop keeps it at the
+    /// dispatching event's time; between runs it is the simulation clock.
+    now: SimTime,
+    /// The chain key of the dispatch currently running, inherited by every
+    /// event it schedules. `None` outside any dispatch: scheduled events
+    /// then root fresh chains keyed by their own firing time.
+    chain: Option<u64>,
+    guard: Option<Box<ShardGuard>>,
 }
 
 impl EventQueue {
@@ -117,8 +182,55 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedules `kind` to fire at `time`.
+    /// Sets the produce time and chain key stamped onto subsequent
+    /// [`EventQueue::schedule`] calls: the dispatching event's time and
+    /// chain inside the event loop, or `(clock, None)` outside any
+    /// dispatch (scheduled events then root fresh chains).
+    pub(crate) fn set_ctx(&mut self, now: SimTime, chain: Option<u64>) {
+        self.now = now;
+        self.chain = chain;
+    }
+
+    /// The produce time and chain key a schedule call would be stamped
+    /// with right now — what cut-link staging records so the barrier
+    /// replay can order staged operations exactly like the heap would.
+    pub(crate) fn produce_ctx(&self) -> (SimTime, Option<u64>) {
+        (self.now, self.chain)
+    }
+
+    /// Schedules `kind` to fire at `time`, produced at the current instant
+    /// on the current chain.
+    ///
+    /// In a sharded simulation every queue stays purely local: shard code
+    /// only schedules for nodes it owns (cut links — the only cross-shard
+    /// paths — are coordinator-owned and replayed at window barriers), an
+    /// invariant [`EventQueue::bind_shard`] enforces for `Deliver`s.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let ptime = self.now;
+        let chain = self.chain.unwrap_or(time.0);
+        self.schedule_produced_at(time, ptime, chain, kind);
+    }
+
+    /// Schedules `kind` with an explicit produce time and chain key — the
+    /// coordinator uses this to transplant replay-produced events into a
+    /// shard's queue at the heap position their producing dispatch would
+    /// have given them in a single-threaded run.
+    pub(crate) fn schedule_produced_at(
+        &mut self,
+        time: SimTime,
+        ptime: SimTime,
+        chain: u64,
+        kind: EventKind,
+    ) {
+        if let Some(guard) = self.guard.as_deref() {
+            if let EventKind::Deliver { node, .. } = &kind {
+                assert_eq!(
+                    guard.shard_of[node.0], guard.my_shard,
+                    "Deliver for foreign node {node:?} scheduled in shard {}",
+                    guard.my_shard
+                );
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot = match self.free.pop() {
@@ -133,7 +245,13 @@ impl EventQueue {
                 slot
             }
         };
-        self.heap.push(HeapEntry { time, seq, slot });
+        self.heap.push(HeapEntry {
+            time,
+            ptime,
+            chain,
+            seq,
+            slot,
+        });
     }
 
     /// The firing time of the next event, if any.
@@ -150,6 +268,8 @@ impl EventQueue {
         self.free.push(entry.slot);
         Some(Event {
             time: entry.time,
+            ptime: entry.ptime,
+            chain: entry.chain,
             seq: entry.seq,
             kind,
         })
@@ -174,6 +294,13 @@ impl EventQueue {
     /// (diagnostics; steady-state operation never grows this).
     pub fn slab_slots(&self) -> usize {
         self.slab.len()
+    }
+
+    /// Binds the queue to one shard of a partitioned simulation so
+    /// [`EventQueue::schedule`] can check the locality invariant on every
+    /// `Deliver`.
+    pub(crate) fn bind_shard(&mut self, my_shard: u16, shard_of: Arc<Vec<u16>>) {
+        self.guard = Some(Box::new(ShardGuard { my_shard, shard_of }));
     }
 }
 

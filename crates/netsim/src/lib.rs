@@ -18,10 +18,13 @@
 //! - **metrics** ([`metrics`]) for counters and time series that the
 //!   experiment harness turns into the paper's tables and figures.
 //!
-//! Determinism: the simulator is single-threaded, events are ordered by
-//! `(time, sequence)`, and all randomness flows from one seeded
-//! [`rand::rngs::StdRng`]. Two runs with the same seed produce identical
-//! results, which the integration suite asserts.
+//! Determinism: events are ordered by `(time, sequence)` and all randomness
+//! flows from seeded [`rand::rngs::StdRng`] streams. Two runs with the same
+//! seed produce identical results, which the integration suite asserts.
+//! A simulator runs single-threaded by default; [`sim::Simulator::apply_shards`]
+//! splits it into conservative-lookahead shards ([`partition`]) that may run
+//! on worker threads — the window protocol never consults thread
+//! interleaving, so sharded runs are bit-identical to single-threaded ones.
 //!
 //! # Examples
 //!
@@ -51,6 +54,7 @@ pub mod event;
 pub mod link;
 pub mod metrics;
 pub mod node;
+pub mod partition;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -58,7 +62,8 @@ pub mod topology;
 pub use event::{Event, EventKind, EventQueue};
 pub use link::{Link, LinkDirection, LinkId, LinkParams, LinkStats};
 pub use metrics::Metrics;
-pub use node::{Context, Node, NodeId};
+pub use node::{Context, MaybeSend, Node, NodeId};
+pub use partition::{partition, Partition, PartitionError, PartitionSpec};
 pub use sim::{NetworkBuilder, Simulator};
 pub use time::{SimDuration, SimTime};
 

@@ -40,7 +40,7 @@ impl LinkDirection {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             LinkDirection::AToB => 0,
             LinkDirection::BToA => 1,
@@ -133,16 +133,14 @@ struct DirState {
 }
 
 impl DirState {
-    /// A direction whose transmit queue is pre-sized for its byte capacity,
-    /// so steady-state enqueue/dequeue never grows the ring buffer. Sized
-    /// for ~1 KB packets and clamped: a drop-tail queue that fits more
-    /// packets than the clamp only pays the (amortised, one-off) growth.
-    fn with_params(params: &LinkParams) -> Self {
-        let pkts = (params.queue_capacity_bytes / 1024).clamp(8, 256) as usize;
-        DirState {
-            queue: VecDeque::with_capacity(pkts),
-            ..DirState::default()
-        }
+    /// Ring-buffer target for one direction, sized for ~1 KB packets and
+    /// clamped. The queue starts *unallocated* — at 100k+ links, pre-sizing
+    /// every edge buffer costs gigabytes while almost all tail links stay
+    /// idle forever. The first packet that actually queues reserves this
+    /// target in one step (see [`Link::enqueue`]), so a busy direction
+    /// still reaches its steady state of zero allocations per event.
+    fn queue_target(params: &LinkParams) -> usize {
+        (params.queue_capacity_bytes / 1024).clamp(8, 256) as usize
     }
 }
 
@@ -164,10 +162,7 @@ impl Link {
             a,
             b,
             params,
-            dirs: [
-                DirState::with_params(&params),
-                DirState::with_params(&params),
-            ],
+            dirs: [DirState::default(), DirState::default()],
         }
     }
 
@@ -280,6 +275,10 @@ impl Link {
         } else if d.queued_bytes + packet.size_bytes as u64 <= params.queue_capacity_bytes as u64 {
             d.queued_bytes += packet.size_bytes as u64;
             d.stats.max_queued_bytes = d.stats.max_queued_bytes.max(d.queued_bytes);
+            if d.queue.capacity() == 0 {
+                // Lazy one-off reservation; see `DirState::queue_target`.
+                d.queue.reserve(DirState::queue_target(&params));
+            }
             d.queue.push_back(packet);
             true
         } else {

@@ -75,6 +75,25 @@ impl Metrics {
         self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Merges `other` into `self`: counters add, series append in the order
+    /// given. Sharded simulations drain per-shard sinks into one master
+    /// sink at every run boundary, always in shard-id order, so the merged
+    /// result is deterministic.
+    pub fn absorb(&mut self, other: Metrics) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (key, v) in other.keyed {
+            *self.keyed.entry(key).or_insert(0) += v;
+        }
+        let mut series: Vec<(&'static str, Vec<(SimTime, f64)>)> =
+            other.series.into_iter().collect();
+        series.sort_unstable_by_key(|(name, _)| *name);
+        for (name, samples) in series {
+            self.series.entry(name).or_default().extend(samples);
+        }
+    }
+
     /// Maximum value seen in a series, if non-empty.
     pub fn series_max(&self, name: &'static str) -> Option<f64> {
         self.series(name)
@@ -114,6 +133,24 @@ mod tests {
         assert_eq!(m.get_keyed("drops", 3), 0);
         assert_eq!(m.sum_keyed("drops"), 30);
         assert_eq!(m.keyed_entries("drops"), vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_appends_series() {
+        let mut a = Metrics::new();
+        a.inc("x", 1);
+        a.inc_keyed("k", 7, 2);
+        a.record("s", SimTime(1), 1.0);
+        let mut b = Metrics::new();
+        b.inc("x", 2);
+        b.inc("y", 5);
+        b.inc_keyed("k", 7, 3);
+        b.record("s", SimTime(2), 2.0);
+        a.absorb(b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get_keyed("k", 7), 5);
+        assert_eq!(a.series("s"), &[(SimTime(1), 1.0), (SimTime(2), 2.0)]);
     }
 
     #[test]

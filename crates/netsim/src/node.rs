@@ -20,12 +20,30 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
+/// Marker supertrait that makes nodes `Send` in default builds, so shard
+/// workers of a partitioned simulation can run on threads. The `trace`
+/// feature's tracer handles are `Rc`-based, so traced builds drop the
+/// bound — sharded runs then execute their shards serially on one thread,
+/// with identical results (the window protocol is thread-count
+/// independent). A blanket impl covers every eligible type; node authors
+/// never implement this by hand.
+#[cfg(not(feature = "trace"))]
+pub trait MaybeSend: Send {}
+#[cfg(not(feature = "trace"))]
+impl<T: Send + ?Sized> MaybeSend for T {}
+
+/// Non-`trace` builds bound this by `Send`; see the other definition.
+#[cfg(feature = "trace")]
+pub trait MaybeSend {}
+#[cfg(feature = "trace")]
+impl<T: ?Sized> MaybeSend for T {}
+
 /// An event-driven participant in the simulated network.
 ///
 /// Handlers must not block or sleep; they react to one event and return.
 /// The `as_any` hooks allow experiments to downcast installed nodes and read
 /// their state after a run (e.g. a victim's goodput counters).
-pub trait Node: 'static {
+pub trait Node: MaybeSend + 'static {
     /// Called once when the simulation starts, in node-id order; sources
     /// typically arm their first timer here.
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
@@ -119,7 +137,8 @@ impl Context<'_> {
         self.core.schedule_timer(self.node, delay, token);
     }
 
-    /// The simulation-wide deterministic RNG.
+    /// The deterministic RNG. One stream per simulation; a sharded run
+    /// derives one independent stream per shard from `(seed, shard_id)`.
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.core.rng
     }
@@ -167,15 +186,18 @@ impl Context<'_> {
     /// `link` (traffic from the peer towards this node). This is the
     /// enforcement half of AITF disconnection.
     ///
+    /// In a sharded simulation the enqueue-side check for this direction
+    /// lives in the peer's shard when `link` is a cut link; the change is
+    /// applied locally at once and propagated to every other copy at the
+    /// next window barrier (one lookahead window of skew, bounded by the
+    /// conservative protocol).
+    ///
     /// # Panics
     ///
     /// Panics if this node is not an endpoint of `link`.
     pub fn set_incoming_blocked(&mut self, link: LinkId, blocked: bool) {
-        let dir = self
-            .core
-            .link(link)
-            .dir_from(self.core.link(link).peer_of(self.node));
-        self.core.link_mut(link).set_blocked(dir, blocked);
+        self.core
+            .set_incoming_blocked_from(self.node, link, blocked);
     }
 }
 

@@ -1,0 +1,504 @@
+//! Deterministic graph partitioner for sharded simulation.
+//!
+//! A [`PartitionSpec`] describes the node graph as a *group forest*: groups
+//! of nodes (for AITF worlds, one group per network — the border router and
+//! its hosts) arranged in the provider tree. [`partition`] cuts that forest
+//! into at most `k` shards so that every group stays whole, heavy subtrees
+//! split before light ones, and the result is a pure function of the inputs
+//! — no randomness, no hash-map iteration order.
+//!
+//! The partition feeds the conservative-lookahead shard scheduler in
+//! [`crate::sim`]: shards only exchange events at window barriers spaced by
+//! the minimum propagation delay over *cut links* (links whose endpoints
+//! land in different shards). That lookahead must be strictly positive, so
+//! a zero-delay cut edge is a [`PartitionError`] rather than a silent
+//! correctness hazard.
+
+use std::sync::Arc;
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// The node graph described as a forest of node groups.
+///
+/// Groups are the atomic placement unit: the partitioner never splits a
+/// group across shards. `parents[g]` arranges groups into a forest (e.g.
+/// the AITF provider tree); subtrees are the preferred cut boundaries.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    groups: Vec<Vec<NodeId>>,
+    parents: Vec<Option<usize>>,
+}
+
+impl PartitionSpec {
+    /// Builds a spec from explicit groups and a parent forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` and `parents` disagree in length.
+    pub fn new(groups: Vec<Vec<NodeId>>, parents: Vec<Option<usize>>) -> Self {
+        assert_eq!(
+            groups.len(),
+            parents.len(),
+            "one parent slot per group required"
+        );
+        PartitionSpec { groups, parents }
+    }
+
+    /// A structureless spec: every node is its own parentless group. Useful
+    /// for generic simulations without a provider hierarchy.
+    pub fn flat(node_count: usize) -> Self {
+        PartitionSpec {
+            groups: (0..node_count).map(|i| vec![NodeId(i)]).collect(),
+            parents: vec![None; node_count],
+        }
+    }
+
+    /// The node groups.
+    pub fn groups(&self) -> &[Vec<NodeId>] {
+        &self.groups
+    }
+
+    /// The group forest (`None` = root).
+    pub fn parents(&self) -> &[Option<usize>] {
+        &self.parents
+    }
+}
+
+/// Why a partition could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A link with zero propagation delay crosses shards; the conservative
+    /// window protocol needs strictly positive lookahead.
+    ZeroDelayCut(LinkId),
+    /// A node in range appears in no group.
+    Ungrouped(NodeId),
+    /// A node appears in more than one group.
+    DuplicateNode(NodeId),
+    /// A group id referenced by a node or parent slot is out of range, or a
+    /// parent chain is cyclic.
+    InvalidForest(usize),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroDelayCut(l) => write!(
+                f,
+                "link {l:?} has zero propagation delay but crosses shards; \
+                 conservative lookahead must be > 0"
+            ),
+            PartitionError::Ungrouped(n) => write!(f, "node {n:?} appears in no group"),
+            PartitionError::DuplicateNode(n) => {
+                write!(f, "node {n:?} appears in more than one group")
+            }
+            PartitionError::InvalidForest(g) => {
+                write!(
+                    f,
+                    "group {g} has an out-of-range parent or lies on a parent cycle"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// The result of partitioning: a shard assignment plus the derived
+/// cross-shard schedule parameters.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Number of shards actually produced (≤ the requested count; 1 means
+    /// the simulation stays single-threaded).
+    pub shards: usize,
+    /// Owning shard of every node.
+    pub shard_of: Arc<Vec<u16>>,
+    /// Exactly the links whose endpoints fall in different shards, in link
+    /// id order.
+    pub cut_links: Vec<LinkId>,
+    /// Minimum propagation delay over `cut_links` — the conservative
+    /// lookahead. `None` iff there are no cut links.
+    pub lookahead: Option<SimDuration>,
+}
+
+impl Partition {
+    /// The trivial single-shard partition over `node_count` nodes.
+    pub fn identity(node_count: usize) -> Self {
+        Partition {
+            shards: 1,
+            shard_of: Arc::new(vec![0; node_count]),
+            cut_links: Vec::new(),
+            lookahead: None,
+        }
+    }
+}
+
+/// One work unit during splitting: a group subtree, or a single group whose
+/// child subtrees have been split off.
+#[derive(Clone, Copy)]
+struct Piece {
+    root: usize,
+    /// `true` once the piece has been reduced to its root group alone.
+    solo: bool,
+    weight: usize,
+}
+
+/// Cuts the node graph into at most `k` shards.
+///
+/// Splitting is deterministic: pieces start as the root subtrees of the
+/// group forest, the heaviest splittable piece (ties: lowest root group id)
+/// is repeatedly exploded into its root group plus its child subtrees until
+/// there are `k` pieces or nothing left to split, and pieces are then packed
+/// heaviest-first onto the least-loaded shard (ties: lowest shard id).
+///
+/// `links` is indexed by [`LinkId`]: `(a, b, propagation_delay)`.
+pub fn partition(
+    k: usize,
+    node_count: usize,
+    links: &[(NodeId, NodeId, SimDuration)],
+    spec: &PartitionSpec,
+) -> Result<Partition, PartitionError> {
+    let groups = &spec.groups;
+    let parents = &spec.parents;
+    let g = groups.len();
+
+    // Every node in exactly one group.
+    let mut group_of = vec![usize::MAX; node_count];
+    for (gi, members) in groups.iter().enumerate() {
+        for &n in members {
+            if n.0 >= node_count {
+                return Err(PartitionError::InvalidForest(gi));
+            }
+            if group_of[n.0] != usize::MAX {
+                return Err(PartitionError::DuplicateNode(n));
+            }
+            group_of[n.0] = gi;
+        }
+    }
+    if let Some(i) = group_of.iter().position(|&gi| gi == usize::MAX) {
+        return Err(PartitionError::Ungrouped(NodeId(i)));
+    }
+
+    // Validate the forest and collect children lists.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); g];
+    let mut roots: Vec<usize> = Vec::new();
+    for (gi, &p) in parents.iter().enumerate() {
+        match p {
+            None => roots.push(gi),
+            Some(pi) if pi < g && pi != gi => children[pi].push(gi),
+            Some(_) => return Err(PartitionError::InvalidForest(gi)),
+        }
+    }
+    // Reachability from the roots doubles as the cycle check.
+    let mut subtree_weight = vec![0usize; g];
+    let mut order: Vec<usize> = Vec::with_capacity(g);
+    let mut stack: Vec<usize> = roots.clone();
+    while let Some(gi) = stack.pop() {
+        order.push(gi);
+        stack.extend(children[gi].iter().copied());
+    }
+    if order.len() != g {
+        let seen: std::collections::HashSet<usize> = order.iter().copied().collect();
+        let orphan = (0..g).find(|gi| !seen.contains(gi)).expect("missing group");
+        return Err(PartitionError::InvalidForest(orphan));
+    }
+    for &gi in order.iter().rev() {
+        subtree_weight[gi] = groups[gi].len()
+            + children[gi]
+                .iter()
+                .map(|&c| subtree_weight[c])
+                .sum::<usize>();
+    }
+
+    if k <= 1 || node_count == 0 {
+        return Ok(Partition::identity(node_count));
+    }
+    assert!(k < u16::MAX as usize, "shard count must fit in u16");
+
+    // Split the heaviest splittable piece until we have k pieces.
+    let mut pieces: Vec<Piece> = roots
+        .iter()
+        .map(|&r| Piece {
+            root: r,
+            solo: false,
+            weight: subtree_weight[r],
+        })
+        .collect();
+    while pieces.len() < k {
+        let candidate = pieces
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.solo && !children[p.root].is_empty())
+            .max_by(|(_, a), (_, b)| a.weight.cmp(&b.weight).then(b.root.cmp(&a.root)))
+            .map(|(i, _)| i);
+        let Some(i) = candidate else { break };
+        let root = pieces[i].root;
+        pieces[i] = Piece {
+            root,
+            solo: true,
+            weight: groups[root].len(),
+        };
+        pieces.extend(children[root].iter().map(|&c| Piece {
+            root: c,
+            solo: false,
+            weight: subtree_weight[c],
+        }));
+    }
+
+    // Pack pieces onto shards: heaviest first onto the lightest shard.
+    let shard_count = k.min(pieces.len()).max(1);
+    if shard_count == 1 {
+        return Ok(Partition::identity(node_count));
+    }
+    pieces.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.root.cmp(&b.root)));
+    let mut load = vec![0usize; shard_count];
+    let mut shard_of_group = vec![0u16; g];
+    for p in &pieces {
+        let s = (0..shard_count)
+            .min_by_key(|&s| (load[s], s))
+            .expect("at least one shard");
+        load[s] += p.weight;
+        if p.solo {
+            shard_of_group[p.root] = s as u16;
+        } else {
+            let mut stack = vec![p.root];
+            while let Some(gi) = stack.pop() {
+                shard_of_group[gi] = s as u16;
+                stack.extend(children[gi].iter().copied());
+            }
+        }
+    }
+    let mut shard_of = vec![0u16; node_count];
+    for (i, s) in shard_of.iter_mut().enumerate() {
+        *s = shard_of_group[group_of[i]];
+    }
+
+    // Cut links and the conservative lookahead.
+    let mut cut_links = Vec::new();
+    let mut lookahead: Option<SimDuration> = None;
+    for (i, &(a, b, delay)) in links.iter().enumerate() {
+        if shard_of[a.0] != shard_of[b.0] {
+            if delay.is_zero() {
+                return Err(PartitionError::ZeroDelayCut(LinkId(i)));
+            }
+            cut_links.push(LinkId(i));
+            lookahead = Some(match lookahead {
+                Some(l) if l <= delay => l,
+                _ => delay,
+            });
+        }
+    }
+
+    Ok(Partition {
+        shards: shard_count,
+        shard_of: Arc::new(shard_of),
+        cut_links,
+        lookahead,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    /// A two-level tree of groups: root (1 node) with `n` children of
+    /// `size` nodes each. Returns (spec, node_count, uplinks).
+    fn star_spec(
+        n: usize,
+        size: usize,
+    ) -> (PartitionSpec, usize, Vec<(NodeId, NodeId, SimDuration)>) {
+        let mut groups = vec![vec![NodeId(0)]];
+        let mut parents = vec![None];
+        let mut links = Vec::new();
+        let mut next = 1;
+        for _ in 0..n {
+            groups.push(ids(next..next + size));
+            parents.push(Some(0));
+            links.push((NodeId(0), NodeId(next), SimDuration::from_millis(10)));
+            next += size;
+        }
+        (PartitionSpec::new(groups, parents), next, links)
+    }
+
+    #[test]
+    fn k1_is_identity() {
+        let (spec, n, links) = star_spec(4, 3);
+        let p = partition(1, n, &links, &spec).unwrap();
+        assert_eq!(p.shards, 1);
+        assert!(p.shard_of.iter().all(|&s| s == 0));
+        assert!(p.cut_links.is_empty());
+        assert_eq!(p.lookahead, None);
+    }
+
+    #[test]
+    fn splits_a_star_into_k_shards() {
+        let (spec, n, links) = star_spec(4, 5);
+        let p = partition(4, n, &links, &spec).unwrap();
+        assert_eq!(p.shards, 4);
+        // Every node placed, every shard populated.
+        let mut pop = vec![0usize; p.shards];
+        for &s in p.shard_of.iter() {
+            pop[s as usize] += 1;
+        }
+        assert!(pop.iter().all(|&c| c > 0));
+        // Groups stay whole: nodes 1..6 (first child net) share a shard.
+        let s = p.shard_of[1];
+        assert!((1..6).all(|i| p.shard_of[i] == s));
+        // Cut links are exactly the links crossing shards, and the
+        // lookahead is their min delay.
+        let expect: Vec<LinkId> = links
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, b, _))| p.shard_of[a.0] != p.shard_of[b.0])
+            .map(|(i, _)| LinkId(i))
+            .collect();
+        assert_eq!(p.cut_links, expect);
+        assert!(!expect.is_empty());
+        assert_eq!(p.lookahead, Some(SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn zero_delay_cut_is_rejected() {
+        let (spec, n, mut links) = star_spec(3, 2);
+        links[1].2 = SimDuration::ZERO;
+        let err = partition(3, n, &links, &spec).unwrap_err();
+        assert!(matches!(err, PartitionError::ZeroDelayCut(_)));
+        // With one shard the zero-delay link is never cut.
+        assert!(partition(1, n, &links, &spec).is_ok());
+    }
+
+    #[test]
+    fn requesting_more_shards_than_groups_saturates() {
+        let (spec, n, links) = star_spec(2, 2);
+        let p = partition(16, n, &links, &spec).unwrap();
+        assert!(p.shards <= 3, "root + two leaves = at most 3 pieces");
+        assert!(p.shards >= 2);
+    }
+
+    #[test]
+    fn ungrouped_and_duplicate_nodes_are_errors() {
+        let spec = PartitionSpec::new(vec![vec![NodeId(0)]], vec![None]);
+        assert_eq!(
+            partition(2, 2, &[], &spec).unwrap_err(),
+            PartitionError::Ungrouped(NodeId(1))
+        );
+        let dup = PartitionSpec::new(
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1)]],
+            vec![None, None],
+        );
+        assert_eq!(
+            partition(2, 2, &[], &dup).unwrap_err(),
+            PartitionError::DuplicateNode(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn cyclic_parents_are_rejected() {
+        let spec = PartitionSpec::new(
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            vec![Some(1), Some(0)],
+        );
+        assert!(matches!(
+            partition(2, 2, &[], &spec).unwrap_err(),
+            PartitionError::InvalidForest(_)
+        ));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (spec, n, links) = star_spec(7, 4);
+        let a = partition(4, n, &links, &spec).unwrap();
+        let b = partition(4, n, &links, &spec).unwrap();
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.cut_links, b.cut_links);
+        assert_eq!(a.lookahead, b.lookahead);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random group forest + links strategy. Groups get 1..=4 nodes; each
+    /// non-first group picks a parent among earlier groups (or none), which
+    /// guarantees an acyclic forest.
+    fn forest() -> impl Strategy<Value = (PartitionSpec, usize, Vec<(NodeId, NodeId, SimDuration)>)>
+    {
+        (
+            proptest::collection::vec(1usize..=4, 1..12),
+            proptest::collection::vec(any::<u64>(), 0..40),
+        )
+            .prop_map(|(sizes, link_seeds)| {
+                let mut groups = Vec::new();
+                let mut parents = Vec::new();
+                let mut next = 0usize;
+                for (gi, &size) in sizes.iter().enumerate() {
+                    groups.push((next..next + size).map(NodeId).collect::<Vec<_>>());
+                    // Deterministic pseudo-parent from the group index.
+                    parents.push(if gi == 0 || gi % 3 == 0 {
+                        None
+                    } else {
+                        Some((gi * 7 + 3) % gi)
+                    });
+                    next += size;
+                }
+                let n = next;
+                let links: Vec<(NodeId, NodeId, SimDuration)> = link_seeds
+                    .iter()
+                    .filter_map(|&s| {
+                        let a = (s % n as u64) as usize;
+                        let b = ((s >> 16) % n as u64) as usize;
+                        let delay = 1 + (s >> 32) % 1_000_000;
+                        (a != b).then(|| (NodeId(a), NodeId(b), SimDuration::from_nanos(delay)))
+                    })
+                    .collect();
+                (PartitionSpec::new(groups, parents), n, links)
+            })
+    }
+
+    proptest! {
+        /// Every node lands in exactly one shard, shard ids are dense, cut
+        /// links are exactly the inter-shard links, the lookahead is the
+        /// minimum cut-link delay and strictly positive, and K=1 is the
+        /// identity.
+        #[test]
+        fn partition_invariants((spec, n, links) in forest(), k in 1usize..=6) {
+            let p = partition(k, n, &links, &spec).unwrap();
+            prop_assert_eq!(p.shard_of.len(), n);
+            prop_assert!(p.shards >= 1 && p.shards <= k.max(1));
+            prop_assert!(p.shard_of.iter().all(|&s| (s as usize) < p.shards));
+            // Groups are atomic.
+            for g in spec.groups() {
+                if let Some(&first) = g.first() {
+                    prop_assert!(g.iter().all(|&m| p.shard_of[m.0] == p.shard_of[first.0]));
+                }
+            }
+            // Cut links are exactly the inter-shard links, in id order.
+            let expect: Vec<LinkId> = links
+                .iter()
+                .enumerate()
+                .filter(|(_, (a, b, _))| p.shard_of[a.0] != p.shard_of[b.0])
+                .map(|(i, _)| LinkId(i))
+                .collect();
+            prop_assert_eq!(&p.cut_links, &expect);
+            // Lookahead = min cut delay, strictly positive; None iff no cuts.
+            let min_delay = expect.iter().map(|l| links[l.0].2).min();
+            prop_assert_eq!(p.lookahead, min_delay);
+            if let Some(l) = p.lookahead {
+                prop_assert!(!l.is_zero());
+            }
+            if k == 1 {
+                prop_assert_eq!(p.shards, 1);
+                prop_assert!(p.shard_of.iter().all(|&s| s == 0));
+                prop_assert!(p.cut_links.is_empty());
+                prop_assert_eq!(p.lookahead, None);
+            }
+        }
+    }
+}

@@ -4,6 +4,36 @@
 //! runs the event loop. Node objects are installed after building because
 //! higher layers (the AITF protocol crate) need the topology — routing
 //! tables, link lists — to construct them.
+//!
+//! # Sharded execution
+//!
+//! A simulator normally runs as **one shard**: a single event queue, node
+//! slice and RNG — exactly the classic single-threaded loop. Applying a
+//! [`Partition`] (see [`Simulator::apply_shards`]) before the first run
+//! splits the world into K shards, each with its own queue, node slice,
+//! local links, metrics sink and `(seed, shard_id)`-derived RNG. Shards
+//! advance in lockstep through *conservative windows*: every window spans
+//! `[g, g + L)` where `g` is the global earliest pending event and `L` the
+//! minimum propagation delay over cut links.
+//!
+//! **Cut links are owned by the coordinator**, not by either endpoint
+//! shard. A node sending on a cut link (or blocking its incoming side)
+//! only *stages* the operation; at the window barrier the coordinator
+//! replays all staged operations — plus the cut links' own transmission
+//! completions — against its authoritative link copies, in global
+//! `(time, kind, source shard, staging seq)` order. That keeps every
+//! admission decision (queue drops, administrative blocks) exactly where
+//! the single-threaded loop makes it: a block staged anywhere in a window
+//! drops every later-staged packet, with no one-window skew. Replayed
+//! transmissions schedule their `Deliver`s directly into the receiving
+//! shard's queue; each such delivery fires at `>= g + L` (the cut delay is
+//! at least the lookahead), so the barrier can never deliver into a window
+//! already processed. The schedule depends only on event times, never on
+//! thread interleaving, so results are bit-reproducible at any worker
+//! count (including the serial fallback used by `trace` builds).
+
+use std::cmp::Reverse;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,10 +44,12 @@ use crate::event::{EventKind, EventQueue};
 use crate::link::{Link, LinkDirection, LinkId, LinkParams, LinkStats};
 use crate::metrics::Metrics;
 use crate::node::{Context, Node, NodeId};
+use crate::partition::{partition, Partition, PartitionError, PartitionSpec};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NextHops;
 
-/// Everything in the simulator except the node objects themselves.
+/// Everything in one shard of the simulator except the node objects
+/// themselves.
 ///
 /// The split lets a node handler borrow the core mutably (through
 /// [`Context`]) while the node itself is temporarily detached — the
@@ -26,11 +58,31 @@ use crate::topology::NextHops;
 pub struct SimCore {
     pub(crate) time: SimTime,
     pub(crate) events: EventQueue,
+    /// The links this shard owns copies of (all links in single-shard
+    /// mode; local links plus inert cut-link stubs in sharded mode — the
+    /// stubs answer endpoint/direction queries only, all their state lives
+    /// with the coordinator).
     pub(crate) links: Vec<Link>,
-    pub(crate) node_links: Vec<Vec<LinkId>>,
+    /// Global [`LinkId`] → index into `links`; identity in single-shard
+    /// mode, `u32::MAX` for links foreign to this shard.
+    link_idx: Vec<u32>,
+    /// Global [`LinkId`] → coordinator cut-link index (`u32::MAX` for
+    /// shard-local links); empty in single-shard mode, so the hot send
+    /// path pays one bounds-checked lookup that always misses.
+    cut_of: Arc<Vec<u32>>,
+    /// Cut-link operations staged during the current window, drained by
+    /// the coordinator's barrier replay.
+    staged_cut: Vec<StagedCutOp>,
+    /// Monotone staging counter; the canonical replay order's tie-breaker
+    /// within this shard.
+    staged_seq: u64,
+    pub(crate) node_links: Arc<Vec<Vec<LinkId>>>,
     pub(crate) metrics: Metrics,
     pub(crate) rng: StdRng,
     next_pkt_id: u64,
+    /// High bits ORed into fresh packet ids — the shard tag that keeps ids
+    /// globally unique without cross-shard coordination (0 when single).
+    pkt_tag: u64,
     dispatched_events: u64,
     /// Per-subsystem wall-time buckets (pure telemetry, like `run_wall`).
     #[cfg(feature = "trace")]
@@ -42,16 +94,83 @@ pub struct SimCore {
     pub(crate) dispatch_class: aitf_trace::Subsystem,
 }
 
+/// A cut-link operation staged in a shard, replayed by the coordinator at
+/// the next window barrier.
+struct StagedCutOp {
+    time: SimTime,
+    /// Produce time of the staging dispatch — the heap key the operation
+    /// would have run under in a single-threaded loop (the dispatch *is*
+    /// the operation: an enqueue or a blocked-flag flip happens inline).
+    ptime: SimTime,
+    /// Chain key of the staging dispatch (see [`crate::event`] docs).
+    chain: u64,
+    seq: u64,
+    /// Index into the coordinator's cut-link vector.
+    cut: u32,
+    dir: LinkDirection,
+    op: CutOp,
+}
+
+enum CutOp {
+    /// A node handed a packet to the link ([`SimCore::send_from`]).
+    Enqueue(Packet),
+    /// A node blocked or unblocked the direction
+    /// ([`Context::set_incoming_blocked`]).
+    SetBlocked(bool),
+}
+
 impl SimCore {
+    #[inline]
+    fn slot(&self, id: LinkId) -> usize {
+        let s = self.link_idx[id.0];
+        debug_assert!(s != u32::MAX, "link {id:?} is not local to this shard");
+        s as usize
+    }
+
     /// Sends `packet` from `node` over `link`, returning link acceptance.
+    ///
+    /// On a cut link of a sharded run the enqueue is staged for the
+    /// coordinator's barrier replay and `true` is returned: admission
+    /// control (queue drops, administrative blocks) runs in the replay,
+    /// where the sender can no longer observe the verdict. That is safe
+    /// because link acceptance is pure telemetry — no node or traffic app
+    /// in the tree branches on it.
     ///
     /// # Panics
     ///
     /// Panics if `node` is not an endpoint of `link`.
     pub fn send_from(&mut self, node: NodeId, link: LinkId, packet: Packet) -> bool {
-        let dir = self.links[link.0].dir_from(node);
+        let slot = self.slot(link);
+        let dir = self.links[slot].dir_from(node);
+        if let Some(&cut) = self.cut_of.get(link.0) {
+            if cut != u32::MAX {
+                self.stage_cut(cut, dir, CutOp::Enqueue(packet));
+                return true;
+            }
+        }
         let now = self.time;
-        self.links[link.0].enqueue(now, dir, packet, &mut self.events)
+        self.links[slot].enqueue(now, dir, packet, &mut self.events)
+    }
+
+    fn stage_cut(&mut self, cut: u32, dir: LinkDirection, op: CutOp) {
+        let seq = self.staged_seq;
+        self.staged_seq += 1;
+        let time = self.time;
+        let (ptime, chain) = self.events.produce_ctx();
+        self.staged_cut.push(StagedCutOp {
+            time,
+            ptime,
+            chain: chain.unwrap_or(time.0),
+            seq,
+            cut,
+            dir,
+            op,
+        });
+    }
+
+    /// Drains the operations staged for the coordinator's barrier replay.
+    fn take_staged_cut(&mut self) -> Vec<StagedCutOp> {
+        std::mem::take(&mut self.staged_cut)
     }
 
     /// Arms a timer for `node`.
@@ -67,19 +186,39 @@ impl SimCore {
 
     /// Immutable link access.
     pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.0]
+        &self.links[self.slot(id)]
     }
 
     /// Mutable link access.
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
-        &mut self.links[id.0]
+        let slot = self.slot(id);
+        &mut self.links[slot]
     }
 
     /// Draws a fresh globally unique packet id.
     pub fn next_packet_id(&mut self) -> u64 {
         let id = self.next_pkt_id;
         self.next_pkt_id += 1;
-        id
+        debug_assert!(id < 1 << 48, "per-shard packet id space exhausted");
+        self.pkt_tag | id
+    }
+
+    /// Blocks or unblocks the direction of `link` that carries traffic
+    /// *into* `node`. On a cut link of a sharded run the change is staged
+    /// for the coordinator's barrier replay, where it takes effect ahead
+    /// of every later-staged packet — exactly the single-threaded
+    /// semantics.
+    pub(crate) fn set_incoming_blocked_from(&mut self, node: NodeId, link: LinkId, blocked: bool) {
+        let slot = self.slot(link);
+        let peer = self.links[slot].peer_of(node);
+        let dir = self.links[slot].dir_from(peer);
+        if let Some(&cut) = self.cut_of.get(link.0) {
+            if cut != u32::MAX {
+                self.stage_cut(cut, dir, CutOp::SetBlocked(blocked));
+                return;
+            }
+        }
+        self.links[slot].set_blocked(dir, blocked);
     }
 }
 
@@ -152,258 +291,70 @@ impl NetworkBuilder {
             node_links[b.0].push(id);
             links.push(Link::new(id, a, b, params));
         }
+        let link_total = links.len();
         Simulator {
-            core: SimCore {
-                time: SimTime::ZERO,
-                events: EventQueue::new(),
-                links,
-                node_links,
-                metrics: Metrics::new(),
-                rng: StdRng::seed_from_u64(self.seed),
-                next_pkt_id: 0,
-                dispatched_events: 0,
-                #[cfg(feature = "trace")]
-                profile: aitf_trace::SubsystemProfile::default(),
-                #[cfg(feature = "trace")]
-                dispatch_class: aitf_trace::Subsystem::Queue,
-            },
-            nodes: (0..self.node_count).map(|_| None).collect(),
+            shards: vec![Shard {
+                core: SimCore {
+                    time: SimTime::ZERO,
+                    events: EventQueue::new(),
+                    links,
+                    link_idx: (0..link_total as u32).collect(),
+                    cut_of: Arc::new(Vec::new()),
+                    staged_cut: Vec::new(),
+                    staged_seq: 0,
+                    node_links: Arc::new(node_links),
+                    metrics: Metrics::new(),
+                    rng: StdRng::seed_from_u64(self.seed),
+                    next_pkt_id: 0,
+                    pkt_tag: 0,
+                    dispatched_events: 0,
+                    #[cfg(feature = "trace")]
+                    profile: aitf_trace::SubsystemProfile::default(),
+                    #[cfg(feature = "trace")]
+                    dispatch_class: aitf_trace::Subsystem::Queue,
+                },
+                nodes: (0..self.node_count).map(|_| None).collect(),
+            }],
+            shard_of: Arc::new(vec![0; self.node_count]),
+            lookahead: None,
+            cut_links: Vec::new(),
+            cut_of: Arc::new(Vec::new()),
+            cut_dispatched: 0,
+            link_total,
+            seed: self.seed,
+            time: SimTime::ZERO,
             started: false,
+            merged_metrics: Metrics::new(),
+            #[cfg(feature = "trace")]
+            merged_profile: aitf_trace::SubsystemProfile::default(),
             run_wall: std::time::Duration::ZERO,
         }
     }
 }
 
-/// The deterministic discrete-event simulator.
-pub struct Simulator {
+/// One worker unit of the simulator: an event queue + node slice. The node
+/// vector is full-length in every shard; foreign slots stay `None`.
+struct Shard {
     core: SimCore,
     nodes: Vec<Option<Box<dyn Node>>>,
-    started: bool,
-    /// Wall-clock time spent inside the event loop — pure telemetry, never
-    /// an input to the simulation (results stay bit-deterministic).
-    run_wall: std::time::Duration,
 }
 
-impl Simulator {
-    /// Installs the node object for slot `id`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is already occupied or out of range.
-    pub fn install(&mut self, id: NodeId, node: Box<dyn Node>) {
-        let slot = &mut self.nodes[id.0];
-        assert!(slot.is_none(), "node {id:?} installed twice");
-        *slot = Some(node);
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.core.time
-    }
-
-    /// Number of node slots.
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Number of links.
-    pub fn link_count(&self) -> usize {
-        self.core.links.len()
-    }
-
-    /// The endpoints of `link`.
-    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
-        self.core.links[link.0].endpoints()
-    }
-
-    /// Traffic statistics of one direction of `link`.
-    pub fn link_stats(&self, link: LinkId, dir: LinkDirection) -> &LinkStats {
-        self.core.links[link.0].stats(dir)
-    }
-
-    /// Statistics of the direction of `link` that carries traffic *into*
-    /// `node`.
-    pub fn link_stats_towards(&self, link: LinkId, node: NodeId) -> &LinkStats {
-        let l = &self.core.links[link.0];
-        l.stats(l.dir_from(l.peer_of(node)))
-    }
-
-    /// The links attached to `node`.
-    pub fn links_of(&self, node: NodeId) -> &[LinkId] {
-        self.core.links_of(node)
-    }
-
-    /// Read access to a link (queue depths, in-flight state, stats).
-    pub fn link(&self, id: LinkId) -> &Link {
-        self.core.link(id)
-    }
-
-    /// The metrics sink.
-    pub fn metrics(&self) -> &Metrics {
-        &self.core.metrics
-    }
-
-    /// Mutable metrics access (for experiment probes between runs).
-    pub fn metrics_mut(&mut self) -> &mut Metrics {
-        &mut self.core.metrics
-    }
-
-    /// Number of events dispatched so far (diagnostics / benches).
-    pub fn dispatched_events(&self) -> u64 {
-        self.core.dispatched_events
-    }
-
-    /// Returns `true` once [`Simulator::start`] has run (explicitly or via
-    /// the first `run_*` call) — dynamic-world layers use this to decide
-    /// between build-time installation and runtime activation.
-    pub fn is_started(&self) -> bool {
-        self.started
-    }
-
-    /// Number of events currently pending in the queue.
-    pub fn pending_events(&self) -> usize {
-        self.core.events.len()
-    }
-
-    /// The firing time of the earliest pending event, if any. Never less
-    /// than [`Simulator::now`]: the event loop dispatches in time order, so
-    /// a stale event would be a scheduling bug.
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        self.core.events.peek_time()
-    }
-
-    /// Administratively blocks or unblocks one direction of `link` from
-    /// *outside* the event loop — the runtime detach/attach hook dynamic
-    /// worlds use to retire and revive endpoints mid-run. Identical in
-    /// effect to a node calling [`Context::set_incoming_blocked`]; takes
-    /// effect for every packet enqueued after the call.
-    pub fn set_link_blocked(&mut self, link: LinkId, dir: LinkDirection, blocked: bool) {
-        self.core.links[link.0].set_blocked(dir, blocked);
-    }
-
-    /// Returns `true` if the direction of `link` is administratively
-    /// blocked.
-    pub fn is_link_blocked(&self, link: LinkId, dir: LinkDirection) -> bool {
-        self.core.links[link.0].is_blocked(dir)
-    }
-
-    /// Runs `f` with the node in slot `id` and a live [`Context`] —
-    /// the runtime activation hook: higher layers use it between `run_*`
-    /// segments to drive a node outside event dispatch (install a traffic
-    /// app mid-run, restart a reattached host's apps). The mutation happens
-    /// at the current virtual time, so determinism is preserved as long as
-    /// callers invoke it at schedule-independent times.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot was never installed.
-    pub fn with_node_ctx<R>(
-        &mut self,
-        id: NodeId,
-        f: impl FnOnce(&mut dyn Node, &mut Context<'_>) -> R,
-    ) -> R {
-        let mut n = self.nodes[id.0].take().expect("installed node");
-        let mut ctx = Context {
-            node: id,
-            core: &mut self.core,
-        };
-        let r = f(n.as_mut(), &mut ctx);
-        self.nodes[id.0] = Some(n);
-        r
-    }
-
-    /// Wall-clock seconds spent inside the event loop so far.
-    pub fn run_wall_secs(&self) -> f64 {
-        self.run_wall.as_secs_f64()
-    }
-
-    /// The per-subsystem wall-time profile accumulated so far. Empty (all
-    /// zeros) unless the crate is built with the `trace` feature — the
-    /// default build carries no per-event instrumentation at all.
-    pub fn subsystem_profile(&self) -> aitf_trace::SubsystemProfile {
-        #[cfg(feature = "trace")]
-        {
-            self.core.profile
-        }
-        #[cfg(not(feature = "trace"))]
-        {
-            aitf_trace::SubsystemProfile::default()
-        }
-    }
-
-    /// Events dispatched per wall-clock second of event-loop time — the
-    /// simulator's end-to-end throughput telemetry (0 before any run).
-    pub fn events_per_sec(&self) -> f64 {
-        let secs = self.run_wall.as_secs_f64();
-        if secs > 0.0 {
-            self.core.dispatched_events as f64 / secs
-        } else {
-            0.0
-        }
-    }
-
-    /// Downcasts the node in slot `id` to a concrete type.
-    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
-        self.nodes[id.0]
-            .as_deref()
-            .and_then(|n| n.as_any().downcast_ref::<T>())
-    }
-
-    /// Mutable downcast of the node in slot `id`.
-    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes[id.0]
-            .as_deref_mut()
-            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
-    }
-
-    /// Computes shortest-path next hops between all node pairs, weighting
-    /// each link by `weight` (use `|_| 1` for hop count).
-    pub fn compute_next_hops(&self, weight: impl Fn(LinkId) -> u64) -> NextHops {
-        let links: Vec<(NodeId, NodeId, LinkId, u64)> = self
-            .core
-            .links
-            .iter()
-            .map(|l| {
-                let (a, b) = l.endpoints();
-                (a, b, l.id(), weight(l.id()))
-            })
-            .collect();
-        NextHops::compute(self.nodes.len(), &links)
-    }
-
-    /// Calls [`Node::on_start`] on every installed node, in id order.
-    /// Runs automatically on the first `run_*` call if not done explicitly.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any node slot was never installed.
-    pub fn start(&mut self) {
-        assert!(!self.started, "start() called twice");
-        for i in 0..self.nodes.len() {
-            assert!(self.nodes[i].is_some(), "node {i} was never installed");
-            let mut node = self.nodes[i].take().expect("checked above");
-            let mut ctx = Context {
-                node: NodeId(i),
-                core: &mut self.core,
-            };
-            node.on_start(&mut ctx);
-            self.nodes[i] = Some(node);
-        }
-        self.started = true;
-    }
-
-    /// Runs the event loop until virtual time `t`; the clock ends exactly
-    /// at `t` even if the queue drains early.
-    pub fn run_until(&mut self, t: SimTime) {
-        if !self.started {
-            self.start();
-        }
-        let wall_start = std::time::Instant::now();
+impl Shard {
+    /// Dispatches pending events with time `< bound` (`<= bound` when
+    /// `inclusive`), in `(time, seq)` order. This *is* the classic event
+    /// loop; single-shard runs call it once with `inclusive = true`.
+    fn run_window(&mut self, bound: SimTime, inclusive: bool) {
         while let Some(next) = self.core.events.peek_time() {
-            if next > t {
+            let past = if inclusive {
+                next > bound
+            } else {
+                next >= bound
+            };
+            if past {
                 break;
             }
             let ev = self.core.events.pop().expect("peeked event exists");
+            self.core.events.set_ctx(ev.time, Some(ev.chain));
             self.core.time = ev.time;
             self.core.dispatched_events += 1;
             #[cfg(feature = "trace")]
@@ -420,8 +371,9 @@ impl Simulator {
                     let now = self.core.time;
                     // Split borrow: the link mutates itself and schedules
                     // follow-up events; nodes are not involved.
+                    let slot = self.core.slot(link);
                     let SimCore { links, events, .. } = &mut self.core;
-                    links[link.0].on_tx_done(now, dir, events);
+                    links[slot].on_tx_done(now, dir, events);
                 }
                 EventKind::Timer { node, token } => {
                     self.dispatch_timer(node, token);
@@ -432,38 +384,6 @@ impl Simulator {
                 self.core.dispatch_class,
                 ev_start.elapsed().as_nanos() as u64,
             );
-        }
-        self.core.time = t;
-        let elapsed = wall_start.elapsed();
-        self.run_wall += elapsed;
-        #[cfg(feature = "trace")]
-        self.core.profile.add_loop_nanos(elapsed.as_nanos() as u64);
-    }
-
-    /// Runs for `d` of virtual time from the current clock.
-    pub fn run_for(&mut self, d: SimDuration) {
-        let t = self.core.time + d;
-        self.run_until(t);
-    }
-
-    /// Runs until the event queue is empty (only safe when no node re-arms
-    /// timers forever), with a hard event-count bound as a loop guard.
-    ///
-    /// # Panics
-    ///
-    /// Panics if more than `max_events` fire, which indicates a runaway
-    /// schedule.
-    pub fn run_to_quiescence(&mut self, max_events: u64) {
-        if !self.started {
-            self.start();
-        }
-        let start_count = self.core.dispatched_events;
-        while let Some(next) = self.core.events.peek_time() {
-            assert!(
-                self.core.dispatched_events - start_count < max_events,
-                "exceeded {max_events} events without quiescing"
-            );
-            self.run_until(next);
         }
     }
 
@@ -493,6 +413,831 @@ impl Simulator {
         };
         n.on_timer(token, &mut ctx);
         self.nodes[node.0] = Some(n);
+    }
+}
+
+/// Derives the RNG seed of one shard from the simulation seed (splitmix64
+/// over the pair, so shard streams are decorrelated).
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A coordinator-owned cut link: the authoritative [`Link`] copy (queues,
+/// blocked flags, stats) plus its per-direction pending transmission
+/// completion. All operations on a cut link run in the coordinator's
+/// barrier replay; the endpoint shards only hold inert stubs.
+struct CutLink {
+    link: Link,
+    /// The scheduled `LinkTxDone` per direction, if a transmission is in
+    /// flight — the coordinator's stand-in for the event a shard queue
+    /// would hold, carrying the same ordering keys that event would.
+    pending_txdone: [Option<PendingTx>; 2],
+}
+
+/// A cut link's in-flight transmission completion: firing time plus the
+/// heap ordering keys the `LinkTxDone` event would carry in a shard queue.
+#[derive(Clone, Copy)]
+struct PendingTx {
+    time: SimTime,
+    ptime: SimTime,
+    chain: u64,
+}
+
+/// The deterministic discrete-event simulator.
+pub struct Simulator {
+    /// The shards; exactly one unless [`Simulator::apply_shards`] split the
+    /// world. Single-shard mode runs the historical loop verbatim.
+    shards: Vec<Shard>,
+    /// Owning shard of every node (all zeros when single).
+    shard_of: Arc<Vec<u16>>,
+    /// Conservative window length: min propagation delay over cut links.
+    /// `None` when single-sharded or when no links cross shards.
+    lookahead: Option<SimDuration>,
+    /// Coordinator-owned authoritative copies of the cut links, in link id
+    /// order (empty when single).
+    cut_links: Vec<CutLink>,
+    /// Global [`LinkId`] → `cut_links` index (`u32::MAX` when not cut);
+    /// shared with every shard core. Empty when single.
+    cut_of: Arc<Vec<u32>>,
+    /// Transmission completions dispatched by the coordinator's cut-link
+    /// replay, counted alongside the shard totals so sharded event counts
+    /// match the single-threaded loop exactly.
+    cut_dispatched: u64,
+    /// Total number of distinct links in the topology (cut links have a
+    /// copy in both endpoint shards).
+    link_total: usize,
+    /// Builder seed, retained for per-shard RNG derivation.
+    seed: u64,
+    time: SimTime,
+    started: bool,
+    /// Merged metrics of a sharded run; single-shard mode reads the
+    /// shard's own sink directly.
+    merged_metrics: Metrics,
+    #[cfg(feature = "trace")]
+    merged_profile: aitf_trace::SubsystemProfile,
+    /// Wall-clock time spent inside the event loop — pure telemetry, never
+    /// an input to the simulation (results stay bit-deterministic). One
+    /// coordinator-level clock even when sharded.
+    run_wall: std::time::Duration,
+}
+
+impl Simulator {
+    #[inline]
+    fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// Coordinator cut-link index of `id`, if it crosses shards.
+    #[inline]
+    fn cut_index(&self, id: LinkId) -> Option<usize> {
+        match self.cut_of.get(id.0) {
+            Some(&c) if c != u32::MAX => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    /// The authoritative copy of `link`: the coordinator's for a cut link,
+    /// else the owning shard's (shard 0 in single mode).
+    fn link_any(&self, id: LinkId) -> &Link {
+        if let Some(c) = self.cut_index(id) {
+            return &self.cut_links[c].link;
+        }
+        for s in &self.shards {
+            let idx = s.core.link_idx[id.0];
+            if idx != u32::MAX {
+                return &s.core.links[idx as usize];
+            }
+        }
+        panic!("unknown link {id:?}")
+    }
+
+    /// Installs the node object for slot `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied or out of range.
+    pub fn install(&mut self, id: NodeId, node: Box<dyn Node>) {
+        let shard = self.shard_of[id.0] as usize;
+        let slot = &mut self.shards[shard].nodes[id.0];
+        assert!(slot.is_none(), "node {id:?} installed twice");
+        *slot = Some(node);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of node slots.
+    pub fn node_count(&self) -> usize {
+        self.shards[0].nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.link_total
+    }
+
+    /// Number of shards the event loop runs as (1 = classic single loop).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead of a sharded run (`None` when single or
+    /// when no links cross shards).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// The owning shard of `node` (0 when single).
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.0] as usize
+    }
+
+    /// The endpoints of `link`.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.link_any(link).endpoints()
+    }
+
+    /// Traffic statistics of one direction of `link`, read from the
+    /// authoritative copy (the coordinator's for a cut link, else the one
+    /// shard holding both endpoints).
+    pub fn link_stats(&self, link: LinkId, dir: LinkDirection) -> &LinkStats {
+        self.link_any(link).stats(dir)
+    }
+
+    /// Statistics of the direction of `link` that carries traffic *into*
+    /// `node`.
+    pub fn link_stats_towards(&self, link: LinkId, node: NodeId) -> &LinkStats {
+        let l = self.link_any(link);
+        self.link_stats(link, l.dir_from(l.peer_of(node)))
+    }
+
+    /// The links attached to `node`.
+    pub fn links_of(&self, node: NodeId) -> &[LinkId] {
+        self.shards[0].core.links_of(node)
+    }
+
+    /// Read access to a link (queue depths, in-flight state, stats).
+    ///
+    /// For a cut link of a sharded run this returns the coordinator's
+    /// authoritative copy — the one every operation is replayed against.
+    pub fn link(&self, id: LinkId) -> &Link {
+        self.link_any(id)
+    }
+
+    /// The metrics sink (merged across shards at run boundaries).
+    pub fn metrics(&self) -> &Metrics {
+        if self.is_sharded() {
+            &self.merged_metrics
+        } else {
+            &self.shards[0].core.metrics
+        }
+    }
+
+    /// Mutable metrics access (for experiment probes between runs).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        if self.is_sharded() {
+            self.drain_shard_state();
+            &mut self.merged_metrics
+        } else {
+            &mut self.shards[0].core.metrics
+        }
+    }
+
+    /// Number of events dispatched so far — summed over shards, plus the
+    /// transmission completions the coordinator's cut-link replay ran
+    /// (diagnostics / benches).
+    pub fn dispatched_events(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.core.dispatched_events)
+            .sum::<u64>()
+            + self.cut_dispatched
+    }
+
+    /// Returns `true` once [`Simulator::start`] has run (explicitly or via
+    /// the first `run_*` call) — dynamic-world layers use this to decide
+    /// between build-time installation and runtime activation.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Number of events currently pending across all shards, including the
+    /// cut-link transmission completions the coordinator holds.
+    pub fn pending_events(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.core.events.len())
+            .sum::<usize>()
+            + self
+                .cut_links
+                .iter()
+                .map(|c| c.pending_txdone.iter().flatten().count())
+                .sum::<usize>()
+    }
+
+    /// The firing time of the earliest pending event, if any. Never less
+    /// than [`Simulator::now`]: the event loop dispatches in time order, so
+    /// a stale event would be a scheduling bug.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.core.events.peek_time())
+            .chain(self.pending_txdone_times())
+            .min()
+    }
+
+    /// The scheduled cut-link transmission completions the coordinator
+    /// holds (empty when single).
+    fn pending_txdone_times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.cut_links
+            .iter()
+            .flat_map(|c| c.pending_txdone.iter().flatten().map(|p| p.time))
+    }
+
+    /// Administratively blocks or unblocks one direction of `link` from
+    /// *outside* the event loop — the runtime detach/attach hook dynamic
+    /// worlds use to retire and revive endpoints mid-run. Identical in
+    /// effect to a node calling [`Context::set_incoming_blocked`]; takes
+    /// effect for every packet enqueued after the call. Applies to the
+    /// authoritative copy immediately (safe between runs).
+    pub fn set_link_blocked(&mut self, link: LinkId, dir: LinkDirection, blocked: bool) {
+        if let Some(c) = self.cut_index(link) {
+            self.cut_links[c].link.set_blocked(dir, blocked);
+            return;
+        }
+        let mut found = false;
+        for s in &mut self.shards {
+            let idx = s.core.link_idx[link.0];
+            if idx != u32::MAX {
+                s.core.links[idx as usize].set_blocked(dir, blocked);
+                found = true;
+            }
+        }
+        assert!(found, "unknown link {link:?}");
+    }
+
+    /// Returns `true` if the direction of `link` is administratively
+    /// blocked (read from the authoritative copy).
+    pub fn is_link_blocked(&self, link: LinkId, dir: LinkDirection) -> bool {
+        self.link_any(link).is_blocked(dir)
+    }
+
+    /// Runs `f` with the node in slot `id` and a live [`Context`] —
+    /// the runtime activation hook: higher layers use it between `run_*`
+    /// segments to drive a node outside event dispatch (install a traffic
+    /// app mid-run, restart a reattached host's apps). The mutation happens
+    /// at the current virtual time, so determinism is preserved as long as
+    /// callers invoke it at schedule-independent times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never installed.
+    pub fn with_node_ctx<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn Node, &mut Context<'_>) -> R,
+    ) -> R {
+        let shard = &mut self.shards[self.shard_of[id.0] as usize];
+        let mut n = shard.nodes[id.0].take().expect("installed node");
+        let now = shard.core.time;
+        shard.core.events.set_ctx(now, None);
+        let mut ctx = Context {
+            node: id,
+            core: &mut shard.core,
+        };
+        let r = f(n.as_mut(), &mut ctx);
+        shard.nodes[id.0] = Some(n);
+        // Cut-link operations staged by `f` (e.g. blocking a cut uplink,
+        // sending on one) must reach the authoritative copies before the
+        // next run.
+        if self.is_sharded() {
+            let now = self.time;
+            self.replay_cut_links(now, true);
+        }
+        r
+    }
+
+    /// Wall-clock seconds spent inside the event loop so far.
+    pub fn run_wall_secs(&self) -> f64 {
+        self.run_wall.as_secs_f64()
+    }
+
+    /// The per-subsystem wall-time profile accumulated so far, merged over
+    /// shards in shard-id order. Empty (all zeros) unless the crate is
+    /// built with the `trace` feature — the default build carries no
+    /// per-event instrumentation at all.
+    pub fn subsystem_profile(&self) -> aitf_trace::SubsystemProfile {
+        #[cfg(feature = "trace")]
+        {
+            if self.is_sharded() {
+                let mut p = self.merged_profile;
+                for s in &self.shards {
+                    p.merge(&s.core.profile);
+                }
+                p
+            } else {
+                self.shards[0].core.profile
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            aitf_trace::SubsystemProfile::default()
+        }
+    }
+
+    /// Events dispatched per wall-clock second of event-loop time — the
+    /// simulator's end-to-end throughput telemetry (0 before any run).
+    /// Sharded runs sum dispatched events over workers against the one
+    /// coordinator wall clock.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.run_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.dispatched_events() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Downcasts the node in slot `id` to a concrete type.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        self.shards[self.shard_of[id.0] as usize].nodes[id.0]
+            .as_deref()
+            .and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the node in slot `id`.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.shards[self.shard_of[id.0] as usize].nodes[id.0]
+            .as_deref_mut()
+            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Computes shortest-path next hops between all node pairs, weighting
+    /// each link by `weight` (use `|_| 1` for hop count).
+    pub fn compute_next_hops(&self, weight: impl Fn(LinkId) -> u64) -> NextHops {
+        let links: Vec<(NodeId, NodeId, LinkId, u64)> = (0..self.link_total)
+            .map(|i| {
+                let id = LinkId(i);
+                let (a, b) = self.link_any(id).endpoints();
+                (a, b, id, weight(id))
+            })
+            .collect();
+        NextHops::compute(self.node_count(), &links)
+    }
+
+    /// Splits the world into at most `k` shards along the group forest in
+    /// `spec`, returning the partition actually applied. Must run before
+    /// the first `run_*`/`start` call, while the event queue is empty.
+    /// `k <= 1` (or a partition that collapses to one shard) leaves the
+    /// simulator in its exact single-threaded configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has started, was already partitioned, or
+    /// has pending events.
+    pub fn apply_shards(
+        &mut self,
+        k: usize,
+        spec: &PartitionSpec,
+    ) -> Result<Partition, PartitionError> {
+        let links: Vec<(NodeId, NodeId, SimDuration)> = (0..self.link_total)
+            .map(|i| {
+                let l = self.link_any(LinkId(i));
+                let (a, b) = l.endpoints();
+                (a, b, l.params().delay)
+            })
+            .collect();
+        let part = partition(k, self.node_count(), &links, spec)?;
+        self.apply_partition(&part);
+        Ok(part)
+    }
+
+    /// Applies a precomputed [`Partition`]; see [`Simulator::apply_shards`].
+    pub fn apply_partition(&mut self, part: &Partition) {
+        assert!(!self.started, "apply_shards must run before start");
+        assert_eq!(self.shards.len(), 1, "simulator is already partitioned");
+        assert_eq!(
+            part.shard_of.len(),
+            self.node_count(),
+            "partition covers a different node count"
+        );
+        if part.shards <= 1 {
+            return;
+        }
+        let k = part.shards;
+        let single = self.shards.pop().expect("one shard");
+        assert!(
+            single.core.events.is_empty(),
+            "apply_shards must run before any events are scheduled"
+        );
+        let SimCore {
+            links,
+            node_links,
+            metrics,
+            ..
+        } = single.core;
+        let node_total = part.shard_of.len();
+        let shard_of = Arc::clone(&part.shard_of);
+        let mut shards: Vec<Shard> = (0..k)
+            .map(|s| {
+                let mut events = EventQueue::new();
+                events.bind_shard(s as u16, Arc::clone(&shard_of));
+                Shard {
+                    core: SimCore {
+                        time: SimTime::ZERO,
+                        events,
+                        links: Vec::new(),
+                        link_idx: vec![u32::MAX; self.link_total],
+                        cut_of: Arc::new(Vec::new()),
+                        staged_cut: Vec::new(),
+                        staged_seq: 0,
+                        node_links: Arc::clone(&node_links),
+                        metrics: Metrics::new(),
+                        rng: StdRng::seed_from_u64(shard_seed(self.seed, s as u64)),
+                        next_pkt_id: 0,
+                        pkt_tag: (s as u64) << 48,
+                        dispatched_events: 0,
+                        #[cfg(feature = "trace")]
+                        profile: aitf_trace::SubsystemProfile::default(),
+                        #[cfg(feature = "trace")]
+                        dispatch_class: aitf_trace::Subsystem::Queue,
+                    },
+                    nodes: (0..node_total).map(|_| None).collect(),
+                }
+            })
+            .collect();
+        // Distribute links. A local link moves into its owning shard; a
+        // cut link moves to the coordinator (the authoritative copy every
+        // operation is replayed against) and leaves an inert stub in both
+        // endpoint shards for endpoint/direction queries — stub state is
+        // never read or written.
+        let mut cut_links: Vec<CutLink> = Vec::with_capacity(part.cut_links.len());
+        let mut cut_of = vec![u32::MAX; self.link_total];
+        for link in links {
+            let (a, b) = link.endpoints();
+            let (sa, sb) = (part.shard_of[a.0] as usize, part.shard_of[b.0] as usize);
+            let id = link.id();
+            let params = link.params();
+            if sa == sb {
+                let core = &mut shards[sa].core;
+                core.link_idx[id.0] = core.links.len() as u32;
+                core.links.push(link);
+            } else {
+                for s in [sa, sb] {
+                    let core = &mut shards[s].core;
+                    core.link_idx[id.0] = core.links.len() as u32;
+                    core.links.push(Link::new(id, a, b, params));
+                }
+                cut_of[id.0] = u32::try_from(cut_links.len()).expect("cut count fits u32");
+                cut_links.push(CutLink {
+                    link,
+                    pending_txdone: [None, None],
+                });
+            }
+        }
+        debug_assert_eq!(cut_links.len(), part.cut_links.len());
+        let cut_of = Arc::new(cut_of);
+        for shard in &mut shards {
+            shard.core.cut_of = Arc::clone(&cut_of);
+        }
+        self.cut_links = cut_links;
+        self.cut_of = cut_of;
+        // Distribute installed nodes to their owning shard.
+        for (i, n) in single.nodes.into_iter().enumerate() {
+            if let Some(n) = n {
+                shards[part.shard_of[i] as usize].nodes[i] = Some(n);
+            }
+        }
+        self.merged_metrics = metrics;
+        self.shards = shards;
+        self.shard_of = shard_of;
+        self.lookahead = part.lookahead;
+    }
+
+    /// Calls [`Node::on_start`] on every installed node — in id order when
+    /// single, in (shard, id) order when sharded.
+    /// Runs automatically on the first `run_*` call if not done explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node slot was never installed.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        for i in 0..self.node_count() {
+            let s = self.shard_of[i] as usize;
+            assert!(
+                self.shards[s].nodes[i].is_some(),
+                "node {i} was never installed"
+            );
+        }
+        for shard in &mut self.shards {
+            for i in 0..shard.nodes.len() {
+                let Some(mut node) = shard.nodes[i].take() else {
+                    continue;
+                };
+                let mut ctx = Context {
+                    node: NodeId(i),
+                    core: &mut shard.core,
+                };
+                node.on_start(&mut ctx);
+                shard.nodes[i] = Some(node);
+            }
+        }
+        self.started = true;
+    }
+
+    /// Runs the event loop until virtual time `t`; the clock ends exactly
+    /// at `t` even if the queue drains early.
+    pub fn run_until(&mut self, t: SimTime) {
+        if !self.started {
+            self.start();
+        }
+        let wall_start = std::time::Instant::now();
+        if self.is_sharded() {
+            self.run_sharded(t);
+        } else {
+            let shard = &mut self.shards[0];
+            shard.run_window(t, true);
+            shard.core.time = t;
+        }
+        self.time = t;
+        let elapsed = wall_start.elapsed();
+        self.run_wall += elapsed;
+        #[cfg(feature = "trace")]
+        {
+            let nanos = elapsed.as_nanos() as u64;
+            if self.is_sharded() {
+                self.merged_profile.add_loop_nanos(nanos);
+            } else {
+                self.shards[0].core.profile.add_loop_nanos(nanos);
+            }
+        }
+    }
+
+    /// The conservative-window scheduler: every iteration processes the
+    /// window `[g, g+L)` (clamped inclusively at `t`) in all shards, then
+    /// replays the staged cut-link operations at the barrier. `g` counts
+    /// the coordinator's pending cut-link transmission completions too, so
+    /// a tx-done chain on an otherwise idle cut link still drives windows.
+    /// Any cross-shard delivery fires at `>= g + L`, so the barrier can
+    /// never deliver into a window already processed.
+    fn run_sharded(&mut self, t: SimTime) {
+        // Flush operations staged outside any window: `on_start` handlers
+        // run during `start()` and may send on cut links.
+        let now = self.time;
+        self.replay_cut_links(now, true);
+        while let Some(next) = self
+            .shards
+            .iter()
+            .filter_map(|s| s.core.events.peek_time())
+            .chain(self.pending_txdone_times())
+            .min()
+        {
+            if next > t {
+                break;
+            }
+            let (bound, inclusive) = match self.lookahead {
+                Some(l) => {
+                    let end = next + l;
+                    if end > t {
+                        // Final window: processing through `t` stays below
+                        // `g + L`, so it is still conservative.
+                        (t, true)
+                    } else {
+                        (end, false)
+                    }
+                }
+                // No cut links: shards are mutually invisible.
+                None => (t, true),
+            };
+            self.run_window_all(bound, inclusive);
+            self.replay_cut_links(bound, inclusive);
+        }
+        for s in &mut self.shards {
+            s.core.time = t;
+        }
+        self.drain_shard_state();
+    }
+
+    /// Runs one window in every shard — on worker threads in default
+    /// builds, serially under the `trace` feature (tracer handles are not
+    /// `Send`). The result is identical either way: the window protocol
+    /// never looks at thread interleaving.
+    fn run_window_all(&mut self, bound: SimTime, inclusive: bool) {
+        #[cfg(not(feature = "trace"))]
+        {
+            std::thread::scope(|scope| {
+                let mut iter = self.shards.iter_mut();
+                let first = iter.next().expect("at least one shard");
+                for shard in iter {
+                    scope.spawn(move || shard.run_window(bound, inclusive));
+                }
+                // Shard 0 runs on the coordinating thread.
+                first.run_window(bound, inclusive);
+            });
+        }
+        #[cfg(feature = "trace")]
+        for shard in &mut self.shards {
+            shard.run_window(bound, inclusive);
+        }
+    }
+
+    /// The window barrier: replays every staged cut-link operation from
+    /// all shards — enqueues and control changes — against the
+    /// coordinator's authoritative link copies, interleaved with the cut
+    /// links' own transmission completions, in one global time order.
+    ///
+    /// The order is `(time, produce time, chain descending, source shard,
+    /// staging seq)` — the same key the shard heaps dispatch under (see
+    /// [`crate::event`]), with a staged operation carrying its staging
+    /// dispatch's keys (the dispatch *is* the operation in a
+    /// single-threaded loop) and a pending tx-done carrying the keys the
+    /// `LinkTxDone` event would hold in a queue. Each replayed tx-done
+    /// counts as one dispatched event (it is one in the single-threaded
+    /// loop); enqueues and control changes happen inside their sender's
+    /// already-counted dispatch and are not re-counted. `Deliver`s
+    /// produced here go directly into the receiving shard's queue;
+    /// tx-dones landing past `bound` stay pending for a later window.
+    fn replay_cut_links(&mut self, bound: SimTime, inclusive: bool) {
+        struct ReplayOp {
+            time: SimTime,
+            ptime: SimTime,
+            chain: u64,
+            shard: u16,
+            seq: u64,
+            cut: u32,
+            dir: LinkDirection,
+            op: CutOp,
+        }
+        let mut ops: Vec<ReplayOp> = Vec::new();
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            for s in shard.core.take_staged_cut() {
+                ops.push(ReplayOp {
+                    time: s.time,
+                    ptime: s.ptime,
+                    chain: s.chain,
+                    shard: si as u16,
+                    seq: s.seq,
+                    cut: s.cut,
+                    dir: s.dir,
+                    op: s.op,
+                });
+            }
+        }
+        let within = |t: SimTime| if inclusive { t <= bound } else { t < bound };
+        if ops.is_empty() && !self.pending_txdone_times().any(within) {
+            return;
+        }
+        ops.sort_unstable_by_key(|o| (o.time, o.ptime, Reverse(o.chain), o.shard, o.seq));
+        let mut ops = ops.into_iter().peekable();
+        let mut scratch = EventQueue::new();
+        loop {
+            // The earliest due transmission completion across cut links,
+            // under the same ordering key the shard heaps use.
+            let tx = self
+                .cut_links
+                .iter()
+                .enumerate()
+                .flat_map(|(c, cl)| {
+                    cl.pending_txdone
+                        .iter()
+                        .enumerate()
+                        .filter_map(move |(d, p)| p.map(|p| (p, c, d)))
+                })
+                .filter(|&(p, ..)| within(p.time))
+                .min_by_key(|&(p, c, d)| (p.time, p.ptime, Reverse(p.chain), c, d));
+            let take_tx = match (tx, ops.peek()) {
+                (None, None) => break,
+                (None, Some(_)) => false,
+                (Some(_), None) => true,
+                // Ties across every key go to the staged operation: with
+                // equal (time, ptime, chain) the single-threaded order is
+                // unknowable either way, and favouring the op keeps
+                // blocked-flag flips ahead of the completions they race.
+                (Some((p, ..)), Some(o)) => {
+                    (p.time, p.ptime, Reverse(p.chain)) < (o.time, o.ptime, Reverse(o.chain))
+                }
+            };
+            if take_tx {
+                let (p, c, d) = tx.expect("due tx completion");
+                let t = p.time;
+                let dir = if d == 0 {
+                    LinkDirection::AToB
+                } else {
+                    LinkDirection::BToA
+                };
+                self.cut_links[c].pending_txdone[d] = None;
+                #[cfg(feature = "trace")]
+                let ev_start = std::time::Instant::now();
+                scratch.set_ctx(t, Some(p.chain));
+                self.cut_links[c].link.on_tx_done(t, dir, &mut scratch);
+                self.cut_dispatched += 1;
+                #[cfg(feature = "trace")]
+                self.merged_profile.record(
+                    aitf_trace::Subsystem::Link,
+                    ev_start.elapsed().as_nanos() as u64,
+                );
+                self.drain_cut_scratch(c, &mut scratch);
+            } else {
+                let o = ops.next().expect("peeked op exists");
+                let cut = o.cut as usize;
+                match o.op {
+                    CutOp::SetBlocked(b) => {
+                        self.cut_links[cut].link.set_blocked(o.dir, b);
+                    }
+                    CutOp::Enqueue(p) => {
+                        // Acceptance is unobservable for staged sends; the
+                        // drop accounting lands on the authoritative copy.
+                        scratch.set_ctx(o.time, Some(o.chain));
+                        self.cut_links[cut]
+                            .link
+                            .enqueue(o.time, o.dir, p, &mut scratch);
+                        self.drain_cut_scratch(cut, &mut scratch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes the events a replayed cut-link operation produced: tx-dones
+    /// become the link's pending completion, `Deliver`s go into the
+    /// receiving node's shard queue.
+    fn drain_cut_scratch(&mut self, cut: usize, scratch: &mut EventQueue) {
+        while let Some(ev) = scratch.pop() {
+            match ev.kind {
+                EventKind::LinkTxDone { dir, .. } => {
+                    let slot = &mut self.cut_links[cut].pending_txdone[dir.index()];
+                    debug_assert!(
+                        slot.is_none(),
+                        "two tx completions pending in one direction"
+                    );
+                    *slot = Some(PendingTx {
+                        time: ev.time,
+                        ptime: ev.ptime,
+                        chain: ev.chain,
+                    });
+                }
+                EventKind::Deliver { node, link, packet } => {
+                    let dst = self.shard_of[node.0] as usize;
+                    self.shards[dst].core.events.schedule_produced_at(
+                        ev.time,
+                        ev.ptime,
+                        ev.chain,
+                        EventKind::Deliver { node, link, packet },
+                    );
+                }
+                EventKind::Timer { .. } => unreachable!("links never arm timers"),
+            }
+        }
+    }
+
+    /// Drains per-shard metrics (and profiles) into the merged sinks, in
+    /// shard-id order. No-op when single.
+    fn drain_shard_state(&mut self) {
+        if !self.is_sharded() {
+            return;
+        }
+        for s in &mut self.shards {
+            let m = std::mem::take(&mut s.core.metrics);
+            self.merged_metrics.absorb(m);
+            #[cfg(feature = "trace")]
+            {
+                self.merged_profile.merge(&s.core.profile);
+                s.core.profile = aitf_trace::SubsystemProfile::default();
+            }
+        }
+    }
+
+    /// Runs for `d` of virtual time from the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.time + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the event queue is empty (only safe when no node re-arms
+    /// timers forever), with a hard event-count bound as a loop guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_events` fire, which indicates a runaway
+    /// schedule.
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        if !self.started {
+            self.start();
+        }
+        let start_count = self.dispatched_events();
+        while let Some(next) = self.next_event_time() {
+            assert!(
+                self.dispatched_events() - start_count < max_events,
+                "exceeded {max_events} events without quiescing"
+            );
+            self.run_until(next);
+        }
     }
 }
 
@@ -707,5 +1452,107 @@ mod tests {
             sim.run_to_quiescence(1_000);
         }));
         assert!(result.is_err());
+    }
+
+    /// Builds a chain-of-groups world: `n` single-node groups in a parent
+    /// chain, 1 ms links, `Burst` at node 0, relays elsewhere. Returns the
+    /// per-relay reception counts plus the dispatched-event total.
+    fn chain_results(n: usize, shards: usize) -> (u64, Vec<u64>, usize) {
+        let (mut sim, ids) = line_topology(n);
+        sim.install(ids[0], Box::new(Burst { count: 20 }));
+        for &id in &ids[1..] {
+            sim.install(id, Box::new(FloodRelay { received: 0 }));
+        }
+        if shards > 1 {
+            let spec = PartitionSpec::new(
+                (0..n).map(|i| vec![NodeId(i)]).collect(),
+                (0..n).map(|i| i.checked_sub(1)).collect(),
+            );
+            let part = sim.apply_shards(shards, &spec).expect("partition");
+            assert_eq!(part.shards, shards.min(n));
+            if part.shards > 1 {
+                assert_eq!(sim.lookahead(), Some(SimDuration::from_millis(1)));
+            }
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        (
+            sim.dispatched_events(),
+            ids[1..]
+                .iter()
+                .map(|&id| sim.node_ref::<FloodRelay>(id).unwrap().received)
+                .collect(),
+            sim.shard_count(),
+        )
+    }
+
+    #[test]
+    fn sharded_run_matches_single_threaded() {
+        let (ev1, rx1, k1) = chain_results(6, 1);
+        assert_eq!(k1, 1);
+        for shards in [2, 3, 4] {
+            let (ev, rx, k) = chain_results(6, shards);
+            assert_eq!(k, shards);
+            assert_eq!(ev, ev1, "dispatched events drifted at {shards} shards");
+            assert_eq!(rx, rx1, "reception counts drifted at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_clock_and_telemetry_advance() {
+        let (mut sim, ids) = line_topology(4);
+        sim.install(ids[0], Box::new(Burst { count: 3 }));
+        for &id in &ids[1..] {
+            sim.install(id, Box::new(FloodRelay { received: 0 }));
+        }
+        let spec = PartitionSpec::new(
+            (0..4usize).map(|i| vec![NodeId(i)]).collect(),
+            (0..4usize).map(|i| i.checked_sub(1)).collect(),
+        );
+        sim.apply_shards(2, &spec).expect("partition");
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(sim.now(), SimTime(2_000_000_000));
+        assert!(sim.dispatched_events() > 0);
+        assert!(sim.events_per_sec() > 0.0);
+        assert_eq!(sim.shard_count(), 2);
+    }
+
+    #[test]
+    fn apply_shards_with_k1_keeps_the_single_loop() {
+        let (mut sim, ids) = line_topology(3);
+        sim.install(ids[0], Box::new(Burst { count: 1 }));
+        for &id in &ids[1..] {
+            sim.install(id, Box::new(FloodRelay { received: 0 }));
+        }
+        let part = sim
+            .apply_shards(1, &PartitionSpec::flat(3))
+            .expect("identity partition");
+        assert_eq!(part.shards, 1);
+        assert_eq!(sim.shard_count(), 1);
+        assert_eq!(sim.lookahead(), None);
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(sim.node_ref::<FloodRelay>(ids[1]).unwrap().received, 1);
+    }
+
+    #[test]
+    fn cross_shard_blocking_converges_at_the_barrier() {
+        // Two nodes in different shards; node 1 blocks its incoming side
+        // of the cut link before the run. The block must reach node 0's
+        // shard copy (the enqueue side) via the control handoff.
+        let (mut sim, ids) = line_topology(2);
+        sim.install(ids[0], Box::new(Burst { count: 10 }));
+        sim.install(ids[1], Box::new(FloodRelay { received: 0 }));
+        sim.apply_shards(2, &PartitionSpec::flat(2))
+            .expect("partition");
+        assert_eq!(sim.shard_count(), 2);
+        let link = sim.links_of(ids[0])[0];
+        sim.with_node_ctx(ids[1], |_, ctx| ctx.set_incoming_blocked(link, true));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.node_ref::<FloodRelay>(ids[1]).unwrap().received,
+            0,
+            "blocked direction must drop the burst"
+        );
+        let stats = sim.link_stats_towards(link, ids[1]);
+        assert_eq!(stats.admin_drop_pkts, 10);
     }
 }

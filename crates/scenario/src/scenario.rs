@@ -66,6 +66,10 @@ pub struct Scenario {
     pub duration: SimDuration,
     /// Which router implementation runs.
     pub backend: Backend,
+    /// Event-loop shards the world is split into (1 = the classic
+    /// single-threaded loop). Sharding is bit-transparent: any value
+    /// produces identical results, larger worlds just run on more threads.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -81,6 +85,7 @@ impl Scenario {
             probes: ProbeSet::new(),
             duration: SimDuration::from_secs(10),
             backend: Backend::Aitf,
+            shards: 1,
         }
     }
 
@@ -197,6 +202,15 @@ impl Scenario {
         self
     }
 
+    /// Splits the event loop into (at most) `shards` conservative-lookahead
+    /// shards along the network tree (see
+    /// [`aitf_netsim::Simulator::apply_shards`]). Results are bit-identical
+    /// at any shard count; 1 (the default) keeps the classic loop.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Checks the scenario for specification errors before anything is
     /// built or simulated. Currently validated: every churn event must
     /// fire strictly before the scenario horizon — an event at or past it
@@ -228,6 +242,14 @@ impl Scenario {
                 .build_with(seed, cfg, self.backend)
         };
         self.workload.compile(&mut world);
+        if self.shards > 1 {
+            let hints = world.world.shard_hints();
+            world
+                .world
+                .sim
+                .apply_shards(self.shards, &hints)
+                .expect("world shard partition");
+        }
         world
     }
 

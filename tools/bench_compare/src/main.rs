@@ -22,8 +22,10 @@
 //!               [--gate-sigma 4] [--run]
 //! ```
 //!
-//! The baseline is a four-column TSV (`experiment  total_events
-//! wall_mean_secs  wall_spread_secs`) so diffs stay reviewable. `--run`
+//! The baseline is a five-column TSV (`experiment  total_events
+//! wall_mean_secs  wall_spread_secs  events_per_sec`) so diffs stay
+//! reviewable; the throughput column is reported as an informational
+//! delta per experiment, never gated. `--run`
 //! invokes `cargo run --release -p aitf-bench --bin all_experiments --
 //! --quick --json <dir>` first (N times under `--update --repeats N`),
 //! which is what CI does in one step.
@@ -37,17 +39,24 @@ use std::process::ExitCode;
 struct Measure {
     total_events: u64,
     wall_secs: f64,
+    /// Suite-level dispatch throughput; `None` when the document predates
+    /// the field or the wall was unmeasured.
+    events_per_sec: Option<f64>,
 }
 
 /// One committed baseline row: the deterministic event count plus the
 /// wall-time distribution over the update's repeats. `wall_spread` is the
 /// sample standard deviation; `None` for legacy three-column rows, which
 /// therefore cannot support a statistical gate and only ever warn.
+/// `events_per_sec` (fifth column, mean over repeats) is informational
+/// only — the report shows the throughput delta but never gates on it,
+/// since wall time already carries the variance-aware gate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct BaselineEntry {
     total_events: u64,
     wall_mean: f64,
     wall_spread: Option<f64>,
+    events_per_sec: Option<f64>,
 }
 
 /// Finds the first `"key"` in `doc` and returns the raw token after the
@@ -82,18 +91,28 @@ fn parse_bench(doc: &str) -> Result<(String, Measure), String> {
             .parse()
             .map_err(|e| format!("bad total_wall_secs {raw_wall:?}: {e}"))?
     };
+    let events_per_sec = match json_field(doc, "events_per_sec") {
+        None => None,
+        Some("null") => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("bad events_per_sec {raw:?}: {e}"))?,
+        ),
+    };
     Ok((
         experiment,
         Measure {
             total_events,
             wall_secs,
+            events_per_sec,
         },
     ))
 }
 
-/// Parses the committed baseline TSV. Accepts the current four-column
-/// format and the legacy three-column one (no spread → warn-only rows);
-/// anything unparsable is a named error, never a silent NaN.
+/// Parses the committed baseline TSV. Accepts the current five-column
+/// format plus the legacy four-column (no throughput) and three-column
+/// (no spread → warn-only rows) ones; anything unparsable is a named
+/// error, never a silent NaN.
 fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineEntry>, String> {
     let mut out = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -102,16 +121,16 @@ fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineEntry>, String>
             continue;
         }
         let cols: Vec<&str> = line.split('\t').collect();
-        let [exp, events, wall_mean, spread @ ..] = cols.as_slice() else {
+        let [exp, events, wall_mean, rest @ ..] = cols.as_slice() else {
             return Err(format!(
-                "line {}: expected 3 or 4 tab-separated columns, got {}",
+                "line {}: expected 3 to 5 tab-separated columns, got {}",
                 lineno + 1,
                 cols.len()
             ));
         };
-        if spread.len() > 1 {
+        if rest.len() > 2 {
             return Err(format!(
-                "line {}: expected 3 or 4 tab-separated columns, got {}",
+                "line {}: expected 3 to 5 tab-separated columns, got {}",
                 lineno + 1,
                 cols.len()
             ));
@@ -122,11 +141,18 @@ fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineEntry>, String>
         let wall_mean: f64 = wall_mean
             .parse()
             .map_err(|e| format!("line {}: bad wall_mean {wall_mean:?}: {e}", lineno + 1))?;
-        let wall_spread: Option<f64> = match spread.first() {
+        let wall_spread: Option<f64> = match rest.first() {
             None => None,
             Some(s) => Some(
                 s.parse()
                     .map_err(|e| format!("line {}: bad wall_spread {s:?}: {e}", lineno + 1))?,
+            ),
+        };
+        let events_per_sec: Option<f64> = match rest.get(1) {
+            None => None,
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|e| format!("line {}: bad events_per_sec {s:?}: {e}", lineno + 1))?,
             ),
         };
         out.insert(
@@ -135,6 +161,7 @@ fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineEntry>, String>
                 total_events,
                 wall_mean,
                 wall_spread,
+                events_per_sec,
             },
         );
     }
@@ -145,14 +172,16 @@ fn render_baseline(entries: &BTreeMap<String, BaselineEntry>) -> String {
     let mut out = String::from(
         "# bench_compare baseline: all_experiments --quick --json (base seed 42)\n\
          # wall_mean/wall_spread over --repeats runs (spread = sample std dev)\n\
-         # experiment\ttotal_events\twall_mean_secs\twall_spread_secs\n",
+         # events_per_sec is informational (mean over repeats), never gated\n\
+         # experiment\ttotal_events\twall_mean_secs\twall_spread_secs\tevents_per_sec\n",
     );
     for (exp, e) in entries {
         out.push_str(&format!(
-            "{exp}\t{}\t{:.3}\t{:.4}\n",
+            "{exp}\t{}\t{:.3}\t{:.4}\t{:.0}\n",
             e.total_events,
             e.wall_mean,
-            e.wall_spread.unwrap_or(0.0)
+            e.wall_spread.unwrap_or(0.0),
+            e.events_per_sec.unwrap_or(0.0),
         ));
     }
     out
@@ -190,12 +219,22 @@ fn aggregate_repeats(
         } else {
             0.0
         };
+        // Throughput mean only when every repeat measured one; a single
+        // missing value degrades the row to "no throughput" rather than
+        // averaging an incomplete sample.
+        let eps: Vec<f64> = repeats
+            .iter()
+            .filter_map(|rep| rep.get(exp).and_then(|m| m.events_per_sec))
+            .collect();
+        let events_per_sec =
+            (eps.len() == repeats.len()).then(|| eps.iter().sum::<f64>() / eps.len() as f64);
         out.insert(
             exp.clone(),
             BaselineEntry {
                 total_events: m0.total_events,
                 wall_mean: mean,
                 wall_spread: Some(spread),
+                events_per_sec,
             },
         );
     }
@@ -276,6 +315,37 @@ fn compare(
         }
     }
     (failures, warnings)
+}
+
+/// Informational per-experiment throughput deltas versus the baseline's
+/// `events_per_sec` column. Never gates: wall time already carries the
+/// variance-aware gate, and throughput is its reciprocal view — this
+/// exists so a perf change's report quantifies the win (or cost) without
+/// anyone re-deriving events ÷ wall by hand. Sub-floor walls are skipped
+/// (pure scheduler noise), as are rows lacking a measured baseline.
+fn throughput_report(
+    baseline: &BTreeMap<String, BaselineEntry>,
+    current: &BTreeMap<String, Measure>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (exp, cur) in current {
+        let Some(base) = baseline.get(exp) else {
+            continue;
+        };
+        let (Some(base_eps), Some(cur_eps)) = (base.events_per_sec, cur.events_per_sec) else {
+            continue;
+        };
+        if !(base_eps.is_finite() && base_eps > 0.0 && cur_eps.is_finite())
+            || base.wall_mean < WALL_FLOOR_SECS
+        {
+            continue;
+        }
+        let delta_pct = (cur_eps - base_eps) / base_eps * 100.0;
+        out.push(format!(
+            "{exp}: throughput {cur_eps:.0} ev/s vs baseline {base_eps:.0} ev/s ({delta_pct:+.1}%)"
+        ));
+    }
+    out
 }
 
 fn load_dir(dir: &Path) -> Result<BTreeMap<String, Measure>, String> {
@@ -463,6 +533,9 @@ fn main() -> ExitCode {
     };
 
     let (failures, warnings) = compare(&baseline, &current, args.warn_wall_pct, args.gate_sigma);
+    for info in throughput_report(&baseline, &current) {
+        println!("bench_compare: INFO {info}");
+    }
     for w in &warnings {
         eprintln!("bench_compare: WARNING {w}");
     }
@@ -507,6 +580,20 @@ mod tests {
         assert_eq!(exp, "e1_escalation");
         assert_eq!(m.total_events, 72960);
         assert_eq!(m.wall_secs, 0.125);
+        assert_eq!(m.events_per_sec, Some(583680.0));
+    }
+
+    #[test]
+    fn missing_or_null_events_per_sec_is_none() {
+        // Strip the record-level copy too: json_field takes the first
+        // occurrence, so a leftover per-record field would shadow
+        // "missing at document level".
+        let doc = DOC
+            .replace("\"events_per_sec\": 583680,", "")
+            .replace(",\"events_per_sec\":1000", "");
+        assert_eq!(parse_bench(&doc).unwrap().1.events_per_sec, None);
+        let doc = DOC.replace("\"events_per_sec\": 583680", "\"events_per_sec\": null");
+        assert_eq!(parse_bench(&doc).unwrap().1.events_per_sec, None);
     }
 
     #[test]
@@ -526,6 +613,7 @@ mod tests {
                 total_events: 5,
                 wall_mean: 0.25,
                 wall_spread: Some(0.01),
+                events_per_sec: Some(20.0),
             },
         );
         let parsed = parse_baseline(&render_baseline(&entries)).unwrap();
@@ -533,12 +621,17 @@ mod tests {
         assert_eq!(parsed["e1"].total_events, 5);
         assert_eq!(parsed["e1"].wall_mean, 0.25);
         assert_eq!(parsed["e1"].wall_spread, Some(0.01));
+        assert_eq!(parsed["e1"].events_per_sec, Some(20.0));
     }
 
     #[test]
-    fn legacy_three_column_rows_parse_without_a_spread() {
+    fn legacy_short_rows_parse_without_spread_or_throughput() {
         let parsed = parse_baseline("e1\t100\t1.0\n").unwrap();
         assert_eq!(parsed["e1"].wall_spread, None);
+        assert_eq!(parsed["e1"].events_per_sec, None);
+        let parsed = parse_baseline("e1\t100\t1.0\t0.1\n").unwrap();
+        assert_eq!(parsed["e1"].wall_spread, Some(0.1));
+        assert_eq!(parsed["e1"].events_per_sec, None);
     }
 
     #[test]
@@ -547,13 +640,14 @@ mod tests {
             ("e1\tx100\t1.0\t0.1\n", "total_events"),
             ("e1\t100\t1.x\t0.1\n", "wall_mean"),
             ("e1\t100\t1.0\t0.x\n", "wall_spread"),
+            ("e1\t100\t1.0\t0.1\t9x9\n", "events_per_sec"),
         ] {
             let err = parse_baseline(row).unwrap_err();
             assert!(err.contains("line 1"), "{err}");
             assert!(err.contains(field), "{err}");
         }
-        let err = parse_baseline("e1\t100\t1.0\t0.1\textra\n").unwrap_err();
-        assert!(err.contains("3 or 4"), "{err}");
+        let err = parse_baseline("e1\t100\t1.0\t0.1\t100\textra\n").unwrap_err();
+        assert!(err.contains("3 to 5"), "{err}");
     }
 
     fn cur(events: u64, wall: f64) -> BTreeMap<String, Measure> {
@@ -563,6 +657,7 @@ mod tests {
             Measure {
                 total_events: events,
                 wall_secs: wall,
+                events_per_sec: None,
             },
         );
         m
@@ -623,12 +718,51 @@ mod tests {
             Measure {
                 total_events: 300,
                 wall_secs: 1.0,
+                events_per_sec: None,
             },
         );
         let (failures, _) = compare(&base, &current, 50.0, 4.0);
         assert_eq!(failures.len(), 2);
         assert!(failures.iter().any(|f| f.contains("e2")));
         assert!(failures.iter().any(|f| f.contains("e3")));
+    }
+
+    fn cur_eps(events: u64, wall: f64, eps: Option<f64>) -> BTreeMap<String, Measure> {
+        let mut m = cur(events, wall);
+        m.get_mut("e1").unwrap().events_per_sec = eps;
+        m
+    }
+
+    #[test]
+    fn throughput_deltas_are_informational_only() {
+        let base = parse_baseline("e1\t100\t1.0\t0.05\t1000\n").unwrap();
+        // Throughput halves: reported as a delta, but nothing fails.
+        let current = cur_eps(100, 1.0, Some(500.0));
+        let infos = throughput_report(&base, &current);
+        assert_eq!(infos.len(), 1);
+        assert!(infos[0].contains("-50.0%"), "{}", infos[0]);
+        let (failures, _) = compare(&base, &current, 50.0, 4.0);
+        assert!(failures.is_empty());
+        // No current measurement → no line; legacy baseline row → no line.
+        assert!(throughput_report(&base, &cur(100, 1.0)).is_empty());
+        let legacy = parse_baseline("e1\t100\t1.0\t0.05\n").unwrap();
+        assert!(throughput_report(&legacy, &current).is_empty());
+        // Sub-floor walls are scheduler noise, not throughput signal.
+        let tiny = parse_baseline("e1\t100\t0.001\t0.0\t1000\n").unwrap();
+        assert!(throughput_report(&tiny, &current).is_empty());
+    }
+
+    #[test]
+    fn aggregate_repeats_keeps_throughput_only_when_all_repeats_have_it() {
+        let reps = vec![
+            cur_eps(100, 1.0, Some(900.0)),
+            cur_eps(100, 1.0, Some(1100.0)),
+        ];
+        let agg = aggregate_repeats(&reps).unwrap();
+        assert_eq!(agg["e1"].events_per_sec, Some(1000.0));
+        let reps = vec![cur_eps(100, 1.0, Some(900.0)), cur(100, 1.0)];
+        let agg = aggregate_repeats(&reps).unwrap();
+        assert_eq!(agg["e1"].events_per_sec, None);
     }
 
     #[test]
