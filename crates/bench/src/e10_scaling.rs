@@ -12,12 +12,11 @@
 //! unlike pushback, where the hub absorbs a filter per flow whenever the
 //! edge chain stalls.
 
-use aitf_baseline::PushbackRouter;
-use aitf_core::{AitfConfig, HostPolicy};
+use aitf_core::{AitfConfig, DefensePolicy, HostPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 use aitf_scenario::{
-    Backend, HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
+    HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
 };
 
 use crate::harness::{run_spec, Table};
@@ -84,16 +83,10 @@ pub fn hub_filters_pushback(n_nets: usize, seed: u64, shards: usize) -> (u64, u6
         ..AitfConfig::default()
     };
     let outcome = base_scenario(n_nets, cfg)
-        .backend(Backend::Pushback)
+        .defense(DefensePolicy::Pushback)
         .shards(shards)
         .probes(ProbeSet::new().end(|w, m| {
-            let hub = w
-                .world
-                .sim
-                .node_ref::<PushbackRouter>(w.world.router_node(w.net("hub")))
-                .expect("pushback hub")
-                .counters()
-                .filters_installed;
+            let hub = w.world.router(w.net("hub")).counters().filters_installed;
             m.set("hub_filters", hub);
         }))
         .run(seed);

@@ -11,13 +11,11 @@
 //!    one rogue hop and watch pushback stall while AITF escalates around
 //!    it and disconnects.
 
-use aitf_baseline::PushbackRouter;
-use aitf_core::{AitfConfig, NetId, RouterPolicy};
+use aitf_core::{AitfConfig, DefensePolicy, NetId, RouterPolicy};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 use aitf_scenario::{
-    Backend, BuiltWorld, HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec,
-    TrafficSpec,
+    BuiltWorld, HostSel, ProbeSet, Role, Scenario, Side, TargetSel, TopologySpec, TrafficSpec,
 };
 
 use crate::harness::{render_sweep, Table};
@@ -32,14 +30,14 @@ fn config() -> AitfConfig {
 /// The shared chain scenario: two depth-`depth` provider chains (E8's
 /// by-level naming), a 1000 pps flood, optionally one rogue attacker-side
 /// hop at `rogue_b_level`.
-fn chain_scenario(depth: usize, rogue_b_level: Option<usize>, backend: Backend) -> Scenario {
+fn chain_scenario(depth: usize, rogue_b_level: Option<usize>, policy: DefensePolicy) -> Scenario {
     let mut topo = TopologySpec::chain_pair_by_level(depth);
     if let Some(level) = rogue_b_level {
         topo.set_net_policy(&format!("1-{level}"), RouterPolicy::non_cooperating());
     }
     Scenario::new(topo)
         .config(config())
-        .backend(backend)
+        .defense(policy)
         .duration(SimDuration::from_secs(10))
         .traffic(TrafficSpec::flood(
             HostSel::Role(Role::Attacker),
@@ -50,34 +48,21 @@ fn chain_scenario(depth: usize, rogue_b_level: Option<usize>, backend: Backend) 
 }
 
 /// Counts `(nodes_involved, routers_with_filters)` over every chain
-/// router, for either backend.
-fn involvement(w: &BuiltWorld, backend: Backend) -> (u64, u64) {
+/// router, for either defense.
+fn involvement(w: &BuiltWorld, policy: DefensePolicy) -> (u64, u64) {
     let mut nodes_involved = 0u64;
     let mut with_filters = 0u64;
     let mut nets = w.nets_on(Side::Victim);
     nets.extend(w.nets_on(Side::Attacker));
     for net in nets {
-        let (touched, installs) = match backend {
-            Backend::Aitf => {
-                let r = w.world.router(net);
-                (
-                    r.counters().requests_received > 0,
-                    r.filters().stats().installs,
-                )
+        let r = w.world.router(net);
+        let touched = match policy {
+            DefensePolicy::Pushback => {
+                r.counters().requests_received > 0 || r.pushback().pushback_received > 0
             }
-            Backend::Pushback => {
-                let r = w
-                    .world
-                    .sim
-                    .node_ref::<PushbackRouter>(w.world.router_node(net))
-                    .expect("pushback router");
-                let c = r.counters();
-                (
-                    c.requests_received > 0 || c.pushback_received > 0,
-                    r.filters().stats().installs,
-                )
-            }
+            _ => r.counters().requests_received > 0,
         };
+        let installs = r.filters().stats().installs;
         nodes_involved += u64::from(touched);
         with_filters += u64::from(installs > 0);
     }
@@ -86,13 +71,13 @@ fn involvement(w: &BuiltWorld, backend: Backend) -> (u64, u64) {
 
 /// Runs one protocol on a depth-`depth` chain (all routers cooperative);
 /// metrics `nodes`, `filters`, `leak`.
-pub fn run_protocol(depth: usize, backend: Backend, seed: u64, shards: usize) -> Outcome {
-    chain_scenario(depth, None, backend)
+pub fn run_protocol(depth: usize, policy: DefensePolicy, seed: u64, shards: usize) -> Outcome {
+    chain_scenario(depth, None, policy)
         .shards(shards)
         .probes(
             ProbeSet::new()
                 .end(move |w, m| {
-                    let (nodes, filters) = involvement(w, backend);
+                    let (nodes, filters) = involvement(w, policy);
                     m.set("nodes", nodes);
                     m.set("filters", filters);
                 })
@@ -127,7 +112,7 @@ fn uplink_sent(w: &aitf_core::World, net: NetId) -> u64 {
 /// grace period — nothing crosses the rogue's uplink any more. This is a
 /// two-phase measurement, so it drives the built scenario by hand.
 pub fn rogue_aitf(seed: u64, shards: usize) -> RogueOutcome {
-    let mut w = chain_scenario(3, Some(0), Backend::Aitf)
+    let mut w = chain_scenario(3, Some(0), DefensePolicy::Aitf)
         .shards(shards)
         .build(seed);
     let leaf = w.net("1-0");
@@ -146,19 +131,12 @@ pub fn rogue_aitf(seed: u64, shards: usize) -> RogueOutcome {
 /// Pushback with the same rogue: the chain stalls one hop above; the
 /// rogue's uplink keeps carrying the full flood forever.
 pub fn rogue_pushback(seed: u64, shards: usize) -> RogueOutcome {
-    let mut w = chain_scenario(3, Some(0), Backend::Pushback)
+    let mut w = chain_scenario(3, Some(0), DefensePolicy::Pushback)
         .shards(shards)
         .build(seed);
     let leaf = w.net("1-0");
     w.world.sim.run_for(SimDuration::from_secs(10));
-    let edge_filtered = w
-        .world
-        .sim
-        .node_ref::<PushbackRouter>(w.world.router_node(leaf))
-        .expect("router")
-        .counters()
-        .filters_installed
-        > 0;
+    let edge_filtered = w.world.router(leaf).counters().filters_installed > 0;
     let before = uplink_sent(&w.world, leaf);
     w.world.sim.run_for(SimDuration::from_secs(5));
     let after = uplink_sent(&w.world, leaf);
@@ -188,8 +166,8 @@ pub fn spec(quick: bool) -> ScenarioSpec {
     )
     .runner(|p, ctx| {
         let d = p.usize("depth_per_side");
-        let aitf = run_protocol(d, Backend::Aitf, ctx.seed, ctx.shards);
-        let pb = run_protocol(d, Backend::Pushback, ctx.seed, ctx.shards);
+        let aitf = run_protocol(d, DefensePolicy::Aitf, ctx.seed, ctx.shards);
+        let pb = run_protocol(d, DefensePolicy::Pushback, ctx.seed, ctx.shards);
         Outcome::new(
             Params::new()
                 .with("aitf_nodes", aitf.metrics.u64("nodes"))
@@ -251,10 +229,10 @@ mod tests {
 
     #[test]
     fn aitf_involvement_is_constant_pushback_grows() {
-        let a3 = run_protocol(3, Backend::Aitf, 1, 1);
-        let a5 = run_protocol(5, Backend::Aitf, 1, 1);
-        let p3 = run_protocol(3, Backend::Pushback, 1, 1);
-        let p5 = run_protocol(5, Backend::Pushback, 1, 1);
+        let a3 = run_protocol(3, DefensePolicy::Aitf, 1, 1);
+        let a5 = run_protocol(5, DefensePolicy::Aitf, 1, 1);
+        let p3 = run_protocol(3, DefensePolicy::Pushback, 1, 1);
+        let p5 = run_protocol(5, DefensePolicy::Pushback, 1, 1);
         assert_eq!(
             a3.metrics.u64("nodes"),
             a5.metrics.u64("nodes"),
@@ -272,8 +250,8 @@ mod tests {
 
     #[test]
     fn both_protect_the_victim_in_the_cooperative_case() {
-        let a = run_protocol(3, Backend::Aitf, 2, 1);
-        let p = run_protocol(3, Backend::Pushback, 2, 1);
+        let a = run_protocol(3, DefensePolicy::Aitf, 2, 1);
+        let p = run_protocol(3, DefensePolicy::Pushback, 2, 1);
         assert!(a.metrics.f64("leak") < 0.1, "{a:?}");
         assert!(p.metrics.f64("leak") < 0.1, "{p:?}");
     }

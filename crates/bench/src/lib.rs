@@ -29,6 +29,7 @@
 //! | [`e16_deployment_incentive`] | §III, §IV-B | every additional AITF provider pays off for the victim |
 //! | [`e17_provider_churn`] | §III under network churn | leak recovers as providers leave/rejoin AITF mid-attack |
 //! | [`e18_megatree`] | §III-C at scale | a 105,800-host tree behaves like E10's world, 100× larger |
+//! | [`e19_defense_bakeoff`] | §V, generalized | four defense policies ranked on one world, one seed |
 
 pub mod e10_scaling;
 pub mod e11_detection;
@@ -39,6 +40,7 @@ pub mod e15_host_churn;
 pub mod e16_deployment_incentive;
 pub mod e17_provider_churn;
 pub mod e18_megatree;
+pub mod e19_defense_bakeoff;
 pub mod e1_escalation;
 pub mod e2_effective_bandwidth;
 pub mod e3_protection_capacity;
@@ -77,6 +79,7 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e16_deployment_incentive::spec(quick));
     r.register(e17_provider_churn::spec(quick));
     r.register(e18_megatree::spec(quick));
+    r.register(e19_defense_bakeoff::spec(quick));
     r.register(figures::spec(quick));
     r
 }

@@ -113,6 +113,90 @@ fn chain(hops: usize) -> Simulator {
     sim
 }
 
+// ----------------------------------------------------------------------
+// The same guarantee over the real router, once per defense policy: after
+// the blocking phase settles, every hook chain's steady state — wire
+// drops, prefix policing, stamp checks, control-plane vetoes — must
+// dispatch without touching the heap.
+// ----------------------------------------------------------------------
+
+use aitf_core::{AitfConfig, DefensePolicy, HostPolicy, WorldBuilder};
+use aitf_packet::Protocol;
+
+/// Steady flood as a host app (mirrors aitf-attack's FloodSource without
+/// the dependency).
+struct HostFlood {
+    target: Addr,
+    period: SimDuration,
+}
+
+impl aitf_core::TrafficApp for HostFlood {
+    fn on_start(&mut self, api: &mut aitf_core::HostApi<'_, '_>) {
+        api.set_timer(self.period, 0);
+    }
+
+    fn on_timer(&mut self, _t: u32, api: &mut aitf_core::HostApi<'_, '_>) {
+        api.send_from_self(self.target, Protocol::Udp, 80, TrafficClass::Attack, 500);
+        api.set_timer(self.period, 0);
+    }
+}
+
+/// A two-zombie star flooding one victim, every router running `policy`.
+/// Long timers keep installs/expiries/disconnections out of the probe
+/// window: after warm-up the defense is pure per-packet work.
+fn policy_world(policy: DefensePolicy) -> aitf_core::World {
+    let cfg = AitfConfig {
+        defense: policy,
+        t_long: SimDuration::from_secs(600),
+        grace: SimDuration::from_secs(3600),
+        ..AitfConfig::default()
+    };
+    let mut b = WorldBuilder::new(0xE19, cfg);
+    let wan = b.network("wan", "10.100.0.0/16", None);
+    let g = b.network("g", "10.1.0.0/16", Some(wan));
+    let z0 = b.network("z0", "10.2.0.0/16", Some(wan));
+    let z1 = b.network("z1", "10.3.0.0/16", Some(wan));
+    let v = b.host(g);
+    let a0 = b.host_with(z0, HostPolicy::Malicious, WorldBuilder::default_host_link());
+    let a1 = b.host_with(z1, HostPolicy::Malicious, WorldBuilder::default_host_link());
+    let mut w = b.build();
+    let target = w.host_addr(v);
+    for a in [a0, a1] {
+        w.add_app(
+            a,
+            Box::new(HostFlood {
+                target,
+                period: SimDuration::from_micros(100),
+            }),
+        );
+    }
+    w
+}
+
+#[test]
+fn every_defense_policy_dispatches_alloc_free_in_steady_state() {
+    for policy in DefensePolicy::BAKEOFF {
+        let mut w = policy_world(policy);
+        // Warm-up: detection, escalation/propagation and filter installs
+        // all complete; maps and queues reach high-water capacity.
+        w.sim.run_for(SimDuration::from_secs(4));
+        let ev0 = w.sim.dispatched_events();
+        let ((), allocs) = CountingAlloc::count(|| w.sim.run_for(SimDuration::from_secs(15)));
+        let events = w.sim.dispatched_events() - ev0;
+        assert!(
+            events >= 300_000,
+            "{}: the probe window must be non-trivial ({events} events)",
+            policy.name()
+        );
+        assert_eq!(
+            allocs,
+            0,
+            "{}: steady-state dispatch allocated ({allocs} allocs over {events} events)",
+            policy.name()
+        );
+    }
+}
+
 #[test]
 fn disabled_tracing_dispatches_with_zero_allocations_per_event() {
     let mut sim = chain(8);

@@ -6,6 +6,7 @@
 //! the time an attacker (or attacker's gateway) is given to stop before
 //! disconnection.
 
+use aitf_defense::DefensePolicy;
 use aitf_filter::EvictionPolicy;
 use aitf_netsim::SimDuration;
 
@@ -93,6 +94,11 @@ pub struct AitfConfig {
     pub fast_redetect: bool,
     /// Record a human-readable per-node timeline (examples turn this on).
     pub trace: bool,
+    /// Which defense populates every border router's hook chains. The
+    /// default is the paper's AITF protocol; `Scenario::defense(..)`
+    /// sweeps the axis (pushback baseline, per-prefix rate-limiting,
+    /// path stamping) through identical topologies and seeds.
+    pub defense: DefensePolicy,
 }
 
 impl Default for AitfConfig {
@@ -117,6 +123,7 @@ impl Default for AitfConfig {
             packet_triggered_reactivation: true,
             fast_redetect: true,
             trace: false,
+            defense: DefensePolicy::Aitf,
         }
     }
 }

@@ -18,8 +18,12 @@
 //! ## Crate layout
 //!
 //! - [`config`] — timers (`T`, `Ttmp`, grace), contracts (`R1`, `R2`),
-//!   per-node policies, traceback mode.
-//! - [`router`] — [`BorderRouter`]: every protocol role in one node.
+//!   per-node policies, traceback mode, defense policy.
+//! - [`router`] — [`BorderRouter`]: every protocol role in one node,
+//!   organised as Ingress/Escalate/Egress hook chains.
+//! - [`pipeline`] — stage declarations and per-policy chain wiring for
+//!   the router's defense hooks.
+//! - [`pushback`] — state for the hop-by-hop pushback baseline policy.
 //! - [`host`] — [`EndHost`]: victim agent, attacker compliance, pluggable
 //!   [`TrafficApp`]s.
 //! - [`world`] — [`WorldBuilder`]: networks, hosts, routing, contracts.
@@ -46,15 +50,20 @@
 pub mod config;
 pub mod detector;
 pub mod host;
+pub mod pipeline;
 mod proto_tests;
+pub mod pushback;
 pub mod router;
 pub mod world;
 
 pub use config::{AitfConfig, Contract, HostPolicy, RouterPolicy, TracebackMode};
-// Re-exported so capacity-sweeping layers can name the policy without a
-// direct aitf-filter dependency.
+// Re-exported so scenario/experiment layers can name the sweep axes
+// without a direct aitf-filter / aitf-defense dependency.
+pub use aitf_defense::DefensePolicy;
 pub use aitf_filter::EvictionPolicy;
 pub use detector::{DetectionMode, RateDetector};
 pub use host::{EndHost, HostApi, HostCounters, TrafficApp};
+pub use pipeline::{PolicyChains, StageId};
+pub use pushback::{PushbackCounters, PushbackState, LINK_LOCAL, MAX_PUSHBACK_DEPTH};
 pub use router::{BorderRouter, RouterCounters, RouterSpec};
 pub use world::{HostId, NetId, World, WorldBuilder};

@@ -1,0 +1,250 @@
+//! The border router's hook pipeline: which defense stages run where.
+//!
+//! This module owns the *wiring* of the defense pipeline — the stage
+//! marker types with their [`Stage`] declarations (name + `after`
+//! dependencies) and the per-policy chain assembly. The stage *logic*
+//! lives next to the router state it operates on: `router.rs` implements
+//! [`aitf_defense::ReadStage`] / [`aitf_defense::WriteStage`] for every
+//! marker type and `match`-dispatches on [`StageId`] — static dispatch,
+//! so the hot path stays allocation-free whatever the policy.
+//!
+//! Hook map (stages in resolved chain order):
+//!
+//! ```text
+//! policy            Ingress                              Egress                         Escalate
+//! ----------------  -----------------------------------  -----------------------------  --------------------------
+//! Aitf              ingress_filter > wire_filter         ttl_check > ttl_decrement      aitf_admission >
+//!                     > shadow_react                       > traceback_stamp              aitf_dispatch
+//! Pushback          pushback_wire_filter                 ttl_check > ttl_decrement      pushback_control
+//!                     > pushback_arrival
+//! IngressRateLimit  prefix_police                        ttl_check > ttl_decrement      ratelimit_control
+//! PathStamp         path_stamp_check                     ttl_check > ttl_decrement      path_stamp_control
+//!                                                          > path_stamp_mark
+//! ```
+//!
+//! After the Egress chain, the hook's terminal action (route lookup +
+//! transmit) runs — it is the datapath's one fixed step, not a stage.
+
+use aitf_defense::{Chain, ChainBuilder, DefenseError, DefensePolicy, Hook, Stage};
+
+/// Dispatch ids for every stage any policy can register. A built
+/// [`Chain`] is a flat array of these; the router `match`es per packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageId {
+    // AITF ingress.
+    /// Client anti-spoofing (Section III-A).
+    AitfIngressFilter,
+    /// Wire-speed flow filter check.
+    AitfWireFilter,
+    /// Shadow-cache reactivation trigger (on-off flows).
+    AitfShadowReact,
+    // AITF egress.
+    /// Route-record / sampling traceback stamp.
+    AitfStamp,
+    // AITF escalate.
+    /// Request admission: counting, enablement, contract policing.
+    AitfAdmission,
+    /// Role dispatch: victim gateway / attacker gateway / attacker.
+    AitfDispatch,
+    // Shared egress.
+    /// TTL-exhaustion veto.
+    TtlCheck,
+    /// TTL decrement.
+    TtlDecrement,
+    // Pushback.
+    /// Aggregate-filter check (also refreshes the arrival record).
+    PushbackWireFilter,
+    /// Arrival-link learning for upstream propagation.
+    PushbackArrival,
+    /// Pushback / edge-trigger control handling.
+    PushbackControl,
+    // Ingress rate limiting.
+    /// Per-source-prefix token-bucket policing on client links.
+    PrefixPolice,
+    /// Control sink: counts and ignores filtering requests.
+    RatelimitControl,
+    // Path stamping.
+    /// Revoked-origin check against the packet's route record.
+    PathStampCheck,
+    /// Unconditional route-record stamp (the "capability").
+    PathStampMark,
+    /// Origin revocation on a victim's filtering request.
+    PathStampControl,
+}
+
+// Stage marker types. Each carries only its declaration; the logic is the
+// trait impl in `router.rs`.
+macro_rules! declare_stage {
+    ($(#[$doc:meta])* $ty:ident, $name:literal $(, after: [$($dep:literal),*])?) => {
+        $(#[$doc])*
+        pub struct $ty;
+        impl Stage for $ty {
+            const NAME: &'static str = $name;
+            $(const AFTER: &'static [&'static str] = &[$($dep),*];)?
+        }
+    };
+}
+
+declare_stage!(
+    /// AITF client anti-spoofing at ingress.
+    AitfIngressFilter, "ingress_filter");
+declare_stage!(
+    /// AITF wire-speed filter; must see only unspoofed traffic.
+    AitfWireFilter, "wire_filter", after: ["ingress_filter"]);
+declare_stage!(
+    /// Shadow reactivation; only flows that passed the wire filter.
+    AitfShadowReact, "shadow_react", after: ["wire_filter"]);
+declare_stage!(
+    /// Traceback stamping after TTL accounting.
+    AitfStamp, "traceback_stamp", after: ["ttl_decrement"]);
+declare_stage!(
+    /// Filtering-request admission (counters, enablement, policing).
+    AitfAdmission, "aitf_admission");
+declare_stage!(
+    /// Role dispatch for admitted control messages.
+    AitfDispatch, "aitf_dispatch", after: ["aitf_admission"]);
+declare_stage!(
+    /// TTL-exhaustion check (read: vetoes, does not mutate).
+    TtlCheck, "ttl_check");
+declare_stage!(
+    /// TTL decrement (write), strictly after the check.
+    TtlDecrement, "ttl_decrement", after: ["ttl_check"]);
+declare_stage!(
+    /// Pushback aggregate-filter check.
+    PushbackWireFilter, "pushback_wire_filter");
+declare_stage!(
+    /// Pushback arrival-link learning for surviving packets.
+    PushbackArrival, "pushback_arrival", after: ["pushback_wire_filter"]);
+declare_stage!(
+    /// Pushback control plane (hop-by-hop requests + edge trigger).
+    PushbackControl, "pushback_control");
+declare_stage!(
+    /// Per-prefix token-bucket policing at client links.
+    PrefixPolice, "prefix_police");
+declare_stage!(
+    /// Rate-limit control sink (requests are counted, never served).
+    RatelimitControl, "ratelimit_control");
+declare_stage!(
+    /// Path-stamp revocation check at ingress.
+    PathStampCheck, "path_stamp_check");
+declare_stage!(
+    /// Path-stamp route-record mark after TTL accounting.
+    PathStampMark, "path_stamp_mark", after: ["ttl_decrement"]);
+declare_stage!(
+    /// Path-stamp origin revocation on filtering requests.
+    PathStampControl, "path_stamp_control");
+
+/// The three resolved chains of one router.
+#[derive(Clone, Debug)]
+pub struct PolicyChains {
+    /// Runs on every packet entering the forwarding path.
+    pub ingress: Chain<StageId>,
+    /// Runs on control packets addressed to this router.
+    pub escalate: Chain<StageId>,
+    /// Runs just before the route lookup + transmit.
+    pub egress: Chain<StageId>,
+}
+
+impl PolicyChains {
+    /// Assembles the chains for `policy`. The registrations below are
+    /// static, so failure is a programming error surfaced by tests — but
+    /// the resolver's contract (duplicate / unknown-dep / cycle as typed
+    /// errors, never panics) is what makes new policy authoring safe.
+    pub fn build(policy: DefensePolicy) -> Result<PolicyChains, DefenseError> {
+        let ingress = ChainBuilder::new(Hook::Ingress);
+        let escalate = ChainBuilder::new(Hook::Escalate);
+        let egress = ChainBuilder::new(Hook::Egress)
+            .stage::<TtlCheck>(StageId::TtlCheck)
+            .stage::<TtlDecrement>(StageId::TtlDecrement);
+        let (ingress, escalate, egress) = match policy {
+            DefensePolicy::Aitf => (
+                ingress
+                    .stage::<AitfIngressFilter>(StageId::AitfIngressFilter)
+                    .stage::<AitfWireFilter>(StageId::AitfWireFilter)
+                    .stage::<AitfShadowReact>(StageId::AitfShadowReact),
+                escalate
+                    .stage::<AitfAdmission>(StageId::AitfAdmission)
+                    .stage::<AitfDispatch>(StageId::AitfDispatch),
+                egress.stage::<AitfStamp>(StageId::AitfStamp),
+            ),
+            DefensePolicy::Pushback => (
+                ingress
+                    .stage::<PushbackWireFilter>(StageId::PushbackWireFilter)
+                    .stage::<PushbackArrival>(StageId::PushbackArrival),
+                escalate.stage::<PushbackControl>(StageId::PushbackControl),
+                egress,
+            ),
+            DefensePolicy::IngressRateLimit { .. } => (
+                ingress.stage::<PrefixPolice>(StageId::PrefixPolice),
+                escalate.stage::<RatelimitControl>(StageId::RatelimitControl),
+                egress,
+            ),
+            DefensePolicy::PathStamp => (
+                ingress.stage::<PathStampCheck>(StageId::PathStampCheck),
+                escalate.stage::<PathStampControl>(StageId::PathStampControl),
+                egress.stage::<PathStampMark>(StageId::PathStampMark),
+            ),
+        };
+        Ok(PolicyChains {
+            ingress: ingress.build()?,
+            escalate: escalate.build()?,
+            egress: egress.build()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_builds_and_matches_the_hook_map() {
+        for policy in DefensePolicy::BAKEOFF {
+            let chains = PolicyChains::build(policy)
+                .unwrap_or_else(|e| panic!("{policy:?} chains must build: {e}"));
+            assert!(!chains.egress.is_empty());
+            // TTL accounting is shared by every policy, in check-then-
+            // decrement order.
+            let egress: Vec<_> = chains.egress.names().collect();
+            let check = egress.iter().position(|&n| n == "ttl_check").unwrap();
+            let dec = egress.iter().position(|&n| n == "ttl_decrement").unwrap();
+            assert!(check < dec);
+        }
+    }
+
+    #[test]
+    fn aitf_chains_keep_the_pre_pipeline_operation_order() {
+        // The equivalence fixture pins records bit-identically; the chain
+        // order below is the exact pre-decomposition `forward_data` /
+        // `handle_control` sequence.
+        let chains = PolicyChains::build(DefensePolicy::Aitf).unwrap();
+        assert_eq!(
+            chains.ingress.names().collect::<Vec<_>>(),
+            ["ingress_filter", "wire_filter", "shadow_react"]
+        );
+        assert_eq!(
+            chains.egress.names().collect::<Vec<_>>(),
+            ["ttl_check", "ttl_decrement", "traceback_stamp"]
+        );
+        assert_eq!(
+            chains.escalate.names().collect::<Vec<_>>(),
+            ["aitf_admission", "aitf_dispatch"]
+        );
+    }
+
+    #[test]
+    fn stamping_stages_depend_on_ttl_via_the_dag_not_declaration_order() {
+        // Declaring the stamp before TTL still resolves to TTL-first:
+        // the `after` dependency, not luck, carries the order.
+        let chain = ChainBuilder::new(Hook::Egress)
+            .stage::<AitfStamp>(StageId::AitfStamp)
+            .stage::<TtlCheck>(StageId::TtlCheck)
+            .stage::<TtlDecrement>(StageId::TtlDecrement)
+            .build()
+            .unwrap();
+        assert_eq!(
+            chain.names().collect::<Vec<_>>(),
+            ["ttl_check", "ttl_decrement", "traceback_stamp"]
+        );
+    }
+}

@@ -18,16 +18,20 @@
 
 use std::collections::HashMap;
 
+use aitf_defense::{DefensePolicy, ReadStage, Verdict, WriteStage};
 use aitf_filter::{FilterTable, InstallError, RateLimiterBank, ShadowCache};
 use aitf_netsim::{impl_node_any, Context, LinkId, Node, SimTime, Subsystem};
 use aitf_packet::{
     Addr, AitfMessage, FilteringRequest, FlowLabel, LpmTable, Nonce, Packet, PayloadKind, Prefix,
-    RequestDestination, TracebackMark, VerificationQuery, VerificationReply,
+    PushbackRequest, RequestDestination, TracebackMark, TrafficClass, VerificationQuery,
+    VerificationReply,
 };
 use aitf_trace::{Cause, SpanId, SpanKind, Tracer};
 use rand::Rng;
 
 use crate::config::{AitfConfig, RouterPolicy, TracebackMode};
+use crate::pipeline::{self, PolicyChains, StageId};
+use crate::pushback::{PushbackCounters, PushbackState, LINK_LOCAL, MAX_PUSHBACK_DEPTH};
 
 /// Everything a border router counts; read by experiments after a run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -156,10 +160,33 @@ pub struct RouterSpec {
 }
 
 /// An AITF border router node.
+///
+/// Since the hook-pipeline refactor the datapath is organised as three
+/// hook points — **Ingress** (packet entering the forwarding path),
+/// **Egress** (just before route lookup + transmit) and **Escalate**
+/// (control packets addressed to this router) — each running a
+/// DAG-ordered chain of defense stages selected by
+/// [`AitfConfig::defense`]. Stage logic is implemented on this type via
+/// [`aitf_defense::ReadStage`] / [`aitf_defense::WriteStage`] and
+/// dispatched statically through [`StageId`], so swapping the defense
+/// never costs an allocation or a virtual call on the per-packet path.
 pub struct BorderRouter {
     addr: Addr,
     cfg: AitfConfig,
     policy: RouterPolicy,
+    /// Which defense populates the chains (copied from the config).
+    defense: DefensePolicy,
+    /// Resolved per-hook stage chains for `defense`.
+    chains: PolicyChains,
+    /// Pushback baseline state (arrival-link memory + counters); inert
+    /// under every other policy.
+    pushback: PushbackState,
+    /// Per-source-prefix policer, populated only under
+    /// [`DefensePolicy::IngressRateLimit`].
+    prefix_limiter: Option<RateLimiterBank>,
+    /// Revoked path-stamp origins `(first-hop router, expiry)`, populated
+    /// only under [`DefensePolicy::PathStamp`].
+    stamp_blocks: Vec<(Addr, SimTime)>,
     fwd: LpmTable<LinkId>,
     uplink: Option<LinkId>,
     ancestors: Vec<Addr>,
@@ -205,10 +232,21 @@ impl BorderRouter {
                 cfg.client_contract.burst,
             );
         }
+        let defense = cfg.defense;
         BorderRouter {
             filters: FilterTable::with_policy(cfg.filter_capacity, cfg.eviction),
             shadow: ShadowCache::new(cfg.shadow_capacity),
             limiter,
+            defense,
+            chains: PolicyChains::build(defense).expect("static policy chains build"),
+            pushback: PushbackState::default(),
+            prefix_limiter: match defense {
+                DefensePolicy::IngressRateLimit { rate_pps, burst } => {
+                    Some(RateLimiterBank::new(rate_pps as f64, burst))
+                }
+                _ => None,
+            },
+            stamp_blocks: Vec::new(),
             cfg,
             policy: spec.policy,
             fwd: spec.fwd,
@@ -269,6 +307,33 @@ impl BorderRouter {
     /// The contract policer (read-only).
     pub fn limiter(&self) -> &RateLimiterBank {
         &self.limiter
+    }
+
+    /// Which defense policy populates this router's hook chains.
+    pub fn defense(&self) -> DefensePolicy {
+        self.defense
+    }
+
+    /// The resolved hook chains (read-only; experiments and docs
+    /// introspect the stage order).
+    pub fn chains(&self) -> &PolicyChains {
+        &self.chains
+    }
+
+    /// Pushback-plane counters (all zero unless the world runs
+    /// [`DefensePolicy::Pushback`]).
+    pub fn pushback(&self) -> PushbackCounters {
+        self.pushback.counters
+    }
+
+    /// Total defense state this router currently holds: wire-speed filter
+    /// entries plus policy-specific state (revoked path-stamp origins,
+    /// per-prefix policing buckets). The bake-off's "filter footprint"
+    /// metric sums this over every router.
+    pub fn defense_footprint(&self) -> usize {
+        self.filters.len()
+            + self.stamp_blocks.len()
+            + self.prefix_limiter.as_ref().map_or(0, RateLimiterBank::len)
     }
 
     /// The recorded timeline (empty unless `config.trace`).
@@ -351,85 +416,84 @@ impl BorderRouter {
     }
 
     // ------------------------------------------------------------------
-    // Data plane.
+    // Data plane: the Ingress and Egress hooks.
     // ------------------------------------------------------------------
 
+    /// Runs one stage by id — the static-dispatch heart of the pipeline.
+    /// Every arm is a monomorphized trait call on a unit marker type, so
+    /// walking a chain is a `match` per stage: no boxing, no vtables, no
+    /// allocation. Write stages cannot veto; they report `Continue`.
+    fn run_stage(
+        &mut self,
+        id: StageId,
+        packet: &mut Packet,
+        arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        use pipeline as st;
+        match id {
+            StageId::AitfIngressFilter => {
+                st::AitfIngressFilter::inspect(self, packet, arrival, ctx)
+            }
+            StageId::AitfWireFilter => st::AitfWireFilter::inspect(self, packet, arrival, ctx),
+            StageId::AitfShadowReact => st::AitfShadowReact::inspect(self, packet, arrival, ctx),
+            StageId::TtlCheck => st::TtlCheck::inspect(self, packet, arrival, ctx),
+            StageId::TtlDecrement => {
+                st::TtlDecrement::apply(self, packet, arrival, ctx);
+                Verdict::Continue
+            }
+            StageId::AitfStamp => {
+                st::AitfStamp::apply(self, packet, arrival, ctx);
+                Verdict::Continue
+            }
+            StageId::AitfAdmission => st::AitfAdmission::inspect(self, packet, arrival, ctx),
+            StageId::AitfDispatch => {
+                st::AitfDispatch::apply(self, packet, arrival, ctx);
+                Verdict::Continue
+            }
+            StageId::PushbackWireFilter => {
+                st::PushbackWireFilter::inspect(self, packet, arrival, ctx)
+            }
+            StageId::PushbackArrival => st::PushbackArrival::inspect(self, packet, arrival, ctx),
+            StageId::PushbackControl => {
+                st::PushbackControl::apply(self, packet, arrival, ctx);
+                Verdict::Continue
+            }
+            StageId::PrefixPolice => st::PrefixPolice::inspect(self, packet, arrival, ctx),
+            StageId::RatelimitControl => st::RatelimitControl::inspect(self, packet, arrival, ctx),
+            StageId::PathStampCheck => st::PathStampCheck::inspect(self, packet, arrival, ctx),
+            StageId::PathStampMark => {
+                st::PathStampMark::apply(self, packet, arrival, ctx);
+                Verdict::Continue
+            }
+            StageId::PathStampControl => {
+                st::PathStampControl::apply(self, packet, arrival, ctx);
+                Verdict::Continue
+            }
+        }
+    }
+
     fn forward_data(&mut self, mut packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
-        let now = ctx.now();
-        let is_data = packet.is_data();
-
-        // Ingress filtering: a client packet must be sourced inside the
-        // client's own prefixes (Section III-A's incentive).
-        if self.policy.aitf_enabled && self.policy.ingress_filtering && is_data {
-            if let Some(prefixes) = self.client_prefixes(arrival) {
-                if !prefixes.iter().any(|p| p.contains(packet.header.src)) {
-                    self.counters.spoofed_dropped += 1;
-                    return;
-                }
-            }
-        }
-
-        // Wire-speed filter check.
-        if self.policy.aitf_enabled && is_data && self.filters.matches(&packet.header, now) {
-            self.counters.data_filtered_pkts += 1;
-            self.counters.data_filtered_bytes += packet.size_bytes as u64;
-            // The blocked packet still carries traceback information a
-            // pending request may be waiting for.
-            self.harvest_pending_path(&packet, ctx);
-            return;
-        }
-
-        // Shadow reactivation: a recently blocked flow reappeared after its
-        // temporary filter expired — the attacker side never took over.
-        if self.policy.aitf_enabled
-            && is_data
-            && self.cfg.packet_triggered_reactivation
-            && self.policy.cooperating
-        {
-            if let Some(entry) = self.shadow.check_reactivation(&packet.header, now) {
-                self.counters.reactivations += 1;
-                self.trace(now, || {
-                    format!(
-                        "reactivation: {} round {} reappeared",
-                        entry.label, entry.round
-                    )
-                });
-                self.on_reactivation(entry, &packet, ctx);
+        // Ingress hook: any stage may veto the packet.
+        for i in 0..self.chains.ingress.len() {
+            let id = self.chains.ingress.stage(i);
+            if self.run_stage(id, &mut packet, arrival, ctx).is_drop() {
+                // The defense consumed the packet: attribute this event's
+                // cost to the hook pipeline, not plain forwarding.
+                ctx.profile_subsystem(Subsystem::DefenseHook);
                 return;
             }
         }
-
-        // TTL.
-        match packet.header.ttl.checked_sub(1) {
-            Some(0) | None => {
-                self.counters.undeliverable += 1;
+        // Egress hook: TTL accounting, traceback stamping.
+        for i in 0..self.chains.egress.len() {
+            let id = self.chains.egress.stage(i);
+            if self.run_stage(id, &mut packet, arrival, ctx).is_drop() {
+                ctx.profile_subsystem(Subsystem::DefenseHook);
                 return;
             }
-            Some(ttl) => packet.header.ttl = ttl,
         }
-
-        // Traceback stamping (data plane only; control messages are
-        // point-to-point and need no traceback).
-        if self.policy.aitf_enabled && is_data {
-            match self.cfg.traceback {
-                TracebackMode::RouteRecord => {
-                    // A full record degrades traceback but must not break
-                    // forwarding.
-                    let _ = packet.route_record.push(self.addr);
-                }
-                TracebackMode::Sampling { p, .. } => {
-                    if ctx.rng().gen_bool(p) {
-                        packet.mark = Some(TracebackMark {
-                            router: self.addr,
-                            distance: 0,
-                        });
-                    } else if let Some(m) = &mut packet.mark {
-                        m.distance = m.distance.saturating_add(1);
-                    }
-                }
-            }
-        }
-
+        // Terminal action: route lookup + transmit (the datapath's one
+        // fixed step — every policy forwards what its chains let through).
         match self.fwd.lookup(packet.header.dst) {
             Some(&link) => {
                 self.counters.data_forwarded += 1;
@@ -480,46 +544,59 @@ impl BorderRouter {
     }
 
     // ------------------------------------------------------------------
-    // Control plane.
+    // Control plane: the Escalate hook.
     // ------------------------------------------------------------------
 
-    fn handle_control(&mut self, packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
-        // Control handling is AITF escalation work, not datapath work.
-        ctx.profile_subsystem(Subsystem::Escalation);
-        let PayloadKind::Aitf(msg) = packet.payload else {
-            return;
-        };
-        match msg {
-            AitfMessage::FilteringRequest(req) => self.handle_request(req, arrival, ctx),
-            AitfMessage::VerificationReply(rep) => self.handle_verification_reply(rep, ctx),
-            AitfMessage::VerificationQuery(_) | AitfMessage::Pushback(_) => {
-                // Queries are for victims (end hosts) and pushback belongs
-                // to the baseline protocol; either here is a misdelivery.
-                self.counters.undeliverable += 1;
+    fn handle_control(&mut self, mut packet: Packet, arrival: LinkId, ctx: &mut Context<'_>) {
+        // AITF control handling is escalation work; every other policy's
+        // control plane is part of its defense pipeline.
+        ctx.profile_subsystem(match self.defense {
+            DefensePolicy::Aitf => Subsystem::Escalation,
+            _ => Subsystem::DefenseHook,
+        });
+        for i in 0..self.chains.escalate.len() {
+            let id = self.chains.escalate.stage(i);
+            if self.run_stage(id, &mut packet, arrival, ctx).is_drop() {
+                return;
             }
         }
     }
 
-    fn handle_request(&mut self, req: FilteringRequest, arrival: LinkId, ctx: &mut Context<'_>) {
+    /// Pushback's hop-by-hop step: block the aggregate locally and relay
+    /// the request to the contributing upstream neighbour.
+    fn pushback_block_and_propagate(
+        &mut self,
+        flow: FlowLabel,
+        id: u64,
+        depth: u8,
+        ctx: &mut Context<'_>,
+    ) {
         let now = ctx.now();
-        self.counters.requests_received += 1;
-
-        if !self.policy.aitf_enabled {
-            self.counters.requests_ignored += 1;
+        if self.filters.install(flow, now, self.cfg.t_long).is_ok() {
+            self.counters.filters_installed += 1;
+        }
+        if depth >= MAX_PUSHBACK_DEPTH {
             return;
         }
-
-        // Contract policing per arrival interface (Section II-B).
-        if !self.limiter.try_acquire(arrival.0 as u64, now) {
-            self.counters.requests_policed += 1;
+        // The contributing upstream neighbour is whoever the aggregate has
+        // been arriving from.
+        let key = match (flow.src_host(), flow.dst_host()) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return,
+        };
+        let Some(uplink) = self.pushback.arrival_of(key) else {
             return;
-        }
-
-        match req.dest {
-            RequestDestination::VictimGateway => self.victim_gateway_role(req, arrival, ctx),
-            RequestDestination::AttackerGateway => self.attacker_gateway_role(req, ctx),
-            RequestDestination::Attacker => self.attacker_role(req, ctx),
-        }
+        };
+        let msg = AitfMessage::Pushback(PushbackRequest {
+            id,
+            flow,
+            limit_bps: 0,
+            duration_ns: self.cfg.t_long.as_nanos(),
+            depth: depth + 1,
+        });
+        let pkt = Packet::control(ctx.next_packet_id(), self.addr, LINK_LOCAL, msg);
+        self.pushback.counters.pushback_sent += 1;
+        ctx.send(uplink, pkt);
     }
 
     // ------------------------------------------------------------------
@@ -1179,13 +1256,19 @@ impl BorderRouter {
 
 impl Node for BorderRouter {
     fn on_packet(&mut self, packet: Packet, link: LinkId, ctx: &mut Context<'_>) {
-        if packet.header.dst == self.addr {
+        // The Escalate hook sees control packets addressed to this router —
+        // plus, under pushback, the protocol's link-local hop-by-hop
+        // messages (no other policy addresses packets to `LINK_LOCAL`).
+        if packet.header.dst == self.addr
+            || (packet.header.dst == LINK_LOCAL && matches!(self.defense, DefensePolicy::Pushback))
+        {
             self.handle_control(packet, link, ctx);
             return;
         }
         // Compromised on-path router: snoop verification queries and forge
-        // confirming replies (Section III-B's caveat).
-        if self.policy.compromised {
+        // confirming replies (Section III-B's caveat). Handshakes only
+        // exist under AITF.
+        if self.policy.compromised && matches!(self.defense, DefensePolicy::Aitf) {
             if let PayloadKind::Aitf(AitfMessage::VerificationQuery(q)) = &packet.payload {
                 let forged = VerificationReply {
                     request_id: q.request_id,
@@ -1241,4 +1324,390 @@ impl Node for BorderRouter {
     }
 
     impl_node_any!();
+}
+
+// ----------------------------------------------------------------------
+// Stage logic. Marker types and chain wiring live in `crate::pipeline`;
+// the bodies live here, next to the router state they operate on. Read
+// stages (`inspect`) may veto a packet; write stages (`apply`) mutate the
+// packet or router state and cannot veto.
+// ----------------------------------------------------------------------
+
+// --- AITF ingress ------------------------------------------------------
+
+impl ReadStage<BorderRouter> for pipeline::AitfIngressFilter {
+    /// Ingress filtering: a client packet must be sourced inside the
+    /// client's own prefixes (Section III-A's incentive).
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        arrival: LinkId,
+        _ctx: &mut Context<'_>,
+    ) -> Verdict {
+        if r.policy.aitf_enabled && r.policy.ingress_filtering && packet.is_data() {
+            if let Some(prefixes) = r.client_prefixes(arrival) {
+                if !prefixes.iter().any(|p| p.contains(packet.header.src)) {
+                    r.counters.spoofed_dropped += 1;
+                    return Verdict::Drop;
+                }
+            }
+        }
+        Verdict::Continue
+    }
+}
+
+impl ReadStage<BorderRouter> for pipeline::AitfWireFilter {
+    /// Wire-speed filter check.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        _arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        let now = ctx.now();
+        if r.policy.aitf_enabled && packet.is_data() && r.filters.matches(&packet.header, now) {
+            r.counters.data_filtered_pkts += 1;
+            r.counters.data_filtered_bytes += packet.size_bytes as u64;
+            // The blocked packet still carries traceback information a
+            // pending request may be waiting for.
+            r.harvest_pending_path(packet, ctx);
+            return Verdict::Drop;
+        }
+        Verdict::Continue
+    }
+}
+
+impl ReadStage<BorderRouter> for pipeline::AitfShadowReact {
+    /// Shadow reactivation: a recently blocked flow reappeared after its
+    /// temporary filter expired — the attacker side never took over.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        _arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        let now = ctx.now();
+        if r.policy.aitf_enabled
+            && packet.is_data()
+            && r.cfg.packet_triggered_reactivation
+            && r.policy.cooperating
+        {
+            if let Some(entry) = r.shadow.check_reactivation(&packet.header, now) {
+                r.counters.reactivations += 1;
+                r.trace(now, || {
+                    format!(
+                        "reactivation: {} round {} reappeared",
+                        entry.label, entry.round
+                    )
+                });
+                r.on_reactivation(entry, packet, ctx);
+                return Verdict::Drop;
+            }
+        }
+        Verdict::Continue
+    }
+}
+
+// --- Shared egress -----------------------------------------------------
+
+impl ReadStage<BorderRouter> for pipeline::TtlCheck {
+    /// TTL-exhaustion veto: a packet whose TTL cannot survive the
+    /// decrement is undeliverable.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        _arrival: LinkId,
+        _ctx: &mut Context<'_>,
+    ) -> Verdict {
+        if packet.header.ttl <= 1 {
+            r.counters.undeliverable += 1;
+            return Verdict::Drop;
+        }
+        Verdict::Continue
+    }
+}
+
+impl WriteStage<BorderRouter> for pipeline::TtlDecrement {
+    fn apply(_r: &mut BorderRouter, packet: &mut Packet, _arrival: LinkId, _ctx: &mut Context<'_>) {
+        packet.header.ttl -= 1;
+    }
+}
+
+impl WriteStage<BorderRouter> for pipeline::AitfStamp {
+    /// Traceback stamping (data plane only; control messages are
+    /// point-to-point and need no traceback).
+    fn apply(r: &mut BorderRouter, packet: &mut Packet, _arrival: LinkId, ctx: &mut Context<'_>) {
+        if r.policy.aitf_enabled && packet.is_data() {
+            match r.cfg.traceback {
+                TracebackMode::RouteRecord => {
+                    // A full record degrades traceback but must not break
+                    // forwarding.
+                    let _ = packet.route_record.push(r.addr);
+                }
+                TracebackMode::Sampling { p, .. } => {
+                    if ctx.rng().gen_bool(p) {
+                        packet.mark = Some(TracebackMark {
+                            router: r.addr,
+                            distance: 0,
+                        });
+                    } else if let Some(m) = &mut packet.mark {
+                        m.distance = m.distance.saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- AITF escalate -----------------------------------------------------
+
+impl ReadStage<BorderRouter> for pipeline::AitfAdmission {
+    /// Request admission: counting, enablement and contract policing
+    /// (Section II-B) — every received request lands in exactly one
+    /// counter bucket, starting here.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        let PayloadKind::Aitf(msg) = &packet.payload else {
+            // A data payload addressed to a router is a misdelivery.
+            return Verdict::Drop;
+        };
+        if matches!(msg, AitfMessage::FilteringRequest(_)) {
+            r.counters.requests_received += 1;
+            if !r.policy.aitf_enabled {
+                r.counters.requests_ignored += 1;
+                return Verdict::Drop;
+            }
+            // Contract policing per arrival interface (Section II-B).
+            if !r.limiter.try_acquire(arrival.0 as u64, ctx.now()) {
+                r.counters.requests_policed += 1;
+                return Verdict::Drop;
+            }
+        }
+        Verdict::Continue
+    }
+}
+
+impl WriteStage<BorderRouter> for pipeline::AitfDispatch {
+    /// Role dispatch for admitted control messages: victim's gateway,
+    /// attacker's gateway, or the attacker itself.
+    fn apply(r: &mut BorderRouter, packet: &mut Packet, arrival: LinkId, ctx: &mut Context<'_>) {
+        // Take the message out of the packet so the roles can consume the
+        // request without cloning its route record.
+        let payload =
+            std::mem::replace(&mut packet.payload, PayloadKind::Data(TrafficClass::Legit));
+        let PayloadKind::Aitf(msg) = payload else {
+            return;
+        };
+        match msg {
+            AitfMessage::FilteringRequest(req) => match req.dest {
+                RequestDestination::VictimGateway => r.victim_gateway_role(req, arrival, ctx),
+                RequestDestination::AttackerGateway => r.attacker_gateway_role(req, ctx),
+                RequestDestination::Attacker => r.attacker_role(req, ctx),
+            },
+            AitfMessage::VerificationReply(rep) => r.handle_verification_reply(rep, ctx),
+            AitfMessage::VerificationQuery(_) | AitfMessage::Pushback(_) => {
+                // Queries are for victims (end hosts) and pushback belongs
+                // to the baseline policy; either here is a misdelivery.
+                r.counters.undeliverable += 1;
+            }
+        }
+    }
+}
+
+// --- Pushback ----------------------------------------------------------
+
+impl ReadStage<BorderRouter> for pipeline::PushbackWireFilter {
+    /// Aggregate-filter check; a drop still refreshes the arrival record
+    /// so a later propagation knows where the aggregate comes from.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        let now = ctx.now();
+        if packet.is_data() && r.filters.matches(&packet.header, now) {
+            r.counters.data_filtered_pkts += 1;
+            r.counters.data_filtered_bytes += packet.size_bytes as u64;
+            r.pushback
+                .note_arrival((packet.header.src, packet.header.dst), arrival);
+            return Verdict::Drop;
+        }
+        Verdict::Continue
+    }
+}
+
+impl ReadStage<BorderRouter> for pipeline::PushbackArrival {
+    /// Arrival-link learning for packets that survive the filter.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        arrival: LinkId,
+        _ctx: &mut Context<'_>,
+    ) -> Verdict {
+        if packet.is_data() {
+            r.pushback
+                .note_arrival((packet.header.src, packet.header.dst), arrival);
+        }
+        Verdict::Continue
+    }
+}
+
+impl WriteStage<BorderRouter> for pipeline::PushbackControl {
+    /// The pushback control plane: hop-by-hop requests from downstream
+    /// plus the victim's edge trigger (the same filtering request AITF's
+    /// victim's gateway consumes, with pushback semantics instead).
+    fn apply(r: &mut BorderRouter, packet: &mut Packet, _arrival: LinkId, ctx: &mut Context<'_>) {
+        match &packet.payload {
+            PayloadKind::Aitf(AitfMessage::Pushback(p)) => {
+                r.pushback.counters.pushback_received += 1;
+                if !r.policy.cooperating {
+                    r.pushback.counters.pushback_ignored += 1;
+                    return;
+                }
+                let (flow, id, depth) = (p.flow, p.id, p.depth);
+                r.pushback_block_and_propagate(flow, id, depth, ctx);
+            }
+            PayloadKind::Aitf(AitfMessage::FilteringRequest(req))
+                if req.dest == RequestDestination::VictimGateway =>
+            {
+                r.counters.requests_received += 1;
+                if r.policy.cooperating {
+                    let (flow, id) = (req.flow, req.id);
+                    r.pushback_block_and_propagate(flow, id, 0, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// --- Ingress rate limiting --------------------------------------------
+
+impl ReadStage<BorderRouter> for pipeline::PrefixPolice {
+    /// Per-source-prefix token-bucket policing on client links: purely
+    /// local, no escalation — and collateral for legitimate hosts sharing
+    /// a /16 with attackers.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        if packet.is_data() && r.client_prefixes(arrival).is_some() {
+            let key = (packet.header.src.0 >> 16) as u64;
+            let now = ctx.now();
+            let limiter = r
+                .prefix_limiter
+                .as_mut()
+                .expect("prefix limiter exists under IngressRateLimit");
+            if !limiter.try_acquire(key, now) {
+                r.counters.data_filtered_pkts += 1;
+                r.counters.data_filtered_bytes += packet.size_bytes as u64;
+                return Verdict::Drop;
+            }
+        }
+        Verdict::Continue
+    }
+}
+
+impl ReadStage<BorderRouter> for pipeline::RatelimitControl {
+    /// Control sink: the policy has no escalation plane, so filtering
+    /// requests are counted (for the bake-off's request accounting) and
+    /// dropped.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        _arrival: LinkId,
+        _ctx: &mut Context<'_>,
+    ) -> Verdict {
+        if let PayloadKind::Aitf(AitfMessage::FilteringRequest(_)) = &packet.payload {
+            r.counters.requests_received += 1;
+            r.counters.requests_ignored += 1;
+        }
+        Verdict::Drop
+    }
+}
+
+// --- Path stamping -----------------------------------------------------
+
+impl ReadStage<BorderRouter> for pipeline::PathStampCheck {
+    /// Drops stamped traffic whose first-hop router (the "capability"
+    /// origin) has been revoked by a victim — coarse and collateral-heavy,
+    /// which is exactly what the bake-off measures.
+    fn inspect(
+        r: &mut BorderRouter,
+        packet: &Packet,
+        _arrival: LinkId,
+        ctx: &mut Context<'_>,
+    ) -> Verdict {
+        if packet.is_data() && !r.stamp_blocks.is_empty() {
+            if let Some(&origin) = packet.route_record.hops().first() {
+                let now = ctx.now();
+                if r.stamp_blocks
+                    .iter()
+                    .any(|&(o, exp)| o == origin && exp > now)
+                {
+                    r.counters.data_filtered_pkts += 1;
+                    r.counters.data_filtered_bytes += packet.size_bytes as u64;
+                    return Verdict::Drop;
+                }
+            }
+        }
+        Verdict::Continue
+    }
+}
+
+impl WriteStage<BorderRouter> for pipeline::PathStampMark {
+    /// Every router stamps data packets unconditionally — the route
+    /// record is the capability the victim side revokes against.
+    fn apply(r: &mut BorderRouter, packet: &mut Packet, _arrival: LinkId, _ctx: &mut Context<'_>) {
+        if packet.is_data() {
+            let _ = packet.route_record.push(r.addr);
+        }
+    }
+}
+
+impl WriteStage<BorderRouter> for pipeline::PathStampControl {
+    /// Origin revocation: a victim's filtering request names an attack
+    /// path; its first hop (the attacker's edge router) is revoked for
+    /// `T`, blocking *all* stamped traffic from that origin.
+    fn apply(r: &mut BorderRouter, packet: &mut Packet, _arrival: LinkId, ctx: &mut Context<'_>) {
+        let PayloadKind::Aitf(AitfMessage::FilteringRequest(req)) = &packet.payload else {
+            return;
+        };
+        if req.dest != RequestDestination::VictimGateway {
+            return;
+        }
+        r.counters.requests_received += 1;
+        if !r.policy.cooperating {
+            r.counters.requests_ignored += 1;
+            return;
+        }
+        let Some(&origin) = req.path.hops().first() else {
+            // No stamped path sample (e.g. the flood never reached the
+            // victim): nothing to revoke against.
+            r.counters.requests_invalid += 1;
+            return;
+        };
+        let now = ctx.now();
+        if let Some(entry) = r.stamp_blocks.iter_mut().find(|(o, _)| *o == origin) {
+            entry.1 = now + r.cfg.t_long;
+            r.counters.requests_refreshed += 1;
+            return;
+        }
+        // Reclaim expired revocations before refusing for capacity.
+        r.stamp_blocks.retain(|&(_, exp)| exp > now);
+        if r.stamp_blocks.len() >= r.cfg.filter_capacity {
+            r.counters.requests_unsatisfiable += 1;
+            return;
+        }
+        r.stamp_blocks.push((origin, now + r.cfg.t_long));
+        r.counters.requests_accepted += 1;
+        r.counters.filters_installed += 1;
+    }
 }

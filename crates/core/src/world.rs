@@ -159,23 +159,17 @@ impl WorldBuilder {
     }
 
     /// Assembles the simulator, routing tables and protocol nodes, with
-    /// [`BorderRouter`]s at every network.
+    /// [`BorderRouter`]s at every network. Which defense the routers run
+    /// is the configuration's [`crate::AitfConfig::defense`] policy — the
+    /// pushback baseline and the other bake-off defenses reuse all the
+    /// topology, addressing and routing machinery through their hook
+    /// chains instead of substituting a different node type.
     ///
     /// # Panics
     ///
     /// Panics on inconsistent input: a network with more than 250 hosts,
     /// or a disconnected topology being asked to route.
     pub fn build(self) -> World {
-        self.build_with_routers(|spec| Box::new(BorderRouter::new(spec)))
-    }
-
-    /// Like [`WorldBuilder::build`] but with a custom router factory —
-    /// the pushback baseline substitutes its own router node type while
-    /// reusing all the topology, addressing and routing machinery.
-    pub fn build_with_routers(
-        self,
-        make_router: impl Fn(RouterSpec) -> Box<dyn aitf_netsim::Node>,
-    ) -> World {
         let mut nb = NetworkBuilder::new(self.seed);
 
         // One node per router, one per host.
@@ -337,12 +331,11 @@ impl WorldBuilder {
                 config: self.cfg.clone(),
                 policy: net.policy,
             };
-            sim.install(router_nodes[i], make_router(spec));
+            sim.install(router_nodes[i], Box::new(BorderRouter::new(spec)));
         }
 
-        // Hand every AITF router a clone of one shared tracer so escalation
-        // spans parent across routers. Non-AITF backends (e.g. pushback)
-        // fail the downcast and simply stay untraced.
+        // Hand every router a clone of one shared tracer so escalation
+        // spans parent across routers.
         let tracer = aitf_trace::Tracer::new();
         for &node in &router_nodes {
             if let Some(r) = sim.node_mut::<BorderRouter>(node) {
@@ -491,20 +484,19 @@ impl World {
     /// non-cooperating gateway) is merged into its provider's group:
     /// escalation disconnects such children at the provider's side of the
     /// uplink, and keeping that uplink intra-shard keeps the blocking
-    /// action local. Non-AITF router backends (the pushback baseline) have
-    /// no escalation, so every network keeps its own group there.
+    /// action local. Non-escalating defense policies (pushback, rate
+    /// limiting, path stamping — see
+    /// [`aitf_defense::DefensePolicy::escalates`]) have no disconnection
+    /// lever, so every network keeps its own group there.
     pub fn shard_hints(&self) -> PartitionSpec {
         let n = self.net_count();
-        let aitf_backend = self
-            .sim
-            .node_ref::<BorderRouter>(self.router_nodes[0])
-            .is_some();
+        let escalating = self.cfg.defense.escalates();
         // Resolve each net to its merge target. Parents are declared
         // before children in WorldBuilder, so target[parent] is final by
         // the time a child reads it.
         let mut target: Vec<usize> = (0..n).collect();
         for i in 0..n {
-            if aitf_backend && !self.net_cooperating[i] {
+            if escalating && !self.net_cooperating[i] {
                 if let Some(p) = self.net_parent[i] {
                     target[i] = target[p];
                 }
@@ -649,10 +641,6 @@ impl World {
     /// AITF (and back through one that rejoined). This is the network
     /// counterpart of [`World::detach_host`] / [`World::attach_host`]:
     /// the runtime hook `ChurnAction::SetRouterPolicy` compiles onto.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the world was built with a non-AITF router backend.
     pub fn set_router_policy(&mut self, net: NetId, policy: RouterPolicy) {
         let addr = self.router_addr[net.0];
         let enabled = policy.aitf_enabled;

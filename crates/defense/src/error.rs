@@ -1,0 +1,83 @@
+//! Build-time errors of the hook pipeline.
+
+use crate::hook::Hook;
+
+/// Why a stage chain could not be built. These surface when a policy's
+/// chains are assembled (router construction), never mid-simulation: a
+/// chain that builds successfully cannot fail at dispatch time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefenseError {
+    /// Two stages in the same hook chain declared the same name.
+    DuplicateStage {
+        /// The hook whose chain was being built.
+        hook: Hook,
+        /// The name declared twice.
+        name: &'static str,
+    },
+    /// A stage's `after` dependency names no stage in the chain.
+    UnknownDependency {
+        /// The hook whose chain was being built.
+        hook: Hook,
+        /// The stage declaring the dependency.
+        stage: &'static str,
+        /// The missing dependency name.
+        after: &'static str,
+    },
+    /// The `after` dependencies form a cycle, so no total order exists.
+    DependencyCycle {
+        /// The hook whose chain was being built.
+        hook: Hook,
+        /// The stages left unordered when resolution stalled (every
+        /// member either sits on the cycle or depends on it).
+        involved: Vec<&'static str>,
+    },
+}
+
+impl std::fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefenseError::DuplicateStage { hook, name } => {
+                write!(f, "{} chain declares stage {name:?} twice", hook.name())
+            }
+            DefenseError::UnknownDependency { hook, stage, after } => write!(
+                f,
+                "{} stage {stage:?} depends on unknown stage {after:?}",
+                hook.name()
+            ),
+            DefenseError::DependencyCycle { hook, involved } => write!(
+                f,
+                "{} chain has a dependency cycle involving {involved:?}",
+                hook.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DefenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_the_offending_names() {
+        let d = DefenseError::DuplicateStage {
+            hook: Hook::Ingress,
+            name: "wire_filter",
+        };
+        assert!(d.to_string().contains("wire_filter"));
+        assert!(d.to_string().contains("ingress"));
+        let u = DefenseError::UnknownDependency {
+            hook: Hook::Egress,
+            stage: "stamp",
+            after: "ttl",
+        };
+        assert!(u.to_string().contains("stamp"));
+        assert!(u.to_string().contains("ttl"));
+        let c = DefenseError::DependencyCycle {
+            hook: Hook::Escalate,
+            involved: vec!["a", "b"],
+        };
+        assert!(c.to_string().contains('a'));
+    }
+}

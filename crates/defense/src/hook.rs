@@ -1,0 +1,343 @@
+//! Hook points, stage traits and the DAG-ordered chain builder.
+
+use aitf_netsim::{Context, LinkId};
+use aitf_packet::Packet;
+
+use crate::error::DefenseError;
+
+/// The three decision boundaries of a border-router datapath.
+///
+/// - **Ingress** runs on every packet entering the forwarding path,
+///   before any routing decision: spoofing checks, wire-speed filters,
+///   reactivation triggers, rate policing. Read stages here veto packets.
+/// - **Escalate** runs on control traffic addressed to the router itself:
+///   filtering-request admission, role dispatch, pushback propagation.
+/// - **Egress** runs on packets that passed ingress, just before the
+///   route lookup and transmit: TTL accounting, route-record stamping.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Hook {
+    /// Packet entering the forwarding path.
+    Ingress,
+    /// Control message addressed to this router.
+    Escalate,
+    /// Packet leaving towards the next hop.
+    Egress,
+}
+
+impl Hook {
+    /// Stable lower-case name (used in errors and docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hook::Ingress => "ingress",
+            Hook::Escalate => "escalate",
+            Hook::Egress => "egress",
+        }
+    }
+}
+
+/// What a read stage decided about the packet under inspection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Hand the packet to the next stage in the chain.
+    Continue,
+    /// Stop processing; the packet does not travel further. The stage
+    /// has already done any accounting (counters, notices) it owes.
+    Drop,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Drop`].
+    pub fn is_drop(self) -> bool {
+        matches!(self, Verdict::Drop)
+    }
+}
+
+/// A stage's identity inside its hook chain: a unique name plus the
+/// names of stages that must run before it.
+#[derive(Clone, Copy, Debug)]
+pub struct StageDecl {
+    /// Unique (per hook chain) stage name.
+    pub name: &'static str,
+    /// Stages that must be ordered before this one.
+    pub after: &'static [&'static str],
+}
+
+/// Identity every stage type declares; [`ReadStage`] and [`WriteStage`]
+/// both require it so `ChainBuilder::stage` can read the declaration
+/// from the type alone.
+pub trait Stage {
+    /// Unique (per hook chain) stage name.
+    const NAME: &'static str;
+    /// Stages that must run before this one. Empty means "anywhere".
+    const AFTER: &'static [&'static str] = &[];
+}
+
+/// A read stage: inspects the packet, may veto with [`Verdict::Drop`].
+///
+/// `S` is the router state the stage operates on. The borrow is mutable
+/// because read stages do real accounting — bump drop counters, refresh
+/// caches, arm escalations — but the *packet* borrow is shared: a read
+/// stage can never alter what travels on.
+pub trait ReadStage<S: ?Sized>: Stage {
+    /// Inspect `packet` as it traverses the hook; dropping it is the
+    /// stage's responsibility to account for.
+    fn inspect(state: &mut S, packet: &Packet, arrival: LinkId, ctx: &mut Context<'_>) -> Verdict;
+}
+
+/// A write stage: mutates the packet and/or router state. Write stages
+/// cannot veto — a stage that needs both splits into a read stage
+/// (the check) ordered `after` nothing and a write stage (the mutation)
+/// ordered after it.
+pub trait WriteStage<S: ?Sized>: Stage {
+    /// Transform `packet` in place.
+    fn apply(state: &mut S, packet: &mut Packet, arrival: LinkId, ctx: &mut Context<'_>);
+}
+
+/// One registered stage while the chain is under construction.
+#[derive(Clone, Debug)]
+struct Entry<K> {
+    name: &'static str,
+    after: Vec<&'static str>,
+    id: K,
+}
+
+/// Collects stage declarations for one hook and resolves their `after`
+/// DAG into a deterministic total order.
+///
+/// `K` is the caller's stage id — in practice a small `Copy` enum the
+/// router `match`es on at dispatch time, which is what keeps the hot
+/// path statically dispatched and allocation-free.
+#[derive(Clone, Debug)]
+pub struct ChainBuilder<K> {
+    hook: Hook,
+    entries: Vec<Entry<K>>,
+}
+
+impl<K: Copy> ChainBuilder<K> {
+    /// An empty chain for `hook`.
+    pub fn new(hook: Hook) -> Self {
+        ChainBuilder {
+            hook,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers stage type `T` under id `id`, reading name and
+    /// dependencies from the trait declaration.
+    pub fn stage<T: Stage>(self, id: K) -> Self {
+        self.push(T::NAME, T::AFTER, id)
+    }
+
+    /// Registers a stage from explicit name/dependency data (the dynamic
+    /// form `ChainBuilder::stage` delegates to; also what the property
+    /// tests drive directly).
+    pub fn push(mut self, name: &'static str, after: &[&'static str], id: K) -> Self {
+        self.entries.push(Entry {
+            name,
+            after: after.to_vec(),
+            id,
+        });
+        self
+    }
+
+    /// Resolves the dependency DAG into a [`Chain`].
+    ///
+    /// The order is a deterministic topological sort: among the stages
+    /// whose dependencies are all placed, the earliest-declared one goes
+    /// next. Declaring a chain twice therefore always yields the same
+    /// order — chain order can never depend on hash-map iteration or
+    /// scheduling.
+    pub fn build(self) -> Result<Chain<K>, DefenseError> {
+        let hook = self.hook;
+        // Duplicate names make `after` references ambiguous; reject first.
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.entries[..i].iter().any(|p| p.name == e.name) {
+                return Err(DefenseError::DuplicateStage { hook, name: e.name });
+            }
+        }
+        let index_of = |name: &str| self.entries.iter().position(|e| e.name == name);
+        // Every dependency must name a registered stage.
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let mut d = Vec::with_capacity(e.after.len());
+            for &a in &e.after {
+                match index_of(a) {
+                    Some(j) => d.push(j),
+                    None => {
+                        return Err(DefenseError::UnknownDependency {
+                            hook,
+                            stage: e.name,
+                            after: a,
+                        })
+                    }
+                }
+            }
+            deps.push(d);
+        }
+        // Kahn's algorithm with a declaration-order scan for the next
+        // ready stage: O(n^2) over chains of at most a handful of stages.
+        let n = self.entries.len();
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        while order.len() < n {
+            let next = (0..n).find(|&i| !placed[i] && deps[i].iter().all(|&j| placed[j]));
+            match next {
+                Some(i) => {
+                    placed[i] = true;
+                    order.push((self.entries[i].id, self.entries[i].name));
+                }
+                None => {
+                    let involved = (0..n)
+                        .filter(|&i| !placed[i])
+                        .map(|i| self.entries[i].name)
+                        .collect();
+                    return Err(DefenseError::DependencyCycle { hook, involved });
+                }
+            }
+        }
+        Ok(Chain { hook, order })
+    }
+}
+
+/// A resolved hook chain: stage ids in execution order.
+///
+/// Built once at router construction; at dispatch time the router walks
+/// `0..len()` and `match`es [`Chain::stage`] — no allocation, no dynamic
+/// dispatch.
+#[derive(Clone, Debug)]
+pub struct Chain<K> {
+    hook: Hook,
+    order: Vec<(K, &'static str)>,
+}
+
+impl<K: Copy> Chain<K> {
+    /// The hook this chain runs at.
+    pub fn hook(&self) -> Hook {
+        self.hook
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no stages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The id of the `i`-th stage in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn stage(&self, i: usize) -> K {
+        self.order[i].0
+    }
+
+    /// Stage names in execution order (diagnostics and tests).
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.order.iter().map(|&(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declaration_order_is_kept_without_dependencies() {
+        let chain = ChainBuilder::new(Hook::Ingress)
+            .push("a", &[], 0u8)
+            .push("b", &[], 1)
+            .push("c", &[], 2)
+            .build()
+            .unwrap();
+        assert_eq!(chain.names().collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(
+            (0..3).map(|i| chain.stage(i)).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn after_reorders_a_late_dependency() {
+        // "stamp" declared first but must run after "ttl".
+        let chain = ChainBuilder::new(Hook::Egress)
+            .push("stamp", &["ttl"], 0u8)
+            .push("ttl", &[], 1)
+            .build()
+            .unwrap();
+        assert_eq!(chain.names().collect::<Vec<_>>(), ["ttl", "stamp"]);
+    }
+
+    #[test]
+    fn duplicate_names_are_a_build_error() {
+        let err = ChainBuilder::new(Hook::Ingress)
+            .push("x", &[], 0u8)
+            .push("x", &[], 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::DuplicateStage {
+                hook: Hook::Ingress,
+                name: "x"
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_dependency_is_a_build_error() {
+        let err = ChainBuilder::new(Hook::Egress)
+            .push("stamp", &["ttl"], 0u8)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::UnknownDependency {
+                hook: Hook::Egress,
+                stage: "stamp",
+                after: "ttl"
+            }
+        );
+    }
+
+    #[test]
+    fn cycles_are_a_build_error_not_a_panic() {
+        let err = ChainBuilder::new(Hook::Escalate)
+            .push("a", &["b"], 0u8)
+            .push("b", &["a"], 1)
+            .build()
+            .unwrap_err();
+        match err {
+            DefenseError::DependencyCycle { hook, involved } => {
+                assert_eq!(hook, Hook::Escalate);
+                assert_eq!(involved, vec!["a", "b"]);
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_stage_registration_reads_the_trait_consts() {
+        struct Ttl;
+        impl Stage for Ttl {
+            const NAME: &'static str = "ttl";
+        }
+        struct Mark;
+        impl Stage for Mark {
+            const NAME: &'static str = "mark";
+            const AFTER: &'static [&'static str] = &["ttl"];
+        }
+        let chain = ChainBuilder::new(Hook::Egress)
+            .stage::<Mark>(0u8)
+            .stage::<Ttl>(1)
+            .build()
+            .unwrap();
+        assert_eq!(chain.names().collect::<Vec<_>>(), ["ttl", "mark"]);
+        assert_eq!(chain.hook(), Hook::Egress);
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.is_empty());
+    }
+}

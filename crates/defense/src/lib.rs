@@ -1,0 +1,39 @@
+//! The defense pipeline: netfilter-style hook points for border routers.
+//!
+//! A border router's datapath is decomposed into three **hook points** —
+//! [`Hook::Ingress`], [`Hook::Escalate`], [`Hook::Egress`] — each running
+//! a chain of small policy *stages*. A stage is declared through one of
+//! two traits:
+//!
+//! - [`ReadStage`]: inspects the packet (shared borrow) and may veto
+//!   further processing with [`Verdict::Drop`]. Read stages may update
+//!   router bookkeeping (counters, caches) but never the packet.
+//! - [`WriteStage`]: mutates the packet and/or router state (TTL
+//!   decrement, route-record stamping). Write stages cannot veto.
+//!
+//! Chains are ordered by explicit `after` dependencies — a DAG, resolved
+//! once at router construction by [`ChainBuilder::build`] into a
+//! deterministic total order (declaration order breaks ties). Duplicate
+//! stage names, unknown dependencies and dependency cycles are build-time
+//! [`DefenseError`]s, never runtime panics.
+//!
+//! The hot path stays allocation-free through **static dispatch**: a
+//! built [`Chain`] is a flat array of caller-chosen stage ids (a `Copy`
+//! enum in practice); the router iterates the array and `match`es each id
+//! to a monomorphized stage call. No `Box<dyn>`, no vtables, no per-event
+//! allocation — pinned by `aitf-bench`'s `trace_zero_cost` suite once per
+//! [`DefensePolicy`] variant.
+//!
+//! Which stages populate the chains is selected by the [`DefensePolicy`]
+//! sweep axis: the paper's AITF protocol, the §V pushback baseline, and
+//! two simpler defenses (per-prefix ingress rate-limiting and
+//! capability-style path stamping) that the `e19_defense_bakeoff`
+//! experiment ranks under identical seeds.
+
+mod error;
+mod hook;
+mod policy;
+
+pub use error::DefenseError;
+pub use hook::{Chain, ChainBuilder, Hook, ReadStage, Stage, StageDecl, Verdict, WriteStage};
+pub use policy::DefensePolicy;

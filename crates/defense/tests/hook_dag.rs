@@ -1,0 +1,159 @@
+//! Property tests over the hook-chain DAG resolver.
+//!
+//! The contract under test: for any set of stage declarations,
+//! `ChainBuilder::build` either returns a chain whose order is a *total
+//! order* respecting every `after` edge, or a typed `DefenseError` — it
+//! never panics, and duplicate names / cycles are always errors.
+
+use aitf_defense::{ChainBuilder, DefenseError, Hook};
+use proptest::prelude::*;
+
+/// A fixed pool of stage names: proptest picks indices into it, which
+/// keeps everything `&'static str` (the type stage declarations use).
+const POOL: [&str; 12] = [
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+];
+
+/// Builds a chain from `(name_index, after_mask)` pairs: bit `j` of a
+/// stage's mask declares a dependency on the stage at *declaration
+/// position* `j` (so masks restricted to earlier positions are acyclic
+/// by construction).
+fn build(
+    decls: &[(usize, u16)],
+    restrict_to_earlier: bool,
+) -> Result<aitf_defense::Chain<usize>, DefenseError> {
+    let mut b = ChainBuilder::new(Hook::Ingress);
+    for (i, &(name_ix, mask)) in decls.iter().enumerate() {
+        let after: Vec<&'static str> = (0..decls.len())
+            .filter(|&j| {
+                let wanted = mask & (1 << j) != 0 && j != i;
+                wanted && (!restrict_to_earlier || j < i)
+            })
+            .map(|j| POOL[decls[j].0])
+            .collect();
+        b = b.push(POOL[name_ix], &after, i);
+    }
+    b.build()
+}
+
+/// Distinct name indices for `n` stages.
+fn distinct_names(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+proptest! {
+    /// Acyclic inputs (deps only on earlier declarations) always build,
+    /// and the result is a total order that respects every edge.
+    #[test]
+    fn acyclic_chains_build_into_a_dependency_respecting_total_order(
+        masks in proptest::collection::vec(0u16..4096, 1..10),
+    ) {
+        let decls: Vec<(usize, u16)> = distinct_names(masks.len())
+            .into_iter()
+            .zip(masks.iter().copied())
+            .collect();
+        let chain = build(&decls, true).expect("acyclic chains must build");
+
+        // Total order: every declared stage appears exactly once.
+        let mut ids: Vec<usize> = (0..chain.len()).map(|i| chain.stage(i)).collect();
+        prop_assert_eq!(chain.len(), decls.len());
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..decls.len()).collect::<Vec<_>>());
+
+        // Every `after` edge is respected: dependency runs earlier.
+        let pos_of = |id: usize| (0..chain.len()).position(|i| chain.stage(i) == id).unwrap();
+        for (i, &(_, mask)) in decls.iter().enumerate() {
+            for j in 0..decls.len() {
+                if j < i && mask & (1 << j) != 0 {
+                    prop_assert!(
+                        pos_of(j) < pos_of(i),
+                        "stage {} must run after its dependency {}", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arbitrary dependency masks (cycles allowed): build never panics,
+    /// and on success the order still respects every edge.
+    #[test]
+    fn arbitrary_dependencies_never_panic(
+        masks in proptest::collection::vec(0u16..4096, 1..10),
+    ) {
+        let decls: Vec<(usize, u16)> = distinct_names(masks.len())
+            .into_iter()
+            .zip(masks.iter().copied())
+            .collect();
+        match build(&decls, false) {
+            Ok(chain) => {
+                let pos_of = |id: usize| {
+                    (0..chain.len()).position(|i| chain.stage(i) == id).unwrap()
+                };
+                for (i, &(_, mask)) in decls.iter().enumerate() {
+                    for j in 0..decls.len() {
+                        if j != i && mask & (1 << j) != 0 {
+                            prop_assert!(pos_of(j) < pos_of(i));
+                        }
+                    }
+                }
+            }
+            Err(DefenseError::DependencyCycle { involved, .. }) => {
+                prop_assert!(!involved.is_empty());
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {:?}", other),
+        }
+    }
+
+    /// Any declaration list containing a repeated name is rejected with
+    /// `DuplicateStage`, whatever the dependencies say.
+    #[test]
+    fn duplicate_names_always_error(
+        n in 2usize..8,
+        dup_at in 1usize..8,
+    ) {
+        let dup_at = dup_at.min(n - 1);
+        let mut names = distinct_names(n);
+        names[dup_at] = names[0]; // force one collision
+        let decls: Vec<(usize, u16)> = names.into_iter().map(|ix| (ix, 0)).collect();
+        let err = build(&decls, true).expect_err("duplicates must not build");
+        prop_assert_eq!(
+            err,
+            DefenseError::DuplicateStage { hook: Hook::Ingress, name: POOL[0] }
+        );
+    }
+
+    /// Resolution is deterministic: building the same declarations twice
+    /// yields the same order.
+    #[test]
+    fn resolution_is_deterministic(
+        masks in proptest::collection::vec(0u16..4096, 1..10),
+    ) {
+        let decls: Vec<(usize, u16)> = distinct_names(masks.len())
+            .into_iter()
+            .zip(masks.iter().copied())
+            .collect();
+        let a = build(&decls, true).unwrap();
+        let b = build(&decls, true).unwrap();
+        let order_a: Vec<usize> = (0..a.len()).map(|i| a.stage(i)).collect();
+        let order_b: Vec<usize> = (0..b.len()).map(|i| b.stage(i)).collect();
+        prop_assert_eq!(order_a, order_b);
+    }
+}
+
+/// An explicit 3-cycle reported through the typed error, not a panic.
+#[test]
+fn three_cycle_reports_every_member() {
+    let err = ChainBuilder::new(Hook::Escalate)
+        .push("a", &["c"], 0u8)
+        .push("b", &["a"], 1)
+        .push("c", &["b"], 2)
+        .build()
+        .unwrap_err();
+    match err {
+        DefenseError::DependencyCycle { hook, involved } => {
+            assert_eq!(hook, Hook::Escalate);
+            assert_eq!(involved, vec!["a", "b", "c"]);
+        }
+        other => panic!("expected cycle, got {other:?}"),
+    }
+}

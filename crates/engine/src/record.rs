@@ -31,6 +31,11 @@ pub struct RunRecord {
     /// buckets inside are nondeterministic, so (like `wall_secs`) it is
     /// excluded from [`RunRecord::deterministic_eq`].
     pub trace: Option<Box<aitf_trace::TraceReport>>,
+    /// Name of the non-default defense policy the point's routers ran.
+    /// Emitted in JSON only when set, so AITF records keep the historical
+    /// shape; a label derived from the params, hence not an independent
+    /// input to [`RunRecord::deterministic_eq`].
+    pub defense: Option<&'static str>,
 }
 
 impl RunRecord {
@@ -65,8 +70,12 @@ impl RunRecord {
         } else {
             String::new()
         };
+        let defense = match self.defense {
+            Some(name) => format!(",\"defense\":{}", json_string(name)),
+            None => String::new(),
+        };
         format!(
-            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}{}{}}}",
+            "{{\"experiment\":{},\"index\":{},\"seed\":{},\"params\":{},\"metrics\":{},\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}{}{}{}}}",
             json_string(self.experiment),
             self.index,
             self.seed,
@@ -83,6 +92,7 @@ impl RunRecord {
                 None => "null".to_string(),
             },
             shards,
+            defense,
             subsystems,
         )
     }
@@ -110,6 +120,7 @@ mod tests {
             wall_secs: wall,
             shards: 1,
             trace: None,
+            defense: None,
         }
     }
 
@@ -153,6 +164,19 @@ mod tests {
         r.shards = 4;
         assert!(r.to_json().contains("\"shards\":4"), "{}", r.to_json());
         // Execution strategy never disturbs determinism comparisons.
+        assert!(r.deterministic_eq(&record(0.25)));
+    }
+
+    #[test]
+    fn defense_field_appears_only_when_labeled() {
+        let mut r = record(0.25);
+        assert!(!r.to_json().contains("defense"));
+        r.defense = Some("pushback");
+        assert!(
+            r.to_json().contains("\"defense\":\"pushback\""),
+            "{}",
+            r.to_json()
+        );
         assert!(r.deterministic_eq(&record(0.25)));
     }
 

@@ -118,6 +118,7 @@ impl Runner {
                         wall_secs: start.elapsed().as_secs_f64(),
                         shards: self.shards,
                         trace: outcome.trace,
+                        defense: outcome.defense,
                     };
                     *slots[i].lock().expect("result slot poisoned") = Some(record);
                 });

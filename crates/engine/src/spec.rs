@@ -31,6 +31,10 @@ pub struct Outcome {
     /// in ordinary builds; populated by scenarios compiled with their
     /// `trace` feature. Never part of determinism comparisons.
     pub trace: Option<Box<aitf_trace::TraceReport>>,
+    /// Name of the non-default defense policy the run's routers executed
+    /// (`None` for the historical AITF datapath, keeping those records'
+    /// JSON shape unchanged).
+    pub defense: Option<&'static str>,
 }
 
 impl Outcome {
@@ -40,6 +44,7 @@ impl Outcome {
             metrics,
             events: 0,
             trace: None,
+            defense: None,
         }
     }
 
@@ -52,6 +57,12 @@ impl Outcome {
     /// Attaches an observability payload.
     pub fn with_trace(mut self, trace: aitf_trace::TraceReport) -> Self {
         self.trace = Some(Box::new(trace));
+        self
+    }
+
+    /// Labels the run with the (non-default) defense policy it executed.
+    pub fn with_defense(mut self, name: &'static str) -> Self {
+        self.defense = Some(name);
         self
     }
 }

@@ -170,6 +170,17 @@ impl RateLimiterBank {
         self.buckets.get(&key)
     }
 
+    /// Number of distinct parties this bank currently tracks — per-party
+    /// token state is defense footprint, the same way filter entries are.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the bank has policed anyone yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
     /// Total requests dropped across all keys.
     pub fn total_dropped(&self) -> u64 {
         self.buckets.values().map(|b| b.dropped).sum()

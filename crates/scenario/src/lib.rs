@@ -9,7 +9,7 @@
 //!     workload:   WorkloadSpec,   // floods, legit pools, on/off, spoofing
 //!     churn:      ChurnSpec,      // scheduled mid-run mutations (dynamic worlds)
 //!     probes:     ProbeSet,       // leak ratio, filter peaks, sampled series
-//!     config:     AitfConfig,     // + duration, backend (AITF vs pushback)
+//!     config:     AitfConfig,     // + duration, defense (AITF vs pushback vs ...)
 //! }
 //! ```
 //!
@@ -45,8 +45,6 @@ pub use churn::{ChurnAction, ChurnSpec, EventSpec};
 pub use deploy::{DeploymentChoice, DeploymentSpec};
 pub use probe::{leak_ratio, ProbeSet, SeriesStore};
 pub use scenario::{Scenario, ScenarioError};
-pub use topology::{
-    Backend, BuiltWorld, HostDecl, NetDecl, NetSel, PeeringDecl, Role, Side, TopologySpec,
-};
+pub use topology::{BuiltWorld, HostDecl, NetDecl, NetSel, PeeringDecl, Role, Side, TopologySpec};
 pub use workload::{HostSel, Rate, TargetSel, TrafficKind, TrafficSpec, WorkloadSpec};
 pub use worlds::{chain_pair, fig1, star, ChainWorld, Fig1World, StarWorld};

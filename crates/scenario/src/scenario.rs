@@ -25,14 +25,14 @@
 //! assert!(outcome.events > 0);
 //! ```
 
-use aitf_core::{AitfConfig, EvictionPolicy};
+use aitf_core::{AitfConfig, DefensePolicy, EvictionPolicy};
 use aitf_engine::{Outcome, Params};
 use aitf_netsim::SimDuration;
 
 use crate::churn::{ChurnAction, ChurnSpec};
 use crate::deploy::DeploymentSpec;
 use crate::probe::{ProbeSet, SeriesStore};
-use crate::topology::{Backend, BuiltWorld, Role, TopologySpec};
+use crate::topology::{BuiltWorld, Role, TopologySpec};
 use crate::workload::{TrafficSpec, WorkloadSpec};
 
 /// A scenario-specification error, detected by [`Scenario::validate`]
@@ -64,8 +64,6 @@ pub struct Scenario {
     pub probes: ProbeSet,
     /// How long to simulate.
     pub duration: SimDuration,
-    /// Which router implementation runs.
-    pub backend: Backend,
     /// Event-loop shards the world is split into (1 = the classic
     /// single-threaded loop). Sharding is bit-transparent: any value
     /// produces identical results, larger worlds just run on more threads.
@@ -84,7 +82,6 @@ impl Scenario {
             churn: ChurnSpec::new(),
             probes: ProbeSet::new(),
             duration: SimDuration::from_secs(10),
-            backend: Backend::Aitf,
             shards: 1,
         }
     }
@@ -196,9 +193,11 @@ impl Scenario {
         self
     }
 
-    /// Selects the router backend.
-    pub fn backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
+    /// Selects the defense policy every border router runs — the N-way
+    /// bake-off axis (AITF, hop-by-hop pushback, ingress rate-limiting,
+    /// capability-style path stamping).
+    pub fn defense(mut self, policy: DefensePolicy) -> Self {
+        self.config.defense = policy;
         self
     }
 
@@ -235,11 +234,9 @@ impl Scenario {
     pub fn build(&self, seed: u64) -> BuiltWorld {
         let cfg = self.config.clone();
         let mut world = if self.deployment.is_full() {
-            self.topology.build_with(seed, cfg, self.backend)
+            self.topology.build(seed, cfg)
         } else {
-            self.deployment
-                .apply(&self.topology, seed)
-                .build_with(seed, cfg, self.backend)
+            self.deployment.apply(&self.topology, seed).build(seed, cfg)
         };
         self.workload.compile(&mut world);
         if self.shards > 1 {
@@ -369,6 +366,12 @@ impl Scenario {
             }
         }
         let outcome = Outcome::new(metrics).with_events(world.world.sim.dispatched_events());
+        // Label non-default policies only: AITF records keep their
+        // historical JSON shape byte-for-byte.
+        let outcome = match self.config.defense {
+            DefensePolicy::Aitf => outcome,
+            other => outcome.with_defense(other.name()),
+        };
         #[cfg(feature = "trace")]
         let outcome = outcome.with_trace(aitf_trace::TraceReport {
             subsystems: world.world.sim.subsystem_profile(),

@@ -91,16 +91,6 @@ pub struct PeeringDecl {
     pub link: LinkParams,
 }
 
-/// Which router implementation the world runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Backend {
-    /// AITF border routers (the paper's protocol).
-    #[default]
-    Aitf,
-    /// The hop-by-hop pushback baseline (Section V comparison).
-    Pushback,
-}
-
 /// A declarative topology: networks × hosts × peerings as plain data.
 ///
 /// # Examples
@@ -453,13 +443,10 @@ impl TopologySpec {
     // Lowering.
     // ------------------------------------------------------------------
 
-    /// Builds the world with AITF border routers.
+    /// Builds the world. Every border router runs the defense named by
+    /// `cfg.defense` (see [`aitf_core::DefensePolicy`]); the scenario
+    /// layer sets it through `Scenario::defense(..)`.
     pub fn build(&self, seed: u64, cfg: AitfConfig) -> BuiltWorld {
-        self.build_with(seed, cfg, Backend::Aitf)
-    }
-
-    /// Builds the world with the chosen router backend.
-    pub fn build_with(&self, seed: u64, cfg: AitfConfig, backend: Backend) -> BuiltWorld {
         let mut b = WorldBuilder::new(seed, cfg);
         let mut ids: Vec<NetId> = Vec::with_capacity(self.nets.len());
         for n in &self.nets {
@@ -481,10 +468,7 @@ impl TopologySpec {
             .iter()
             .map(|h| b.host_with(ids[h.net], h.policy, h.link))
             .collect();
-        let world = match backend {
-            Backend::Aitf => b.build(),
-            Backend::Pushback => aitf_baseline::build_pushback_world(b),
-        };
+        let world = b.build();
         BuiltWorld {
             world,
             net_ids: ids,

@@ -23,11 +23,16 @@ pub enum Subsystem {
     Escalation,
     /// Attack-detection work at end hosts (Td timers, rate estimators).
     Detector,
+    /// Defense hook pipeline: events consumed by a router's defense
+    /// stages — packets vetoed at the Ingress/Egress hooks, and the
+    /// control planes of non-AITF policies (pushback, rate limiting,
+    /// path stamping).
+    DefenseHook,
 }
 
 impl Subsystem {
     /// Number of subsystem classes.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every class, in display order.
     pub const ALL: [Subsystem; Subsystem::COUNT] = [
@@ -35,6 +40,7 @@ impl Subsystem {
         Subsystem::Link,
         Subsystem::HostApp,
         Subsystem::RouterData,
+        Subsystem::DefenseHook,
         Subsystem::Escalation,
         Subsystem::Detector,
     ];
@@ -46,6 +52,7 @@ impl Subsystem {
             Subsystem::Link => "link",
             Subsystem::HostApp => "host_app",
             Subsystem::RouterData => "router_datapath",
+            Subsystem::DefenseHook => "defense_hook",
             Subsystem::Escalation => "escalation",
             Subsystem::Detector => "detector",
         }
@@ -57,8 +64,9 @@ impl Subsystem {
             Subsystem::Link => 1,
             Subsystem::HostApp => 2,
             Subsystem::RouterData => 3,
-            Subsystem::Escalation => 4,
-            Subsystem::Detector => 5,
+            Subsystem::DefenseHook => 4,
+            Subsystem::Escalation => 5,
+            Subsystem::Detector => 6,
         }
     }
 }

@@ -15,8 +15,9 @@
 //!   cache and contract rate limiters.
 //! - [`traceback`] (`aitf-traceback`) — route-record and sampling
 //!   traceback providers.
+//! - [`defense`] (`aitf-defense`) — the hook-chain pipeline and the
+//!   `DefensePolicy` axis (AITF, pushback, rate-limiting, path stamps).
 //! - [`attack`] (`aitf-attack`) — attack and legitimate traffic sources.
-//! - [`baseline`] (`aitf-baseline`) — the hop-by-hop pushback baseline.
 //! - [`scenario`] (`aitf-scenario`) — the declarative scenario API:
 //!   topology × workload × probes, plus the canned worlds (Figure 1,
 //!   stars, chains, provider trees).
@@ -26,8 +27,8 @@
 //! paper's evaluation.
 
 pub use aitf_attack as attack;
-pub use aitf_baseline as baseline;
 pub use aitf_core as core;
+pub use aitf_defense as defense;
 pub use aitf_filter as filter;
 pub use aitf_netsim as netsim;
 pub use aitf_packet as packet;
