@@ -30,7 +30,21 @@ pub struct LegitClient {
     period: SimDuration,
     size: u32,
     poisson: bool,
+    /// Self-contained SplitMix64 state for the Poisson draws; `None`
+    /// draws from the simulation's shared stream. Seeded clients are
+    /// bit-identical at any shard count (the shared stream is per-shard,
+    /// so its draw order depends on the partition).
+    seeded: Option<u64>,
     dst_port: u16,
+}
+
+/// SplitMix64 finalizer — the engine family's standard mixer, inlined so
+/// `aitf-attack` stays free of an `aitf-engine` dependency.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl LegitClient {
@@ -47,13 +61,25 @@ impl LegitClient {
             period: SimDuration::from_nanos(1_000_000_000 / pps),
             size,
             poisson: false,
+            seeded: None,
             dst_port: 443,
         }
     }
 
-    /// Switches to Poisson inter-arrival times with the same mean rate.
+    /// Switches to Poisson inter-arrival times with the same mean rate,
+    /// drawn from the simulation's shared RNG stream.
     pub fn poisson(mut self) -> Self {
         self.poisson = true;
+        self.seeded = None;
+        self
+    }
+
+    /// Poisson arrivals from a self-contained per-client stream seeded by
+    /// `seed` — use this (with a distinct seed per client) when the run
+    /// must stay bit-identical at any shard count.
+    pub fn poisson_seeded(mut self, seed: u64) -> Self {
+        self.poisson = true;
+        self.seeded = Some(splitmix64(seed ^ 0x1E61_7000_0000_0001));
         self
     }
 
@@ -68,10 +94,17 @@ impl LegitClient {
         self.pps as f64 * self.size as f64 * 8.0
     }
 
-    fn next_gap(&self, api: &mut HostApi<'_, '_>) -> SimDuration {
+    fn next_gap(&mut self, api: &mut HostApi<'_, '_>) -> SimDuration {
         if self.poisson {
             // Exponential inter-arrival with mean `period`, via inverse CDF.
-            let u: f64 = api.rng().gen_range(1e-12..1.0);
+            let u: f64 = match &mut self.seeded {
+                Some(state) => {
+                    *state = splitmix64(*state);
+                    // u ∈ (0, 1] from the top 53 bits.
+                    ((*state >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+                }
+                None => api.rng().gen_range(1e-12..1.0),
+            };
             SimDuration::from_secs_f64(-u.ln() * self.period.as_secs_f64())
         } else {
             self.period

@@ -198,6 +198,7 @@ pub struct SpoofingFlood {
     pool_size: u32,
     next: u32,
     random: bool,
+    start_after: SimDuration,
 }
 
 impl SpoofingFlood {
@@ -217,6 +218,7 @@ impl SpoofingFlood {
             pool_size,
             next: 0,
             random: false,
+            start_after: SimDuration::ZERO,
         }
     }
 
@@ -225,11 +227,19 @@ impl SpoofingFlood {
         self.random = true;
         self
     }
+
+    /// Delays the first packet — a zombie army staggered off a shared
+    /// period lattice produces no same-timestamp event collisions, which
+    /// keeps large sharded runs bit-identical at any shard count.
+    pub fn starting_after(mut self, delay: SimDuration) -> Self {
+        self.start_after = delay;
+        self
+    }
 }
 
 impl TrafficApp for SpoofingFlood {
     fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
-        api.set_timer(SimDuration::ZERO, 0);
+        api.set_timer(self.start_after, 0);
     }
 
     fn on_timer(&mut self, _token: u32, api: &mut HostApi<'_, '_>) {

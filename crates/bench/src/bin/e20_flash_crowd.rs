@@ -1,0 +1,7 @@
+//! Binary wrapper for the `e20_flash_crowd` experiment; see the library
+//! module for the full description.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = aitf_bench::e20_flash_crowd::run(quick);
+}

@@ -12,7 +12,7 @@
 //! unlike pushback, where the hub absorbs a filter per flow whenever the
 //! edge chain stalls.
 
-use aitf_core::{AitfConfig, DefensePolicy, HostPolicy};
+use aitf_core::{AitfConfig, DefensePolicy, HostPolicy, RoutingMode};
 use aitf_engine::{Outcome, Params, ScenarioSpec};
 use aitf_netsim::SimDuration;
 use aitf_scenario::{
@@ -32,19 +32,30 @@ fn config() -> AitfConfig {
 
 /// The shared shape of both backends' runs: an `n_nets`-spoke star (one
 /// zombie per network) with a staggered 100 pps flood army.
+///
+/// Historical scales (≤ 256 spokes) keep their exact shape: all-pairs
+/// routing and a 20 ms stagger, bit-identical to every recorded run.
+/// The internet-scale points switch to [`RoutingMode::Hierarchical`]
+/// (all-pairs tables are O(n²); 4096-spoke tables would dominate the
+/// build) and split a fixed 2 s ramp across the army so the last zombie
+/// still starts well inside the 10 s horizon.
 fn base_scenario(n_nets: usize, cfg: AitfConfig) -> Scenario {
-    Scenario::new(TopologySpec::star(
-        n_nets,
-        1,
-        HostPolicy::Malicious,
-        10_000_000,
-    ))
-    .config(cfg)
-    .duration(SimDuration::from_secs(10))
-    .traffic(
-        TrafficSpec::flood(HostSel::Role(Role::Attacker), TargetSel::Victim, 100, 300)
-            .staggered(SimDuration::from_millis(20)),
-    )
+    let mut topo = TopologySpec::star(n_nets, 1, HostPolicy::Malicious, 10_000_000);
+    if n_nets > 256 {
+        topo.routing = RoutingMode::Hierarchical;
+    }
+    let stagger = if n_nets <= 256 {
+        SimDuration::from_millis(20)
+    } else {
+        SimDuration::from_micros(2_000_000 / n_nets as u64)
+    };
+    Scenario::new(topo)
+        .config(cfg)
+        .duration(SimDuration::from_secs(10))
+        .traffic(
+            TrafficSpec::flood(HostSel::Role(Role::Attacker), TargetSel::Victim, 100, 300)
+                .staggered(stagger),
+        )
 }
 
 /// Runs one scale point under AITF; metrics `filters_per_provider`,
@@ -94,14 +105,14 @@ pub fn hub_filters_pushback(n_nets: usize, seed: u64, shards: usize) -> (u64, u6
 }
 
 /// The E10 scenario spec: attacker-network count swept upward. Full mode
-/// runs past the historical 64-net ceiling to 256 networks — the checked
-/// 60k-prefix [`aitf_scenario::PrefixAlloc`] makes armies at that scale
-/// routine to build.
+/// runs past the historical 256-net ceiling to 4096 networks — the
+/// checked [`aitf_scenario::PrefixAlloc`] and hierarchical routing make
+/// armies at that scale routine to build.
 pub fn spec(quick: bool) -> ScenarioSpec {
     let scales: &[u64] = if quick {
         &[8, 16]
     } else {
-        &[8, 16, 32, 64, 128, 256]
+        &[8, 16, 32, 64, 128, 256, 1024, 4096]
     };
     ScenarioSpec::new(
         "e10_scaling",
@@ -175,10 +186,13 @@ mod tests {
     }
 
     #[test]
-    fn full_mode_sweeps_past_64_nets_to_256() {
+    fn full_mode_sweeps_past_256_nets_to_4096() {
         let full = spec(false);
         let scales: Vec<u64> = full.points.iter().map(|p| p.u64("attacker_nets")).collect();
-        assert!(scales.contains(&128) && scales.contains(&256), "{scales:?}");
+        assert!(
+            scales.contains(&1024) && scales.contains(&4096),
+            "{scales:?}"
+        );
         // Quick mode stays CI-sized.
         assert!(spec(true)
             .points
@@ -187,15 +201,30 @@ mod tests {
     }
 
     #[test]
-    fn star_world_at_256_nets_builds() {
+    fn star_world_at_4096_nets_builds_hierarchically() {
         // The full sweep's largest point, as a build-only regression test:
-        // 256 spoke networks + hub + victim net, prefixes drawn from the
-        // checked 60k-/16 PrefixAlloc, routing tables computed.
+        // 4096 spoke networks + hub + victim net, prefixes drawn from the
+        // checked PrefixAlloc, hierarchical routing state computed in
+        // O(n·depth) (all-pairs tables would be 16M entries).
         use aitf_core::AitfConfig;
         use aitf_scenario::TopologySpec;
-        let b = TopologySpec::star(256, 1, HostPolicy::Malicious, 10_000_000)
-            .build(3, AitfConfig::default());
-        assert_eq!(b.world.net_count(), 258);
-        assert_eq!(b.world.host_count(), 257);
+        let mut topo = TopologySpec::star(4096, 1, HostPolicy::Malicious, 10_000_000);
+        topo.routing = RoutingMode::Hierarchical;
+        let b = topo.build(3, AitfConfig::default());
+        assert_eq!(b.world.net_count(), 4098);
+        assert_eq!(b.world.host_count(), 4097);
+    }
+
+    #[test]
+    fn internet_scale_point_keeps_per_provider_load_flat() {
+        // One shrunken internet-scale point through the real runner path
+        // (hierarchical routing + ramp-split stagger): 300 spokes, the
+        // smallest n past the historical shape's threshold.
+        let o = run_one(300, 1, 4);
+        assert!(
+            (o.metrics.f64("filters_per_provider") - 1.0).abs() < 0.5,
+            "{o:?}"
+        );
+        assert_eq!(o.metrics.u64("hub_filters_aitf"), 0, "{o:?}");
     }
 }

@@ -51,21 +51,31 @@ pub fn scenario(defended: bool) -> Scenario {
             ProbeSet::new()
                 .bin(bin)
                 .summarize(|s, m| {
+                    // Empty-window means are NaN; -1 is the repo's "no
+                    // data" metric sentinel (cf. time_to_block).
+                    let mean = |name, from, to| {
+                        let v = s.window_mean(name, from, to);
+                        if v.is_nan() {
+                            -1.0
+                        } else {
+                            v
+                        }
+                    };
                     m.set(
                         "goodput_before_mbps",
-                        s.window_mean("_series_goodput_mbps", 0.5, 2.0),
+                        mean("_series_goodput_mbps", 0.5, 2.0),
                     );
                     m.set(
                         "goodput_during_mbps",
-                        s.window_mean("_series_goodput_mbps", 2.3, 3.0),
+                        mean("_series_goodput_mbps", 2.3, 3.0),
                     );
                     m.set(
                         "goodput_after_mbps",
-                        s.window_mean("_series_goodput_mbps", 6.0, 12.0),
+                        mean("_series_goodput_mbps", 6.0, 12.0),
                     );
                     m.set(
                         "attack_bw_after_mbps",
-                        s.window_mean("_series_attack_bw_mbps", 6.0, 12.0),
+                        mean("_series_attack_bw_mbps", 6.0, 12.0),
                     );
                 })
                 .sampled_victim_mbps("_series_goodput_mbps", true, |w| {

@@ -30,6 +30,7 @@
 //! | [`e17_provider_churn`] | §III under network churn | leak recovers as providers leave/rejoin AITF mid-attack |
 //! | [`e18_megatree`] | §III-C at scale | a 105,800-host tree behaves like E10's world, 100× larger |
 //! | [`e19_defense_bakeoff`] | §V, generalized | four defense policies ranked on one world, one seed |
+//! | [`e20_flash_crowd`] | §I threat model, Internet shape | flash crowd vs spoofed DDoS discrimination on a 100k-net power-law world |
 
 pub mod e10_scaling;
 pub mod e11_detection;
@@ -42,6 +43,7 @@ pub mod e17_provider_churn;
 pub mod e18_megatree;
 pub mod e19_defense_bakeoff;
 pub mod e1_escalation;
+pub mod e20_flash_crowd;
 pub mod e2_effective_bandwidth;
 pub mod e3_protection_capacity;
 pub mod e4_victim_gw_resources;
@@ -80,6 +82,7 @@ pub fn registry(quick: bool) -> aitf_engine::Registry {
     r.register(e17_provider_churn::spec(quick));
     r.register(e18_megatree::spec(quick));
     r.register(e19_defense_bakeoff::spec(quick));
+    r.register(e20_flash_crowd::spec(quick));
     r.register(figures::spec(quick));
     r
 }

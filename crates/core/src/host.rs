@@ -189,6 +189,25 @@ pub trait TrafficApp: MaybeSend + 'static {
     fn on_packet(&mut self, _packet: &Packet, _api: &mut HostApi<'_, '_>) {}
 }
 
+/// A streaming observer of every data packet a host accepts.
+///
+/// This is the probe tap point for constant-memory measurement: the
+/// scenario layer hangs a sketch/reservoir aggregator off the victim and
+/// sees `(src, class, size)` per delivered packet without the host
+/// materializing any per-flow state. Exactly one tap per host; it fires
+/// after the delivery counters update, before the traffic apps.
+pub trait RxTap: MaybeSend + 'static {
+    /// One data packet was delivered: source address, traffic class, wire
+    /// size. Must be O(1) and allocation-free — it runs on the hot path.
+    fn on_rx(&mut self, src: Addr, class: TrafficClass, size_bytes: u32);
+
+    /// Downcast support for reading aggregates back at end of run.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
 enum TracebackBox {
     RouteRecord(RouteRecordTraceback),
     Sampling(SamplingTraceback),
@@ -251,6 +270,8 @@ pub struct EndHost {
     /// even if their events fire after a (possibly same-instant)
     /// reattach.
     attach_epoch: u16,
+    /// Streaming probe tap, fed every delivered data packet.
+    rx_tap: Option<Box<dyn RxTap>>,
 }
 
 impl EndHost {
@@ -300,7 +321,23 @@ impl EndHost {
             timeline: Vec::new(),
             attached: true,
             attach_epoch: 0,
+            rx_tap: None,
         }
+    }
+
+    /// Installs the streaming probe tap (replacing any previous one).
+    pub fn set_rx_tap(&mut self, tap: Box<dyn RxTap>) {
+        self.rx_tap = Some(tap);
+    }
+
+    /// The installed tap, for end-of-run readback.
+    pub fn rx_tap(&self) -> Option<&dyn RxTap> {
+        self.rx_tap.as_deref()
+    }
+
+    /// Mutable access to the installed tap.
+    pub fn rx_tap_mut(&mut self) -> Option<&mut (dyn RxTap + 'static)> {
+        self.rx_tap.as_deref_mut()
     }
 
     /// This host's address.
@@ -637,6 +674,11 @@ impl Node for EndHost {
                     self.counters.rx_legit_bytes += packet.size_bytes as u64;
                 }
                 aitf_packet::PayloadKind::Aitf(_) => unreachable!("is_data checked"),
+            }
+            if let (Some(tap), aitf_packet::PayloadKind::Data(class)) =
+                (&mut self.rx_tap, &packet.payload)
+            {
+                tap.on_rx(packet.header.src, *class, packet.size_bytes);
             }
             // The rate detector is class-blind: it sees what a real victim
             // sees — bytes per source — and flags whoever floods.

@@ -62,8 +62,8 @@ pub use config::{AitfConfig, Contract, HostPolicy, RouterPolicy, TracebackMode};
 pub use aitf_defense::DefensePolicy;
 pub use aitf_filter::EvictionPolicy;
 pub use detector::{DetectionMode, RateDetector};
-pub use host::{EndHost, HostApi, HostCounters, TrafficApp};
+pub use host::{EndHost, HostApi, HostCounters, RxTap, TrafficApp};
 pub use pipeline::{PolicyChains, StageId};
 pub use pushback::{PushbackCounters, PushbackState, LINK_LOCAL, MAX_PUSHBACK_DEPTH};
 pub use router::{BorderRouter, RouterCounters, RouterSpec};
-pub use world::{HostId, NetId, World, WorldBuilder};
+pub use world::{HostId, NetId, RoutingMode, World, WorldBuilder};

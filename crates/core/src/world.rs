@@ -35,6 +35,28 @@ use crate::config::{AitfConfig, HostPolicy, RouterPolicy};
 use crate::host::{EndHost, TrafficApp};
 use crate::router::{BorderRouter, RouterSpec};
 
+/// How forwarding tables are derived from the declared topology.
+///
+/// [`RoutingMode::AllPairs`] runs a shortest-path computation over the
+/// router backbone and gives every router one route per remote network —
+/// correct for arbitrary graphs, but O(n²) time *and* memory, which is
+/// prohibitive past a few thousand networks. [`RoutingMode::Hierarchical`]
+/// exploits the provider-tree structure the builder already enforces:
+/// each router gets a default route up its provider uplink, one route per
+/// child subtree down, and subtree shortcut routes across each declared
+/// peering — O(n·depth) state total, no all-pairs pass. On any
+/// tree-plus-peering topology (stars, trees, the power-law generators)
+/// both modes forward every packet over the same links; hierarchical
+/// simply refuses to route graphs with cross-links it cannot see.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RoutingMode {
+    /// All-pairs shortest paths over the router backbone (the default).
+    #[default]
+    AllPairs,
+    /// Provider-tree routing: default-up, subtree-down, peering shortcuts.
+    Hierarchical,
+}
+
 /// Handle to a network (AD) in a [`WorldBuilder`] / [`World`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct NetId(pub usize);
@@ -64,6 +86,12 @@ pub struct WorldBuilder {
     nets: Vec<NetSpec>,
     hosts: Vec<HostSpec>,
     peerings: Vec<(usize, usize, LinkParams)>,
+    routing: RoutingMode,
+    /// Exact-duplicate guard for hierarchical mode, where the O(n²)
+    /// pairwise overlap scan is skipped (generated prefixes come from a
+    /// disjoint allocator; reuse of an identical prefix is the realistic
+    /// bug to catch).
+    prefix_seen: std::collections::HashSet<Prefix>,
 }
 
 impl WorldBuilder {
@@ -86,7 +114,18 @@ impl WorldBuilder {
             nets: Vec::new(),
             hosts: Vec::new(),
             peerings: Vec::new(),
+            routing: RoutingMode::default(),
+            prefix_seen: std::collections::HashSet::new(),
         }
+    }
+
+    /// Selects the routing mode. Set this before declaring networks:
+    /// hierarchical mode replaces the per-network overlap scan with an
+    /// exact-duplicate check, and only prefixes declared after the switch
+    /// skip the scan.
+    pub fn routing(&mut self, mode: RoutingMode) -> &mut Self {
+        self.routing = mode;
+        self
     }
 
     /// Declares a network with the default router policy and uplink.
@@ -114,12 +153,18 @@ impl WorldBuilder {
         uplink_params: LinkParams,
     ) -> NetId {
         let prefix: Prefix = prefix.parse().expect("invalid network prefix");
-        for n in &self.nets {
-            assert!(
-                !n.prefix.overlaps(prefix),
-                "prefix {prefix} overlaps existing network {}",
-                n.name
-            );
+        assert!(
+            self.prefix_seen.insert(prefix),
+            "prefix {prefix} duplicates an existing network"
+        );
+        if self.routing == RoutingMode::AllPairs {
+            for n in &self.nets {
+                assert!(
+                    !n.prefix.overlaps(prefix),
+                    "prefix {prefix} overlaps existing network {}",
+                    n.name
+                );
+            }
         }
         let id = NetId(self.nets.len());
         self.nets.push(NetSpec {
@@ -216,8 +261,6 @@ impl WorldBuilder {
         for (k, &(a, b, _)) in self.peerings.iter().enumerate() {
             router_links.push((router_nodes[a], router_nodes[b], peer_links[k], 1));
         }
-        let next_hops = NextHops::compute(self.nets.len(), &router_links);
-
         let mut hosts_of_net: Vec<Vec<usize>> = vec![Vec::new(); self.nets.len()];
         for (h, hspec) in self.hosts.iter().enumerate() {
             hosts_of_net[hspec.net].push(h);
@@ -236,29 +279,6 @@ impl WorldBuilder {
                 self.nets[h.net].prefix.host_at(*k)
             })
             .collect();
-
-        // Longest-prefix-match forwarding: one route per remote network
-        // prefix (towards its border router) plus /32 routes for the hosts
-        // of a router's own network — the aggregation a real AS-level
-        // forwarding table has. Only the gateway carries its clients' /32s:
-        // remote routers reach a host through its network's prefix route
-        // along the same path, so the tables stay O(nets + own hosts).
-        let fwd_for = |n_idx: usize| -> LpmTable<LinkId> {
-            let node = router_nodes[n_idx];
-            let mut table = LpmTable::new();
-            for (n, net) in self.nets.iter().enumerate() {
-                if n == n_idx {
-                    continue;
-                }
-                if let Some(link) = next_hops.next_hop(node, router_nodes[n]) {
-                    table.insert(net.prefix, link);
-                }
-            }
-            for &h in &hosts_of_net[n_idx] {
-                table.insert(Prefix::host(host_addr[h]), tail_links[h]);
-            }
-            table
-        };
 
         // Subtree prefixes (self + all descendants) per network.
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.nets.len()];
@@ -285,6 +305,70 @@ impl WorldBuilder {
                 v
             })
             .collect();
+
+        // Longest-prefix-match forwarding, one table per router, plus /32
+        // routes for the hosts of a router's own network. Only the gateway
+        // carries its clients' /32s: remote routers reach a host through a
+        // covering prefix route along the same path.
+        //
+        // - AllPairs: one route per remote network prefix towards its
+        //   border router, from a shortest-path pass over the backbone —
+        //   the aggregation a real AS-level forwarding table has, at O(n²)
+        //   build cost.
+        // - Hierarchical: a len-0 default route up the provider uplink,
+        //   each child's subtree prefixes down its uplink, and each
+        //   peering's far-side subtree across the peering link — O(n·depth)
+        //   total state, no all-pairs pass, identical forwarding on any
+        //   tree-plus-peering topology.
+        let mut fwd_tables: Vec<LpmTable<LinkId>> = match self.routing {
+            RoutingMode::AllPairs => {
+                let next_hops = NextHops::compute(self.nets.len(), &router_links);
+                (0..self.nets.len())
+                    .map(|n_idx| {
+                        let node = router_nodes[n_idx];
+                        let mut table = LpmTable::new();
+                        for (n, net) in self.nets.iter().enumerate() {
+                            if n == n_idx {
+                                continue;
+                            }
+                            if let Some(link) = next_hops.next_hop(node, router_nodes[n]) {
+                                table.insert(net.prefix, link);
+                            }
+                        }
+                        table
+                    })
+                    .collect()
+            }
+            RoutingMode::Hierarchical => {
+                let mut tables: Vec<LpmTable<LinkId>> =
+                    (0..self.nets.len()).map(|_| LpmTable::new()).collect();
+                for (i, _) in self.nets.iter().enumerate() {
+                    if let Some(up) = uplinks[i] {
+                        tables[i].insert(Prefix::ANY, up);
+                    }
+                    for &c in &children[i] {
+                        let link = uplinks[c].expect("child has an uplink");
+                        for &p in &subtree[c] {
+                            tables[i].insert(p, link);
+                        }
+                    }
+                }
+                for (k, &(a, b, _)) in self.peerings.iter().enumerate() {
+                    for &p in &subtree[b] {
+                        tables[a].insert(p, peer_links[k]);
+                    }
+                    for &p in &subtree[a] {
+                        tables[b].insert(p, peer_links[k]);
+                    }
+                }
+                tables
+            }
+        };
+        for (n_idx, table) in fwd_tables.iter_mut().enumerate() {
+            for &h in &hosts_of_net[n_idx] {
+                table.insert(Prefix::host(host_addr[h]), tail_links[h]);
+            }
+        }
 
         // Deployment view seeded at build time: which border routers do
         // not participate in AITF (the capability "advertisement" every
@@ -323,7 +407,7 @@ impl WorldBuilder {
             }
             let spec = RouterSpec {
                 addr: router_addr[i],
-                fwd: fwd_for(i),
+                fwd: std::mem::take(&mut fwd_tables[i]),
                 uplink: uplinks[i],
                 ancestors: ancestors_of(i),
                 legacy_peers: legacy_peers.clone(),
@@ -889,6 +973,44 @@ mod tests {
         let single = run(1);
         assert_eq!(run(2), single);
         assert_eq!(run(3), single);
+    }
+
+    #[test]
+    fn hierarchical_routing_matches_all_pairs_on_a_tree_with_peering() {
+        // Same topology, both routing modes: a two-level tree with a
+        // peering shortcut. Every packet must traverse the same links, so
+        // the event counts and delivery counters agree exactly.
+        let run = |mode: RoutingMode| {
+            let mut b = WorldBuilder::new(1, AitfConfig::default());
+            b.routing(mode);
+            let wan = b.network("wan", "10.100.0.0/16", None);
+            let isp_a = b.network("isp_a", "10.1.0.0/16", Some(wan));
+            let isp_b = b.network("isp_b", "10.9.0.0/16", Some(wan));
+            let leaf = b.network("leaf", "10.20.0.0/16", Some(isp_b));
+            b.peer(isp_a, isp_b, WorldBuilder::default_net_link());
+            let v = b.host(isp_a);
+            let a = b.host(leaf);
+            let mut w = b.build();
+            let victim_addr = w.host_addr(v);
+            w.add_app(a, Box::new(TestTicker { to: victim_addr }));
+            w.sim.run_for(SimDuration::from_secs(2));
+            (
+                w.sim.dispatched_events(),
+                w.host(v).counters().rx_legit_pkts,
+            )
+        };
+        let all_pairs = run(RoutingMode::AllPairs);
+        assert!(all_pairs.1 > 100, "traffic must flow: {all_pairs:?}");
+        assert_eq!(run(RoutingMode::Hierarchical), all_pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates an existing network")]
+    fn duplicate_prefixes_rejected_in_hierarchical_mode() {
+        let mut b = WorldBuilder::new(1, AitfConfig::default());
+        b.routing(RoutingMode::Hierarchical);
+        b.network("a", "10.1.0.0/16", None);
+        b.network("b", "10.1.0.0/16", None);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub enum Value {
     /// series metrics are conventionally named with a leading `_` to stay
     /// JSON-only.
     F64List(Vec<f64>),
+    /// An unsigned-integer series — sketch-backed aggregates (heavy-hitter
+    /// keys and estimated counts) whose values are exact integers that must
+    /// not round-trip through `f64`. Same table/JSON conventions as
+    /// [`Value::F64List`].
+    U64List(Vec<u64>),
 }
 
 impl Value {
@@ -38,6 +43,7 @@ impl Value {
             Value::Bool(v) => v.to_string(),
             Value::Str(s) => s.clone(),
             Value::F64List(v) => format!("[{} pts]", v.len()),
+            Value::U64List(v) => format!("[{} pts]", v.len()),
         }
     }
 
@@ -61,6 +67,10 @@ impl Value {
                         }
                     })
                     .collect();
+                format!("[{}]", body.join(","))
+            }
+            Value::U64List(v) => {
+                let body: Vec<String> = v.iter().map(u64::to_string).collect();
                 format!("[{}]", body.join(","))
             }
         }
@@ -118,6 +128,12 @@ impl From<String> for Value {
 impl From<Vec<f64>> for Value {
     fn from(v: Vec<f64>) -> Self {
         Value::F64List(v)
+    }
+}
+
+impl From<Vec<u64>> for Value {
+    fn from(v: Vec<u64>) -> Self {
+        Value::U64List(v)
     }
 }
 
@@ -284,6 +300,18 @@ impl Params {
         }
     }
 
+    /// Typed accessor for `U64List` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing or not a `U64List`.
+    pub fn u64_list(&self, name: &str) -> &[u64] {
+        match self.get(name) {
+            Some(Value::U64List(v)) => v,
+            other => panic!("param {name:?}: expected U64List, got {other:?}"),
+        }
+    }
+
     /// Renders the entries as a JSON object.
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self
@@ -338,6 +366,16 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(Value::F64(f64::NAN).to_json(), "null");
         assert_eq!(Value::F64(1.25).to_json(), "1.25");
+    }
+
+    #[test]
+    fn u64_lists_render_as_json_arrays() {
+        let v = Value::U64List(vec![167772161, 42]);
+        assert_eq!(v.to_json(), "[167772161,42]");
+        assert_eq!(v.render(), "[2 pts]");
+        let p = Params::new().with("_hh_counts", vec![9u64, 3u64]);
+        assert_eq!(p.u64_list("_hh_counts"), &[9, 3]);
+        assert_eq!(p.to_json(), r#"{"_hh_counts":[9,3]}"#);
     }
 
     #[test]

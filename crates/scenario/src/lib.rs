@@ -36,6 +36,7 @@ pub mod churn;
 pub mod deploy;
 pub mod probe;
 pub mod scenario;
+pub mod stream;
 pub mod topology;
 pub mod workload;
 pub mod worlds;
@@ -43,8 +44,11 @@ pub mod worlds;
 pub use alloc::PrefixAlloc;
 pub use churn::{ChurnAction, ChurnSpec, EventSpec};
 pub use deploy::{DeploymentChoice, DeploymentSpec};
-pub use probe::{leak_ratio, ProbeSet, SeriesStore};
+pub use probe::{leak_ratio, ProbeSet, SeriesStore, StreamProbeConfig, VictimStreamTap};
 pub use scenario::{Scenario, ScenarioError};
-pub use topology::{BuiltWorld, HostDecl, NetDecl, NetSel, PeeringDecl, Role, Side, TopologySpec};
+pub use stream::{CountMinSketch, Reservoir, TopK};
+pub use topology::{
+    BuiltWorld, HostDecl, NetDecl, NetSel, PeeringDecl, PowerLawSpec, Role, Side, TopologySpec,
+};
 pub use workload::{HostSel, Rate, TargetSel, TrafficKind, TrafficSpec, WorkloadSpec};
 pub use worlds::{chain_pair, fig1, star, ChainWorld, Fig1World, StarWorld};

@@ -16,11 +16,17 @@
 //! emitted series (in order) — so a scenario's table and JSON columns are
 //! exactly the probe declaration order.
 
-use aitf_core::HostId;
+use aitf_core::{HostId, RxTap};
 use aitf_engine::Params;
 use aitf_netsim::SimDuration;
+use aitf_packet::{Addr, TrafficClass};
 
+use crate::stream::{CountMinSketch, Reservoir, TopK};
 use crate::topology::{BuiltWorld, Role, Side};
+
+/// A hook that runs once after the world is built, before the first
+/// simulated event — the place to install streaming taps on hosts.
+pub type SetupProbe = Box<dyn FnOnce(&mut BuiltWorld)>;
 
 /// An end-of-run metric extractor. May append several related metrics.
 pub type EndProbe = Box<dyn FnOnce(&BuiltWorld, &mut Params)>;
@@ -62,8 +68,13 @@ impl SeriesStore {
             .unwrap_or_else(|| panic!("no sampled series named {name:?}"))
     }
 
-    /// Mean of a series over bins whose time is in `[from, to)` seconds
-    /// (0 when the window is empty).
+    /// Mean of a series over bins whose time is in `[from, to)` seconds.
+    ///
+    /// Returns `f64::NAN` when the window contains no samples — an empty
+    /// window is "no data", not "zero", and a silent `0.0` once read as a
+    /// perfectly-quelled attack in a window that was never sampled.
+    /// Metric emitters follow the [`ProbeSet::time_to_block`] convention
+    /// and map the NaN to `-1` before recording.
     pub fn window_mean(&self, name: &str, from: f64, to: f64) -> f64 {
         let values = self.series(name);
         let mut sum = 0.0;
@@ -74,7 +85,11 @@ impl SeriesStore {
                 n += 1;
             }
         }
-        sum / n.max(1) as f64
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Simulated time of the first bin where the series satisfies `pred`,
@@ -89,9 +104,123 @@ impl SeriesStore {
     }
 }
 
+/// Parameters of the constant-memory victim stream probe
+/// ([`ProbeSet::streaming_victim`]). The defaults bound the probe to a
+/// few hundred KiB regardless of how many sources hit the victim.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamProbeConfig {
+    /// Count-min sketch counters per row (rounded up to a power of two);
+    /// the estimate error bound is `≈ e/width · packets`.
+    pub sketch_width: usize,
+    /// Count-min sketch rows (independent hash functions).
+    pub sketch_depth: usize,
+    /// Heavy-hitter sources tracked and emitted.
+    pub top_k: usize,
+    /// Reservoir capacity for the packet-size distribution.
+    pub reservoir: usize,
+    /// Seed for the sketch hash families and the reservoir sequence.
+    pub seed: u64,
+}
+
+impl Default for StreamProbeConfig {
+    fn default() -> Self {
+        StreamProbeConfig {
+            sketch_width: 2048,
+            sketch_depth: 4,
+            top_k: 16,
+            reservoir: 512,
+            seed: 0,
+        }
+    }
+}
+
+/// The streaming aggregator [`ProbeSet::streaming_victim`] hangs off the
+/// victim host: O(1) per delivered packet, O(config) memory — it never
+/// materializes per-source state no matter how many sources exist.
+///
+/// Both sketches share one hash layout (same width/depth/seed), so the
+/// attack-class estimate for a key can never exceed its all-traffic
+/// estimate: per-slot, the attack rows see a subset of the adds.
+pub struct VictimStreamTap {
+    pkts: CountMinSketch,
+    attack_pkts: CountMinSketch,
+    top: TopK,
+    sizes: Reservoir,
+}
+
+impl VictimStreamTap {
+    /// Builds the aggregator for `cfg`.
+    pub fn new(cfg: StreamProbeConfig) -> Self {
+        VictimStreamTap {
+            pkts: CountMinSketch::new(cfg.sketch_width, cfg.sketch_depth, cfg.seed),
+            attack_pkts: CountMinSketch::new(cfg.sketch_width, cfg.sketch_depth, cfg.seed),
+            top: TopK::new(cfg.top_k),
+            sizes: Reservoir::new(cfg.reservoir, cfg.seed),
+        }
+    }
+
+    /// Heavy-hitter sources, heaviest first: `(raw address, estimated
+    /// packets)`.
+    pub fn heavy_hitters(&self) -> Vec<(u64, u64)> {
+        self.top.ranked()
+    }
+
+    /// Estimated attack-class packets from a (raw-address) key.
+    pub fn attack_estimate(&self, key: u64) -> u64 {
+        self.attack_pkts.estimate(key)
+    }
+
+    /// Exact total of tapped data packets.
+    pub fn total_pkts(&self) -> u64 {
+        self.pkts.total()
+    }
+
+    /// Exact total of tapped attack-class packets.
+    pub fn total_attack_pkts(&self) -> u64 {
+        self.attack_pkts.total()
+    }
+
+    /// The packet-size sample (quantiles, mean).
+    pub fn sizes(&self) -> &Reservoir {
+        &self.sizes
+    }
+
+    /// Bytes held by every streaming structure — constant for a fixed
+    /// config, which is what the CI memory gate pins.
+    pub fn footprint_bytes(&self) -> usize {
+        self.pkts.footprint_bytes()
+            + self.attack_pkts.footprint_bytes()
+            + self.top.footprint_bytes()
+            + self.sizes.footprint_bytes()
+    }
+}
+
+impl RxTap for VictimStreamTap {
+    #[inline]
+    fn on_rx(&mut self, src: Addr, class: TrafficClass, size_bytes: u32) {
+        let key = src.raw() as u64;
+        self.pkts.add(key, 1);
+        if class == TrafficClass::Attack {
+            self.attack_pkts.add(key, 1);
+        }
+        let est = self.pkts.estimate(key);
+        self.top.offer(key, est);
+        self.sizes.offer(size_bytes as f64);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 /// The measurement plan of a scenario.
 #[derive(Default)]
 pub struct ProbeSet {
+    pub(crate) setup: Vec<SetupProbe>,
     pub(crate) end: Vec<EndProbe>,
     pub(crate) sample_bin: Option<SimDuration>,
     pub(crate) sampled: Vec<SampledProbe>,
@@ -104,10 +233,90 @@ impl ProbeSet {
         ProbeSet::default()
     }
 
+    /// Appends a setup hook, run by [`crate::Scenario::run`] after the
+    /// world is built and the workload installed, before any simulated
+    /// event — including churn scheduled at `t = 0`. Experiments driving
+    /// [`crate::Scenario::build`] by hand must apply their own hooks.
+    pub fn setup(mut self, f: impl FnOnce(&mut BuiltWorld) + 'static) -> Self {
+        self.setup.push(Box::new(f));
+        self
+    }
+
     /// Appends a bespoke end probe.
     pub fn end(mut self, f: impl FnOnce(&BuiltWorld, &mut Params) + 'static) -> Self {
         self.end.push(Box::new(f));
         self
+    }
+
+    /// Standard streaming probe: installs a [`VictimStreamTap`] on the
+    /// victim host at setup and emits its aggregates at end of run —
+    /// O(1) work per delivered packet and O(`cfg`) memory however large
+    /// the world or the attack. Metrics, in order:
+    ///
+    /// - `hh_srcs` / `hh_pkts` — heavy-hitter raw source addresses and
+    ///   their estimated packet counts, heaviest first (u64 lists);
+    /// - `hh_attack_pkts` — the attack-class estimate per heavy hitter,
+    ///   the flash-crowd-vs-zombie discrimination signal (u64 list);
+    /// - `hh_attack_frac` — attack share of heavy-hitter traffic
+    ///   (−1 when the victim received nothing);
+    /// - `rx_size_p50` / `rx_size_p95` — delivered-packet size quantiles
+    ///   from the reservoir (−1 when empty);
+    /// - `probe_bytes` — bytes held by the streaming structures, the
+    ///   metric the CI memory gate pins flat across world sizes.
+    ///
+    /// # Panics
+    ///
+    /// The setup hook panics if the topology declares no victim host.
+    pub fn streaming_victim(self, cfg: StreamProbeConfig) -> Self {
+        self.setup(move |w| {
+            let victim = w.victim();
+            w.world
+                .host_mut(victim)
+                .set_rx_tap(Box::new(VictimStreamTap::new(cfg)));
+        })
+        .end(|w, m| {
+            let tap = w
+                .world
+                .host(w.victim())
+                .rx_tap()
+                .and_then(|t| t.as_any().downcast_ref::<VictimStreamTap>())
+                .expect("streaming_victim installed its tap at setup");
+            let ranked = tap.heavy_hitters();
+            m.set(
+                "hh_srcs",
+                ranked.iter().map(|&(k, _)| k).collect::<Vec<u64>>(),
+            );
+            m.set(
+                "hh_pkts",
+                ranked.iter().map(|&(_, c)| c).collect::<Vec<u64>>(),
+            );
+            let attack: Vec<u64> = ranked
+                .iter()
+                .map(|&(k, _)| tap.attack_estimate(k))
+                .collect();
+            let hh_total: u64 = ranked.iter().map(|&(_, c)| c).sum();
+            let hh_attack: u64 = attack.iter().sum();
+            m.set("hh_attack_pkts", attack);
+            m.set(
+                "hh_attack_frac",
+                if hh_total == 0 {
+                    -1.0
+                } else {
+                    hh_attack as f64 / hh_total as f64
+                },
+            );
+            let quantile = |q| {
+                let v = tap.sizes().quantile(q);
+                if v.is_nan() {
+                    -1.0
+                } else {
+                    v
+                }
+            };
+            m.set("rx_size_p50", quantile(0.5));
+            m.set("rx_size_p95", quantile(0.95));
+            m.set("probe_bytes", tap.footprint_bytes() as u64);
+        })
     }
 
     /// Standard probe: the victim's attack leak ratio — attack bytes
@@ -299,9 +508,22 @@ mod tests {
             series: vec![("x", vec![0.0, 2.0, 4.0, 0.0])],
         };
         assert_eq!(store.window_mean("x", 1.0, 2.0), 3.0);
-        assert_eq!(store.window_mean("x", 5.0, 6.0), 0.0);
         assert_eq!(store.first_time("x", |v| v > 0.0), Some(1.0));
         assert_eq!(store.first_time("x", |v| v > 10.0), None);
+    }
+
+    #[test]
+    fn empty_window_mean_is_nan_not_zero() {
+        // Regression: a window past the sampled horizon used to read as
+        // 0.0 — indistinguishable from a genuinely-zero series. It must
+        // be NaN so callers are forced to map it to the -1 sentinel.
+        let store = SeriesStore {
+            time_s: vec![0.5, 1.0],
+            series: vec![("x", vec![2.0, 4.0])],
+        };
+        assert!(store.window_mean("x", 5.0, 6.0).is_nan());
+        assert!(store.window_mean("x", 1.0, 1.0).is_nan(), "[from, from)");
+        assert_eq!(store.window_mean("x", 0.0, 2.0), 3.0, "full window intact");
     }
 
     #[test]

@@ -211,10 +211,16 @@ impl Scenario {
     }
 
     /// Checks the scenario for specification errors before anything is
-    /// built or simulated. Currently validated: every churn event must
-    /// fire strictly before the scenario horizon — an event at or past it
-    /// could never take effect, and a silent no-op would masquerade as
-    /// "the late wave changed nothing".
+    /// built or simulated. Currently validated:
+    ///
+    /// - every churn event must fire strictly before the scenario horizon
+    ///   — an event at or past it could never take effect, and a silent
+    ///   no-op would masquerade as "the late wave changed nothing";
+    /// - a sample bin, when set, must be positive and no larger than the
+    ///   horizon — a zero bin would spin forever without advancing the
+    ///   clock, and a bin past the horizon would silently clamp to a
+    ///   single end-of-run sample, turning "per-bin series" into one
+    ///   point without complaint.
     pub fn validate(&self) -> Result<(), ScenarioError> {
         if let Some(event) = self.churn.events.iter().find(|e| e.at >= self.duration) {
             return Err(ScenarioError(format!(
@@ -222,6 +228,23 @@ impl Scenario {
                  {:?}; events must fire strictly before the horizon",
                 event.action, event.at, self.duration
             )));
+        }
+        if let Some(bin) = self.probes.sample_bin {
+            if bin == SimDuration::ZERO {
+                return Err(ScenarioError(
+                    "sample bin is zero: the sampling loop could never \
+                     advance the clock; ProbeSet::bin needs a positive \
+                     duration"
+                        .into(),
+                ));
+            }
+            if bin > self.duration {
+                return Err(ScenarioError(format!(
+                    "sample bin {:?} is larger than the scenario horizon \
+                     {:?}; a per-bin series needs at least one full bin",
+                    bin, self.duration
+                )));
+            }
         }
         Ok(())
     }
@@ -274,11 +297,17 @@ impl Scenario {
         }
         let mut world = self.build(seed);
         let ProbeSet {
+            setup,
             end,
             sample_bin,
             mut sampled,
             summarizers,
         } = self.probes;
+        // Setup hooks (streaming taps) install before any simulated
+        // event, including churn scheduled at t = 0.
+        for hook in setup {
+            hook(&mut world);
+        }
         if sample_bin.is_none() {
             assert!(
                 sampled.is_empty() && summarizers.is_empty(),
@@ -459,6 +488,59 @@ mod tests {
     }
 
     #[test]
+    fn streaming_victim_probe_matches_exact_counters() {
+        use crate::probe::{StreamProbeConfig, VictimStreamTap};
+        let run = |cfg: StreamProbeConfig| {
+            flood_scenario()
+                .probes(ProbeSet::new().streaming_victim(cfg).end(|w, m| {
+                    let c = w.world.host(w.victim()).counters();
+                    m.set("exact_pkts", c.rx_attack_pkts + c.rx_legit_pkts);
+                    m.set("exact_attack", c.rx_attack_pkts);
+                    let tap = w
+                        .world
+                        .host(w.victim())
+                        .rx_tap()
+                        .and_then(|t| t.as_any().downcast_ref::<VictimStreamTap>())
+                        .expect("tap installed");
+                    m.set("tap_pkts", tap.total_pkts());
+                    m.set("tap_attack", tap.total_attack_pkts());
+                }))
+                .run(21)
+        };
+        let outcome = run(StreamProbeConfig::default());
+        // The sketch totals are exact — only per-key estimates carry
+        // error — so the tap must agree with the victim's counters.
+        assert_eq!(
+            outcome.metrics.u64("tap_pkts"),
+            outcome.metrics.u64("exact_pkts")
+        );
+        assert_eq!(
+            outcome.metrics.u64("tap_attack"),
+            outcome.metrics.u64("exact_attack")
+        );
+        assert!(outcome.metrics.u64("exact_pkts") > 0, "flood delivered");
+        // A pure flood: the heavy hitters are all attack traffic.
+        assert!(outcome.metrics.f64("hh_attack_frac") > 0.9, "{outcome:?}");
+        let srcs = outcome.metrics.u64_list("hh_srcs");
+        let pkts = outcome.metrics.u64_list("hh_pkts");
+        let attack = outcome.metrics.u64_list("hh_attack_pkts");
+        assert!(!srcs.is_empty());
+        assert_eq!(srcs.len(), pkts.len());
+        assert_eq!(srcs.len(), attack.len());
+        for (p, a) in pkts.iter().zip(attack) {
+            assert!(a <= p, "shared hash layout: attack est ≤ total est");
+        }
+        // O(config) memory: the footprint is set by the config alone,
+        // not by traffic — rerunning with the same config pins it.
+        let again = run(StreamProbeConfig::default());
+        assert_eq!(
+            outcome.metrics.u64("probe_bytes"),
+            again.metrics.u64("probe_bytes")
+        );
+        assert!(outcome.metrics.u64("probe_bytes") > 0);
+    }
+
+    #[test]
     #[should_panic(expected = "need ProbeSet::bin")]
     fn sampled_probes_without_a_bin_fail_loudly() {
         let _ = flood_scenario()
@@ -589,6 +671,38 @@ mod tests {
                 ChurnAction::Detach(HostSel::RoleSlice(Role::Attacker, 0, 1)),
             )
             .run(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample bin is zero")]
+    fn zero_sample_bin_fails_loudly() {
+        let _ = flood_scenario()
+            .probes(
+                ProbeSet::new()
+                    .bin(SimDuration::ZERO)
+                    .sampled("_series_x", false, |_| 0.0),
+            )
+            .run(1);
+    }
+
+    #[test]
+    fn validate_rejects_sample_bins_past_the_horizon() {
+        // 3 s horizon, 5 s bin: would silently clamp to one end sample.
+        let bad = flood_scenario().probes(ProbeSet::new().bin(SimDuration::from_secs(5)).sampled(
+            "_series_x",
+            false,
+            |_| 0.0,
+        ));
+        let err = bad.validate().expect_err("bin past horizon").to_string();
+        assert!(err.contains("5s"), "names the bin: {err}");
+        assert!(err.contains("3s"), "names the horizon: {err}");
+        // A bin equal to the horizon is one full bin — still legal.
+        let edge = flood_scenario().probes(ProbeSet::new().bin(SimDuration::from_secs(3)).sampled(
+            "_series_x",
+            false,
+            |_| 0.0,
+        ));
+        assert!(edge.validate().is_ok());
     }
 
     #[test]

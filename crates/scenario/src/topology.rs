@@ -18,7 +18,10 @@
 //! lowers it onto [`aitf_core::WorldBuilder`] in one canonical order, so
 //! two specs with equal data produce bit-identical worlds.
 
-use aitf_core::{AitfConfig, HostId, HostPolicy, NetId, RouterPolicy, World, WorldBuilder};
+use aitf_core::{
+    AitfConfig, HostId, HostPolicy, NetId, RouterPolicy, RoutingMode, World, WorldBuilder,
+};
+use aitf_engine::splitmix;
 use aitf_netsim::{LinkParams, SimDuration};
 
 use crate::alloc::PrefixAlloc;
@@ -91,6 +94,42 @@ pub struct PeeringDecl {
     pub link: LinkParams,
 }
 
+/// Parameters for [`TopologySpec::power_law`] — an AS-graph-like world
+/// grown by preferential attachment.
+#[derive(Debug, Clone)]
+pub struct PowerLawSpec {
+    /// Number of generated networks, on top of `core` and `victim_net`.
+    pub n_nets: usize,
+    /// Probability that a new network attaches preferentially (to a
+    /// provider drawn ∝ degree) instead of uniformly. 1.0 is the classic
+    /// Barabási–Albert heavy tail; 0.0 a uniform random recursive tree.
+    pub skew: f64,
+    /// Maximum provider-chain depth; a deeper pick is walked up its
+    /// ancestors. Keeps routing state at O(n·max_depth).
+    pub max_depth: usize,
+    /// Fraction of networks given a peering shortcut (pairs are sampled;
+    /// ancestor pairs are skipped).
+    pub peering_fraction: f64,
+    /// The victim's tail circuit bandwidth (bits/second).
+    pub victim_tail_bps: u64,
+    /// Seed for the attachment and peering draws — part of the topology's
+    /// identity, independent of the run seed.
+    pub seed: u64,
+}
+
+impl Default for PowerLawSpec {
+    fn default() -> Self {
+        PowerLawSpec {
+            n_nets: 1000,
+            skew: 0.75,
+            max_depth: 6,
+            peering_fraction: 0.01,
+            victim_tail_bps: 10_000_000,
+            seed: 0,
+        }
+    }
+}
+
 /// A declarative topology: networks × hosts × peerings as plain data.
 ///
 /// # Examples
@@ -115,6 +154,12 @@ pub struct TopologySpec {
     pub hosts: Vec<HostDecl>,
     /// Declared peerings, in build order.
     pub peerings: Vec<PeeringDecl>,
+    /// How the lowered world derives forwarding tables. The default
+    /// ([`RoutingMode::AllPairs`]) keeps every existing spec bit-identical;
+    /// the internet-scale generators switch to
+    /// [`RoutingMode::Hierarchical`], whose build cost is O(n·depth)
+    /// instead of O(n²).
+    pub routing: RoutingMode,
 }
 
 impl TopologySpec {
@@ -381,6 +426,28 @@ impl TopologySpec {
         victim_tail_bps: u64,
     ) -> Self {
         assert!(levels > 0, "tree needs at least one level below the hub");
+        assert!(
+            hosts_per_leaf <= 250,
+            "tree asked for {hosts_per_leaf} hosts per leaf but a network \
+             holds at most 250"
+        );
+        // Net count = hub + victim_net + branching + branching² + … ;
+        // checked arithmetic so a silly `branching`/`levels` pair fails
+        // loudly instead of wrapping into a bogus small tree.
+        let mut needed: u64 = 2;
+        let mut layer: u64 = 1;
+        for _ in 0..levels {
+            layer = layer
+                .saturating_mul(branching as u64)
+                .min(PrefixAlloc::CAPACITY as u64 + 1);
+            needed = (needed + layer).min(PrefixAlloc::CAPACITY as u64 + 1);
+        }
+        assert!(
+            needed <= PrefixAlloc::CAPACITY as u64,
+            "tree({levels}, {branching}, ..) needs {needed}+ networks but \
+             only {} /16 prefixes exist",
+            PrefixAlloc::CAPACITY
+        );
         let mut alloc = PrefixAlloc::new();
         let mut t = TopologySpec::new();
         let hub_prefix = alloc.next_slash16().to_string();
@@ -439,6 +506,176 @@ impl TopologySpec {
         t
     }
 
+    /// An internet-scale power-law provider graph — see [`PowerLawSpec`].
+    ///
+    /// The shape mimics measured AS graphs: a handful of high-degree
+    /// transit providers and a long tail of stub networks, grown by
+    /// preferential attachment (probability [`PowerLawSpec::skew`] of
+    /// picking a parent in proportion to its degree, else uniformly),
+    /// with peering shortcuts between a sampled fraction of networks.
+    /// `nets[0]` is the `core` root, `nets[1]` the `victim_net` (with the
+    /// victim host installed); generated networks are named `pl_<i>`.
+    /// Prefixes are /24s from [`PrefixAlloc::next_slash24`] and the spec
+    /// switches itself to [`RoutingMode::Hierarchical`], so a 100k-net
+    /// world builds in O(n·depth) with O(n·depth) routing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph needs more than
+    /// [`PrefixAlloc::CAPACITY_SLASH24`] networks, naming the requested
+    /// vs available count.
+    pub fn power_law(spec: &PowerLawSpec) -> Self {
+        let needed = spec.n_nets as u64 + 2;
+        assert!(
+            needed <= PrefixAlloc::CAPACITY_SLASH24,
+            "power_law asked for {needed} networks but only {} /24 \
+             prefixes exist",
+            PrefixAlloc::CAPACITY_SLASH24
+        );
+        assert!(
+            (0.0..=1.0).contains(&spec.skew),
+            "skew is a probability, got {}",
+            spec.skew
+        );
+        assert!(spec.max_depth >= 1, "max_depth must be at least 1");
+        let mut alloc = PrefixAlloc::new();
+        let mut t = TopologySpec::new();
+        t.routing = RoutingMode::Hierarchical;
+        let core_prefix = alloc.next_slash24().to_string();
+        let core = t.net("core", &core_prefix, None);
+        let victim_prefix = alloc.next_slash24().to_string();
+        let victim_net = t.net_with(
+            "victim_net",
+            &victim_prefix,
+            Some(core),
+            RouterPolicy::default(),
+            WorldBuilder::default_net_link(),
+            Side::Victim,
+        );
+        t.host_with(
+            victim_net,
+            Role::Victim,
+            HostPolicy::Compliant,
+            LinkParams::ethernet(spec.victim_tail_bps, SimDuration::from_millis(5)),
+        );
+
+        // Preferential attachment over the *endpoints list*: every edge
+        // pushes both its endpoints, so drawing uniformly from the list is
+        // drawing a net in proportion to its degree — O(1) per draw, the
+        // classic Barabási–Albert trick. Depth is capped by walking a too-
+        // deep pick up its provider chain.
+        let mut rng = splitmix(spec.seed ^ 0xA5_0000_0001);
+        let mut endpoints: Vec<u32> = vec![core as u32, victim_net as u32];
+        let mut depth: Vec<u32> = vec![0, 1];
+        let mut parent_of: Vec<u32> = vec![0, 0];
+        for i in 0..spec.n_nets {
+            rng = splitmix(rng);
+            let preferential = (rng >> 32) as f64 / (1u64 << 32) as f64 <= spec.skew;
+            rng = splitmix(rng);
+            let mut parent = if preferential {
+                endpoints[(rng % endpoints.len() as u64) as usize] as usize
+            } else {
+                (rng % t.nets.len() as u64) as usize
+            };
+            while depth[parent] as usize >= spec.max_depth {
+                parent = parent_of[parent] as usize;
+            }
+            let prefix = alloc.next_slash24().to_string();
+            // Direct push: `net_with`'s duplicate-name scan is O(n) per
+            // net and the generated names are unique by construction.
+            t.nets.push(NetDecl {
+                name: format!("pl_{i}"),
+                prefix,
+                parent: Some(parent),
+                policy: RouterPolicy::default(),
+                uplink: WorldBuilder::default_net_link(),
+                side: Side::Neutral,
+            });
+            let id = (t.nets.len() - 1) as u32;
+            depth.push(depth[parent] + 1);
+            parent_of.push(parent as u32);
+            endpoints.push(parent as u32);
+            endpoints.push(id);
+        }
+
+        // Peering shortcuts between sampled pairs — skipped when one pick
+        // is the other's ancestor (the tree already routes that pair, and
+        // hierarchical mode must not shadow subtree routes).
+        let n_peerings = (spec.n_nets as f64 * spec.peering_fraction) as usize;
+        let is_ancestor = |a: usize, b: usize, depth: &[u32], parent_of: &[u32]| {
+            let mut cur = b;
+            while depth[cur] > depth[a] {
+                cur = parent_of[cur] as usize;
+            }
+            cur == a
+        };
+        for _ in 0..n_peerings {
+            rng = splitmix(rng);
+            let a = (rng % t.nets.len() as u64) as usize;
+            rng = splitmix(rng);
+            let b = (rng % t.nets.len() as u64) as usize;
+            if a == b
+                || is_ancestor(a, b, &depth, &parent_of)
+                || is_ancestor(b, a, &depth, &parent_of)
+            {
+                continue;
+            }
+            t.peer(a, b, WorldBuilder::default_net_link());
+        }
+        t
+    }
+
+    /// Scatters `count` hosts with one role/policy over the networks in
+    /// `nets` (indices into [`TopologySpec::nets`]), deterministically
+    /// from `seed`. A full network (250 hosts) overflows to the next
+    /// index, so the call never violates the per-network host cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selected networks cannot hold `count` more hosts,
+    /// naming the requested vs available count.
+    pub fn scatter_hosts(
+        &mut self,
+        nets: std::ops::Range<usize>,
+        count: usize,
+        role: Role,
+        policy: HostPolicy,
+        link: LinkParams,
+        seed: u64,
+    ) -> Vec<usize> {
+        let candidates: Vec<usize> = nets.collect();
+        let mut load: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        for h in &self.hosts {
+            *load.entry(h.net).or_insert(0) += 1;
+        }
+        let available: u64 = candidates
+            .iter()
+            .map(|&n| 250u64.saturating_sub(load.get(&n).copied().unwrap_or(0) as u64))
+            .sum();
+        assert!(
+            count as u64 <= available,
+            "scatter_hosts asked for {count} hosts but the {} selected \
+             networks only hold {available} more",
+            candidates.len()
+        );
+        let mut rng = splitmix(seed ^ 0x5CA7_7E12);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            rng = splitmix(rng);
+            let mut at = (rng % candidates.len() as u64) as usize;
+            while load.get(&candidates[at]).copied().unwrap_or(0) >= 250 {
+                at = (at + 1) % candidates.len();
+            }
+            let net = candidates[at];
+            *load.entry(net).or_insert(0) += 1;
+            if role == Role::Attacker && self.nets[net].side == Side::Neutral {
+                self.nets[net].side = Side::Attacker;
+            }
+            out.push(self.host_with(net, role, policy, link));
+        }
+        out
+    }
+
     // ------------------------------------------------------------------
     // Lowering.
     // ------------------------------------------------------------------
@@ -448,6 +685,7 @@ impl TopologySpec {
     /// layer sets it through `Scenario::defense(..)`.
     pub fn build(&self, seed: u64, cfg: AitfConfig) -> BuiltWorld {
         let mut b = WorldBuilder::new(seed, cfg);
+        b.routing(self.routing);
         let mut ids: Vec<NetId> = Vec::with_capacity(self.nets.len());
         for n in &self.nets {
             let parent = n.parent.map(|p| {
@@ -682,6 +920,100 @@ mod tests {
         assert_eq!(b.world.net_count(), 302);
         assert_eq!(b.world.host_count(), 301);
         assert_eq!(b.hosts_with(Role::Attacker).len(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 250")]
+    fn tree_rejects_overfull_leaves() {
+        let _ = TopologySpec::tree(1, 2, 251, HostPolicy::Malicious, 10_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "/16 prefixes exist")]
+    fn tree_rejects_worlds_past_the_prefix_space() {
+        // 10 levels of branching 4 ≈ 1.4M networks > 60k /16s; the checked
+        // arithmetic must also survive absurd inputs without wrapping.
+        let _ = TopologySpec::tree(10, 4, 1, HostPolicy::Malicious, 10_000_000);
+    }
+
+    #[test]
+    fn power_law_generates_a_heavy_tailed_capped_depth_graph() {
+        let spec = PowerLawSpec {
+            n_nets: 2000,
+            skew: 0.8,
+            max_depth: 5,
+            peering_fraction: 0.02,
+            ..PowerLawSpec::default()
+        };
+        let t = TopologySpec::power_law(&spec);
+        assert_eq!(t.nets.len(), 2002);
+        assert_eq!(t.routing, RoutingMode::Hierarchical);
+        assert_eq!(t.nets[0].name, "core");
+        assert_eq!(t.nets[1].name, "victim_net");
+        // Depth cap honoured.
+        let mut depth = vec![0usize; t.nets.len()];
+        let mut degree = vec![0usize; t.nets.len()];
+        for (i, n) in t.nets.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(p < i, "parents precede children");
+                depth[i] = depth[p] + 1;
+                degree[p] += 1;
+                degree[i] += 1;
+            }
+            assert!(depth[i] <= 5, "depth cap violated at {}", n.name);
+        }
+        // Heavy tail: the best-connected provider dwarfs the median (a
+        // uniform tree of 2000 nets has max degree ~15).
+        let max_degree = *degree.iter().max().expect("nonempty");
+        assert!(max_degree > 100, "no heavy tail: max degree {max_degree}");
+        let stubs = degree.iter().filter(|&&d| d == 1).count();
+        assert!(stubs > 1000, "most networks must be stubs: {stubs}");
+        assert!(!t.peerings.is_empty(), "peering shortcuts expected");
+        // Deterministic: same spec, same graph.
+        let again = TopologySpec::power_law(&spec);
+        assert_eq!(t.nets.len(), again.nets.len());
+        assert!(t
+            .nets
+            .iter()
+            .zip(&again.nets)
+            .all(|(a, b)| a.parent == b.parent && a.prefix == b.prefix));
+    }
+
+    #[test]
+    fn power_law_world_builds_and_routes() {
+        let spec = PowerLawSpec {
+            n_nets: 300,
+            ..PowerLawSpec::default()
+        };
+        let mut t = TopologySpec::power_law(&spec);
+        let placed = t.scatter_hosts(
+            2..302,
+            40,
+            Role::Legit,
+            HostPolicy::Compliant,
+            WorldBuilder::default_host_link(),
+            9,
+        );
+        assert_eq!(placed.len(), 40);
+        let b = t.build(1, AitfConfig::default());
+        assert_eq!(b.world.net_count(), 302);
+        assert_eq!(b.hosts_with(Role::Legit).len(), 40);
+        assert_eq!(b.role_of(b.victim()), Role::Victim);
+    }
+
+    #[test]
+    #[should_panic(expected = "only hold")]
+    fn scatter_hosts_rejects_overcommitment() {
+        let mut t = TopologySpec::new();
+        t.net("a", "10.1.0.0/24", None);
+        let _ = t.scatter_hosts(
+            0..1,
+            251,
+            Role::Legit,
+            HostPolicy::Compliant,
+            WorldBuilder::default_host_link(),
+            1,
+        );
     }
 
     #[test]

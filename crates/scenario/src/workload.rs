@@ -184,6 +184,25 @@ pub enum TrafficKind {
         /// Poisson inter-arrivals instead of CBR.
         poisson: bool,
     },
+    /// Heavy-tailed legitimate background load: host `i` of the selection
+    /// sends Poisson traffic at `base_pps / uᵢ^(1/alpha)` packets/second,
+    /// where `uᵢ` is a per-host uniform draw — a Pareto(`alpha`) rate mix
+    /// (most hosts near `base_pps`, a few heavy elephants), capped at
+    /// `cap_pps` so one lucky draw cannot out-flood the attack.
+    LegitPareto {
+        /// Minimum (and modal) per-host rate, packets/second.
+        base_pps: u64,
+        /// Rate ceiling, packets/second.
+        cap_pps: u64,
+        /// Pareto shape: smaller is heavier-tailed (1.2 ≈ measured flow
+        /// size distributions).
+        alpha: f64,
+        /// Packet size in bytes.
+        size: u32,
+        /// Seed of the per-host draws — part of the workload's identity,
+        /// independent of the run seed.
+        seed: u64,
+    },
     /// A bespoke [`TrafficApp`] built at install time.
     Custom(AppFactory),
 }
@@ -199,6 +218,13 @@ impl std::fmt::Debug for TrafficKind {
             TrafficKind::OnOff { pps, .. } => f.debug_struct("OnOff").field("pps", pps).finish(),
             TrafficKind::Spoof { pps, .. } => f.debug_struct("Spoof").field("pps", pps).finish(),
             TrafficKind::Legit { pps, .. } => f.debug_struct("Legit").field("pps", pps).finish(),
+            TrafficKind::LegitPareto {
+                base_pps, alpha, ..
+            } => f
+                .debug_struct("LegitPareto")
+                .field("base_pps", base_pps)
+                .field("alpha", alpha)
+                .finish(),
             TrafficKind::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -315,6 +341,33 @@ impl TrafficSpec {
         )
     }
 
+    /// Heavy-tailed legitimate background load (Pareto per-host rates,
+    /// Poisson arrivals) — see [`TrafficKind::LegitPareto`].
+    pub fn legit_pareto(
+        on: HostSel,
+        to: TargetSel,
+        base_pps: u64,
+        cap_pps: u64,
+        alpha: f64,
+        size: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(alpha > 0.0, "Pareto shape must be positive, got {alpha}");
+        assert!(base_pps > 0, "base rate must be nonzero");
+        assert!(cap_pps >= base_pps, "cap below the base rate");
+        Self::new(
+            on,
+            to,
+            TrafficKind::LegitPareto {
+                base_pps,
+                cap_pps,
+                alpha,
+                size,
+                seed,
+            },
+        )
+    }
+
     /// A bespoke app per selected host.
     pub fn custom(
         on: HostSel,
@@ -404,8 +457,15 @@ impl TrafficSpec {
                     pool_size,
                     random,
                 } => {
-                    windowless("spoofing");
-                    let mut s = SpoofingFlood::new(targets[i], *pps, *size, *pool, *pool_size);
+                    // Spoofing floods support a start window (so a zombie
+                    // army can stagger off a shared period lattice) but no
+                    // stop window.
+                    assert!(
+                        self.stop_at.is_none(),
+                        "spoofing traffic does not support a stop window"
+                    );
+                    let mut s = SpoofingFlood::new(targets[i], *pps, *size, *pool, *pool_size)
+                        .starting_after(start);
                     if *random {
                         s = s.randomised();
                     }
@@ -418,6 +478,26 @@ impl TrafficSpec {
                         c = c.poisson();
                     }
                     Box::new(c)
+                }
+                TrafficKind::LegitPareto {
+                    base_pps,
+                    cap_pps,
+                    alpha,
+                    size,
+                    seed,
+                } => {
+                    windowless("legitimate");
+                    // u ∈ (0, 1] from the top 53 bits of a splitmix draw;
+                    // rate = base/u^(1/α) is the Pareto inverse-CDF.
+                    let draw = aitf_engine::splitmix(*seed ^ (i as u64).wrapping_mul(0x9E37));
+                    let u = ((draw >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                    let rate = (*base_pps as f64 / u.powf(1.0 / *alpha)) as u64;
+                    let pps = rate.clamp(*base_pps, *cap_pps);
+                    // Per-client seeded Poisson: the shared simulation
+                    // stream is per-shard, so drawing from it would make
+                    // arrivals depend on the shard partition.
+                    let arrivals = aitf_engine::splitmix(draw ^ 0x00AA_1234);
+                    Box::new(LegitClient::new(targets[i], pps, *size).poisson_seeded(arrivals))
                 }
                 TrafficKind::Custom(make) => {
                     windowless("custom");
@@ -486,5 +566,26 @@ mod tests {
     #[should_panic(expected = "zero hosts")]
     fn rate_split_rejects_zero_hosts() {
         let _ = Rate::PerHost(10).split(0);
+    }
+
+    #[test]
+    fn pareto_rates_are_heavy_tailed_capped_and_deterministic() {
+        // Reproduce install()'s per-host draw directly: rates sit in
+        // [base, cap], most near base, with a genuine tail.
+        let rate_for = |i: usize, seed: u64| {
+            let draw = aitf_engine::splitmix(seed ^ (i as u64).wrapping_mul(0x9E37));
+            let u = ((draw >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            ((100.0 / u.powf(1.0 / 1.2)) as u64).clamp(100, 10_000)
+        };
+        let rates: Vec<u64> = (0..2000).map(|i| rate_for(i, 7)).collect();
+        assert!(rates.iter().all(|&r| (100..=10_000).contains(&r)));
+        let modest = rates.iter().filter(|&&r| r < 400).count();
+        assert!(modest > 1200, "bulk must sit near base: {modest}");
+        let elephants = rates.iter().filter(|&&r| r >= 2000).count();
+        assert!(
+            (1..200).contains(&elephants),
+            "tail must exist but stay rare: {elephants}"
+        );
+        assert_eq!(rates, (0..2000).map(|i| rate_for(i, 7)).collect::<Vec<_>>());
     }
 }

@@ -67,10 +67,19 @@ impl Traceback for RouteRecordTraceback {
         let key = (packet.header.src, packet.header.dst);
         match self.paths.get_mut(&key) {
             Some(existing) => {
-                // Keep the longest record seen: a packet that crossed more
-                // border routers carries strictly more information.
-                if packet.route_record.len() > existing.len() {
-                    *existing = packet.route_record.hops().to_vec();
+                // Keep the longest record seen (a packet that crossed more
+                // border routers carries strictly more information); among
+                // equal-length records the lexicographically smallest. The
+                // cached path is thus a pure function of the *set* of
+                // observed records, never of arrival order — spoofing
+                // zombies sharing a pool produce many same-length records
+                // per flow key, and a sharded run interleaves their
+                // same-timestamp packets differently.
+                let new = packet.route_record.hops();
+                if new.len() > existing.len()
+                    || (new.len() == existing.len() && new < existing.as_slice())
+                {
+                    *existing = new.to_vec();
                 }
             }
             None => {
@@ -141,6 +150,23 @@ mod tests {
         tb.observe(&attack_packet(A, V, &[gw(1)]));
         let flow = FlowLabel::src_dst(A, V);
         assert_eq!(tb.attack_path(&flow).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn equal_length_tie_break_is_arrival_order_independent() {
+        // Two zombies behind different gateways spoof the same source:
+        // whichever packet arrives first, the cached path must be the
+        // same (the lexicographically smallest record), or a sharded
+        // run's interleaving would pick different revocation targets.
+        let flow = FlowLabel::src_dst(A, V);
+        let mut forward = RouteRecordTraceback::new(16);
+        forward.observe(&attack_packet(A, V, &[gw(9), gw(1)]));
+        forward.observe(&attack_packet(A, V, &[gw(8), gw(1)]));
+        let mut reverse = RouteRecordTraceback::new(16);
+        reverse.observe(&attack_packet(A, V, &[gw(8), gw(1)]));
+        reverse.observe(&attack_packet(A, V, &[gw(9), gw(1)]));
+        assert_eq!(forward.attack_path(&flow), reverse.attack_path(&flow));
+        assert_eq!(forward.attack_path(&flow), Some(vec![gw(8), gw(1)]));
     }
 
     #[test]
