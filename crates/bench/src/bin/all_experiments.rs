@@ -112,6 +112,7 @@ fn main() {
         args.threads,
         args.base_seed
     );
+    // detlint::allow(wall-clock): suite wall-time print for the operator — never recorded
     let start = Instant::now();
     // One flat job pool across all selected experiments: points from
     // different sweeps fill the same worker threads.

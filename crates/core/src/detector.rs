@@ -12,7 +12,7 @@
 //!   Detection latency then *emerges* from the estimator instead of being
 //!   assumed, and false positives/negatives become measurable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aitf_netsim::{SimDuration, SimTime};
 use aitf_packet::Addr;
@@ -62,7 +62,10 @@ struct FlowRate {
 pub struct RateDetector {
     threshold_bps: f64,
     window: SimDuration,
-    flows: HashMap<Addr, FlowRate>,
+    /// Ordered map: the capacity-shedding scan below picks a minimum over
+    /// this map, and ties on `last_update` must break by address, not by
+    /// hash order — stale-entry choice feeds which sources get detected.
+    flows: BTreeMap<Addr, FlowRate>,
     capacity: usize,
     /// Sources flagged so far (diagnostics).
     pub trips: u64,
@@ -81,7 +84,7 @@ impl RateDetector {
         RateDetector {
             threshold_bps: threshold_bytes_per_sec,
             window,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             capacity,
             trips: 0,
         }
@@ -96,8 +99,10 @@ impl RateDetector {
     /// rate now exceeds the threshold.
     pub fn observe(&mut self, src: Addr, bytes: u32, now: SimTime) -> bool {
         if !self.flows.contains_key(&src) && self.flows.len() >= self.capacity {
-            // Table full: shed the stalest entry so hot sources keep
-            // being tracked.
+            // Table full: shed the stalest entry so hot sources keep being
+            // tracked. Iteration is addr-ordered and `min_by_key` keeps the
+            // first minimum, so ties on `last_update` break to the lowest
+            // address — the shed choice is a pure function of the table.
             if let Some((&stale, _)) = self.flows.iter().min_by_key(|(_, f)| f.last_update) {
                 self.flows.remove(&stale);
             }

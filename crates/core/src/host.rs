@@ -576,6 +576,7 @@ impl EndHost {
 
     fn purge_request_log(&mut self, now: SimTime) {
         if self.request_log.len() > 64 {
+            // detlint::allow(hash-iter): per-entry expiry predicate — the surviving set is independent of visit order
             self.request_log.retain(|_, &mut exp| exp > now);
         }
     }

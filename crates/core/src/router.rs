@@ -16,7 +16,7 @@
 //! - **plain forwarder** — stamps the route-record shim (or probabilistic
 //!   marks) on transit data packets and enforces ingress filtering.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use aitf_defense::{DefensePolicy, ReadStage, Verdict, WriteStage};
 use aitf_filter::{FilterTable, InstallError, RateLimiterBank, ShadowCache};
@@ -152,7 +152,7 @@ pub struct RouterSpec {
     pub legacy_peers: Vec<Addr>,
     /// Client links (to end-hosts and client networks) with the set of
     /// prefixes legitimately sourced behind each.
-    pub client_links: HashMap<LinkId, Vec<Prefix>>,
+    pub client_links: BTreeMap<LinkId, Vec<Prefix>>,
     /// Protocol parameters.
     pub config: AitfConfig,
     /// Behaviour knobs.
@@ -192,7 +192,7 @@ pub struct BorderRouter {
     ancestors: Vec<Addr>,
     /// The deployment view: peers currently known not to run AITF.
     disabled_peers: std::collections::HashSet<Addr>,
-    client_links: HashMap<LinkId, Vec<Prefix>>,
+    client_links: BTreeMap<LinkId, Vec<Prefix>>,
     filters: FilterTable,
     shadow: ShadowCache,
     limiter: RateLimiterBank,

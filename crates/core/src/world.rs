@@ -23,7 +23,7 @@
 //! assert!(world.host_addr(host).to_string().starts_with("10.1."));
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use aitf_netsim::{
     LinkDirection, LinkId, LinkParams, NetworkBuilder, NextHops, NodeId, PartitionSpec,
@@ -393,7 +393,7 @@ impl WorldBuilder {
 
         // Install routers.
         for (i, net) in self.nets.iter().enumerate() {
-            let mut client_links: HashMap<LinkId, Vec<Prefix>> = HashMap::new();
+            let mut client_links: BTreeMap<LinkId, Vec<Prefix>> = BTreeMap::new();
             for &c in &children[i] {
                 let link = uplinks[c].expect("child has an uplink");
                 client_links.insert(link, subtree[c].clone());

@@ -106,6 +106,7 @@ impl Runner {
                         quick: self.quick,
                         shards: self.shards,
                     };
+                    // detlint::allow(wall-clock): wall_secs telemetry on the record — excluded from deterministic_eq
                     let start = Instant::now();
                     let outcome = (spec.run)(&spec.points[p], &ctx);
                     let record = RunRecord {

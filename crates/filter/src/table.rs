@@ -438,9 +438,11 @@ impl FilterTable {
     fn indexes_consistent(&self) -> bool {
         let live_slots = self.slots.iter().filter(|s| s.is_some()).count();
         let indexed: usize =
+            // detlint::allow(hash-iter): usize count over all buckets — order-independent debug invariant
             self.by_dst.values().map(Vec::len).sum::<usize>() + self.wildcard_dst.len();
         let all_point_at_live = self
             .by_dst
+            // detlint::allow(hash-iter): universally-quantified predicate (`all`) — order-independent debug invariant
             .values()
             .flatten()
             .chain(self.wildcard_dst.iter())

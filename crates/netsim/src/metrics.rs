@@ -4,18 +4,21 @@
 //! by a subject such as a node id) and named `(time, value)` series. The
 //! experiment harness reads them after a run to print the paper's tables
 //! and figures. None of this sits on the per-packet fast path of the
-//! protocol — routers keep their own dense counters — so a hash map is fine.
+//! protocol — routers keep their own dense counters — so ordered maps are
+//! fine, and they make every read and merge deterministic by construction:
+//! metric values flow into `RunRecord`s, so iteration order here is
+//! record-visible.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::time::SimTime;
 
 /// Simulation-wide metrics sink.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    counters: HashMap<&'static str, u64>,
-    keyed: HashMap<(&'static str, u64), u64>,
-    series: HashMap<&'static str, Vec<(SimTime, f64)>>,
+    counters: BTreeMap<&'static str, u64>,
+    keyed: BTreeMap<(&'static str, u64), u64>,
+    series: BTreeMap<&'static str, Vec<(SimTime, f64)>>,
 }
 
 impl Metrics {
@@ -77,8 +80,8 @@ impl Metrics {
 
     /// Merges `other` into `self`: counters add, series append in the order
     /// given. Sharded simulations drain per-shard sinks into one master
-    /// sink at every run boundary, always in shard-id order, so the merged
-    /// result is deterministic.
+    /// sink at every run boundary, always in shard-id order, and the maps
+    /// iterate in key order, so the merged result is deterministic.
     pub fn absorb(&mut self, other: Metrics) {
         for (name, v) in other.counters {
             *self.counters.entry(name).or_insert(0) += v;
@@ -86,10 +89,7 @@ impl Metrics {
         for (key, v) in other.keyed {
             *self.keyed.entry(key).or_insert(0) += v;
         }
-        let mut series: Vec<(&'static str, Vec<(SimTime, f64)>)> =
-            other.series.into_iter().collect();
-        series.sort_unstable_by_key(|(name, _)| *name);
-        for (name, samples) in series {
+        for (name, samples) in other.series {
             self.series.entry(name).or_default().extend(samples);
         }
     }

@@ -358,6 +358,7 @@ impl Shard {
             self.core.time = ev.time;
             self.core.dispatched_events += 1;
             #[cfg(feature = "trace")]
+            // detlint::allow(wall-clock): per-subsystem wall profiling, trace builds only — never enters simulation state
             let ev_start = std::time::Instant::now();
             match ev.kind {
                 EventKind::Deliver { node, link, packet } => {
@@ -957,6 +958,7 @@ impl Simulator {
         if !self.started {
             self.start();
         }
+        // detlint::allow(wall-clock): events_per_sec wall telemetry — reported in JSON, excluded from deterministic_eq
         let wall_start = std::time::Instant::now();
         if self.is_sharded() {
             self.run_sharded(t);
@@ -1133,6 +1135,7 @@ impl Simulator {
                 };
                 self.cut_links[c].pending_txdone[d] = None;
                 #[cfg(feature = "trace")]
+                // detlint::allow(wall-clock): per-subsystem wall profiling, trace builds only — never enters simulation state
                 let ev_start = std::time::Instant::now();
                 scratch.set_ctx(t, Some(p.chain));
                 self.cut_links[c].link.on_tx_done(t, dir, &mut scratch);

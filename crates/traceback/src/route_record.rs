@@ -6,7 +6,7 @@
 //! "traceback time is 0" exactly as the paper's Section IV-B example
 //! assumes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aitf_packet::{Addr, FlowLabel, Packet};
 
@@ -20,7 +20,8 @@ use crate::Traceback;
 #[derive(Debug)]
 pub struct RouteRecordTraceback {
     capacity: usize,
-    paths: HashMap<(Addr, Addr), Vec<Addr>>,
+    /// Ordered by `(src, dst)` so wildcard lookups scan deterministically.
+    paths: BTreeMap<(Addr, Addr), Vec<Addr>>,
     observed: u64,
     /// Observations ignored because the cache was full.
     pub overflow: u64,
@@ -31,7 +32,7 @@ impl RouteRecordTraceback {
     pub fn new(capacity: usize) -> Self {
         RouteRecordTraceback {
             capacity,
-            paths: HashMap::new(),
+            paths: BTreeMap::new(),
             observed: 0,
             overflow: 0,
         }
@@ -79,6 +80,7 @@ impl Traceback for RouteRecordTraceback {
                 if new.len() > existing.len()
                     || (new.len() == existing.len() && new < existing.as_slice())
                 {
+                    // detlint::allow(hot-alloc): amortized — fires only when a better record replaces the cached path; steady state takes the early return above
                     *existing = new.to_vec();
                 }
             }
@@ -87,6 +89,7 @@ impl Traceback for RouteRecordTraceback {
                     self.overflow += 1;
                     return;
                 }
+                // detlint::allow(hot-alloc): amortized — one allocation per newly seen host pair, bounded by `capacity`
                 self.paths.insert(key, packet.route_record.hops().to_vec());
             }
         }
@@ -98,11 +101,11 @@ impl Traceback for RouteRecordTraceback {
         if let (Some(src), Some(dst)) = (flow.src_host(), flow.dst_host()) {
             return self.paths.get(&(src, dst)).cloned();
         }
-        // Deterministic choice among matches: smallest (src, dst) key.
+        // Deterministic choice among matches: the map is ordered by
+        // (src, dst), so the first hit is the smallest key.
         self.paths
             .iter()
-            .filter(|((s, d), _)| flow.src.contains(*s) && flow.dst.contains(*d))
-            .min_by_key(|(&key, _)| key)
+            .find(|((s, d), _)| flow.src.contains(*s) && flow.dst.contains(*d))
             .map(|(_, path)| path.clone())
     }
 

@@ -15,7 +15,7 @@
 //! winning router; the path is the winners ordered by *descending*
 //! distance (farthest router = attacker's gateway first).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aitf_packet::{Addr, FlowLabel, Packet};
 
@@ -26,8 +26,10 @@ pub const MARK_PROBABILITY_DEFAULT: f64 = 0.04;
 
 #[derive(Debug, Default)]
 struct FlowVotes {
-    /// `votes[distance][router] = count`.
-    votes: HashMap<u8, HashMap<Addr, u64>>,
+    /// `votes[distance][router] = count`. Ordered maps: reconstruction
+    /// iterates these, and the reported path must be a pure function of
+    /// the vote multiset, never of hash order.
+    votes: BTreeMap<u8, BTreeMap<Addr, u64>>,
     max_distance: u8,
     samples: u64,
     /// Marked samples observed since `max_distance` last grew. Marks from
@@ -47,7 +49,7 @@ pub struct SamplingTraceback {
     capacity: usize,
     min_samples: u64,
     stability: u64,
-    flows: HashMap<(Addr, Addr), FlowVotes>,
+    flows: BTreeMap<(Addr, Addr), FlowVotes>,
     observed: u64,
 }
 
@@ -62,7 +64,7 @@ impl SamplingTraceback {
             capacity,
             min_samples,
             stability: STABILITY_DEFAULT,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             observed: 0,
         }
     }
@@ -144,11 +146,11 @@ impl Traceback for SamplingTraceback {
                 .get(&(src, dst))
                 .and_then(|v| self.reconstruct(v));
         }
-        // Deterministic choice among matches: smallest (src, dst) key.
+        // Deterministic choice among matches: the map is ordered by
+        // (src, dst), so the first hit is the smallest key.
         self.flows
             .iter()
-            .filter(|((s, d), _)| flow.src.contains(*s) && flow.dst.contains(*d))
-            .min_by_key(|(&key, _)| key)
+            .find(|((s, d), _)| flow.src.contains(*s) && flow.dst.contains(*d))
             .and_then(|(_, v)| self.reconstruct(v))
     }
 

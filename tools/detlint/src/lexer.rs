@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer, just deep enough for detlint.
+//!
+//! Produces a stream of identifier / number / punctuation tokens with
+//! `line:col` positions, plus the list of comments (so the rule engine can
+//! parse `detlint::allow` annotations). Everything the rules must never
+//! trip over — string literals, raw strings, char literals, lifetimes,
+//! nested block comments — is consumed here and never reaches the token
+//! stream.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `for`, ...).
+    Ident(String),
+    /// Numeric literal, verbatim (`0.5`, `1_000u64`, `0xff`).
+    Num(String),
+    /// Single punctuation byte (`.`, `:`, `(`, `<`, ...).
+    Punct(char),
+}
+
+impl Tok {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment, with enough context to resolve allow annotations.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after `//` / inside `/* */`, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column of the leading `/`.
+    pub col: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub standalone: bool,
+}
+
+/// Lexes `src`, returning tokens and comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        line_has_code: false,
+        toks: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether a token has been emitted on the current line (for
+    /// `Comment::standalone`).
+    line_has_code: bool,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, maintaining line/col.
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_lit(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string_lit();
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.bump(); // opening quote of the byte literal
+                    self.byte_char_tail();
+                }
+                _ if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    let (line, col) = (self.line, self.col);
+                    let c = self.bump() as char;
+                    self.line_has_code = true;
+                    self.toks.push(Tok {
+                        kind: TokKind::Punct(c),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let standalone = !self.line_has_code;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+            line,
+            col,
+            standalone,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let standalone = !self.line_has_code;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.bytes[start..end]).into_owned(),
+            line,
+            col,
+            standalone,
+        });
+    }
+
+    fn string_lit(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `br"` or `br#`.
+    fn raw_string_ahead(&self) -> bool {
+        let (mut i, b) = (1, self.peek(0));
+        if b == b'b' {
+            if self.peek(1) != b'r' {
+                return false;
+            }
+            i = 2;
+        }
+        matches!(self.peek(i), b'"' | b'#')
+            && (self.peek(i) == b'"' || {
+                // r#ident is a raw identifier, not a raw string: require
+                // the hashes to terminate in a quote.
+                let mut j = i;
+                while self.peek(j) == b'#' {
+                    j += 1;
+                }
+                self.peek(j) == b'"'
+            })
+    }
+
+    fn raw_string(&mut self) {
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let c1 = self.peek(1);
+        let is_lifetime =
+            (c1.is_ascii_alphabetic() || c1 == b'_') && self.peek(2) != b'\'' && c1 != b'\\';
+        if is_lifetime {
+            self.bump(); // '
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            return;
+        }
+        self.bump(); // opening quote
+        self.byte_char_tail();
+    }
+
+    /// Consumes a (possibly escaped) char literal body and closing quote.
+    fn byte_char_tail(&mut self) {
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+            // \x7f and \u{...} escapes: eat to the closing quote.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else if self.pos < self.bytes.len() {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        self.line_has_code = true;
+        self.toks.push(Tok {
+            kind: TokKind::Ident(
+                String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+            ),
+            line,
+            col,
+        });
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        while self.peek(0).is_ascii_alphanumeric()
+            || self.peek(0) == b'_'
+            || (self.peek(0) == b'.' && self.peek(1).is_ascii_digit())
+        {
+            self.bump();
+        }
+        self.line_has_code = true;
+        self.toks.push(Tok {
+            kind: TokKind::Num(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()),
+            line,
+            col,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_captured_not_tokenized() {
+        let (toks, comments) = lex("let x = 1; // HashMap.iter()\nlet y = 2;");
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("HashMap.iter()"));
+        assert!(!comments[0].standalone, "trailing comment has code before");
+    }
+
+    #[test]
+    fn standalone_comment_flag_and_position() {
+        let (_, comments) = lex("fn f() {\n    // detlint::allow(x): y\n    g();\n}");
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].standalone);
+        assert_eq!((comments[0].line, comments[0].col), (2, 5));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner thread_rng */ still out */ fn f() {}");
+        assert!(toks.iter().all(|t| !t.is_ident("thread_rng")));
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("inner thread_rng"));
+        assert_eq!(idents("/* a */ fn f() {}"), ["fn", "f"]);
+    }
+
+    #[test]
+    fn string_literals_do_not_leak_tokens() {
+        let src = r#"let s = "Instant::now() \" HashMap"; let t = 1;"#;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"SystemTime "quoted" inside"#; let u = 2;"###;
+        assert_eq!(idents(src), ["let", "s", "let", "u"]);
+        let src2 = "let s = r\"thread_rng\"; done();";
+        assert_eq!(idents(src2), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(idents(r#"let s = b"HashMap"; f();"#), ["let", "s", "f"]);
+        assert_eq!(
+            idents(r##"let s = br#"HashSet"#; f();"##),
+            ["let", "s", "f"]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // 'a' is a char, 'a in a generic is a lifetime; both must not eat
+        // the following tokens.
+        assert_eq!(
+            idents("let c = 'x'; fn f<'a>(v: &'a str) {}"),
+            ["let", "c", "fn", "f", "v", "str"]
+        );
+        assert_eq!(idents(r"let c = '\n'; g();"), ["let", "c", "g"]);
+        assert_eq!(idents(r"let c = '\''; g();"), ["let", "c", "g"]);
+        assert_eq!(idents("let b = b'x'; g();"), ["let", "b", "g"]);
+    }
+
+    #[test]
+    fn nested_generics_tokenize_as_puncts() {
+        let (toks, _) = lex("let m: HashMap<u8, HashMap<Addr, Vec<u64>>> = x;");
+        let shifts = toks.iter().filter(|t| t.is_punct('<')).count();
+        assert_eq!(shifts, 3);
+        assert_eq!(
+            toks.iter().filter(|t| t.is_ident("HashMap")).count(),
+            2,
+            "both HashMap idents visible"
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_line_col() {
+        let (toks, _) = lex("ab cd\n  ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_suffixes() {
+        let (toks, _) = lex("f(0.5, 1_000u64, 0xff, 2.0f64)");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0.5", "1_000u64", "0xff", "2.0f64"]);
+        // Method calls on ints must not merge the dot into the number.
+        let (toks, _) = lex("1.max(2)");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        // r#fn splits into `r` `#` `fn` — the point is that the `#` must
+        // not start raw-string consumption and swallow the rest.
+        assert_eq!(idents("let r#fn = 1; g();"), ["let", "r", "fn", "g"]);
+    }
+}

@@ -1,0 +1,12 @@
+// Known-bad: malformed allows. A reason is mandatory, rule names must be
+// real, and a malformed allow suppresses nothing (the Instant::now below
+// still fires).
+use std::time::Instant;
+
+fn wall() -> Instant {
+    // detlint::allow(wall-clock)
+    Instant::now()
+}
+
+// detlint::allow(no-such-rule): typo'd rule id
+fn other() {}

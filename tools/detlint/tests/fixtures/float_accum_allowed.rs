@@ -1,0 +1,13 @@
+// Allowed twin: both rules on the same line, one annotation.
+use std::collections::HashMap;
+
+struct Rates {
+    bps: HashMap<u64, f64>,
+}
+
+impl Rates {
+    fn total(&self) -> f64 {
+        // detlint::allow(hash-iter, float-accum): diagnostics print only, tolerance far above f64 ulps
+        self.bps.values().sum::<f64>()
+    }
+}

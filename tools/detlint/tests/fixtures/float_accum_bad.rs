@@ -1,0 +1,17 @@
+// Known-bad: float accumulation over an unordered iterator — float
+// addition is not associative, so the total depends on hash order.
+use std::collections::HashMap;
+
+struct Rates {
+    bps: HashMap<u64, f64>,
+}
+
+impl Rates {
+    fn total(&self) -> f64 {
+        self.bps.values().sum::<f64>()
+    }
+
+    fn peak(&self) -> f64 {
+        self.bps.values().fold(0.0f64, |a, &b| a + b)
+    }
+}

@@ -1,0 +1,17 @@
+// Allowed twin: same iteration sites, each justified with a reason.
+use std::collections::HashMap;
+
+struct State {
+    flows: HashMap<u64, u64>,
+}
+
+impl State {
+    fn sum(&self) -> u64 {
+        // detlint::allow(hash-iter): u64 addition is commutative
+        self.flows.values().sum()
+    }
+
+    fn purge(&mut self) {
+        self.flows.retain(|_, v| *v > 0) // detlint::allow(hash-iter): per-entry predicate
+    }
+}

@@ -1,0 +1,27 @@
+// Known-bad: unordered iteration over hash collections in simulation code.
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    flows: HashMap<u64, u64>,
+}
+
+impl State {
+    fn sum(&self) -> u64 {
+        self.flows.values().sum()
+    }
+
+    fn visit(&self) {
+        for k in &self.flows {
+            let _ = k;
+        }
+    }
+}
+
+fn local_set() -> usize {
+    let seen: HashSet<u32> = HashSet::new();
+    let mut n = 0;
+    for s in seen {
+        n += s as usize;
+    }
+    n
+}

@@ -1,0 +1,5 @@
+// Allowed twin: an amortized allocation in a pinned hot function.
+fn hot_fn(xs: &[u32]) -> Vec<u32> {
+    // detlint::allow(hot-alloc): amortized — fires once per new flow, steady state early-returns
+    xs.to_vec()
+}

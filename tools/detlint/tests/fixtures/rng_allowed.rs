@@ -1,0 +1,5 @@
+// Allowed twin (hypothetical: a diagnostics-only path).
+fn jitter() -> u64 {
+    // detlint::allow(ad-hoc-rng): operator-facing diagnostics only, never in a record
+    rand::random()
+}

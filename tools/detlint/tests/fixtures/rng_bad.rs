@@ -1,0 +1,6 @@
+// Known-bad: OS-seeded randomness; everything must derive from the run seed.
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    x
+}

@@ -1,0 +1,6 @@
+// Known-bad: a well-formed allow that suppresses nothing must itself be
+// flagged, or the annotation set rots.
+fn clean() -> u64 {
+    // detlint::allow(wall-clock): this line stopped reading the clock long ago
+    42
+}

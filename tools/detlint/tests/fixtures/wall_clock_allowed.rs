@@ -1,0 +1,8 @@
+// Allowed twin: telemetry-only wall reads carry reasons.
+use std::time::Instant;
+
+fn wall() -> f64 {
+    // detlint::allow(wall-clock): wall telemetry only, never recorded
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

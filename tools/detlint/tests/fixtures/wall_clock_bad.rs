@@ -1,0 +1,8 @@
+// Known-bad: wall-clock reads outside the profiling subsystem.
+use std::time::{Instant, SystemTime};
+
+fn timestamp() -> f64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// Exempt via [wall-clock-exempt] in the manifest: the profiling
+// subsystem reads the wall clock without annotations.
+use std::time::Instant;
+
+fn profile() -> std::time::Duration {
+    Instant::now().elapsed()
+}
